@@ -1,0 +1,39 @@
+# Convenience targets for the DAC'99 minimum-mean-cycle reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race bench fuzz repro repro-quick cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Differential soak test: every algorithm vs the oracle on random graphs.
+fuzz:
+	$(GO) run ./cmd/mcmfuzz -duration 30s
+
+# Full Table 2 + every observation table (tens of minutes).
+repro:
+	$(GO) run ./cmd/mcmbench -table all -verify
+
+# Reduced grid (n <= 2048, 3 seeds): a couple of minutes.
+repro-quick:
+	$(GO) run ./cmd/mcmbench -table all -quick -verify
+
+cover:
+	$(GO) test ./internal/... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out mcmfuzz-repro.txt test_output.txt bench_output.txt

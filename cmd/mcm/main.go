@@ -1,0 +1,223 @@
+// Command mcm solves the minimum (or maximum) cycle mean or cost-to-time
+// ratio problem on a graph read from a file (or stdin) in the text format
+// of internal/graph:
+//
+//	p mcm <n> <m>
+//	a <from> <to> <weight> [transit]
+//
+// Examples:
+//
+//	mcm -algo howard graph.txt
+//	mcm -algo karp -max graph.txt
+//	mcm -ratio -algo burns -critical graph.txt
+//	mcmgen -n 1024 -m 3072 | mcm -algo yto -counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ratio"
+	"repro/internal/slack"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "howard", "algorithm: mean solvers "+strings.Join(core.Names(), ",")+"; ratio solvers "+strings.Join(ratio.Names(), ","))
+		useRatio = flag.Bool("ratio", false, "solve the cost-to-time ratio problem instead of the mean problem")
+		maximize = flag.Bool("max", false, "maximize instead of minimize")
+		counts   = flag.Bool("counts", false, "print operation counts")
+		critical = flag.Bool("critical", false, "print the critical cycle arcs")
+		dotOut   = flag.String("dot", "", "write a DOT rendering with the critical cycle highlighted to this file")
+		eps      = flag.Float64("epsilon", 0, "precision for the approximate algorithms (0 = exact)")
+		all      = flag.Bool("all", false, "run every mean algorithm concurrently, cross-check, and print a timing table")
+		slackTop = flag.Int("slack", 0, "print the k tightest arcs (criticality/slack report; mean problem only)")
+	)
+	flag.Parse()
+	var err error
+	switch {
+	case *all:
+		err = runAll(flag.Args())
+	case *slackTop > 0:
+		err = runSlack(*slackTop, flag.Args())
+	default:
+		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcm:", err)
+		os.Exit(1)
+	}
+}
+
+// runSlack prints the criticality report: λ*, the critical subgraph size,
+// and the k tightest arcs.
+func runSlack(k int, args []string) error {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = args[0]
+	}
+	g, err := graph.Read(in)
+	if err != nil {
+		return err
+	}
+	howard, err := core.ByName("howard")
+	if err != nil {
+		return err
+	}
+	rep, err := slack.Analyze(g, howard)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: n=%d m=%d lambda* = %v\n", name, g.NumNodes(), g.NumArcs(), rep.Lambda)
+	fmt.Printf("critical: %d arcs over %d nodes\n", len(rep.CriticalArcs), len(rep.CriticalNodes))
+	fmt.Printf("%d tightest arcs:\n", k)
+	for i, as := range rep.Bottlenecks() {
+		if i >= k {
+			break
+		}
+		a := g.Arc(as.Arc)
+		fmt.Printf("  %4d -> %-4d w=%-8d slack=%v\n", a.From+1, a.To+1, a.Weight, as.Slack)
+	}
+	return nil
+}
+
+// runAll cross-checks every registered mean algorithm on the input and
+// prints a per-algorithm timing table.
+func runAll(args []string) error {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = args[0]
+	}
+	g, err := graph.Read(in)
+	if err != nil {
+		return err
+	}
+	res, err := core.CrossCheck(g, core.All(), core.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: n=%d m=%d\n", name, g.NumNodes(), g.NumArcs())
+	fmt.Printf("lambda* = %v (%.6f), all %d algorithms agree exactly\n",
+		res.Mean, res.Mean.Float64(), len(res.Elapsed))
+	names := core.Names()
+	fmt.Printf("%-8s %12s\n", "algo", "time")
+	for _, n := range names {
+		marker := ""
+		if n == res.Winner {
+			marker = "  <- fastest"
+		}
+		fmt.Printf("%-8s %12v%s\n", n, res.Elapsed[n].Round(time.Microsecond), marker)
+	}
+	return nil
+}
+
+func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, args []string) error {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		name = args[0]
+	}
+	g, err := graph.Read(in)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{Epsilon: eps}
+
+	var (
+		value  string
+		cycle  []graph.ArcID
+		cts    string
+		approx bool
+	)
+	if useRatio {
+		algo, err := ratio.ByName(algoName)
+		if err != nil {
+			return err
+		}
+		var res ratio.Result
+		if maximize {
+			res, err = ratio.MaximumCycleRatio(g, algo, opt)
+		} else {
+			res, err = ratio.MinimumCycleRatio(g, algo, opt)
+		}
+		if err != nil {
+			return err
+		}
+		value = fmt.Sprintf("rho* = %v (%.6f)", res.Ratio, res.Ratio.Float64())
+		cycle, cts, approx = res.Cycle, res.Counts.String(), !res.Exact
+	} else {
+		algo, err := core.ByName(algoName)
+		if err != nil {
+			return err
+		}
+		var res core.Result
+		if maximize {
+			res, err = core.MaximumCycleMean(g, algo, opt)
+		} else {
+			res, err = core.MinimumCycleMean(g, algo, opt)
+		}
+		if err != nil {
+			return err
+		}
+		value = fmt.Sprintf("lambda* = %v (%.6f)", res.Mean, res.Mean.Float64())
+		cycle, cts, approx = res.Cycle, res.Counts.String(), !res.Exact
+	}
+
+	fmt.Printf("%s: n=%d m=%d algo=%s\n", name, g.NumNodes(), g.NumArcs(), algoName)
+	fmt.Println(value)
+	if approx {
+		fmt.Println("(approximate: epsilon mode)")
+	}
+	if critical && len(cycle) > 0 {
+		fmt.Printf("critical cycle (%d arcs):\n", len(cycle))
+		for _, id := range cycle {
+			a := g.Arc(id)
+			fmt.Printf("  %d -> %d  w=%d t=%d\n", a.From+1, a.To+1, a.Weight, a.Transit)
+		}
+	}
+	if counts {
+		fmt.Println("counts:", cts)
+	}
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		hl := make(map[graph.ArcID]bool, len(cycle))
+		for _, id := range cycle {
+			hl[id] = true
+		}
+		if err := graph.WriteDOT(f, g, "mcm", hl); err != nil {
+			return err
+		}
+		fmt.Println("wrote", dotOut)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGraphFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+const triangleSrc = `p mcm 3 3
+a 1 2 2
+a 2 3 3
+a 3 1 4
+`
+
+func TestRunMean(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error {
+		return run("howard", false, false, true, true, "", 0, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda* = 3 (3.000000)") {
+		t.Fatalf("output missing λ*: %s", out)
+	}
+	if !strings.Contains(out, "critical cycle (3 arcs)") {
+		t.Fatalf("output missing cycle: %s", out)
+	}
+	if !strings.Contains(out, "counts:") {
+		t.Fatalf("output missing counts: %s", out)
+	}
+}
+
+func TestRunMax(t *testing.T) {
+	src := `p mcm 2 3
+a 1 2 1
+a 2 1 1
+a 1 1 9
+`
+	path := writeGraphFile(t, src)
+	out, err := capture(t, func() error {
+		return run("karp", false, true, false, false, "", 0, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda* = 9") {
+		t.Fatalf("max mean wrong: %s", out)
+	}
+}
+
+func TestRunRatio(t *testing.T) {
+	src := `p mcm 2 2
+a 1 2 3 2
+a 2 1 5 2
+`
+	path := writeGraphFile(t, src)
+	out, err := capture(t, func() error {
+		return run("howard", true, false, false, false, "", 0, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rho* = 2 (2.000000)") {
+		t.Fatalf("ratio wrong: %s", out)
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	if _, err := capture(t, func() error {
+		return run("yto", false, false, false, false, dot, 0, []string{path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "digraph") || !strings.Contains(string(content), "color=red") {
+		t.Fatalf("DOT output wrong: %s", content)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	if err := run("bogus", false, false, false, false, "", 0, []string{path}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("howard", false, false, false, false, "", 0, []string{"/does/not/exist"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeGraphFile(t, "not a graph\n")
+	if err := run("howard", false, false, false, false, "", 0, []string{bad}); err == nil {
+		t.Error("malformed file accepted")
+	}
+	// Acyclic graph → solver error surfaces.
+	dag := writeGraphFile(t, "p mcm 2 1\na 1 2 5\n")
+	if err := run("howard", false, false, false, false, "", 0, []string{dag}); err == nil {
+		t.Error("acyclic graph accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error { return runAll([]string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda* = 3") || !strings.Contains(out, "fastest") {
+		t.Fatalf("runAll output wrong:\n%s", out)
+	}
+	if err := runAll([]string{"/no/such/file"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunSlack(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error { return runSlack(2, []string{path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda* = 3") || !strings.Contains(out, "slack=0") {
+		t.Fatalf("slack output wrong:\n%s", out)
+	}
+	if err := runSlack(2, []string{"/no/such/file"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,149 @@
+// Command mcmbench regenerates the experiment tables of the DAC'99 study
+// (see DESIGN.md's experiment index):
+//
+//	mcmbench -table table2            # E-T2: the running-time grid
+//	mcmbench -table mcm               # E-41: MCM value vs graph parameters
+//	mcmbench -table heapops           # E-42: KO vs YTO heap operations
+//	mcmbench -table iters             # E-43: iteration counts
+//	mcmbench -table karp              # E-44: Karp-variant behavior
+//	mcmbench -table ranking           # E-45: overall speed ranking
+//	mcmbench -table circuits          # E-C : benchmark-circuit family
+//	mcmbench -table all               # everything from one sweep
+//
+// The full Table 2 grid (n up to 8192, 10 seeds) takes tens of minutes;
+// -quick runs a reduced grid (n up to 2048, 3 seeds) in a couple of
+// minutes. -verify cross-checks that all algorithms agree exactly on every
+// instance while measuring.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, all")
+		quick    = flag.Bool("quick", false, "reduced grid (n <= 2048) and 3 seeds")
+		seeds    = flag.Int("seeds", 0, "instances per size (default 10, or 3 with -quick)")
+		maxN     = flag.Int("maxn", 0, "limit the grid to sizes with n <= maxn")
+		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's Table 2 columns)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-instance budget; larger n are N/A once exceeded")
+		memLimit = flag.Int64("memlimit", 256<<20, "D-table memory budget in bytes for Karp/DG/HO (paper machine: 64 MB)")
+		verify   = flag.Bool("verify", false, "cross-check all algorithms agree exactly on every instance")
+		progress = flag.Bool("progress", false, "print one line per completed run to stderr")
+		jsonOut  = flag.Bool("json", false, "emit the sweep as JSON instead of a table")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seeds:    *seeds,
+		Timeout:  *timeout,
+		MemLimit: *memLimit,
+		Verify:   *verify,
+	}
+	if *quick {
+		if cfg.Seeds == 0 {
+			cfg.Seeds = 3
+		}
+		if *maxN == 0 {
+			*maxN = 2048
+		}
+	}
+	if *algos != "" {
+		cfg.Algorithms = strings.Split(*algos, ",")
+	}
+	if *maxN > 0 {
+		cfg.Sizes = limitSizes(*maxN)
+	}
+	if *progress {
+		cfg.Progress = os.Stderr
+	}
+
+	switch *table {
+	case "circuits":
+		cases, err := bench.RunCircuits(cfg.Algorithms, cfg.Seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteCircuits(os.Stdout, cases, cfg.Algorithms)
+		return
+	case "heapkinds":
+		rows, err := bench.RunHeapKinds(cfg.Sizes, cfg.Seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteHeapKinds(os.Stdout, rows)
+		return
+	case "variants":
+		rows, err := bench.RunVariants(cfg.Sizes, cfg.Seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteVariants(os.Stdout, rows)
+		return
+	case "ratio":
+		rows, err := bench.RunRatioTable(cfg.Sizes, cfg.Seeds, 4)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteRatioTable(os.Stdout, rows)
+		return
+	}
+
+	rep, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		if *verify && len(rep.Mismatches) > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	if err := rep.WriteAll(os.Stdout, *table); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(1)
+	}
+	if *table == "all" {
+		cases, err := bench.RunCircuits(cfg.Algorithms, cfg.Seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteCircuits(os.Stdout, cases, cfg.Algorithms)
+	}
+	if *verify && len(rep.Mismatches) > 0 {
+		os.Exit(2)
+	}
+}
+
+func limitSizes(maxN int) [][2]int {
+	var out [][2]int
+	for _, n := range []int{512, 1024, 2048, 4096, 8192} {
+		if n > maxN {
+			continue
+		}
+		for _, num := range []int{2, 3, 4, 5, 6} {
+			out = append(out, [2]int{n, n * num / 2})
+		}
+	}
+	return out
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestLimitSizes(t *testing.T) {
+	sizes := limitSizes(1024)
+	if len(sizes) != 10 {
+		t.Fatalf("got %d sizes, want 10 (n=512 and n=1024, five densities each)", len(sizes))
+	}
+	for _, s := range sizes {
+		if s[0] > 1024 {
+			t.Fatalf("size %v exceeds maxn", s)
+		}
+		if s[1] < s[0] || s[1] > 3*s[0] {
+			t.Fatalf("size %v outside the m/n in [1,3] grid", s)
+		}
+	}
+	if len(limitSizes(100)) != 0 {
+		t.Fatal("maxn below 512 must produce an empty grid")
+	}
+}

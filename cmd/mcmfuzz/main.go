@@ -1,0 +1,212 @@
+// Command mcmfuzz is a differential soak tester: it generates random
+// graphs forever (or for -duration), runs every registered algorithm on
+// each, and demands exact agreement plus a validated optimality
+// certificate for every answer — the strongest form of the paper's
+// "uniform implementation" discipline. Small instances are additionally
+// checked against the brute-force cycle-enumeration oracle.
+//
+//	go run ./cmd/mcmfuzz -duration 10s
+//	go run ./cmd/mcmfuzz -duration 2m -maxn 64 -negative
+//
+// Exit status is non-zero on the first discrepancy, with a reproducer
+// (the graph in text format) written to the file named by -repro.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+	"repro/internal/verify"
+)
+
+func main() {
+	var (
+		duration  = flag.Duration("duration", 10*time.Second, "how long to fuzz")
+		maxN      = flag.Int("maxn", 24, "maximum node count per instance")
+		seed      = flag.Uint64("seed", uint64(time.Now().UnixNano()), "starting seed")
+		negative  = flag.Bool("negative", true, "include negative weights")
+		oracleCap = flag.Int("oraclecap", 12, "run the enumeration oracle for n <= this")
+		reproPath = flag.String("repro", "mcmfuzz-repro.txt", "where to write a failing instance")
+		doRatio   = flag.Bool("ratio", false, "fuzz the cost-to-time ratio solvers instead of the mean solvers")
+	)
+	flag.Parse()
+	var err error
+	if *doRatio {
+		err = fuzzRatio(*duration, *maxN, *seed, *negative, *oracleCap, *reproPath)
+	} else {
+		err = fuzz(*duration, *maxN, *seed, *negative, *oracleCap, *reproPath)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmfuzz:", err)
+		os.Exit(1)
+	}
+}
+
+// fuzzRatio is the MCRP counterpart of fuzz: random transit times in
+// [0, 4] (zero-transit arcs included; zero-transit cycles regenerate), all
+// ratio algorithms, certificates, and the small-instance oracle.
+func fuzzRatio(duration time.Duration, maxN int, seed uint64, negative bool, oracleCap int, reproPath string) error {
+	algos := ratio.All()
+	deadline := time.Now().Add(duration)
+	var instances, oracled, rejected int
+	state := seed
+	next := func(bound int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64((state >> 33) % uint64(bound))
+	}
+
+	for time.Now().Before(deadline) {
+		n := int(next(int64(maxN-1))) + 2
+		m := n + int(next(int64(4*n)))
+		minW, maxW := int64(1), int64(1+next(1000))
+		if negative && next(2) == 0 {
+			minW = -maxW
+		}
+		base, err := gen.Sprand(gen.SprandConfig{N: n, M: m, MinWeight: minW, MaxWeight: maxW, Seed: state})
+		if err != nil {
+			return err
+		}
+		arcs := make([]graph.Arc, base.NumArcs())
+		for i, a := range base.Arcs() {
+			a.Transit = next(5) // 0..4
+			arcs[i] = a
+		}
+		g := graph.FromArcs(n, arcs)
+		instances++
+
+		var ref numeric.Rat
+		haveRef := false
+		fail := func(format string, args ...any) error {
+			f, ferr := os.Create(reproPath)
+			if ferr == nil {
+				graph.Write(f, g)
+				f.Close()
+			}
+			return fmt.Errorf("ratio instance %d (n=%d m=%d w=[%d,%d]): %s\nreproducer written to %s",
+				instances, n, m, minW, maxW, fmt.Sprintf(format, args...), reproPath)
+		}
+		skip := false
+		for _, algo := range algos {
+			res, err := algo.Solve(g, core.Options{})
+			if errors.Is(err, ratio.ErrNonPositiveTransit) {
+				// Zero-transit cycle: a legal rejection every algorithm
+				// must agree on.
+				skip = true
+				continue
+			}
+			if skip {
+				return fail("%s accepted a graph others rejected for zero-transit cycles", algo.Name())
+			}
+			if strings.HasPrefix(algo.Name(), "expand") && err != nil {
+				continue // zero-transit arcs are outside expand's domain
+			}
+			if err != nil {
+				return fail("%s: %v", algo.Name(), err)
+			}
+			if err := verify.CheckRatioCycleIsOptimal(g, res.Ratio, res.Cycle); err != nil {
+				return fail("%s: invalid certificate: %v", algo.Name(), err)
+			}
+			if !haveRef {
+				ref, haveRef = res.Ratio, true
+			} else if !res.Ratio.Equal(ref) {
+				return fail("%s disagrees: %v vs %v", algo.Name(), res.Ratio, ref)
+			}
+		}
+		if skip {
+			rejected++
+			continue
+		}
+		if n <= oracleCap && haveRef {
+			want, _, err := verify.BruteForceMinRatio(g)
+			if err != nil {
+				return fail("oracle: %v", err)
+			}
+			if !want.Equal(ref) {
+				return fail("all algorithms agree on %v but the oracle says %v", ref, want)
+			}
+			oracled++
+		}
+	}
+	fmt.Printf("mcmfuzz: %d ratio instances × %d algorithms OK (%d oracle-checked, %d zero-transit rejections) in %v\n",
+		instances, len(algos), oracled, rejected, duration)
+	return nil
+}
+
+func fuzz(duration time.Duration, maxN int, seed uint64, negative bool, oracleCap int, reproPath string) error {
+	algos := core.All()
+	deadline := time.Now().Add(duration)
+	var (
+		instances int
+		oracled   int
+	)
+	state := seed
+	next := func(bound int64) int64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int64((state >> 33) % uint64(bound))
+	}
+
+	for time.Now().Before(deadline) {
+		n := int(next(int64(maxN-1))) + 2
+		m := n + int(next(int64(4*n)))
+		minW, maxW := int64(1), int64(1+next(10000))
+		if negative && next(2) == 0 {
+			minW = -maxW
+		}
+		g, err := gen.Sprand(gen.SprandConfig{N: n, M: m, MinWeight: minW, MaxWeight: maxW, Seed: state})
+		if err != nil {
+			return err
+		}
+		instances++
+
+		var ref numeric.Rat
+		haveRef := false
+		fail := func(format string, args ...any) error {
+			f, ferr := os.Create(reproPath)
+			if ferr == nil {
+				graph.Write(f, g)
+				f.Close()
+			}
+			return fmt.Errorf("instance %d (n=%d m=%d w=[%d,%d]): %s\nreproducer written to %s",
+				instances, n, m, minW, maxW, fmt.Sprintf(format, args...), reproPath)
+		}
+		for _, algo := range algos {
+			res, err := algo.Solve(g, core.Options{})
+			if err != nil {
+				return fail("%s: %v", algo.Name(), err)
+			}
+			if !res.Exact {
+				return fail("%s returned inexact result under default options", algo.Name())
+			}
+			if err := verify.CheckCycleIsOptimal(g, res.Mean, res.Cycle); err != nil {
+				return fail("%s: invalid certificate: %v", algo.Name(), err)
+			}
+			if !haveRef {
+				ref, haveRef = res.Mean, true
+			} else if !res.Mean.Equal(ref) {
+				return fail("%s disagrees: %v vs %v", algo.Name(), res.Mean, ref)
+			}
+		}
+		if n <= oracleCap {
+			want, _, err := verify.BruteForceMinMean(g)
+			if err != nil {
+				return fail("oracle: %v", err)
+			}
+			if !want.Equal(ref) {
+				return fail("all algorithms agree on %v but the oracle says %v", ref, want)
+			}
+			oracled++
+		}
+	}
+	fmt.Printf("mcmfuzz: %d instances × %d algorithms OK (%d oracle-checked) in %v\n",
+		instances, len(algos), oracled, duration)
+	return nil
+}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFuzzMeanBriefly(t *testing.T) {
+	repro := filepath.Join(t.TempDir(), "repro.txt")
+	if err := fuzz(300*time.Millisecond, 10, 42, true, 8, repro); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuzzRatioBriefly(t *testing.T) {
+	repro := filepath.Join(t.TempDir(), "repro.txt")
+	if err := fuzzRatio(300*time.Millisecond, 10, 42, true, 8, repro); err != nil {
+		t.Fatal(err)
+	}
+}

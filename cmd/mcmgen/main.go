@@ -1,0 +1,115 @@
+// Command mcmgen emits workload graphs in the text format consumed by
+// cmd/mcm: SPRAND random graphs (the paper's generator), structured
+// families, or latch graphs of synthetic sequential circuits.
+//
+// Examples:
+//
+//	mcmgen -n 1024 -m 3072 -seed 7 > sprand.txt
+//	mcmgen -family torus -n 1024 > torus.txt
+//	mcmgen -family circuit -ffs 128 -gates 30 > latch.txt
+//	mcmgen -family circuit -ffs 128 -bench netlist.bench > latch.txt
+//	mcmgen -n 512 -m 1536 -describe
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "sprand", "graph family: sprand, cycle, complete, torus, multiscc, circuit")
+		n        = flag.Int("n", 512, "number of nodes (sprand/cycle/complete) or side product (torus)")
+		m        = flag.Int("m", 0, "number of arcs (sprand; default 3n)")
+		minW     = flag.Int64("wmin", 1, "minimum arc weight")
+		maxW     = flag.Int64("wmax", 10000, "maximum arc weight")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		blocks   = flag.Int("blocks", 4, "number of SCC blocks (multiscc)")
+		ffs      = flag.Int("ffs", 64, "flip-flops (circuit)")
+		gates    = flag.Int("gates", 24, "cloud gates per stage (circuit)")
+		benchIn  = flag.String("bench", "", "read an ISCAS'89 .bench netlist instead of generating one (circuit)")
+		benchOut = flag.String("writebench", "", "also write the generated netlist in .bench format to this file (circuit)")
+		describe = flag.Bool("describe", false, "print graph statistics to stderr instead of only the graph")
+	)
+	flag.Parse()
+	if err := run(*family, *n, *m, *minW, *maxW, *seed, *blocks, *ffs, *gates, *benchIn, *benchOut, *describe); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(family string, n, m int, minW, maxW int64, seed uint64, blocks, ffs, gates int, benchIn, benchOut string, describe bool) error {
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch family {
+	case "sprand":
+		if m == 0 {
+			m = 3 * n
+		}
+		g, err = gen.Sprand(gen.SprandConfig{N: n, M: m, MinWeight: minW, MaxWeight: maxW, Seed: seed})
+	case "cycle":
+		g = gen.Cycle(n, maxW)
+	case "complete":
+		g = gen.Complete(n, minW, maxW, seed)
+	case "torus":
+		side := int(math.Sqrt(float64(n)))
+		if side < 2 {
+			side = 2
+		}
+		g = gen.Torus(side, side, minW, maxW, seed)
+	case "multiscc":
+		if m == 0 {
+			m = 3 * n
+		}
+		g, err = gen.MultiSCC(blocks, n/blocks, m/blocks, seed)
+	case "circuit":
+		var nl *circuit.Netlist
+		if benchIn != "" {
+			f, ferr := os.Open(benchIn)
+			if ferr != nil {
+				return ferr
+			}
+			nl, err = circuit.ParseBench(f)
+			f.Close()
+		} else {
+			nl, err = circuit.Generate(circuit.GenConfig{
+				FFs: ffs, CloudGates: gates, MaxFanin: 3,
+				Feedback: ffs / 4, PIs: 2 + ffs/16, Seed: seed,
+			})
+		}
+		if err != nil {
+			return err
+		}
+		if benchOut != "" {
+			f, ferr := os.Create(benchOut)
+			if ferr != nil {
+				return ferr
+			}
+			if err := nl.WriteBench(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		g, err = circuit.LatchGraph(nl)
+	default:
+		return fmt.Errorf("unknown family %q", family)
+	}
+	if err != nil {
+		return err
+	}
+	if describe {
+		fmt.Fprintln(os.Stderr, graph.Summarize(g))
+	}
+	return graph.Write(os.Stdout, g)
+}

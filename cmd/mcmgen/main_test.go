@@ -1,0 +1,108 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// captureStdout runs fn with stdout redirected and parses the emitted
+// graph.
+func captureGraph(t *testing.T, fn func() error) *graph.Graph {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- out
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	g, err := graph.Read(strings.NewReader(string(out)))
+	if err != nil {
+		t.Fatalf("emitted graph unparsable: %v\n%s", err, out)
+	}
+	return g
+}
+
+func TestGenSprand(t *testing.T) {
+	g := captureGraph(t, func() error {
+		return run("sprand", 50, 150, 1, 100, 7, 4, 64, 24, "", "", false)
+	})
+	if g.NumNodes() != 50 || g.NumArcs() != 150 {
+		t.Fatalf("size %d/%d", g.NumNodes(), g.NumArcs())
+	}
+	if !graph.IsStronglyConnected(g) {
+		t.Fatal("sprand output not strongly connected")
+	}
+}
+
+func TestGenFamilies(t *testing.T) {
+	cases := []struct {
+		family string
+		n      int
+	}{
+		{"cycle", 12},
+		{"complete", 8},
+		{"torus", 16},
+		{"multiscc", 40},
+	}
+	for _, c := range cases {
+		g := captureGraph(t, func() error {
+			return run(c.family, c.n, 0, 1, 10, 3, 4, 64, 24, "", "", false)
+		})
+		if g.NumNodes() == 0 || g.NumArcs() == 0 {
+			t.Fatalf("%s: empty graph", c.family)
+		}
+	}
+}
+
+func TestGenCircuitWithBenchOut(t *testing.T) {
+	benchPath := filepath.Join(t.TempDir(), "c.bench")
+	g := captureGraph(t, func() error {
+		return run("circuit", 0, 0, 1, 10, 5, 4, 16, 12, "", benchPath, false)
+	})
+	// Latch graph: host + 16 FFs.
+	if g.NumNodes() != 17 {
+		t.Fatalf("latch nodes = %d, want 17", g.NumNodes())
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "DFF") {
+		t.Fatal("bench file missing DFFs")
+	}
+	// Round-trip: feed the written netlist back through -bench.
+	g2 := captureGraph(t, func() error {
+		return run("circuit", 0, 0, 1, 10, 5, 4, 16, 12, benchPath, "", false)
+	})
+	if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("round trip changed latch graph: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if err := run("bogus", 10, 0, 1, 10, 1, 4, 64, 24, "", "", false); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run("circuit", 0, 0, 1, 10, 1, 4, 16, 12, "/no/such/file.bench", "", false); err == nil {
+		t.Error("missing bench file accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Dataflow example: compute the iteration bound of DSP dataflow graphs —
+// the application from the paper's introduction ("the iteration bound of a
+// dataflow graph [Ito & Parhi]"). Two classic filters are analyzed: a
+// second-order IIR biquad and a two-stage lattice filter, using the ratio
+// form of Howard's and Burns' algorithms.
+//
+//	go run ./examples/dataflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/perf"
+	"repro/internal/ratio"
+)
+
+func main() {
+	biquad := buildBiquad()
+	lattice := buildLattice()
+
+	for _, algoName := range []string{"howard", "burns"} {
+		algo, err := ratio.ByName(algoName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== iteration bounds via %s's ratio algorithm ==\n", algoName)
+		for _, c := range []struct {
+			name string
+			dfg  *perf.Dataflow
+		}{{"second-order IIR biquad", biquad}, {"two-stage lattice", lattice}} {
+			bound, cycle, err := c.dfg.IterationBound(algo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-24s T∞ = %v time units  (critical loop: %v)\n", c.name, bound, cycle)
+		}
+	}
+	fmt.Println()
+	fmt.Println("The iteration bound is the minimum achievable iteration period of the")
+	fmt.Println("filter under unlimited hardware; no retiming or unfolding can beat it.")
+}
+
+// buildBiquad models y[n] = x[n] + a·y[n-1] + b·y[n-2] with unit-time
+// adders and two-unit multipliers.
+func buildBiquad() *perf.Dataflow {
+	d := perf.NewDataflow()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustActor := func(name string, w int64) {
+		_, err := d.AddActor(name, w)
+		must(err)
+	}
+	mustActor("add1", 1)
+	mustActor("add2", 1)
+	mustActor("mulA", 2)
+	mustActor("mulB", 2)
+	// y[n-1] loop: add1 → (z⁻¹) → mulA → add1.
+	must(d.AddEdge("add1", "mulA", 1))
+	must(d.AddEdge("mulA", "add1", 0))
+	// y[n-2] loop: add1 → add2 → (z⁻²) → mulB → add1.
+	must(d.AddEdge("add1", "add2", 0))
+	must(d.AddEdge("add2", "mulB", 2))
+	must(d.AddEdge("mulB", "add1", 0))
+	return d
+}
+
+// buildLattice models a two-stage normalized lattice filter: each stage has
+// two multiplies (2 units) and two adds (1 unit) with a single-delay
+// feedback around the stages.
+func buildLattice() *perf.Dataflow {
+	d := perf.NewDataflow()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustActor := func(name string, w int64) {
+		_, err := d.AddActor(name, w)
+		must(err)
+	}
+	for _, stage := range []string{"s1", "s2"} {
+		mustActor(stage+"_mulF", 2)
+		mustActor(stage+"_mulB", 2)
+		mustActor(stage+"_addF", 1)
+		mustActor(stage+"_addB", 1)
+		must(d.AddEdge(stage+"_mulF", stage+"_addF", 0))
+		must(d.AddEdge(stage+"_addF", stage+"_mulB", 0))
+		must(d.AddEdge(stage+"_mulB", stage+"_addB", 0))
+	}
+	// Forward chain s1 → s2 and delayed feedback s2 → s1.
+	must(d.AddEdge("s1_addF", "s2_mulF", 0))
+	must(d.AddEdge("s2_addB", "s1_mulF", 1))
+	// Intra-stage recursions through one delay each.
+	must(d.AddEdge("s1_addB", "s1_mulF", 1))
+	must(d.AddEdge("s2_addB", "s2_mulF", 1))
+	return d
+}

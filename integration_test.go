@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/perf"
+	"repro/internal/ratio"
+	"repro/internal/retime"
+	"repro/internal/slack"
+	"repro/internal/verify"
+)
+
+// TestEndToEndCircuitFlow exercises the whole stack the way a CAD user
+// would: generate a circuit, serialize and re-read its netlist, extract the
+// latch graph, compute the clock bound with cross-checked algorithms,
+// schedule clock skews, analyze slack, and retime — asserting the exact
+// algebraic relations between the stages.
+func TestEndToEndCircuitFlow(t *testing.T) {
+	nl, err := circuit.Generate(circuit.GenConfig{
+		FFs: 20, CloudGates: 14, MaxFanin: 3, Feedback: 5, PIs: 4, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Netlist round trip.
+	var buf bytes.Buffer
+	if err := nl.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := circuit.ParseBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := circuit.LatchGraph(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Latch graph round trip through the text format.
+	buf.Reset()
+	if err := graph.Write(&buf, lg); err != nil {
+		t.Fatal(err)
+	}
+	lg2, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clock bound with concurrent cross-checking over every algorithm.
+	neg := lg2.NegateWeights()
+	res, err := core.CrossCheck(neg, core.All(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := res.Mean.Neg()
+	if err := verify.CheckCycleIsOptimal(neg, res.Mean, res.Cycle); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clock skew schedule realizes exactly that period.
+	cs, err := perf.ScheduleLatchGraph(lg2, core.All()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Period.Equal(period) {
+		t.Fatalf("schedule period %v != cross-checked bound %v", cs.Period, period)
+	}
+	if err := cs.Validate(lg2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slack analysis of the negated graph: its critical arcs witness the
+	// same optimum.
+	howard, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := slack.Analyze(neg, howard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Lambda.Equal(res.Mean) {
+		t.Fatalf("slack λ %v != bound %v", rep.Lambda, res.Mean)
+	}
+	if len(rep.CriticalArcs) == 0 {
+		t.Fatal("no critical arcs")
+	}
+
+	// Retiming cannot beat the cycle-ratio bound, and its bound relates to
+	// the latch-graph cycle mean through the register-1 structure.
+	rg, err := retime.FromNetlist(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	howardRatio, err := ratio.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := rg.LowerBound(howardRatio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := retime.Minimize(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.FromInt(min.Period).Less(bound) {
+		t.Fatalf("retimed period %d beats the ratio bound %v", min.Period, bound)
+	}
+}
+
+// TestEndToEndRandomGraphFlow: SPRAND → file → solve with every algorithm
+// and heap/NCD variants → slack → max-plus style duality, all exact.
+func TestEndToEndRandomGraphFlow(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 100, M: 300, MinWeight: -50, MaxWeight: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := core.CrossCheck(g2, core.All(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min-max duality through the public drivers.
+	howard, _ := core.ByName("howard")
+	max, err := core.MaximumCycleMean(g2.NegateWeights(), howard, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !max.Mean.Equal(res.Mean.Neg()) {
+		t.Fatalf("duality broken: %v vs %v", max.Mean, res.Mean)
+	}
+	// Ratio solvers with unit transit agree with the mean.
+	for _, name := range []string{"howard", "megiddo", "dinkelbach"} {
+		ra, err := ratio.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := ratio.MinimumCycleRatio(g2, ra, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rr.Ratio.Equal(res.Mean) {
+			t.Fatalf("%s: ratio %v != mean %v", name, rr.Ratio, res.Mean)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/pq"
+)
+
+// HeapKindRow is one (size, algorithm) row of the heap ablation: mean
+// seconds per heap implementation.
+type HeapKindRow struct {
+	N, M      int
+	Algorithm string
+	Seconds   map[string]float64
+}
+
+// RunHeapKinds ablates the paper's Fibonacci-heap choice: KO and YTO run
+// with Fibonacci (LEDA's default, used by the paper), binary, and pairing
+// heaps on the same instances. The pivot sequence is heap-independent, so
+// differences isolate pure data-structure cost.
+func RunHeapKinds(sizes [][2]int, seeds int) ([]HeapKindRow, error) {
+	if sizes == nil {
+		sizes = [][2]int{{512, 1536}, {1024, 3072}, {2048, 6144}, {4096, 12288}}
+	}
+	if seeds <= 0 {
+		seeds = 3
+	}
+	kinds := []pq.Kind{pq.Fibonacci, pq.Binary, pq.Pairing, pq.Linear}
+	var rows []HeapKindRow
+	for _, size := range sizes {
+		for _, name := range []string{"ko", "yto"} {
+			row := HeapKindRow{N: size[0], M: size[1], Algorithm: name, Seconds: map[string]float64{}}
+			for seed := 0; seed < seeds; seed++ {
+				g, err := gen.Sprand(gen.SprandConfig{
+					N: size[0], M: size[1], MinWeight: 1, MaxWeight: 10000, Seed: uint64(seed) + 1,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, kind := range kinds {
+					algo, err := core.ByName(name)
+					if err != nil {
+						return nil, err
+					}
+					start := time.Now()
+					if _, err := algo.Solve(g, core.Options{HeapKind: kind}); err != nil {
+						return nil, err
+					}
+					row.Seconds[kind.String()] += time.Since(start).Seconds()
+				}
+			}
+			for k := range row.Seconds {
+				row.Seconds[k] /= float64(seeds)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteHeapKinds renders the heap ablation table.
+func WriteHeapKinds(w io.Writer, rows []HeapKindRow) {
+	fmt.Fprintln(w, "Ablation: heap implementation inside KO/YTO (seconds; paper used Fibonacci via LEDA)")
+	fmt.Fprintf(w, "%6s %7s %5s | %10s %10s %10s %10s\n", "n", "m", "algo", "fibonacci", "binary", "pairing", "linear")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %7d %5s | %10.4f %10.4f %10.4f %10.4f\n",
+			r.N, r.M, r.Algorithm, r.Seconds["fibonacci"], r.Seconds["binary"], r.Seconds["pairing"], r.Seconds["linear"])
+	}
+}
+
+// VariantRow is one size row of the space-variant ablation.
+type VariantRow struct {
+	N, M    int
+	Seconds map[string]float64
+}
+
+// RunVariants ablates the Θ(n²)-space algorithms against their Θ(n)-space
+// two-pass versions — Karp vs Karp2 (measured in the paper) and DG vs DG2,
+// HO vs HO2 (the §4.4 extrapolation: "the space efficient version ...
+// will double its running time").
+func RunVariants(sizes [][2]int, seeds int) ([]VariantRow, error) {
+	if sizes == nil {
+		sizes = [][2]int{{512, 1536}, {1024, 3072}, {2048, 6144}}
+	}
+	if seeds <= 0 {
+		seeds = 3
+	}
+	names := []string{"karp", "karp2", "dg", "dg2", "ho", "ho2"}
+	var rows []VariantRow
+	for _, size := range sizes {
+		row := VariantRow{N: size[0], M: size[1], Seconds: map[string]float64{}}
+		for seed := 0; seed < seeds; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{
+				N: size[0], M: size[1], MinWeight: 1, MaxWeight: 10000, Seed: uint64(seed) + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range names {
+				algo, err := core.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if _, err := algo.Solve(g, core.Options{}); err != nil {
+					return nil, err
+				}
+				row.Seconds[name] += time.Since(start).Seconds()
+			}
+		}
+		for k := range row.Seconds {
+			row.Seconds[k] /= float64(seeds)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteVariants renders the space-variant ablation with the time ratios
+// the paper discusses.
+func WriteVariants(w io.Writer, rows []VariantRow) {
+	fmt.Fprintln(w, "Ablation: Θ(n²)-space algorithms vs their Θ(n)-space two-pass variants (seconds)")
+	fmt.Fprintf(w, "%6s %7s | %9s %9s %6s | %9s %9s %6s | %9s %9s %6s\n",
+		"n", "m", "karp", "karp2", "ratio", "dg", "dg2", "ratio", "ho", "ho2", "ratio")
+	for _, r := range rows {
+		ratio := func(a, b string) float64 {
+			if r.Seconds[a] == 0 {
+				return 0
+			}
+			return r.Seconds[b] / r.Seconds[a]
+		}
+		fmt.Fprintf(w, "%6d %7d | %9.4f %9.4f %6.2f | %9.4f %9.4f %6.2f | %9.4f %9.4f %6.2f\n",
+			r.N, r.M,
+			r.Seconds["karp"], r.Seconds["karp2"], ratio("karp", "karp2"),
+			r.Seconds["dg"], r.Seconds["dg2"], ratio("dg", "dg2"),
+			r.Seconds["ho"], r.Seconds["ho2"], ratio("ho", "ho2"))
+	}
+}

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHeapKinds(t *testing.T) {
+	rows, err := RunHeapKinds([][2]int{{64, 192}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // ko and yto
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		for _, kind := range []string{"fibonacci", "binary", "pairing"} {
+			if r.Seconds[kind] <= 0 {
+				t.Errorf("%s/%s: no time recorded", r.Algorithm, kind)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	WriteHeapKinds(&buf, rows)
+	if !strings.Contains(buf.String(), "fibonacci") {
+		t.Error("heap table missing header")
+	}
+}
+
+func TestRunVariants(t *testing.T) {
+	rows, err := RunVariants([][2]int{{64, 192}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+	for _, name := range []string{"karp", "karp2", "dg", "dg2", "ho", "ho2"} {
+		if rows[0].Seconds[name] <= 0 {
+			t.Errorf("%s: no time recorded", name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteVariants(&buf, rows)
+	if !strings.Contains(buf.String(), "ratio") {
+		t.Error("variants table missing ratios")
+	}
+}
+
+func TestRunRatioTable(t *testing.T) {
+	rows, err := RunRatioTable([][2]int{{48, 144}}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Mismatch != "" {
+		t.Fatalf("mismatch: %s", rows[0].Mismatch)
+	}
+	for _, name := range []string{"howard", "megiddo", "lawler", "burns", "ko", "yto", "dinkelbach"} {
+		if rows[0].Seconds[name] <= 0 {
+			t.Errorf("%s: no time recorded", name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteRatioTable(&buf, rows)
+	if !strings.Contains(buf.String(), "megiddo") {
+		t.Error("ratio table missing header")
+	}
+}

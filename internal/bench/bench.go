@@ -1,0 +1,310 @@
+// Package bench is the experiment harness that regenerates the paper's
+// tables: it sweeps the SPRAND grid of Table 2 (and the circuit family of
+// the companion tech report), runs every algorithm on every instance,
+// cross-checks that all algorithms agree exactly, and renders the
+// per-experiment views (running times, iteration counts, heap operations,
+// Karp-variant arc counts, MCM values, ranking). cmd/mcmbench and the
+// root-level testing.B benchmarks are both thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/gen"
+	"repro/internal/numeric"
+)
+
+// Table2Algorithms are the paper's Table 2 columns, in the paper's order.
+var Table2Algorithms = []string{
+	"burns", "ko", "yto", "howard", "ho", "karp", "dg", "lawler", "karp2", "oa1",
+}
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Sizes is the (n, m) grid; nil selects the paper's full Table 2 grid.
+	Sizes [][2]int
+	// Seeds is the number of SPRAND instances per size (the paper used 10).
+	Seeds int
+	// Algorithms lists the algorithm names to run; nil selects the paper's
+	// Table 2 columns.
+	Algorithms []string
+	// MinWeight/MaxWeight is the arc weight interval (paper: [1, 10000]).
+	MinWeight, MaxWeight int64
+	// Timeout: once an algorithm exceeds it on some size, larger n are
+	// skipped for that algorithm ("N/A", like the paper's one-day cutoff).
+	Timeout time.Duration
+	// MemLimit bounds the Θ(n²) D-table of the Karp-family algorithms;
+	// sizes whose table would not fit are skipped ("N/A", reproducing the
+	// paper's out-of-memory entries on its 64 MB machine). Zero = 256 MiB.
+	MemLimit int64
+	// Verify enables the exact cross-check that all algorithms agree and
+	// every returned cycle is optimal.
+	Verify bool
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sizes == nil {
+		c.Sizes = gen.Table2Sizes()
+	}
+	if c.Seeds == 0 {
+		c.Seeds = 10
+	}
+	if c.Algorithms == nil {
+		c.Algorithms = Table2Algorithms
+	}
+	if c.MinWeight == 0 && c.MaxWeight == 0 {
+		c.MinWeight, c.MaxWeight = 1, 10000
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MemLimit == 0 {
+		c.MemLimit = 256 << 20
+	}
+	return c
+}
+
+// quadraticSpace lists the algorithms whose D table needs Θ(n²) memory.
+var quadraticSpace = map[string]bool{"karp": true, "dg": true, "ho": true}
+
+// Cell is one (size, algorithm) aggregate over all seeds.
+type Cell struct {
+	N, M      int
+	Algorithm string
+	// Seconds is the mean wall time per instance.
+	Seconds float64
+	// Skipped marks an N/A entry; Reason says why ("memory", "time").
+	Skipped bool
+	Reason  string
+	// Counts is the mean operation counts per instance.
+	Counts counter.Counts
+	// Lambda is the mean λ* over the seeds (float; the per-seed values are
+	// exact rationals).
+	Lambda float64
+	// Seeds is the number of instances aggregated.
+	Seeds int
+}
+
+// Report holds a completed sweep.
+type Report struct {
+	Config Config
+	Sizes  [][2]int
+	// Cells[size index][algorithm name]
+	Cells []map[string]*Cell
+	// Mismatches records any cross-algorithm disagreement (must be empty).
+	Mismatches []string
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Config: cfg, Sizes: cfg.Sizes}
+
+	// timedOutAt[algo] = smallest n at which the algorithm exceeded the
+	// timeout; larger n are skipped.
+	timedOutAt := map[string]int{}
+
+	for _, size := range cfg.Sizes {
+		n, m := size[0], size[1]
+		cells := make(map[string]*Cell, len(cfg.Algorithms))
+		for _, name := range cfg.Algorithms {
+			cells[name] = &Cell{N: n, M: m, Algorithm: name}
+		}
+		rep.Cells = append(rep.Cells, cells)
+
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{
+				N: n, M: m, MinWeight: cfg.MinWeight, MaxWeight: cfg.MaxWeight,
+				Seed: uint64(seed) + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			var ref numeric.Rat
+			haveRef := false
+			for _, name := range cfg.Algorithms {
+				cell := cells[name]
+				if cell.Skipped {
+					continue
+				}
+				if quadraticSpace[name] && int64(n+1)*int64(n)*8 > cfg.MemLimit {
+					cell.Skipped, cell.Reason = true, "memory"
+					continue
+				}
+				if bad, ok := timedOutAt[name]; ok && n > bad {
+					cell.Skipped, cell.Reason = true, "time"
+					continue
+				}
+				algo, err := core.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				res, err := algo.Solve(g, core.Options{})
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s on n=%d m=%d seed=%d: %w", name, n, m, seed, err)
+				}
+				cell.Seconds += elapsed.Seconds()
+				cell.Counts.Add(res.Counts)
+				cell.Lambda += res.Mean.Float64()
+				cell.Seeds++
+				if elapsed > cfg.Timeout {
+					if prev, ok := timedOutAt[name]; !ok || n < prev {
+						timedOutAt[name] = n
+					}
+				}
+				if cfg.Verify {
+					if !haveRef {
+						ref, haveRef = res.Mean, true
+					} else if !res.Mean.Equal(ref) {
+						rep.Mismatches = append(rep.Mismatches,
+							fmt.Sprintf("n=%d m=%d seed=%d: %s returned %v, reference %v", n, m, seed, name, res.Mean, ref))
+					}
+				}
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "n=%5d m=%6d seed=%2d %-7s %10.3fms\n",
+						n, m, seed, name, elapsed.Seconds()*1000)
+				}
+			}
+		}
+		// Finalize means.
+		for _, cell := range cells {
+			if cell.Seeds > 0 {
+				s := float64(cell.Seeds)
+				cell.Seconds /= s
+				cell.Lambda /= s
+				cell.Counts = scaleCounts(cell.Counts, cell.Seeds)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func scaleCounts(c counter.Counts, by int) counter.Counts {
+	c.Iterations /= by
+	c.Relaxations /= by
+	c.ArcsVisited /= by
+	c.HeapInserts /= by
+	c.HeapExtractMins /= by
+	c.HeapDecreaseKeys /= by
+	c.HeapDeletes /= by
+	c.CyclesExamined /= by
+	c.NegativeCycleChecks /= by
+	return c
+}
+
+// CircuitCase is one synthetic-circuit experiment instance.
+type CircuitCase struct {
+	Name    string
+	FFs     int
+	Gates   int
+	LatchN  int
+	LatchM  int
+	Seconds map[string]float64
+	Period  float64
+}
+
+// RunCircuits generates a family of synthetic sequential circuits,
+// extracts their latch graphs and times every algorithm computing the
+// clock-period bound (maximum cycle mean). This regenerates the benchmark-
+// circuit experiment the paper defers to its tech report (E-C).
+func RunCircuits(algorithms []string, seeds int) ([]CircuitCase, error) {
+	if algorithms == nil {
+		algorithms = Table2Algorithms
+	}
+	if seeds <= 0 {
+		seeds = 3
+	}
+	type circuitSpec struct {
+		name string
+		gen  func(seed uint64) (*circuit.Netlist, error)
+		ffs  int
+	}
+	specs := []circuitSpec{}
+	for _, cfg := range []circuit.GenConfig{
+		{FFs: 32, CloudGates: 24, MaxFanin: 3, Feedback: 8, PIs: 6},
+		{FFs: 128, CloudGates: 30, MaxFanin: 4, Feedback: 24, PIs: 10},
+		{FFs: 512, CloudGates: 24, MaxFanin: 4, Feedback: 64, PIs: 16},
+		{FFs: 1024, CloudGates: 16, MaxFanin: 3, Feedback: 128, PIs: 24},
+	} {
+		cfg := cfg
+		specs = append(specs, circuitSpec{
+			name: fmt.Sprintf("synth-ff%d", cfg.FFs),
+			ffs:  cfg.FFs,
+			gen: func(seed uint64) (*circuit.Netlist, error) {
+				c := cfg
+				c.Seed = seed
+				return circuit.Generate(c)
+			},
+		})
+	}
+	// Deep pipelines: the chain-like texture of the real MCNC circuits, on
+	// which DG's unfolding advantage shows (see EXPERIMENTS.md, E-C).
+	for _, stages := range []int{128, 512} {
+		stages := stages
+		specs = append(specs, circuitSpec{
+			name: fmt.Sprintf("pipeline-%d", stages),
+			ffs:  stages,
+			gen: func(seed uint64) (*circuit.Netlist, error) {
+				return circuit.GeneratePipeline(stages, 8, seed)
+			},
+		})
+	}
+
+	var cases []CircuitCase
+	for _, spec := range specs {
+		cc := CircuitCase{
+			Name:    spec.name,
+			FFs:     spec.ffs,
+			Seconds: make(map[string]float64),
+		}
+		for seed := 0; seed < seeds; seed++ {
+			nl, err := spec.gen(uint64(seed) + 1)
+			if err != nil {
+				return nil, err
+			}
+			_, _, _, comb := nl.Counts()
+			cc.Gates += comb
+			lg, err := circuit.LatchGraph(nl)
+			if err != nil {
+				return nil, err
+			}
+			neg := lg.NegateWeights() // maximum mean via negation
+			cc.LatchN += lg.NumNodes()
+			cc.LatchM += lg.NumArcs()
+			for _, name := range algorithms {
+				algo, err := core.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				res, err := core.MinimumCycleMean(neg, algo, core.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s on circuit %s seed %d: %w", name, cc.Name, seed, err)
+				}
+				cc.Seconds[name] += time.Since(start).Seconds()
+				if name == "howard" {
+					cc.Period += -res.Mean.Float64()
+				}
+			}
+		}
+		s := float64(seeds)
+		cc.Gates = int(float64(cc.Gates) / s)
+		cc.LatchN = int(float64(cc.LatchN) / s)
+		cc.LatchM = int(float64(cc.LatchM) / s)
+		cc.Period /= s
+		for k := range cc.Seconds {
+			cc.Seconds[k] /= s
+		}
+		cases = append(cases, cc)
+	}
+	return cases, nil
+}

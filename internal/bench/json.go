@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+
+	"repro/internal/counter"
+)
+
+// jsonReport is the machine-readable shape of a sweep, for downstream
+// plotting (cmd/mcmbench -json).
+type jsonReport struct {
+	Seeds      int        `json:"seeds"`
+	Algorithms []string   `json:"algorithms"`
+	Cells      []jsonCell `json:"cells"`
+	Mismatches []string   `json:"mismatches,omitempty"`
+}
+
+type jsonCell struct {
+	N         int            `json:"n"`
+	M         int            `json:"m"`
+	Algorithm string         `json:"algorithm"`
+	Seconds   float64        `json:"seconds"`
+	Skipped   bool           `json:"skipped,omitempty"`
+	Reason    string         `json:"reason,omitempty"`
+	Lambda    float64        `json:"lambda,omitempty"`
+	Counts    counter.Counts `json:"counts"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{
+		Seeds:      r.Config.Seeds,
+		Algorithms: r.Config.Algorithms,
+		Mismatches: r.Mismatches,
+	}
+	for i, size := range r.Sizes {
+		for _, name := range r.Config.Algorithms {
+			cell := r.Cells[i][name]
+			out.Cells = append(out.Cells, jsonCell{
+				N: size[0], M: size[1], Algorithm: name,
+				Seconds: cell.Seconds, Skipped: cell.Skipped, Reason: cell.Reason,
+				Lambda: cell.Lambda, Counts: cell.Counts,
+			})
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

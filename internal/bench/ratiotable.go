@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+)
+
+// RatioRow is one (size) row of the cost-to-time-ratio comparison.
+type RatioRow struct {
+	N, M    int
+	Seconds map[string]float64
+	// Mismatch records any disagreement between solvers (must stay empty).
+	Mismatch string
+}
+
+// RunRatioTable times every MCR solver on transit-weighted SPRAND graphs
+// (transit times uniform in [1, maxTransit]) and cross-checks exact
+// agreement — the MCR-side comparison the paper left to its tech report.
+func RunRatioTable(sizes [][2]int, seeds int, maxTransit int64) ([]RatioRow, error) {
+	if sizes == nil {
+		sizes = [][2]int{
+			{512, 1536}, {1024, 3072}, {2048, 6144},
+		}
+	}
+	if seeds <= 0 {
+		seeds = 3
+	}
+	if maxTransit < 1 {
+		maxTransit = 4
+	}
+	names := ratio.Names()
+	var rows []RatioRow
+	for _, size := range sizes {
+		row := RatioRow{N: size[0], M: size[1], Seconds: map[string]float64{}}
+		for seed := 0; seed < seeds; seed++ {
+			base, err := gen.Sprand(gen.SprandConfig{
+				N: size[0], M: size[1], MinWeight: 1, MaxWeight: 10000, Seed: uint64(seed) + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			arcs := make([]graph.Arc, base.NumArcs())
+			state := uint64(seed)*0x9e3779b97f4a7c15 + 7
+			for i, a := range base.Arcs() {
+				state = state*6364136223846793005 + 1442695040888963407
+				a.Transit = 1 + int64((state>>33)%uint64(maxTransit))
+				arcs[i] = a
+			}
+			g := graph.FromArcs(base.NumNodes(), arcs)
+
+			var ref numeric.Rat
+			haveRef := false
+			for _, name := range names {
+				algo, err := ratio.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				res, err := algo.Solve(g, core.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("bench: ratio %s on n=%d m=%d seed=%d: %w",
+						name, size[0], size[1], seed, err)
+				}
+				row.Seconds[name] += time.Since(start).Seconds()
+				if !haveRef {
+					ref, haveRef = res.Ratio, true
+				} else if !res.Ratio.Equal(ref) && row.Mismatch == "" {
+					row.Mismatch = fmt.Sprintf("%s returned %v, reference %v", name, res.Ratio, ref)
+				}
+			}
+		}
+		for k := range row.Seconds {
+			row.Seconds[k] /= float64(seeds)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteRatioTable renders the MCR comparison.
+func WriteRatioTable(w io.Writer, rows []RatioRow) {
+	names := ratio.Names()
+	fmt.Fprintln(w, "E-R: cost-to-time-ratio solvers on transit-weighted SPRAND graphs (seconds)")
+	fmt.Fprintf(w, "%6s %7s", "n", "m")
+	for _, n := range names {
+		fmt.Fprintf(w, " %11s", n)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %7d", r.N, r.M)
+		for _, n := range names {
+			fmt.Fprintf(w, " %11.4f", r.Seconds[n])
+		}
+		fmt.Fprintln(w)
+		if r.Mismatch != "" {
+			fmt.Fprintf(w, "  !! %s\n", r.Mismatch)
+		}
+	}
+}

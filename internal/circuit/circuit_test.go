@@ -1,0 +1,312 @@
+package circuit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+const sampleBench = `
+# tiny sequential example
+INPUT(a)
+INPUT(b)
+OUTPUT(q1)
+q0 = DFF(g2)
+q1 = DFF(g3)
+g1 = NAND(a, q0)
+g2 = OR(g1, b)
+g3 = NOT(q1)
+`
+
+func TestParseBench(t *testing.T) {
+	nl, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pis, pos, ffs, comb := nl.Counts()
+	if pis != 2 || pos != 1 || ffs != 2 || comb != 3 {
+		t.Fatalf("counts = %d %d %d %d, want 2 1 2 3", pis, pos, ffs, comb)
+	}
+	if nl.GateID("g2") < 0 || nl.GateID("q0") < 0 {
+		t.Fatal("missing gates")
+	}
+	if got := nl.Gates[nl.GateID("g1")].Type; got != Nand {
+		t.Fatalf("g1 type = %v, want NAND", got)
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	nl, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := ParseBench(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if len(nl2.Gates) != len(nl.Gates) {
+		t.Fatalf("round trip gate count %d != %d", len(nl2.Gates), len(nl.Gates))
+	}
+	for _, name := range nl.sortedNames() {
+		a, b := nl.Gates[nl.GateID(name)], nl2.Gates[nl2.GateID(name)]
+		if b.Name == "" {
+			t.Fatalf("gate %q lost in round trip", name)
+		}
+		if a.Type != b.Type || len(a.Fanin) != len(b.Fanin) {
+			t.Fatalf("gate %q changed: %v/%d vs %v/%d", name, a.Type, len(a.Fanin), b.Type, len(b.Fanin))
+		}
+	}
+}
+
+func TestLatchGraphSample(t *testing.T) {
+	nl, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: host + q0 + q1.
+	if g.NumNodes() != 3 {
+		t.Fatalf("latch graph nodes = %d, want 3", g.NumNodes())
+	}
+	// q1 = DFF(g3 = NOT(q1)) is a self-loop with one gate: weight 1.
+	// q0 = DFF(g2 = OR(g1 = NAND(a, q0), b)): q0 self-loop of weight 2, and
+	// host → q0 paths (a through 2 gates, b through 1).
+	var q0Self, q1Self bool
+	for _, a := range g.Arcs() {
+		if a.From == a.To && a.From != HostNode {
+			switch {
+			case a.Weight == 2:
+				q0Self = true
+			case a.Weight == 1:
+				q1Self = true
+			}
+		}
+	}
+	if !q0Self || !q1Self {
+		t.Fatalf("expected self-loops of weight 2 (q0) and 1 (q1); arcs: %v", g.Arcs())
+	}
+}
+
+func TestGeneratedCircuitIsCyclicAndAnalyzable(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		nl, err := Generate(GenConfig{FFs: 12, CloudGates: 18, MaxFanin: 3, Feedback: 4, PIs: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := LatchGraph(nl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !graph.HasCycle(lg) {
+			t.Fatalf("seed %d: latch graph is acyclic", seed)
+		}
+		// Clock-period bound = maximum cycle mean must be computable and
+		// positive (every cloud has at least one gate).
+		algo, _ := core.ByName("howard")
+		res, err := core.MaximumCycleMean(lg, algo, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Mean.Float64() <= 0 {
+			t.Fatalf("seed %d: clock bound %v not positive", seed, res.Mean)
+		}
+	}
+}
+
+func TestGeneratedBenchRoundTrip(t *testing.T) {
+	nl, err := Generate(GenConfig{FFs: 8, CloudGates: 10, MaxFanin: 3, Feedback: 2, PIs: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := ParseBench(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	g1, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LatchGraph(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, _ := core.ByName("howard")
+	r1, err := core.MaximumCycleMean(g1, algo, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.MaximumCycleMean(g2, algo, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Mean.Equal(r2.Mean) {
+		t.Fatalf("clock bound changed across round trip: %v vs %v", r1.Mean, r2.Mean)
+	}
+}
+
+func TestCombinationalLoopRejected(t *testing.T) {
+	src := `
+INPUT(a)
+g1 = AND(a, g2)
+g2 = OR(g1, a)
+q = DFF(g2)
+OUTPUT(q)
+`
+	nl, err := ParseBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LatchGraph(nl); err == nil {
+		t.Fatal("expected combinational loop error")
+	}
+}
+
+func TestGeneratePipeline(t *testing.T) {
+	nl, err := GeneratePipeline(20, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pis, pos, ffs, comb := nl.Counts()
+	if pis != 1 || pos != 1 || ffs != 20 || comb != 120 {
+		t.Fatalf("counts %d/%d/%d/%d", pis, pos, ffs, comb)
+	}
+	lg, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.HasCycle(lg) {
+		t.Fatal("pipeline latch graph must be cyclic")
+	}
+	// The ring: every FF has exactly one FF successor with combinational
+	// depth 6, so the maximum cycle mean is exactly 6.
+	algo, _ := core.ByName("howard")
+	res, err := core.MaximumCycleMean(lg, algo, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.Float64() != 6 {
+		t.Fatalf("pipeline clock bound %v, want 6", res.Mean)
+	}
+	if _, err := GeneratePipeline(1, 1, 0); err == nil {
+		t.Fatal("degenerate pipeline accepted")
+	}
+}
+
+// TestPipelineShowsDGAdvantage regenerates the paper's circuit finding
+// that eluded the dense synthetic family: on deep chain-like latch graphs
+// the DG algorithm visits a tiny fraction of the arcs Karp does.
+func TestPipelineShowsDGAdvantage(t *testing.T) {
+	nl, err := GeneratePipeline(300, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg := lg.NegateWeights()
+	karp, _ := core.ByName("karp")
+	dg, _ := core.ByName("dg")
+	rk, err := core.MinimumCycleMean(neg, karp, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := core.MinimumCycleMean(neg, dg, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rk.Mean.Equal(rd.Mean) {
+		t.Fatalf("karp %v != dg %v", rk.Mean, rd.Mean)
+	}
+	if rd.Counts.ArcsVisited*10 > rk.Counts.ArcsVisited {
+		t.Fatalf("DG visited %d arcs vs Karp %d: expected >10x savings on the pipeline",
+			rd.Counts.ArcsVisited, rk.Counts.ArcsVisited)
+	}
+}
+
+func TestApplyDelayModel(t *testing.T) {
+	nl, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgUnit, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.ApplyDelayModel(TypicalDelays)
+	if got := nl.Gates[nl.GateID("g1")].Delay; got != 10 { // NAND
+		t.Fatalf("NAND delay = %d, want 10", got)
+	}
+	if got := nl.Gates[nl.GateID("q0")].Delay; got != 1 {
+		t.Fatalf("DFF delay changed to %d", got)
+	}
+	lgTyp, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q0's self-loop path NAND+OR = 10+12 = 22 under the model (was 2).
+	var found bool
+	for _, a := range lgTyp.Arcs() {
+		if a.From == a.To && a.Weight == 22 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("typical-delay latch graph arcs: %v (unit version: %v)", lgTyp.Arcs(), lgUnit.Arcs())
+	}
+}
+
+func TestLatchGraphMinMaxSample(t *testing.T) {
+	nl, err := ParseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, minDelay, err := LatchGraphMinMax(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minDelay) != lg.NumArcs() {
+		t.Fatalf("%d min delays for %d arcs", len(minDelay), lg.NumArcs())
+	}
+	// host → q0 has two paths: a (NAND,OR: 2 gates) and b (OR only: 1);
+	// max must be 2 and min 1 on that arc.
+	found := false
+	for id := graph.ArcID(0); int(id) < lg.NumArcs(); id++ {
+		a := lg.Arc(id)
+		if a.From == HostNode && a.Weight == 2 && minDelay[id] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("host→q0 min/max delays wrong; arcs=%v minDelay=%v", lg.Arcs(), minDelay)
+	}
+	// Combinational loop rejection mirrors LatchGraph.
+	loop := `
+INPUT(a)
+g1 = AND(a, g2)
+g2 = OR(g1, a)
+q = DFF(g2)
+OUTPUT(q)
+`
+	nl2, err := ParseBench(strings.NewReader(loop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LatchGraphMinMax(nl2); err == nil {
+		t.Fatal("combinational loop accepted")
+	}
+}

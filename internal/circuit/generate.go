@@ -1,0 +1,173 @@
+package circuit
+
+import (
+	"fmt"
+)
+
+// GenConfig parameterizes the synthetic sequential-circuit generator. The
+// generator produces cyclic control/datapath-like circuits: a ring of
+// flip-flops ensures sequential feedback (so the latch graph is cyclic, as
+// the paper's benchmark selection required — "cyclic sequential multi-level
+// logic benchmark circuits"), and random combinational clouds of bounded
+// depth connect them, giving the sparse shallow structure typical of the
+// MCNC benchmarks.
+type GenConfig struct {
+	// FFs is the number of flip-flops (>= 1).
+	FFs int
+	// CloudGates is the number of combinational gates per cloud (>= 1).
+	CloudGates int
+	// MaxFanin bounds gate fan-in (>= 2).
+	MaxFanin int
+	// Feedback adds this many extra random FF-output → cloud connections
+	// beyond the ring, creating shorter feedback cycles.
+	Feedback int
+	// PIs is the number of primary inputs (>= 1).
+	PIs int
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+// splitmix64 is the same deterministic RNG core used by internal/gen.
+type splitmix struct{ state uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) intn(n int) int {
+	if n <= 0 {
+		panic("circuit: intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Generate builds a synthetic cyclic sequential circuit. The i-th cloud
+// reads FF i (plus random PIs and extra feedback FFs) and drives FF i+1
+// (mod FFs), so the latch graph always contains the full FF ring plus the
+// extra feedback arcs.
+func Generate(cfg GenConfig) (*Netlist, error) {
+	if cfg.FFs < 1 || cfg.CloudGates < 1 || cfg.PIs < 1 {
+		return nil, fmt.Errorf("circuit: GenConfig needs FFs, CloudGates, PIs >= 1, got %+v", cfg)
+	}
+	if cfg.MaxFanin < 2 {
+		cfg.MaxFanin = 2
+	}
+	r := &splitmix{state: cfg.Seed + 0x5bf03635}
+	nl := &Netlist{byName: make(map[string]int32)}
+	add := func(name string, t GateType, fanin ...int32) int32 {
+		id := int32(len(nl.Gates))
+		nl.Gates = append(nl.Gates, Gate{Name: name, Type: t, Fanin: fanin, Delay: 1})
+		nl.byName[name] = id
+		return id
+	}
+
+	pis := make([]int32, cfg.PIs)
+	for i := range pis {
+		pis[i] = add(fmt.Sprintf("PI%d", i), Input)
+	}
+	// Flip-flops are declared first with empty fan-in; clouds fill them in.
+	ffs := make([]int32, cfg.FFs)
+	for i := range ffs {
+		ffs[i] = add(fmt.Sprintf("FF%d", i), DFF)
+	}
+
+	combTypes := []GateType{And, Nand, Or, Nor, Xor, Not, Buf}
+	for i := 0; i < cfg.FFs; i++ {
+		// Source signals available to cloud i: FF i, one or two random PIs,
+		// plus possible extra feedback FFs.
+		sources := []int32{ffs[i], pis[r.intn(cfg.PIs)]}
+		if r.intn(2) == 0 {
+			sources = append(sources, pis[r.intn(cfg.PIs)])
+		}
+		var cloud []int32
+		for gi := 0; gi < cfg.CloudGates; gi++ {
+			t := combTypes[r.intn(len(combTypes))]
+			nIn := 1
+			if t != Not && t != Buf {
+				nIn = 2 + r.intn(cfg.MaxFanin-1)
+			}
+			pool := append(append([]int32{}, sources...), cloud...)
+			fanin := make([]int32, 0, nIn)
+			for len(fanin) < nIn {
+				fanin = append(fanin, pool[r.intn(len(pool))])
+			}
+			cloud = append(cloud, add(fmt.Sprintf("C%d_%d", i, gi), t, fanin...))
+		}
+		// The cloud's last gate drives the next FF in the ring.
+		next := ffs[(i+1)%cfg.FFs]
+		nl.Gates[next].Fanin = []int32{cloud[len(cloud)-1]}
+	}
+
+	// Extra feedback: rewire a random cloud gate to also read a random FF,
+	// creating shortcut cycles in the latch graph.
+	for f := 0; f < cfg.Feedback; f++ {
+		// Pick a random combinational gate and substitute one of its inputs.
+		var combIdx []int32
+		for i, g := range nl.Gates {
+			if g.Type.IsCombinational() && len(g.Fanin) >= 2 {
+				combIdx = append(combIdx, int32(i))
+			}
+		}
+		if len(combIdx) == 0 {
+			break
+		}
+		g := combIdx[r.intn(len(combIdx))]
+		nl.Gates[g].Fanin[r.intn(len(nl.Gates[g].Fanin))] = ffs[r.intn(cfg.FFs)]
+	}
+
+	// Primary outputs: observe a few FFs.
+	nOut := 1 + cfg.FFs/8
+	for i := 0; i < nOut; i++ {
+		ff := ffs[(i*7)%cfg.FFs]
+		sig := nl.Gates[ff].Name
+		out := add(sig+".out", Output, ff)
+		_ = out
+	}
+	return nl, nil
+}
+
+// GeneratePipeline builds a deep linear pipeline with a single feedback
+// loop: `stages` register stages, each separated by a chain of `depth`
+// combinational gates, with the last stage feeding back to the first. The
+// latch graph is (close to) one long cycle — exactly the shallow, chain-
+// like structure of the deep MCNC circuits on which the paper found the
+// DG algorithm to beat Karp's so clearly (its breadth-first unfolding
+// stays one node wide).
+func GeneratePipeline(stages, depth int, seed uint64) (*Netlist, error) {
+	if stages < 2 || depth < 1 {
+		return nil, fmt.Errorf("circuit: pipeline needs stages >= 2 and depth >= 1, got %d/%d", stages, depth)
+	}
+	r := &splitmix{state: seed + 0x1f3d5b79}
+	nl := &Netlist{byName: make(map[string]int32)}
+	add := func(name string, t GateType, fanin ...int32) int32 {
+		id := int32(len(nl.Gates))
+		nl.Gates = append(nl.Gates, Gate{Name: name, Type: t, Fanin: fanin, Delay: 1})
+		nl.byName[name] = id
+		return id
+	}
+	pi := add("PI0", Input)
+	ffs := make([]int32, stages)
+	for i := range ffs {
+		ffs[i] = add(fmt.Sprintf("FF%d", i), DFF)
+	}
+	unary := []GateType{Not, Buf}
+	for i := 0; i < stages; i++ {
+		prev := ffs[i]
+		for d := 0; d < depth; d++ {
+			if d == 0 && i == 0 {
+				// Only the first stage sees the primary input, through a
+				// two-input gate.
+				prev = add(fmt.Sprintf("P%d_%d", i, d), And, prev, pi)
+				continue
+			}
+			prev = add(fmt.Sprintf("P%d_%d", i, d), unary[r.intn(len(unary))], prev)
+		}
+		nl.Gates[ffs[(i+1)%stages]].Fanin = []int32{prev}
+	}
+	add("FF0.out", Output, ffs[0])
+	return nl, nil
+}

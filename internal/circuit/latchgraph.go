@@ -1,0 +1,131 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// HostNode is the latch-graph node index representing the primary I/O
+// environment; flip-flop i of the netlist (in ByType(DFF) order) is node
+// i+1.
+const HostNode graph.NodeID = 0
+
+// LatchGraph extracts the latch-to-latch timing graph: node 0 is the host
+// (primary inputs and outputs), node i+1 is the i-th flip-flop. For every
+// register/host pair with a purely combinational path between them there is
+// one arc weighted with the *maximum* combinational delay over such paths
+// (sum of Gate.Delay, unit by default) and transit time 1. The maximum
+// cycle mean of this graph is the classic retiming bound on the clock
+// period.
+//
+// The combinational part of the netlist must be acyclic (combinational
+// loops are rejected), and DFF/host boundaries cut all paths, exactly as in
+// static timing analysis.
+func LatchGraph(nl *Netlist) (*graph.Graph, error) {
+	n := len(nl.Gates)
+	ffs := nl.ByType(DFF)
+	ffIndex := make(map[int32]int32, len(ffs)) // gate id -> latch node - 1
+	for i, id := range ffs {
+		ffIndex[id] = int32(i)
+	}
+
+	// Build combinational fan-out adjacency and check acyclicity with
+	// Kahn's algorithm over combinational gates only.
+	fanout := make([][]int32, n)
+	indeg := make([]int32, n)
+	for gi, g := range nl.Gates {
+		if !g.Type.IsCombinational() {
+			continue
+		}
+		for _, f := range g.Fanin {
+			fanout[f] = append(fanout[f], int32(gi))
+			if nl.Gates[f].Type.IsCombinational() {
+				indeg[gi]++
+			}
+		}
+	}
+	topo := make([]int32, 0, n)
+	for gi, g := range nl.Gates {
+		if g.Type.IsCombinational() && indeg[gi] == 0 {
+			topo = append(topo, int32(gi))
+		}
+	}
+	combCount := 0
+	for _, g := range nl.Gates {
+		if g.Type.IsCombinational() {
+			combCount++
+		}
+	}
+	for qi := 0; qi < len(topo); qi++ {
+		for _, succ := range fanout[topo[qi]] {
+			if !nl.Gates[succ].Type.IsCombinational() {
+				continue
+			}
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				topo = append(topo, succ)
+			}
+		}
+	}
+	if len(topo) != combCount {
+		return nil, fmt.Errorf("circuit: combinational loop detected (%d of %d gates ordered)", len(topo), combCount)
+	}
+
+	// Also wire non-combinational sinks (DFF data inputs, outputs): they
+	// consume the longest path of their fan-in cone.
+	nLatch := len(ffs) + 1
+	b := graph.NewBuilder(nLatch, nLatch*4)
+	b.AddNodes(nLatch)
+
+	// One longest-path sweep per source (each FF, plus the host = all PIs).
+	const unreached = int64(-1)
+	dist := make([]int64, n)
+	sweep := func(sourceGates []int32, fromNode graph.NodeID) {
+		for i := range dist {
+			dist[i] = unreached
+		}
+		for _, s := range sourceGates {
+			dist[s] = 0 // register/PI output contributes no combinational delay
+		}
+		for _, gi := range topo {
+			g := nl.Gates[gi]
+			best := unreached
+			for _, f := range g.Fanin {
+				if dist[f] > best {
+					best = dist[f]
+				}
+			}
+			if best == unreached {
+				continue
+			}
+			dist[gi] = best + g.Delay
+		}
+		// Arc weights: max delay into each FF's data input and into the
+		// host (via primary outputs).
+		hostBest := unreached
+		for _, gi := range nl.ByType(Output) {
+			for _, f := range nl.Gates[gi].Fanin {
+				if dist[f] > hostBest {
+					hostBest = dist[f]
+				}
+			}
+		}
+		for i, ff := range ffs {
+			for _, f := range nl.Gates[ff].Fanin {
+				if dist[f] != unreached {
+					b.AddArc(fromNode, graph.NodeID(i+1), dist[f])
+				}
+			}
+		}
+		if hostBest != unreached && fromNode != HostNode {
+			b.AddArc(fromNode, HostNode, hostBest)
+		}
+	}
+
+	for i, ff := range ffs {
+		sweep([]int32{ff}, graph.NodeID(i+1))
+	}
+	sweep(nl.ByType(Input), HostNode)
+	return b.Build(), nil
+}

@@ -1,0 +1,128 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// LatchGraphMinMax extracts the latch-to-latch timing graph with both
+// delay extremes per register pair: the returned graph's arc weights are
+// the maximum combinational delays (as in LatchGraph) and minDelay[arcID]
+// is the minimum combinational delay over the same paths. Hold-time
+// analysis needs the minimum (a too-fast path can race through before the
+// capturing clock edge), setup analysis the maximum; perf.ScheduleSetupHold
+// consumes both.
+func LatchGraphMinMax(nl *Netlist) (g *graph.Graph, minDelay []int64, err error) {
+	n := len(nl.Gates)
+	ffs := nl.ByType(DFF)
+
+	fanout := make([][]int32, n)
+	indeg := make([]int32, n)
+	for gi, gate := range nl.Gates {
+		if !gate.Type.IsCombinational() {
+			continue
+		}
+		for _, f := range gate.Fanin {
+			fanout[f] = append(fanout[f], int32(gi))
+			if nl.Gates[f].Type.IsCombinational() {
+				indeg[gi]++
+			}
+		}
+	}
+	topo := make([]int32, 0, n)
+	combCount := 0
+	for gi, gate := range nl.Gates {
+		if gate.Type.IsCombinational() {
+			combCount++
+			if indeg[gi] == 0 {
+				topo = append(topo, int32(gi))
+			}
+		}
+	}
+	for qi := 0; qi < len(topo); qi++ {
+		for _, succ := range fanout[topo[qi]] {
+			if !nl.Gates[succ].Type.IsCombinational() {
+				continue
+			}
+			indeg[succ]--
+			if indeg[succ] == 0 {
+				topo = append(topo, succ)
+			}
+		}
+	}
+	if len(topo) != combCount {
+		return nil, nil, fmt.Errorf("circuit: combinational loop detected")
+	}
+
+	nLatch := len(ffs) + 1
+	b := graph.NewBuilder(nLatch, nLatch*4)
+	b.AddNodes(nLatch)
+
+	const unreached = int64(-1)
+	maxDist := make([]int64, n)
+	minDist := make([]int64, n)
+	sweep := func(sources []int32, fromNode graph.NodeID) {
+		for i := range maxDist {
+			maxDist[i] = unreached
+			minDist[i] = unreached
+		}
+		for _, s := range sources {
+			maxDist[s] = 0
+			minDist[s] = 0
+		}
+		for _, gi := range topo {
+			gate := nl.Gates[gi]
+			bestMax, bestMin := unreached, unreached
+			for _, f := range gate.Fanin {
+				if maxDist[f] == unreached {
+					continue
+				}
+				if maxDist[f] > bestMax {
+					bestMax = maxDist[f]
+				}
+				if bestMin == unreached || minDist[f] < bestMin {
+					bestMin = minDist[f]
+				}
+			}
+			if bestMax == unreached {
+				continue
+			}
+			maxDist[gi] = bestMax + gate.Delay
+			minDist[gi] = bestMin + gate.Delay
+		}
+		var hostMax, hostMin int64 = unreached, unreached
+		for _, gi := range nl.ByType(Output) {
+			for _, f := range nl.Gates[gi].Fanin {
+				if maxDist[f] == unreached {
+					continue
+				}
+				if maxDist[f] > hostMax {
+					hostMax = maxDist[f]
+				}
+				if hostMin == unreached || minDist[f] < hostMin {
+					hostMin = minDist[f]
+				}
+			}
+		}
+		for i, ff := range ffs {
+			for _, f := range nl.Gates[ff].Fanin {
+				if maxDist[f] == unreached {
+					continue
+				}
+				b.AddArc(fromNode, graph.NodeID(i+1), maxDist[f])
+				minDelay = append(minDelay, minDist[f])
+			}
+		}
+		if hostMax != unreached && fromNode != HostNode {
+			b.AddArc(fromNode, HostNode, hostMax)
+			minDelay = append(minDelay, hostMin)
+		}
+	}
+
+	for i, ff := range ffs {
+		sweep([]int32{ff}, graph.NodeID(i+1))
+	}
+	sweep(nl.ByType(Input), HostNode)
+	return b.Build(), minDelay, nil
+}

@@ -1,0 +1,308 @@
+// Package circuit is the sequential-circuit substrate standing in for the
+// 1991 MCNC logic synthesis benchmarks the paper used (see DESIGN.md §5):
+// an ISCAS'89-style ".bench" netlist representation with parser and writer
+// (so real benchmark files drop in unchanged), a synthetic generator of
+// cyclic sequential circuits, and the extraction of the latch-to-latch
+// timing graph on which the cycle-mean algorithms run.
+//
+// The timing graph is the standard performance-analysis model: one node per
+// D flip-flop plus one host node for the primary inputs/outputs, and an arc
+// i → j weighted with the maximum combinational delay from register i's
+// output to register j's input. The maximum cycle mean of this graph is the
+// retiming lower bound on the clock period; the paper's algorithms compute
+// it (as a minimum mean on negated weights).
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// GateType enumerates the cell types of the .bench format.
+type GateType int
+
+// Gate types. Input and Output are the primary I/O pseudo-gates; DFF is the
+// only sequential element, as in ISCAS'89.
+const (
+	Input GateType = iota
+	Output
+	DFF
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	Not
+	Buf
+)
+
+var typeNames = map[GateType]string{
+	Input: "INPUT", Output: "OUTPUT", DFF: "DFF",
+	And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buf: "BUFF",
+}
+
+var nameTypes = func() map[string]GateType {
+	m := make(map[string]GateType, len(typeNames))
+	for k, v := range typeNames {
+		m[v] = k
+	}
+	m["BUF"] = Buf // accept both spellings
+	return m
+}()
+
+// String returns the .bench spelling of the gate type.
+func (t GateType) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateType(%d)", int(t))
+}
+
+// IsCombinational reports whether the type is a combinational gate (not an
+// I/O pseudo-gate and not a flip-flop).
+func (t GateType) IsCombinational() bool {
+	switch t {
+	case Input, Output, DFF:
+		return false
+	}
+	return true
+}
+
+// Gate is one cell of a netlist. Fanin lists driver gate indices; Delay is
+// the gate's propagation delay (unit by default — path weight is then the
+// gate count, the usual abstraction in the benchmarks).
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int32
+	Delay int64
+}
+
+// Netlist is a gate-level sequential circuit.
+type Netlist struct {
+	Gates  []Gate
+	byName map[string]int32
+}
+
+// NumGates returns the number of gates (including I/O pseudo-gates).
+func (nl *Netlist) NumGates() int { return len(nl.Gates) }
+
+// GateID returns the index of the named gate, or -1.
+func (nl *Netlist) GateID(name string) int32 {
+	if id, ok := nl.byName[name]; ok {
+		return id
+	}
+	return -1
+}
+
+// ByType returns the indices of all gates of the given type, in index order.
+func (nl *Netlist) ByType(t GateType) []int32 {
+	var out []int32
+	for i, g := range nl.Gates {
+		if g.Type == t {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Counts summarizes the netlist: primary inputs, outputs, flip-flops and
+// combinational gates.
+func (nl *Netlist) Counts() (pis, pos, ffs, comb int) {
+	for _, g := range nl.Gates {
+		switch {
+		case g.Type == Input:
+			pis++
+		case g.Type == Output:
+			pos++
+		case g.Type == DFF:
+			ffs++
+		default:
+			comb++
+		}
+	}
+	return
+}
+
+// ParseBench reads an ISCAS'89-style .bench netlist:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = DFF(G14)
+//	G11 = NAND(G0, G10)
+//
+// Signals referenced before definition are resolved in a second pass. Every
+// gate gets unit delay; adjust Gate.Delay afterwards for non-unit models.
+func ParseBench(r io.Reader) (*Netlist, error) {
+	nl := &Netlist{byName: make(map[string]int32)}
+	type pending struct {
+		gate   int32
+		inputs []string
+		line   int
+	}
+	var pendings []pending
+
+	ensure := func(name string, t GateType, define bool) int32 {
+		if id, ok := nl.byName[name]; ok {
+			if define && nl.Gates[id].Type == Buf && t != Buf {
+				// A forward reference was materialized as a placeholder
+				// buffer; specialize it now.
+				nl.Gates[id].Type = t
+			}
+			return id
+		}
+		id := int32(len(nl.Gates))
+		nl.Gates = append(nl.Gates, Gate{Name: name, Type: t, Delay: 1})
+		nl.byName[name] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "OUTPUT("):
+			open := strings.IndexByte(line, '(')
+			close_ := strings.LastIndexByte(line, ')')
+			if open < 0 || close_ < open {
+				return nil, fmt.Errorf("circuit: line %d: malformed I/O declaration %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[open+1 : close_])
+			if strings.HasPrefix(upper, "INPUT(") {
+				ensure(name, Input, true)
+			} else {
+				// OUTPUT(x) declares a port reading signal x: model it as an
+				// Output pseudo-gate named x.out driven by x.
+				sig := ensure(name, Buf, false)
+				out := ensure(name+".out", Output, true)
+				nl.Gates[out].Fanin = []int32{sig}
+			}
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("circuit: line %d: expected assignment, got %q", lineNo, line)
+			}
+			name := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.IndexByte(rhs, '(')
+			close_ := strings.LastIndexByte(rhs, ')')
+			if open < 0 || close_ < open {
+				return nil, fmt.Errorf("circuit: line %d: malformed gate %q", lineNo, line)
+			}
+			tname := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			t, ok := nameTypes[tname]
+			if !ok {
+				return nil, fmt.Errorf("circuit: line %d: unknown gate type %q", lineNo, tname)
+			}
+			id := ensure(name, t, true)
+			nl.Gates[id].Type = t
+			var inputs []string
+			for _, tok := range strings.Split(rhs[open+1:close_], ",") {
+				tok = strings.TrimSpace(tok)
+				if tok != "" {
+					inputs = append(inputs, tok)
+				}
+			}
+			if len(inputs) == 0 {
+				return nil, fmt.Errorf("circuit: line %d: gate %s has no inputs", lineNo, name)
+			}
+			pendings = append(pendings, pending{gate: id, inputs: inputs, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, p := range pendings {
+		fanin := make([]int32, len(p.inputs))
+		for i, in := range p.inputs {
+			id, ok := nl.byName[in]
+			if !ok {
+				return nil, fmt.Errorf("circuit: line %d: undefined signal %q", p.line, in)
+			}
+			fanin[i] = id
+		}
+		nl.Gates[p.gate].Fanin = fanin
+	}
+	return nl, nil
+}
+
+// WriteBench serializes the netlist in .bench syntax. Output pseudo-gates
+// named "<sig>.out" are emitted as OUTPUT(<sig>) declarations.
+func (nl *Netlist) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	pis, pos, ffs, comb := nl.Counts()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d flip-flops, %d gates\n", pis, pos, ffs, comb)
+	for _, g := range nl.Gates {
+		if g.Type == Input {
+			fmt.Fprintf(bw, "INPUT(%s)\n", g.Name)
+		}
+	}
+	for _, g := range nl.Gates {
+		if g.Type == Output {
+			fmt.Fprintf(bw, "OUTPUT(%s)\n", strings.TrimSuffix(g.Name, ".out"))
+		}
+	}
+	for _, g := range nl.Gates {
+		if g.Type == Input || g.Type == Output {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = nl.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// sortedNames returns all gate names sorted (testing helper; deterministic
+// iteration over the name map).
+func (nl *Netlist) sortedNames() []string {
+	out := make([]string, 0, len(nl.byName))
+	for name := range nl.byName {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DelayModel maps gate types to propagation delays; see ApplyDelayModel.
+type DelayModel map[GateType]int64
+
+// TypicalDelays is a simple technology-like model: inverters and buffers
+// are fast, two-input gates moderate, XOR-class gates slow. Units are
+// arbitrary (tenths of a gate delay).
+var TypicalDelays = DelayModel{
+	Not: 6, Buf: 4,
+	And: 12, Nand: 10, Or: 12, Nor: 10,
+	Xor: 18, Xnor: 18,
+}
+
+// ApplyDelayModel sets every combinational gate's Delay from the model
+// (types missing from the model keep their current delay). I/O pseudo-
+// gates and flip-flops are untouched. Returns the netlist for chaining.
+func (nl *Netlist) ApplyDelayModel(m DelayModel) *Netlist {
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		if !g.Type.IsCombinational() {
+			continue
+		}
+		if d, ok := m[g.Type]; ok {
+			g.Delay = d
+		}
+	}
+	return nl
+}

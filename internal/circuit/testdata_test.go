@@ -1,0 +1,55 @@
+package circuit
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestS27LikeBenchmark(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "s27like.bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nl, err := ParseBench(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pis, pos, ffs, comb := nl.Counts()
+	if pis != 4 || pos != 1 || ffs != 3 || comb != 10 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 4/1/3/10", pis, pos, ffs, comb)
+	}
+
+	lg, err := LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.NumNodes() != 4 { // host + 3 FFs
+		t.Fatalf("latch nodes = %d, want 4", lg.NumNodes())
+	}
+	if !graph.HasCycle(lg) {
+		t.Fatal("s27-like latch graph must be cyclic (it is a controller)")
+	}
+
+	// Clock-period bound must be computable and identical across solvers.
+	howard, _ := core.ByName("howard")
+	karp, _ := core.ByName("karp")
+	a, err := core.MaximumCycleMean(lg, howard, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.MaximumCycleMean(lg, karp, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mean.Equal(b.Mean) {
+		t.Fatalf("howard %v != karp %v", a.Mean, b.Mean)
+	}
+	if a.Mean.Float64() < 1 {
+		t.Fatalf("period bound %v below one gate delay", a.Mean)
+	}
+}

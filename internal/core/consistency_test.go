@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/verify"
+)
+
+// TestAllAlgorithmsAgreeWithOracle is the central invariant of the whole
+// study: every algorithm must return the exact minimum cycle mean, verified
+// against the brute-force cycle-enumeration oracle, on a spread of small
+// random graphs.
+func TestAllAlgorithmsAgreeWithOracle(t *testing.T) {
+	algos := All()
+	for _, size := range []struct{ n, m int }{
+		{2, 3}, {3, 5}, {4, 6}, {5, 9}, {6, 12}, {8, 16}, {10, 15}, {12, 30}, {16, 24},
+	} {
+		for seed := uint64(0); seed < 12; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{
+				N: size.n, M: size.m, MinWeight: -20, MaxWeight: 20, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("sprand(%d,%d,%d): %v", size.n, size.m, seed, err)
+			}
+			want, _, err := verify.BruteForceMinMean(g)
+			if err != nil {
+				t.Fatalf("oracle on n=%d m=%d seed=%d: %v", size.n, size.m, seed, err)
+			}
+			for _, algo := range algos {
+				got, err := algo.Solve(g, Options{})
+				if err != nil {
+					t.Fatalf("%s on n=%d m=%d seed=%d: %v", algo.Name(), size.n, size.m, seed, err)
+				}
+				if !got.Mean.Equal(want) {
+					t.Errorf("%s on n=%d m=%d seed=%d: got λ*=%v, oracle %v",
+						algo.Name(), size.n, size.m, seed, got.Mean, want)
+					continue
+				}
+				if !got.Exact {
+					t.Errorf("%s: default options must be exact", algo.Name())
+				}
+				if err := verify.CheckCycleIsOptimal(g, got.Mean, got.Cycle); err != nil {
+					t.Errorf("%s on n=%d m=%d seed=%d: bad cycle: %v",
+						algo.Name(), size.n, size.m, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestMediumRandomGraphsCrossCheck runs all algorithms on medium graphs
+// (too big for the enumeration oracle) and checks mutual agreement plus the
+// optimality certificate.
+func TestMediumRandomGraphsCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium graphs skipped in -short mode")
+	}
+	algos := All()
+	for _, size := range []struct{ n, m int }{
+		{64, 128}, {100, 150}, {128, 384},
+	} {
+		for seed := uint64(0); seed < 3; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: 1, MaxWeight: 10000, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref numeric.Rat
+			for i, algo := range algos {
+				got, err := algo.Solve(g, Options{})
+				if err != nil {
+					t.Fatalf("%s on n=%d m=%d seed=%d: %v", algo.Name(), size.n, size.m, seed, err)
+				}
+				if i == 0 {
+					ref = got.Mean
+					if err := verify.CheckCycleIsOptimal(g, got.Mean, got.Cycle); err != nil {
+						t.Fatalf("%s: %v", algo.Name(), err)
+					}
+				} else if !got.Mean.Equal(ref) {
+					t.Errorf("%s disagrees on n=%d m=%d seed=%d: %v vs %v",
+						algo.Name(), size.n, size.m, seed, got.Mean, ref)
+				}
+			}
+		}
+	}
+}
+
+func ExampleMinimumCycleMean() {
+	// The three-node cycle 0→1→2→0 with weights 2, 3, 4 has mean 3; the
+	// shortcut 0→1 of weight 1 creates a second cycle but no shorter one.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 2)
+	b.AddArc(1, 2, 3)
+	b.AddArc(2, 0, 4)
+	b.AddArc(0, 2, 10)
+	g := b.Build()
+
+	algo, _ := ByName("howard")
+	res, _ := MinimumCycleMean(g, algo, Options{})
+	fmt.Println(res.Mean)
+	// Output: 3
+}

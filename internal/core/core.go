@@ -1,0 +1,262 @@
+// Package core implements the ten minimum mean cycle algorithms of the
+// DAC'99 study — Burns, KO, YTO, Howard, HO, Karp, DG, Lawler, Karp2, OA1
+// (plus OA2) — behind one uniform interface, together with the
+// strongly-connected-component driver, critical-cycle extraction, and the
+// critical-subgraph computation from the paper's Section 2.
+//
+// Every algorithm reports the exact minimum cycle mean λ* as a rational
+// (cycle means of integer-weighted graphs are rationals with denominator at
+// most n), the critical cycle achieving it, and the representative operation
+// counts used by the paper's experimental comparison.
+//
+// The Solve method of an Algorithm requires its input to be strongly
+// connected and cyclic, exactly as the paper assumes ("We assume that the
+// input graph G to the algorithm in context is cyclic and strongly
+// connected"). The package-level MinimumCycleMean / MaximumCycleMean
+// functions accept arbitrary graphs and perform the SCC decomposition the
+// paper describes: solve each cyclic component, return the best.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/ncd"
+	"repro/internal/numeric"
+	"repro/internal/pq"
+)
+
+// Errors returned by the solvers and drivers.
+var (
+	// ErrAcyclic means the graph (or every component) has no cycle, so no
+	// cycle mean exists.
+	ErrAcyclic = errors.New("core: graph has no cycles")
+	// ErrNotStronglyConnected is returned by Algorithm.Solve when its
+	// precondition is violated; use MinimumCycleMean for general graphs.
+	ErrNotStronglyConnected = errors.New("core: graph is not strongly connected")
+	// ErrIterationLimit means a safety iteration cap was hit; it indicates
+	// either numerical trouble or a bug and should never occur on sane
+	// integer-weighted inputs.
+	ErrIterationLimit = errors.New("core: iteration limit exceeded")
+	// ErrWeightRange means arc weights are too large for the exact integer
+	// arithmetic (|w| must fit 32 bits for the scaled computations).
+	ErrWeightRange = errors.New("core: arc weights exceed the supported ±2^31 range")
+)
+
+// MaxWeightMagnitude is the largest |weight| the exact scaled arithmetic
+// supports; see ErrWeightRange.
+const MaxWeightMagnitude = 1 << 31
+
+// Options carries the tunables shared by all algorithms. The zero value
+// selects the defaults used throughout the paper's experiments.
+type Options struct {
+	// Epsilon is the precision of the approximate algorithms (Lawler, OA1,
+	// OA2) and the improvement threshold of Howard's algorithm. Zero means
+	// "exact": the approximate algorithms tighten their search until the
+	// answer can be snapped to the unique rational with denominator <= n,
+	// and Howard verifies its fixed point with an exact feasibility check.
+	Epsilon float64
+
+	// HeapKind selects the priority queue for KO and YTO. The default
+	// (Fibonacci) is what the paper used via LEDA.
+	HeapKind pq.Kind
+
+	// NCD selects the negative-cycle detector for Lawler's binary-search
+	// probes (the default, early-exit Bellman–Ford, matches an efficient
+	// uniform implementation; ncd.Basic reproduces the textbook cost model;
+	// ncd.Tarjan is the subtree-disassembly detector).
+	NCD ncd.Method
+
+	// MaxIterations caps main-loop iterations as a safety valve; zero
+	// selects a generous per-algorithm default.
+	MaxIterations int
+}
+
+func (o Options) maxIter(def int) int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return def
+}
+
+// Result is the outcome of one solver run.
+type Result struct {
+	// Mean is λ*, exact whenever Exact is true.
+	Mean numeric.Rat
+	// Cycle is a critical cycle (arc IDs into the solved graph) whose mean
+	// equals Mean. Always non-empty when Exact.
+	Cycle []graph.ArcID
+	// Exact records whether Mean is exact; only epsilon-mode runs of the
+	// approximate algorithms report false.
+	Exact bool
+	// Counts holds the representative operation counts of the run.
+	Counts counter.Counts
+}
+
+// Lambda returns λ* as a float64 convenience.
+func (r Result) Lambda() float64 { return r.Mean.Float64() }
+
+// Algorithm is the uniform interface all ten solvers implement.
+type Algorithm interface {
+	// Name returns the lower-case name used in the paper's tables
+	// ("howard", "karp", "yto", ...).
+	Name() string
+	// Solve computes the minimum cycle mean of a strongly connected cyclic
+	// graph.
+	Solve(g *graph.Graph, opt Options) (Result, error)
+}
+
+// checkSolveInput enforces the shared Solve precondition and weight range.
+func checkSolveInput(g *graph.Graph) error {
+	if g.NumNodes() == 0 {
+		return ErrAcyclic
+	}
+	if g.NumArcs() == 0 {
+		return ErrAcyclic
+	}
+	if min, max := g.WeightRange(); min < -MaxWeightMagnitude || max > MaxWeightMagnitude {
+		return ErrWeightRange
+	}
+	if !graph.IsStronglyConnected(g) {
+		return ErrNotStronglyConnected
+	}
+	if g.NumNodes() == 1 {
+		// Strongly connected single node: cyclic only with a self-loop.
+		hasLoop := false
+		for _, a := range g.Arcs() {
+			if a.From == a.To {
+				hasLoop = true
+				break
+			}
+		}
+		if !hasLoop {
+			return ErrAcyclic
+		}
+	}
+	return nil
+}
+
+// registry of algorithm constructors by name.
+var registry = map[string]func() Algorithm{}
+
+func register(name string, ctor func() Algorithm) {
+	if _, dup := registry[name]; dup {
+		panic("core: duplicate algorithm name " + name)
+	}
+	registry[name] = ctor
+}
+
+// ByName returns a fresh instance of the named algorithm. Valid names are
+// the ones in Names.
+func ByName(name string) (Algorithm, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns one instance of every registered algorithm, ordered by name.
+func All() []Algorithm {
+	names := Names()
+	out := make([]Algorithm, len(names))
+	for i, name := range names {
+		out[i], _ = ByName(name)
+	}
+	return out
+}
+
+// MinimumCycleMean computes λ* of an arbitrary graph with the given
+// algorithm, using the paper's decomposition: partition into strongly
+// connected components, solve each cyclic component, take the minimum.
+// Cycle arc IDs in the result refer to g. Returns ErrAcyclic when g has no
+// cycle.
+func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, error) {
+	comps := graph.CyclicComponents(g)
+	if len(comps) == 0 {
+		return Result{}, ErrAcyclic
+	}
+	var (
+		best  Result
+		found bool
+	)
+	for _, comp := range comps {
+		r, err := algo.Solve(comp.Graph, opt)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)
+		}
+		// Translate cycle arcs back to g.
+		cycle := make([]graph.ArcID, len(r.Cycle))
+		for i, id := range r.Cycle {
+			cycle[i] = comp.ArcMap[id]
+		}
+		r.Cycle = cycle
+		if !found || r.Mean.Less(best.Mean) {
+			counts := best.Counts
+			counts.Add(r.Counts)
+			best = r
+			best.Counts = counts
+			found = true
+		} else {
+			best.Counts.Add(r.Counts)
+		}
+	}
+	return best, nil
+}
+
+// MaximumCycleMean computes the maximum cycle mean by negation
+// (max_C w(C)/|C| = −min_C (−w)(C)/|C|), the standard reduction the paper
+// relies on for the maximum problem variants.
+func MaximumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, error) {
+	r, err := MinimumCycleMean(g.NegateWeights(), algo, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Mean = r.Mean.Neg()
+	return r, nil
+}
+
+// CriticalSubgraph computes the critical subgraph of G_λ* as defined in the
+// paper's Section 2: after fixing optimal potentials d (shortest distances
+// in G_λ*), an arc is critical when d(v) − d(u) = w(u,v) − λ*, a node when
+// incident to a critical arc. It returns the set of critical arc IDs of g
+// (in increasing order) and the induced critical subgraph. λ must be
+// feasible (λ ≤ λ*), or an error is returned; with λ = λ* the subgraph
+// contains all minimum mean cycles.
+func CriticalSubgraph(g *graph.Graph, lambda numeric.Rat) (critical []graph.ArcID, sub *graph.Graph, err error) {
+	dist, neg := bellmanFordScaled(g, lambda.Num(), lambda.Den(), nil)
+	if neg != nil {
+		return nil, nil, fmt.Errorf("core: λ = %v is infeasible (a cycle of smaller mean exists)", lambda)
+	}
+	p, q := lambda.Num(), lambda.Den()
+	nodes := make([]bool, g.NumNodes())
+	for id := graph.ArcID(0); int(id) < g.NumArcs(); id++ {
+		a := g.Arc(id)
+		if dist[a.From]+q*a.Weight-p == dist[a.To] {
+			critical = append(critical, id)
+			nodes[a.From] = true
+			nodes[a.To] = true
+		}
+	}
+	var members []graph.NodeID
+	for v, in := range nodes {
+		if in {
+			members = append(members, graph.NodeID(v))
+		}
+	}
+	sub, _ = g.InducedSubgraph(members)
+	return critical, sub, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// CheckedResult is the outcome of CrossCheck: the consensus answer plus
+// per-algorithm wall times.
+type CheckedResult struct {
+	Result
+	// Elapsed maps algorithm name to its wall time.
+	Elapsed map[string]time.Duration
+	// Winner is the name of the fastest algorithm.
+	Winner string
+}
+
+// CrossCheck solves the same graph with several algorithms concurrently
+// (one goroutine each; the solvers share nothing but the read-only graph)
+// and verifies they agree exactly, returning the first-listed algorithm's
+// result enriched with timings. It is the belt-and-braces entry point for
+// users who want the speed of Howard's algorithm with an independent
+// classical algorithm double-checking every answer — the same discipline
+// the paper's experimental study applied to all ten implementations.
+//
+// An error is returned if any solver fails or any two disagree.
+func CrossCheck(g *graph.Graph, algos []Algorithm, opt Options) (CheckedResult, error) {
+	if len(algos) == 0 {
+		return CheckedResult{}, fmt.Errorf("core: CrossCheck needs at least one algorithm")
+	}
+	type outcome struct {
+		res     Result
+		err     error
+		elapsed time.Duration
+	}
+	outs := make([]outcome, len(algos))
+	var wg sync.WaitGroup
+	for i, algo := range algos {
+		wg.Add(1)
+		go func(i int, algo Algorithm) {
+			defer wg.Done()
+			start := time.Now()
+			res, err := MinimumCycleMean(g, algo, opt)
+			outs[i] = outcome{res: res, err: err, elapsed: time.Since(start)}
+		}(i, algo)
+	}
+	wg.Wait()
+
+	for i, o := range outs {
+		if o.err != nil {
+			return CheckedResult{}, fmt.Errorf("core: %s failed: %w", algos[i].Name(), o.err)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if !outs[i].res.Mean.Equal(outs[0].res.Mean) {
+			return CheckedResult{}, fmt.Errorf("core: %s and %s disagree: %v vs %v",
+				algos[0].Name(), algos[i].Name(), outs[0].res.Mean, outs[i].res.Mean)
+		}
+	}
+
+	cr := CheckedResult{
+		Result:  outs[0].res,
+		Elapsed: make(map[string]time.Duration, len(algos)),
+	}
+	best := time.Duration(-1)
+	for i, algo := range algos {
+		cr.Elapsed[algo.Name()] = outs[i].elapsed
+		if best < 0 || outs[i].elapsed < best {
+			best = outs[i].elapsed
+			cr.Winner = algo.Name()
+		}
+	}
+	return cr, nil
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func TestCrossCheckAgreement(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 80, M: 240, MinWeight: 1, MaxWeight: 10000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CrossCheck(g, All(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("consensus result not exact")
+	}
+	if len(res.Elapsed) != len(All()) {
+		t.Fatalf("timings for %d algorithms, want %d", len(res.Elapsed), len(All()))
+	}
+	if res.Winner == "" {
+		t.Fatal("no winner recorded")
+	}
+	// Consensus must match a direct solve.
+	direct, err := MinimumCycleMean(g, mustAlgo(t, "howard"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mean.Equal(direct.Mean) {
+		t.Fatalf("consensus %v != direct %v", res.Mean, direct.Mean)
+	}
+}
+
+// disagreeingAlgo wraps an algorithm and corrupts its answer, to prove
+// CrossCheck catches disagreement.
+type disagreeingAlgo struct{ inner Algorithm }
+
+func (d disagreeingAlgo) Name() string { return "corrupt-" + d.inner.Name() }
+func (d disagreeingAlgo) Solve(g *graph.Graph, opt Options) (Result, error) {
+	res, err := d.inner.Solve(g, opt)
+	if err != nil {
+		return res, err
+	}
+	res.Mean = res.Mean.Add(numeric.NewRat(1, 2))
+	return res, nil
+}
+
+func TestCrossCheckDetectsDisagreement(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 36, MinWeight: 1, MaxWeight: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	howard := mustAlgo(t, "howard")
+	_, err = CrossCheck(g, []Algorithm{howard, disagreeingAlgo{mustAlgo(t, "karp")}}, Options{})
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("disagreement not detected: %v", err)
+	}
+}
+
+func TestCrossCheckEmpty(t *testing.T) {
+	if _, err := CrossCheck(nil, nil, Options{}); err == nil {
+		t.Fatal("empty algorithm list accepted")
+	}
+}

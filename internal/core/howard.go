@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func init() {
+	register("howard", func() Algorithm { return howardAlg{} })
+}
+
+// howardAlg is Howard's policy-iteration algorithm [Cochet-Terrasson et al.
+// 1997] — the paper's headline finding is that this algorithm, known from
+// the stochastic control community, is by far the fastest MCM algorithm in
+// practice even though its only proven bounds (including the paper's two
+// new ones, O(nmα) and O(n²m(w_max−w_min)/ε)) are not polynomial.
+//
+// The paper's Figure 1 presents a simplified value-determination step that
+// recomputes distances only toward the single smallest policy cycle. That
+// simplification can let λ oscillate between the cycles of successive
+// policies on multichain policy graphs (our differential fuzzer found such
+// inputs for the ratio variant); this implementation therefore performs the
+// original multichain value determination. Each iteration:
+//
+//  1. Every node of the out-degree-one policy graph reaches exactly one
+//     policy cycle; that cycle's exact rational mean becomes the node's
+//     *gain* and a reverse BFS toward its cycle assigns the node's *bias*
+//     d (float64), exactly Figure 1's lines 7–12 applied per basin.
+//  2. Policy improvement is lexicographic: an arc into a basin with a
+//     strictly smaller gain always wins (gains are exact rationals, so the
+//     gain vector is non-increasing and cannot oscillate); at equal gain, a
+//     strictly smaller bias wins, flagged as progress only above ε
+//     (Figure 1's lines 13–18).
+//
+// On convergence the smallest gain comes from an actual cycle, so it is an
+// exact rational; it is certified with one exact Bellman–Ford feasibility
+// pass, and a certificate failure (possible only through float round-off
+// in the bias) halves ε and resumes. Every returned λ* is exact.
+type howardAlg struct{}
+
+func (howardAlg) Name() string { return "howard" }
+
+func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	if err := checkSolveInput(g); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	var counts counter.Counts
+
+	eps := opt.Epsilon
+	if eps <= 0 {
+		minW, maxW := g.WeightRange()
+		scale := math.Max(1, math.Max(math.Abs(float64(minW)), math.Abs(float64(maxW))))
+		eps = 1e-10 * scale
+	}
+
+	// Initial policy: cheapest out-arc (Figure 1 lines 1–4).
+	policy := make([]graph.ArcID, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		policy[v] = -1
+		best := int64(0)
+		for _, id := range g.OutArcs(v) {
+			if w := g.Arc(id).Weight; policy[v] < 0 || w < best {
+				best = w
+				policy[v] = id
+			}
+		}
+		if policy[v] < 0 {
+			return Result{}, ErrNotStronglyConnected
+		}
+	}
+
+	gain := make([]numeric.Rat, n)
+	gainRank := make([]int32, n) // rank of gain[v] among this iteration's distinct gains
+	gainSet := make([]bool, n)
+	cycleGains := make([]numeric.Rat, 0, 8)
+	cycleSeq := make([]int32, n) // v -> index into cycleGains
+	d := make([]float64, n)
+	childHead := make([]int32, n)
+	childNext := make([]int32, n)
+	queue := make([]graph.NodeID, 0, n)
+
+	maxIter := opt.maxIter(100*n + 1000)
+	for iter := 0; iter < maxIter; iter++ {
+		counts.Iterations++
+
+		// Value determination per basin.
+		cycleGains = cycleGains[:0]
+		for i := range childHead {
+			childHead[i] = -1
+			gainSet[i] = false
+		}
+		for v := 0; v < n; v++ {
+			u := g.Arc(policy[v]).To
+			childNext[v] = childHead[u]
+			childHead[u] = int32(v)
+		}
+		var (
+			bestGain numeric.Rat
+			bestCyc  []graph.ArcID
+			haveBest bool
+		)
+		policyCycles(g, policy, func(cycle []graph.ArcID) {
+			counts.CyclesExamined++
+			r := numeric.NewRat(g.CycleWeight(cycle), int64(len(cycle)))
+			if !haveBest || r.Less(bestGain) {
+				bestGain = r
+				bestCyc = append(bestCyc[:0], cycle...)
+				haveBest = true
+			}
+			rf := r.Float64()
+			// Normalization node: the smallest node on the cycle (stable
+			// across policy changes), keeping its previous bias — the
+			// continuity condition that makes the value sequence monotone
+			// and prevents bias oscillation between equal-gain basins.
+			s := g.Arc(cycle[0]).From
+			for _, id := range cycle {
+				if from := g.Arc(id).From; from < s {
+					s = from
+				}
+			}
+			seq := int32(len(cycleGains))
+			cycleGains = append(cycleGains, r)
+			gain[s] = r
+			cycleSeq[s] = seq
+			gainSet[s] = true
+			queue = append(queue[:0], s)
+			for qi := 0; qi < len(queue); qi++ {
+				u := queue[qi]
+				for c := childHead[u]; c >= 0; c = childNext[c] {
+					v := graph.NodeID(c)
+					if gainSet[v] {
+						continue
+					}
+					gainSet[v] = true
+					gain[v] = r
+					cycleSeq[v] = seq
+					a := g.Arc(policy[v])
+					d[v] = d[a.To] + float64(a.Weight) - rf
+					queue = append(queue, v)
+				}
+			}
+		})
+		if !haveBest {
+			return Result{}, ErrIterationLimit // impossible: out-degree 1 everywhere
+		}
+		ranks := numeric.Ranks(cycleGains)
+		for v := 0; v < n; v++ {
+			gainRank[v] = ranks[cycleSeq[v]]
+		}
+
+		// Lexicographic policy improvement.
+		improved := false
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			curArc := g.Arc(policy[u])
+			curRank := gainRank[curArc.To]
+			curGain := gain[curArc.To]
+			curVal := d[curArc.To] + float64(curArc.Weight) - curGain.Float64()
+			bestArc := policy[u]
+			bestRank := curRank
+			bestVal := curVal
+			for _, id := range g.OutArcs(u) {
+				counts.Relaxations++
+				a := g.Arc(id)
+				switch rv := gainRank[a.To]; {
+				case rv < bestRank:
+					bestRank = rv
+					bestVal = d[a.To] + float64(a.Weight) - gain[a.To].Float64()
+					bestArc = id
+				case rv == bestRank:
+					if val := d[a.To] + float64(a.Weight) - gain[a.To].Float64(); val < bestVal {
+						bestVal = val
+						bestArc = id
+					}
+				}
+			}
+			if bestArc == policy[u] {
+				continue
+			}
+			if bestRank < curRank {
+				policy[u] = bestArc
+				improved = true
+			} else if bestVal < curVal {
+				policy[u] = bestArc
+				if curVal-bestVal > eps {
+					improved = true
+				}
+			}
+		}
+
+		// Hardened Figure 1 line 19: certify λ exactly before returning;
+		// resume with a tighter threshold on (float-induced) failure.
+		if !improved {
+			if neg, _ := hasNegativeCycleScaled(g, bestGain.Num(), bestGain.Den(), &counts); !neg {
+				cycle := make([]graph.ArcID, len(bestCyc))
+				copy(cycle, bestCyc)
+				return Result{Mean: bestGain, Cycle: cycle, Exact: true, Counts: counts}, nil
+			}
+			eps /= 2
+		}
+	}
+	return Result{}, ErrIterationLimit
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// shiftWeights returns a copy of g with c added to every arc weight.
+func shiftWeights(g *graph.Graph, c int64) *graph.Graph {
+	arcs := make([]graph.Arc, g.NumArcs())
+	for i, a := range g.Arcs() {
+		a.Weight += c
+		arcs[i] = a
+	}
+	return graph.FromArcs(g.NumNodes(), arcs)
+}
+
+// scaleWeights returns a copy of g with every arc weight multiplied by k.
+func scaleWeights(g *graph.Graph, k int64) *graph.Graph {
+	arcs := make([]graph.Arc, g.NumArcs())
+	for i, a := range g.Arcs() {
+		a.Weight *= k
+		arcs[i] = a
+	}
+	return graph.FromArcs(g.NumNodes(), arcs)
+}
+
+// TestShiftInvariance: adding c to every weight adds exactly c to the
+// minimum cycle mean (every cycle mean shifts by c). Checked for every
+// algorithm.
+func TestShiftInvariance(t *testing.T) {
+	algos := All()
+	f := func(seed uint64, shiftRaw int16) bool {
+		c := int64(shiftRaw) % 500
+		g, err := gen.Sprand(gen.SprandConfig{N: 7, M: 16, MinWeight: -10, MaxWeight: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		shifted := shiftWeights(g, c)
+		for _, algo := range algos {
+			base, err1 := algo.Solve(g, Options{})
+			moved, err2 := algo.Solve(shifted, Options{})
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !moved.Mean.Equal(base.Mean.Add(numeric.FromInt(c))) {
+				t.Logf("%s: shift by %d: %v -> %v", algo.Name(), c, base.Mean, moved.Mean)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleInvariance: multiplying every weight by k > 0 multiplies λ* by
+// k exactly.
+func TestScaleInvariance(t *testing.T) {
+	algos := All()
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int64(kRaw)%7 + 1
+		g, err := gen.Sprand(gen.SprandConfig{N: 6, M: 14, MinWeight: -9, MaxWeight: 9, Seed: seed})
+		if err != nil {
+			return false
+		}
+		scaled := scaleWeights(g, k)
+		for _, algo := range algos {
+			base, err1 := algo.Solve(g, Options{})
+			mul, err2 := algo.Solve(scaled, Options{})
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if !mul.Mean.Equal(base.Mean.Mul(numeric.FromInt(k))) {
+				t.Logf("%s: scale by %d: %v -> %v", algo.Name(), k, base.Mean, mul.Mean)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReversalInvariance: reversing every arc preserves all cycle means,
+// hence λ*.
+func TestReversalInvariance(t *testing.T) {
+	howard, _ := ByName("howard")
+	f := func(seed uint64) bool {
+		g, err := gen.Sprand(gen.SprandConfig{N: 9, M: 24, MinWeight: -20, MaxWeight: 20, Seed: seed})
+		if err != nil {
+			return false
+		}
+		a, err1 := howard.Solve(g, Options{})
+		b, err2 := howard.Solve(g.Reverse(), Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Mean.Equal(b.Mean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinMaxDuality: maxMean(g) == -minMean(-g), via the public drivers.
+func TestMinMaxDuality(t *testing.T) {
+	howard, _ := ByName("howard")
+	f := func(seed uint64) bool {
+		g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 20, MinWeight: -15, MaxWeight: 15, Seed: seed})
+		if err != nil {
+			return false
+		}
+		max, err1 := MaximumCycleMean(g, howard, Options{})
+		min, err2 := MinimumCycleMean(g.NegateWeights(), howard, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return max.Mean.Equal(min.Mean.Neg())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddingHeavyArcNeverLowersOptimum: adding one arc can only add cycles,
+// so λ* can only decrease or stay; adding an arc heavier than every cycle
+// mean bound keeps λ* unchanged... the general monotonicity: λ*(g+arc) <=
+// λ*(g) is false (new arc adds cycles, means can only shrink the MIN):
+// adding cycles can only lower or keep the minimum. Verify that direction.
+func TestAddingArcNeverRaisesMinimum(t *testing.T) {
+	howard, _ := ByName("howard")
+	f := func(seed uint64, uRaw, vRaw uint8, w int8) bool {
+		g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 18, MinWeight: -10, MaxWeight: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		before, err := howard.Solve(g, Options{})
+		if err != nil {
+			return false
+		}
+		arcs := append(append([]graph.Arc{}, g.Arcs()...), graph.Arc{
+			From:    graph.NodeID(int(uRaw) % g.NumNodes()),
+			To:      graph.NodeID(int(vRaw) % g.NumNodes()),
+			Weight:  int64(w),
+			Transit: 1,
+		})
+		bigger := graph.FromArcs(g.NumNodes(), arcs)
+		after, err := howard.Solve(bigger, Options{})
+		if err != nil {
+			return false
+		}
+		return !before.Mean.Less(after.Mean) // after <= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

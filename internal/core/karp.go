@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// infD is the +infinity sentinel for D-values; large enough to be never
+// reachable, small enough that sums never overflow.
+const infD = math.MaxInt64 / 4
+
+func init() {
+	register("karp", func() Algorithm { return karpAlg{} })
+	register("karp2", func() Algorithm { return karp2Alg{} })
+}
+
+// karpAlg is Karp's Θ(nm) algorithm [Karp 1978]: compute D_k(v), the weight
+// of the shortest walk of exactly k arcs from the source to v, for
+// k = 0..n, then apply Karp's theorem
+//
+//	λ* = min_v max_{0≤k≤n−1} (D_n(v) − D_k(v)) / (n − k).
+//
+// The recurrence touches every arc at every level, which is why the best
+// and worst cases coincide (the paper's §2.2). Θ(n²) space for the D table.
+type karpAlg struct{}
+
+func (karpAlg) Name() string { return "karp" }
+
+func (karpAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	if err := checkSolveInput(g); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	var counts counter.Counts
+
+	// D is (n+1) rows of n values, flattened.
+	D := make([]int64, (n+1)*n)
+	row := func(k int) []int64 { return D[k*n : (k+1)*n] }
+	r0 := row(0)
+	for i := range r0 {
+		r0[i] = infD
+	}
+	r0[0] = 0 // source s = node 0
+
+	for k := 1; k <= n; k++ {
+		prev, cur := row(k-1), row(k)
+		for i := range cur {
+			cur[i] = infD
+		}
+		// Karp's recurrence iterates over the predecessors of every node;
+		// equivalently, over every arc.
+		for _, a := range g.Arcs() {
+			counts.ArcsVisited++
+			counts.Relaxations++
+			if prev[a.From] >= infD {
+				continue
+			}
+			if nd := prev[a.From] + a.Weight; nd < cur[a.To] {
+				cur[a.To] = nd
+			}
+		}
+	}
+	counts.Iterations = n
+
+	lambda, ok := karpTheorem(row(n), func(k int) []int64 { return row(k) }, n)
+	if !ok {
+		return Result{}, ErrAcyclic
+	}
+	return finishExact(g, lambda, nil, counts)
+}
+
+// karpTheorem evaluates Karp's min-max formula with exact rational
+// comparisons. rows(k) must return the D_k vector for 0 <= k < n; dn is D_n.
+func karpTheorem(dn []int64, rows func(k int) []int64, n int) (numeric.Rat, bool) {
+	var (
+		bestNum, bestDen int64
+		haveBest         bool
+	)
+	for v := 0; v < n; v++ {
+		if dn[v] >= infD {
+			continue // max over k is +inf; v cannot attain the outer min
+		}
+		var (
+			maxNum, maxDen int64
+			haveMax        bool
+		)
+		for k := 0; k < n; k++ {
+			dk := rows(k)[v]
+			if dk >= infD {
+				continue
+			}
+			num, den := dn[v]-dk, int64(n-k)
+			if !haveMax || numeric.CmpFrac(num, den, maxNum, maxDen) > 0 {
+				maxNum, maxDen = num, den
+				haveMax = true
+			}
+		}
+		if !haveMax {
+			continue
+		}
+		if !haveBest || numeric.CmpFrac(maxNum, maxDen, bestNum, bestDen) < 0 {
+			bestNum, bestDen = maxNum, maxDen
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return numeric.Rat{}, false
+	}
+	return numeric.NewRat(bestNum, bestDen), true
+}
+
+// karp2Alg is the Θ(n)-space variant of Karp's algorithm (suggested to the
+// authors by S. Gaubert): pass one rolls the recurrence forward keeping only
+// the current row and records D_n; pass two recomputes every row, folding
+// the (D_n(v) − D_k(v))/(n−k) maximization into the sweep. It trades a
+// second pass — roughly doubling the running time, as the paper measures —
+// for Θ(n²) → Θ(n) space.
+type karp2Alg struct{}
+
+func (karp2Alg) Name() string { return "karp2" }
+
+func (karp2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	if err := checkSolveInput(g); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	var counts counter.Counts
+
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	step := func() {
+		for i := range cur {
+			cur[i] = infD
+		}
+		for _, a := range g.Arcs() {
+			counts.ArcsVisited++
+			counts.Relaxations++
+			if prev[a.From] >= infD {
+				continue
+			}
+			if nd := prev[a.From] + a.Weight; nd < cur[a.To] {
+				cur[a.To] = nd
+			}
+		}
+		prev, cur = cur, prev
+	}
+	reset := func() {
+		for i := range prev {
+			prev[i] = infD
+		}
+		prev[0] = 0
+	}
+
+	// Pass 1: compute D_n.
+	reset()
+	for k := 1; k <= n; k++ {
+		step()
+	}
+	dn := make([]int64, n)
+	copy(dn, prev)
+
+	// Pass 2: recompute D_k for k = 0..n−1, folding the maximization.
+	maxNum := make([]int64, n)
+	maxDen := make([]int64, n)
+	haveMax := make([]bool, n)
+	fold := func(k int) {
+		for v := 0; v < n; v++ {
+			if dn[v] >= infD || prev[v] >= infD {
+				continue
+			}
+			num, den := dn[v]-prev[v], int64(n-k)
+			if !haveMax[v] || numeric.CmpFrac(num, den, maxNum[v], maxDen[v]) > 0 {
+				maxNum[v], maxDen[v] = num, den
+				haveMax[v] = true
+			}
+		}
+	}
+	reset()
+	fold(0)
+	for k := 1; k < n; k++ {
+		step()
+		fold(k)
+	}
+	counts.Iterations = 2 * n
+
+	var (
+		bestNum, bestDen int64
+		haveBest         bool
+	)
+	for v := 0; v < n; v++ {
+		if !haveMax[v] {
+			continue
+		}
+		if !haveBest || numeric.CmpFrac(maxNum[v], maxDen[v], bestNum, bestDen) < 0 {
+			bestNum, bestDen = maxNum[v], maxDen[v]
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		return Result{}, ErrAcyclic
+	}
+	return finishExact(g, numeric.NewRat(bestNum, bestDen), nil, counts)
+}

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/pq"
+)
+
+func init() {
+	register("ko", func() Algorithm { return koAlg{} })
+	register("yto", func() Algorithm { return ytoAlg{} })
+}
+
+// Frac is the exact breakpoint key λ = Num/Den (Den > 0) used by the
+// parametric heaps; comparisons go through 128-bit cross multiplication so
+// no breakpoint is ever misordered by rounding.
+type Frac struct {
+	Num, Den int64
+}
+
+func fracLess(a, b Frac) bool { return numeric.CmpFrac(a.Num, a.Den, b.Num, b.Den) < 0 }
+
+// paramTree is the shortest-path-tree state shared by KO and YTO. The tree
+// is rooted at node 0; for every node, a(v) and b(v) are the weight and arc
+// count of its tree path, so its distance in G_λ is a(v) − λ·b(v). The
+// minimum cycle mean is the first λ at which a pivot closes a cycle.
+type paramTree struct {
+	g       *graph.Graph
+	a       []int64
+	b       []int64
+	treeArc []graph.ArcID // arc whose head is v; -1 at the root
+
+	// children intrusive doubly-linked lists for subtree traversal.
+	childHead, childNext, childPrev []int32
+
+	inSub   []bool
+	subtree []graph.NodeID
+}
+
+func newParamTree(g *graph.Graph) *paramTree {
+	n := g.NumNodes()
+	t := &paramTree{
+		g:         g,
+		a:         make([]int64, n),
+		b:         make([]int64, n),
+		treeArc:   make([]graph.ArcID, n),
+		childHead: make([]int32, n),
+		childNext: make([]int32, n),
+		childPrev: make([]int32, n),
+		inSub:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		t.treeArc[i] = -1
+		t.childHead[i] = -1
+		t.childNext[i] = -1
+		t.childPrev[i] = -1
+	}
+	return t
+}
+
+// initShortestTree builds the shortest path tree at λ0 = w_min − 1 (all
+// reduced weights positive) with a lexicographic Dijkstra: primary key the
+// reduced path weight, secondary key the negated arc count, because for λ
+// slightly above λ0 the longer of two equal-weight paths is the shorter one
+// in G_λ. Runs in O(m log n); all arithmetic exact.
+func (t *paramTree) initShortestTree(lambda0 int64) {
+	g := t.g
+	n := g.NumNodes()
+	type key struct {
+		cost int64
+		negB int64
+	}
+	dist := make([]key, n)
+	done := make([]bool, n)
+	const unreach = int64(1) << 62
+	for i := range dist {
+		dist[i] = key{unreach, 0}
+	}
+	dist[0] = key{0, 0}
+	less := func(x, y key) bool {
+		if x.cost != y.cost {
+			return x.cost < y.cost
+		}
+		return x.negB < y.negB
+	}
+	h := pq.NewBinHeap(less, nil)
+	h.Insert(dist[0], 0)
+	for h.Len() > 0 {
+		top := h.ExtractMin()
+		v := graph.NodeID(top.Value)
+		if done[v] {
+			continue // stale duplicate entry
+		}
+		done[v] = true
+		for _, id := range g.OutArcs(v) {
+			arc := g.Arc(id)
+			w := arc.Weight - lambda0
+			nd := key{dist[v].cost + w, dist[v].negB - 1}
+			if done[arc.To] || !less(nd, dist[arc.To]) {
+				continue
+			}
+			dist[arc.To] = nd
+			t.treeArc[arc.To] = id
+			h.Insert(nd, int32(arc.To)) // lazy: duplicates skipped via done[]
+		}
+	}
+	// Fill a, b and children lists from the tree arcs.
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if t.treeArc[v] < 0 {
+			continue
+		}
+		t.linkChild(v)
+	}
+	// Compute a, b top-down (BFS from root over children lists).
+	order := make([]graph.NodeID, 0, n)
+	order = append(order, 0)
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for c := t.childHead[u]; c >= 0; c = t.childNext[c] {
+			v := graph.NodeID(c)
+			arc := g.Arc(t.treeArc[v])
+			t.a[v] = t.a[u] + arc.Weight
+			t.b[v] = t.b[u] + 1
+			order = append(order, v)
+		}
+	}
+}
+
+// linkChild inserts v into its parent's child list (treeArc[v] must be set).
+func (t *paramTree) linkChild(v graph.NodeID) {
+	u := t.g.Arc(t.treeArc[v]).From
+	t.childNext[v] = t.childHead[u]
+	t.childPrev[v] = -1
+	if t.childHead[u] >= 0 {
+		t.childPrev[t.childHead[u]] = int32(v)
+	}
+	t.childHead[u] = int32(v)
+}
+
+// unlinkChild removes v from its current parent's child list.
+func (t *paramTree) unlinkChild(v graph.NodeID) {
+	u := t.g.Arc(t.treeArc[v]).From
+	if t.childPrev[v] >= 0 {
+		t.childNext[t.childPrev[v]] = t.childNext[v]
+	} else {
+		t.childHead[u] = t.childNext[v]
+	}
+	if t.childNext[v] >= 0 {
+		t.childPrev[t.childNext[v]] = t.childPrev[v]
+	}
+	t.childNext[v], t.childPrev[v] = -1, -1
+}
+
+// collectSubtree gathers the subtree rooted at v into t.subtree and marks
+// t.inSub. Call releaseSubtree afterwards.
+func (t *paramTree) collectSubtree(v graph.NodeID) {
+	t.subtree = t.subtree[:0]
+	t.subtree = append(t.subtree, v)
+	t.inSub[v] = true
+	for qi := 0; qi < len(t.subtree); qi++ {
+		u := t.subtree[qi]
+		for c := t.childHead[u]; c >= 0; c = t.childNext[c] {
+			t.inSub[c] = true
+			t.subtree = append(t.subtree, graph.NodeID(c))
+		}
+	}
+}
+
+func (t *paramTree) releaseSubtree() {
+	for _, v := range t.subtree {
+		t.inSub[v] = false
+	}
+}
+
+// breakpoint returns the λ at which non-tree arc id becomes tight, as a
+// fraction, and whether it is a forward breakpoint (positive denominator;
+// arcs with non-positive denominator never become binding as λ increases).
+func (t *paramTree) breakpoint(id graph.ArcID) (Frac, bool) {
+	arc := t.g.Arc(id)
+	den := t.b[arc.From] + 1 - t.b[arc.To]
+	if den <= 0 {
+		return Frac{}, false
+	}
+	return Frac{Num: t.a[arc.From] + arc.Weight - t.a[arc.To], Den: den}, true
+}
+
+// pivot re-parents v through arc e = (u, v), updating a and b for the whole
+// subtree of v, and returns that subtree (valid until the next collect).
+// The caller must already have verified that u is not in the subtree of v.
+func (t *paramTree) pivot(e graph.ArcID) []graph.NodeID {
+	arc := t.g.Arc(e)
+	u, v := arc.From, arc.To
+	deltaA := t.a[u] + arc.Weight - t.a[v]
+	deltaB := t.b[u] + 1 - t.b[v]
+	t.unlinkChild(v)
+	t.treeArc[v] = e
+	t.linkChild(v)
+	t.collectSubtree(v)
+	for _, x := range t.subtree {
+		t.a[x] += deltaA
+		t.b[x] += deltaB
+	}
+	return t.subtree
+}
+
+// cycleThrough returns the cycle formed by the tree path v ⤳ u plus the
+// arc e = (u, v), in forward order. u must be in the subtree of v (or equal
+// to v, for a self-loop).
+func (t *paramTree) cycleThrough(e graph.ArcID) []graph.ArcID {
+	arc := t.g.Arc(e)
+	u, v := arc.From, arc.To
+	var rev []graph.ArcID
+	for x := u; x != v; {
+		id := t.treeArc[x]
+		rev = append(rev, id)
+		x = t.g.Arc(id).From
+	}
+	cycle := make([]graph.ArcID, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		cycle = append(cycle, rev[i])
+	}
+	cycle = append(cycle, e)
+	return cycle
+}
+
+// koAlg is the Karp–Orlin parametric shortest path algorithm [Discrete
+// Applied Math 1981]: start with λ below every cycle mean and a shortest
+// path tree of G_λ; repeatedly advance λ to the smallest breakpoint at which
+// a non-tree arc becomes tight and pivot it into the tree; stop when a pivot
+// would create a cycle — that cycle's mean is λ*. The heap holds one entry
+// per candidate arc, which is precisely the granularity difference to YTO
+// that the paper's §4.2 heap-operation counts expose. O(nm log n) with the
+// Fibonacci heap the paper (and our default) uses.
+type koAlg struct{}
+
+func (koAlg) Name() string { return "ko" }
+
+func (koAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	if err := checkSolveInput(g); err != nil {
+		return Result{}, err
+	}
+	var counts counter.Counts
+	minW, _ := g.WeightRange()
+	t := newParamTree(g)
+	t.initShortestTree(minW - 1)
+
+	h := pq.New[Frac](opt.HeapKind, fracLess, &counts)
+	arcNode := make([]pq.Node[Frac], g.NumArcs())
+
+	isTreeArc := func(id graph.ArcID) bool {
+		return t.treeArc[g.Arc(id).To] == id
+	}
+	// refresh recomputes arc id's heap entry from the current tree.
+	refresh := func(id graph.ArcID) {
+		if isTreeArc(id) {
+			if arcNode[id] != nil {
+				h.Delete(arcNode[id])
+				arcNode[id] = nil
+			}
+			return
+		}
+		key, ok := t.breakpoint(id)
+		switch {
+		case !ok:
+			if arcNode[id] != nil {
+				h.Delete(arcNode[id])
+				arcNode[id] = nil
+			}
+		case arcNode[id] == nil:
+			arcNode[id] = h.Insert(key, int32(id))
+		default:
+			old := arcNode[id].GetKey()
+			if fracLess(key, old) {
+				h.DecreaseKey(arcNode[id], key)
+			} else if fracLess(old, key) {
+				h.Delete(arcNode[id])
+				arcNode[id] = h.Insert(key, int32(id))
+			}
+		}
+	}
+
+	for id := graph.ArcID(0); int(id) < g.NumArcs(); id++ {
+		refresh(id)
+	}
+
+	maxIter := opt.maxIter(g.NumNodes()*g.NumNodes() + 16)
+	for iter := 0; iter < maxIter; iter++ {
+		top := h.ExtractMin()
+		if top == nil {
+			return Result{}, ErrAcyclic
+		}
+		counts.Iterations++
+		e := graph.ArcID(top.GetValue())
+		arcNode[e] = nil
+		key := top.GetKey()
+		arc := g.Arc(e)
+
+		// Does the pivot close a cycle? (u inside the subtree of v.)
+		t.collectSubtree(arc.To)
+		closes := t.inSub[arc.From]
+		t.releaseSubtree()
+		if closes {
+			cycle := t.cycleThrough(e)
+			return Result{
+				Mean:   numeric.NewRat(key.Num, key.Den),
+				Cycle:  cycle,
+				Exact:  true,
+				Counts: counts,
+			}, nil
+		}
+
+		oldTree := t.treeArc[arc.To]
+		sub := t.pivot(e)
+		// Recompute keys of every arc with exactly one endpoint in the
+		// moved subtree, plus the two arcs that swapped tree status.
+		refresh(oldTree)
+		for _, x := range sub {
+			for _, id := range g.OutArcs(x) {
+				if !t.inSub[g.Arc(id).To] {
+					refresh(id)
+				}
+			}
+			for _, id := range g.InArcs(x) {
+				if !t.inSub[g.Arc(id).From] {
+					refresh(id)
+				}
+			}
+		}
+		t.releaseSubtree()
+	}
+	return Result{}, ErrIterationLimit
+}
+
+// ytoAlg is the Young–Tarjan–Orlin refinement of KO [Networks 1991]: the
+// heap holds one entry per *node*, keyed by the best breakpoint among the
+// arcs entering it, so a pivot triggers one heap update per affected node
+// instead of one per affected arc. Same pivots, same λ trajectory, fewer
+// heap operations — the effect the paper measures in §4.2. O(nm + n² log n).
+type ytoAlg struct{}
+
+func (ytoAlg) Name() string { return "yto" }
+
+func (ytoAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	if err := checkSolveInput(g); err != nil {
+		return Result{}, err
+	}
+	var counts counter.Counts
+	minW, _ := g.WeightRange()
+	t := newParamTree(g)
+	t.initShortestTree(minW - 1)
+
+	h := pq.New[Frac](opt.HeapKind, fracLess, &counts)
+	n := g.NumNodes()
+	nodeEntry := make([]pq.Node[Frac], n)
+	bestArc := make([]graph.ArcID, n)
+
+	// nodeKey recomputes node v's best incoming breakpoint.
+	nodeKey := func(v graph.NodeID) (Frac, graph.ArcID, bool) {
+		var (
+			best    Frac
+			bestID  graph.ArcID = -1
+			haveKey bool
+		)
+		for _, id := range g.InArcs(v) {
+			if t.treeArc[v] == id {
+				continue
+			}
+			key, ok := t.breakpoint(id)
+			if !ok {
+				continue
+			}
+			if !haveKey || fracLess(key, best) {
+				best, bestID, haveKey = key, id, true
+			}
+		}
+		return best, bestID, haveKey
+	}
+	refreshNode := func(v graph.NodeID) {
+		key, id, ok := nodeKey(v)
+		bestArc[v] = id
+		switch {
+		case !ok:
+			if nodeEntry[v] != nil {
+				h.Delete(nodeEntry[v])
+				nodeEntry[v] = nil
+			}
+		case nodeEntry[v] == nil:
+			nodeEntry[v] = h.Insert(key, int32(v))
+		default:
+			old := nodeEntry[v].GetKey()
+			if fracLess(key, old) {
+				h.DecreaseKey(nodeEntry[v], key)
+			} else if fracLess(old, key) {
+				h.Delete(nodeEntry[v])
+				nodeEntry[v] = h.Insert(key, int32(v))
+			}
+		}
+	}
+
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		refreshNode(v)
+	}
+
+	dirty := make([]bool, n)
+	var dirtyList []graph.NodeID
+	markDirty := func(v graph.NodeID) {
+		if !dirty[v] {
+			dirty[v] = true
+			dirtyList = append(dirtyList, v)
+		}
+	}
+
+	maxIter := opt.maxIter(n*n + 16)
+	for iter := 0; iter < maxIter; iter++ {
+		top := h.ExtractMin()
+		if top == nil {
+			return Result{}, ErrAcyclic
+		}
+		counts.Iterations++
+		v := graph.NodeID(top.GetValue())
+		nodeEntry[v] = nil
+		key := top.GetKey()
+		e := bestArc[v]
+		arc := g.Arc(e)
+
+		t.collectSubtree(arc.To)
+		closes := t.inSub[arc.From]
+		t.releaseSubtree()
+		if closes {
+			cycle := t.cycleThrough(e)
+			return Result{
+				Mean:   numeric.NewRat(key.Num, key.Den),
+				Cycle:  cycle,
+				Exact:  true,
+				Counts: counts,
+			}, nil
+		}
+
+		sub := t.pivot(e)
+		// Affected nodes: every node in the subtree (all its incoming
+		// breakpoints moved) and every head of an arc leaving the subtree.
+		dirtyList = dirtyList[:0]
+		for _, x := range sub {
+			markDirty(x)
+			for _, id := range g.OutArcs(x) {
+				to := g.Arc(id).To
+				if !t.inSub[to] {
+					markDirty(to)
+				}
+			}
+		}
+		t.releaseSubtree()
+		for _, x := range dirtyList {
+			dirty[x] = false
+			refreshNode(x)
+		}
+	}
+	return Result{}, ErrIterationLimit
+}

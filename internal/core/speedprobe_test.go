@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestSpeedProbe prints a quick per-algorithm timing snapshot at three
+// Table 2 sizes — a development aid for eyeballing performance shape
+// without the full harness. Run with -v to see the table; skipped in
+// -short mode.
+func TestSpeedProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speed probe skipped in -short mode")
+	}
+	for _, sz := range []struct{ n, m int }{{512, 512}, {512, 1536}, {2048, 4096}} {
+		g, err := gen.Sprand(gen.SprandConfig{N: sz.n, M: sz.m, MinWeight: 1, MaxWeight: 10000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range Names() {
+			algo, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := time.Now()
+			res, err := algo.Solve(g, Options{})
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Errorf("n=%d m=%d %s: %v (%.3fs)", sz.n, sz.m, name, err, elapsed.Seconds())
+				continue
+			}
+			t.Logf("n=%d m=%d %-7s λ*=%-12v %8.3fms iters=%d",
+				sz.n, sz.m, name, res.Mean, float64(elapsed.Microseconds())/1000, res.Counts.Iterations)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package counter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdd(t *testing.T) {
+	a := Counts{Iterations: 1, Relaxations: 2, ArcsVisited: 3, HeapInserts: 4,
+		HeapExtractMins: 5, HeapDecreaseKeys: 6, HeapDeletes: 7, CyclesExamined: 8,
+		NegativeCycleChecks: 9}
+	b := a
+	b.Add(a)
+	if b.Iterations != 2 || b.Relaxations != 4 || b.ArcsVisited != 6 ||
+		b.HeapInserts != 8 || b.HeapExtractMins != 10 || b.HeapDecreaseKeys != 12 ||
+		b.HeapDeletes != 14 || b.CyclesExamined != 16 || b.NegativeCycleChecks != 18 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+}
+
+func TestHeapOps(t *testing.T) {
+	c := Counts{HeapInserts: 1, HeapExtractMins: 2, HeapDecreaseKeys: 3, HeapDeletes: 4}
+	if c.HeapOps() != 10 {
+		t.Fatalf("HeapOps = %d", c.HeapOps())
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Counts{}).String(); got != "(no ops)" {
+		t.Fatalf("empty = %q", got)
+	}
+	c := Counts{Iterations: 3, HeapInserts: 2}
+	s := c.String()
+	if !strings.Contains(s, "iters=3") || !strings.Contains(s, "ins=2") {
+		t.Fatalf("String = %q", s)
+	}
+	// Zero fields are omitted.
+	if strings.Contains(s, "relax") {
+		t.Fatalf("String includes zero field: %q", s)
+	}
+}

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestSprandStructure(t *testing.T) {
+	cfg := SprandConfig{N: 100, M: 300, Seed: 5}.DefaultWeights()
+	g, err := Sprand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 || g.NumArcs() != 300 {
+		t.Fatalf("size %d/%d", g.NumNodes(), g.NumArcs())
+	}
+	if !graph.IsStronglyConnected(g) {
+		t.Fatal("SPRAND graphs must be strongly connected (Hamiltonian cycle)")
+	}
+	min, max := g.WeightRange()
+	if min < 1 || max > 10000 {
+		t.Fatalf("weights [%d,%d] outside [1,10000]", min, max)
+	}
+	// The first n arcs are the Hamiltonian cycle.
+	for i := 0; i < 100; i++ {
+		a := g.Arc(graph.ArcID(i))
+		if int(a.From) != i || int(a.To) != (i+1)%100 {
+			t.Fatalf("arc %d = %d->%d, want Hamiltonian cycle", i, a.From, a.To)
+		}
+	}
+	// Random arcs avoid self-loops.
+	for i := 100; i < 300; i++ {
+		if a := g.Arc(graph.ArcID(i)); a.From == a.To {
+			t.Fatalf("random arc %d is a self-loop", i)
+		}
+	}
+}
+
+func TestSprandDeterminism(t *testing.T) {
+	cfg := SprandConfig{N: 64, M: 200, MinWeight: 1, MaxWeight: 100, Seed: 99}
+	g1, err := Sprand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Sprand(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g1.NumArcs(); i++ {
+		if g1.Arc(graph.ArcID(i)) != g2.Arc(graph.ArcID(i)) {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	g3, err := Sprand(SprandConfig{N: 64, M: 200, MinWeight: 1, MaxWeight: 100, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < g1.NumArcs(); i++ {
+		if g1.Arc(graph.ArcID(i)) != g3.Arc(graph.ArcID(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestSprandErrors(t *testing.T) {
+	if _, err := Sprand(SprandConfig{N: 0, M: 5, MinWeight: 1, MaxWeight: 2}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Sprand(SprandConfig{N: 10, M: 5, MinWeight: 1, MaxWeight: 2}); err == nil {
+		t.Error("m<n accepted")
+	}
+	if _, err := Sprand(SprandConfig{N: 5, M: 10, MinWeight: 3, MaxWeight: 2}); err == nil {
+		t.Error("empty weight interval accepted")
+	}
+}
+
+func TestSprandAlwaysStronglyConnected(t *testing.T) {
+	f := func(seed uint64, nRaw, extraRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := n + int(extraRaw)%100
+		g, err := Sprand(SprandConfig{N: n, M: m, MinWeight: 1, MaxWeight: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return graph.IsStronglyConnected(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightDistributionInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := Sprand(SprandConfig{N: 20, M: 60, MinWeight: -7, MaxWeight: 13, Seed: seed})
+		if err != nil {
+			return false
+		}
+		min, max := g.WeightRange()
+		return min >= -7 && max <= 13
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleGraph(t *testing.T) {
+	g := Cycle(7, 42)
+	if g.NumNodes() != 7 || g.NumArcs() != 7 {
+		t.Fatalf("size %d/%d", g.NumNodes(), g.NumArcs())
+	}
+	if !graph.IsStronglyConnected(g) {
+		t.Fatal("cycle not strongly connected")
+	}
+	for _, a := range g.Arcs() {
+		if a.Weight != 42 {
+			t.Fatal("weights wrong")
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6, 1, 9, 3)
+	if g.NumArcs() != 30 {
+		t.Fatalf("arcs = %d, want 30", g.NumArcs())
+	}
+	for _, a := range g.Arcs() {
+		if a.From == a.To {
+			t.Fatal("self-loop in complete graph")
+		}
+		if a.Weight < 1 || a.Weight > 9 {
+			t.Fatal("weight out of range")
+		}
+	}
+	if !graph.IsStronglyConnected(g) {
+		t.Fatal("complete graph must be strongly connected")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5, 1, 10, 1)
+	if g.NumNodes() != 20 || g.NumArcs() != 40 {
+		t.Fatalf("size %d/%d", g.NumNodes(), g.NumArcs())
+	}
+	if !graph.IsStronglyConnected(g) {
+		t.Fatal("torus must be strongly connected")
+	}
+	for v := graph.NodeID(0); int(v) < 20; v++ {
+		if g.OutDegree(v) != 2 {
+			t.Fatalf("outdeg(%d) = %d, want 2", v, g.OutDegree(v))
+		}
+	}
+}
+
+func TestMultiSCC(t *testing.T) {
+	g, err := MultiSCC(4, 10, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc := graph.StronglyConnectedComponents(g)
+	if scc.Count != 4 {
+		t.Fatalf("SCC count = %d, want 4", scc.Count)
+	}
+	for _, members := range scc.Members {
+		if len(members) != 10 {
+			t.Fatalf("block size = %d, want 10", len(members))
+		}
+	}
+}
+
+func TestTable2Sizes(t *testing.T) {
+	sizes := Table2Sizes()
+	if len(sizes) != 25 {
+		t.Fatalf("got %d sizes, want 25", len(sizes))
+	}
+	if sizes[0] != [2]int{512, 512} {
+		t.Fatalf("first size %v", sizes[0])
+	}
+	if sizes[24] != [2]int{8192, 24576} {
+		t.Fatalf("last size %v", sizes[24])
+	}
+	// m/n ratios 1, 1.5, 2, 2.5, 3 per n.
+	for i := 0; i < 25; i += 5 {
+		n := sizes[i][0]
+		want := []int{n, n * 3 / 2, 2 * n, n * 5 / 2, 3 * n}
+		for j, w := range want {
+			if sizes[i+j][1] != w {
+				t.Fatalf("n=%d ratios wrong: %v", n, sizes[i:i+5])
+			}
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	// Crude sanity: intn(10) hits every residue over enough draws.
+	r := newRNG(123)
+	seen := make(map[int64]int)
+	for i := 0; i < 10000; i++ {
+		seen[r.intn(10)]++
+	}
+	for v := int64(0); v < 10; v++ {
+		if seen[v] < 700 {
+			t.Fatalf("value %d seen only %d times", v, seen[v])
+		}
+	}
+	if got := r.rangeInt(5, 5); got != 5 {
+		t.Fatalf("rangeInt(5,5) = %d", got)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := newRNG(7)
+	p := r.perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatal("duplicate in permutation")
+		}
+		seen[v] = true
+	}
+}

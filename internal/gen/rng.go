@@ -1,0 +1,60 @@
+// Package gen generates the workloads of the DAC'99 study: SPRAND random
+// graphs (the generator of Cherkassky, Goldberg & Radzik used by the paper)
+// and auxiliary structured families (cycles, complete graphs, grids) used by
+// tests and ablation benches. All generators are driven by an explicit seed
+// and are fully deterministic, so every table in EXPERIMENTS.md regenerates
+// bit-identical workloads.
+package gen
+
+// rng is a small deterministic generator (splitmix64 core) so generated
+// workloads do not depend on the Go version's math/rand stream.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed + 0x9e3779b97f4a7c15}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int64) int64 {
+	if n <= 0 {
+		panic("gen: intn on non-positive bound")
+	}
+	// Rejection sampling to avoid modulo bias.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.next()
+		if v >= threshold {
+			return int64(v % bound)
+		}
+	}
+}
+
+// rangeInt returns a uniform value in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int64) int64 {
+	if hi < lo {
+		panic("gen: empty range")
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// perm returns a random permutation of 0..n-1 (Fisher–Yates).
+func (r *rng) perm(n int) []int32 {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.intn(int64(i + 1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SprandConfig parameterizes the SPRAND family exactly as the paper used it:
+// n nodes, m arcs, weights uniform in [MinWeight, MaxWeight] (the paper kept
+// SPRAND's default interval [1, 10000]), 10 seeded instances per (n, m).
+type SprandConfig struct {
+	N         int
+	M         int
+	MinWeight int64
+	MaxWeight int64
+	Seed      uint64
+}
+
+// DefaultWeights applies SPRAND's default weight interval [1, 10000].
+func (c SprandConfig) DefaultWeights() SprandConfig {
+	c.MinWeight, c.MaxWeight = 1, 10000
+	return c
+}
+
+// Sprand builds a SPRAND graph: a Hamiltonian cycle over the n nodes (which
+// guarantees strong connectivity) plus m−n arcs whose endpoints are chosen
+// uniformly at random. Self-loops are avoided for the random arcs (matching
+// SPRAND); parallel arcs may occur, as in the original generator. All arc
+// weights, including the cycle's, are uniform in the configured interval.
+func Sprand(cfg SprandConfig) (*graph.Graph, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("gen: SPRAND needs n >= 1, got %d", cfg.N)
+	}
+	if cfg.M < cfg.N {
+		return nil, fmt.Errorf("gen: SPRAND needs m >= n (got n=%d m=%d); the Hamiltonian cycle alone has n arcs", cfg.N, cfg.M)
+	}
+	if cfg.MaxWeight < cfg.MinWeight {
+		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", cfg.MinWeight, cfg.MaxWeight)
+	}
+	r := newRNG(cfg.Seed)
+	b := graph.NewBuilder(cfg.N, cfg.M)
+	b.AddNodes(cfg.N)
+	// Hamiltonian cycle 0 -> 1 -> ... -> n-1 -> 0.
+	for i := 0; i < cfg.N; i++ {
+		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%cfg.N), r.rangeInt(cfg.MinWeight, cfg.MaxWeight))
+	}
+	// m - n random arcs.
+	for i := cfg.N; i < cfg.M; i++ {
+		u := graph.NodeID(r.intn(int64(cfg.N)))
+		v := graph.NodeID(r.intn(int64(cfg.N)))
+		for cfg.N > 1 && v == u {
+			v = graph.NodeID(r.intn(int64(cfg.N)))
+		}
+		b.AddArc(u, v, r.rangeInt(cfg.MinWeight, cfg.MaxWeight))
+	}
+	return b.Build(), nil
+}
+
+// Cycle builds the n-cycle with the given uniform arc weight. The minimum
+// (and only) cycle mean is exactly weight; used as a golden test case.
+func Cycle(n int, weight int64) *graph.Graph {
+	b := graph.NewBuilder(n, n)
+	b.AddNodes(n)
+	for i := 0; i < n; i++ {
+		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%n), weight)
+	}
+	return b.Build()
+}
+
+// Complete builds the complete digraph on n nodes (no self-loops) with
+// weights uniform in [minW, maxW]. Dense counterpoint to SPRAND sparsity.
+func Complete(n int, minW, maxW int64, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	b := graph.NewBuilder(n, n*(n-1))
+	b.AddNodes(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			b.AddArc(graph.NodeID(u), graph.NodeID(v), r.rangeInt(minW, maxW))
+		}
+	}
+	return b.Build()
+}
+
+// Torus builds a rows×cols directed torus (arcs right and down, wrapping)
+// with random weights; strongly connected, sparse and highly structured —
+// the opposite texture of SPRAND for robustness tests.
+func Torus(rows, cols int, minW, maxW int64, seed uint64) *graph.Graph {
+	r := newRNG(seed)
+	n := rows * cols
+	b := graph.NewBuilder(n, 2*n)
+	b.AddNodes(n)
+	id := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			b.AddArc(id(i, j), id(i, (j+1)%cols), r.rangeInt(minW, maxW))
+			b.AddArc(id(i, j), id((i+1)%rows, j), r.rangeInt(minW, maxW))
+		}
+	}
+	return b.Build()
+}
+
+// MultiSCC builds a graph with k strongly connected blocks (each a SPRAND
+// graph) joined by forward arcs only, so the blocks are exactly the SCCs.
+// Exercises the SCC-decomposition driver. The returned graph's minimum
+// cycle mean is the minimum over the blocks'.
+func MultiSCC(k, nPerBlock, mPerBlock int, seed uint64) (*graph.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gen: MultiSCC needs k >= 1")
+	}
+	r := newRNG(seed ^ 0xabcdef)
+	b := graph.NewBuilder(k*nPerBlock, k*mPerBlock+k)
+	b.AddNodes(k * nPerBlock)
+	for blk := 0; blk < k; blk++ {
+		sub, err := Sprand(SprandConfig{N: nPerBlock, M: mPerBlock, MinWeight: 1, MaxWeight: 10000, Seed: seed + uint64(blk)*1315423911})
+		if err != nil {
+			return nil, err
+		}
+		base := graph.NodeID(blk * nPerBlock)
+		for _, a := range sub.Arcs() {
+			b.AddArc(base+a.From, base+a.To, a.Weight)
+		}
+		if blk > 0 {
+			// One forward arc from the previous block; never backward, so
+			// blocks stay separate SCCs.
+			u := graph.NodeID((blk-1)*nPerBlock) + graph.NodeID(r.intn(int64(nPerBlock)))
+			v := base + graph.NodeID(r.intn(int64(nPerBlock)))
+			b.AddArc(u, v, r.rangeInt(1, 10000))
+		}
+	}
+	return b.Build(), nil
+}
+
+// Table2Sizes returns the exact (n, m) grid of the paper's Table 2:
+// n ∈ {512, 1024, 2048, 4096, 8192} and m ∈ {n, 1.5n, 2n, 2.5n, 3n}.
+func Table2Sizes() [][2]int {
+	var out [][2]int
+	for _, n := range []int{512, 1024, 2048, 4096, 8192} {
+		for _, num := range []int{2, 3, 4, 5, 6} { // m = n*num/2
+			out = append(out, [2]int{n, n * num / 2})
+		}
+	}
+	return out
+}
+
+// PlantedMinMean builds a graph whose exact minimum cycle mean is known by
+// construction, enabling large-scale correctness tests without the
+// exponential enumeration oracle. The bulk is a SPRAND graph with weights
+// in [heavyMin, 2·heavyMin]; a planted cycle over `cycleLen` randomly
+// chosen nodes carries weight `mu` per arc with mu < heavyMin. Every cycle
+// that uses any heavy arc has mean strictly above mu (each heavy arc
+// contributes at least heavyMin > mu), so the planted cycle is the unique
+// optimum and λ* = mu exactly.
+func PlantedMinMean(n, m, cycleLen int, mu, heavyMin int64, seed uint64) (*graph.Graph, int64, error) {
+	if cycleLen < 2 || cycleLen > n {
+		return nil, 0, fmt.Errorf("gen: planted cycle length %d out of range [2,%d]", cycleLen, n)
+	}
+	if mu >= heavyMin {
+		return nil, 0, fmt.Errorf("gen: planted mean %d must be below the heavy minimum %d", mu, heavyMin)
+	}
+	base, err := Sprand(SprandConfig{N: n, M: m, MinWeight: heavyMin, MaxWeight: 2 * heavyMin, Seed: seed})
+	if err != nil {
+		return nil, 0, err
+	}
+	r := newRNG(seed ^ 0xfeedface)
+	perm := r.perm(n)
+	arcs := append([]graph.Arc(nil), base.Arcs()...)
+	for i := 0; i < cycleLen; i++ {
+		arcs = append(arcs, graph.Arc{
+			From:    graph.NodeID(perm[i]),
+			To:      graph.NodeID(perm[(i+1)%cycleLen]),
+			Weight:  mu,
+			Transit: 1,
+		})
+	}
+	return graph.FromArcs(n, arcs), mu, nil
+}

@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n, m)
+	b.AddNodes(n)
+	for i := 0; i < n; i++ {
+		b.AddArc(NodeID(i), NodeID((i+1)%n), int64(rng.Intn(1000)))
+	}
+	for i := n; i < m; i++ {
+		b.AddArc(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), int64(rng.Intn(1000)))
+	}
+	return b.Build()
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	g := randomGraph(4096, 16384, 1)
+	arcs := g.Arcs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromArcs(4096, arcs)
+	}
+}
+
+func BenchmarkTarjanSCC(b *testing.B) {
+	g := randomGraph(4096, 16384, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StronglyConnectedComponents(g)
+	}
+}
+
+func BenchmarkKosarajuSCC(b *testing.B) {
+	g := randomGraph(4096, 16384, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KosarajuSCC(g)
+	}
+}

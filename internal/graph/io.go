@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The text format is a DIMACS-inspired line format:
+//
+//	c  free-text comment
+//	p  mcm <n> <m>
+//	a  <from> <to> <weight> [transit]
+//
+// Nodes are 1-based in the file (DIMACS convention) and 0-based in memory.
+// transit defaults to 1 when omitted. Blank lines are ignored.
+
+// Write serializes g in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p mcm %d %d\n", g.NumNodes(), g.NumArcs())
+	for _, a := range g.Arcs() {
+		if a.Transit == 1 {
+			fmt.Fprintf(bw, "a %d %d %d\n", a.From+1, a.To+1, a.Weight)
+		} else {
+			fmt.Fprintf(bw, "a %d %d %d %d\n", a.From+1, a.To+1, a.Weight, a.Transit)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format produced by Write.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var (
+		n, m    int
+		arcs    []Arc
+		sawProb bool
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if sawProb {
+				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 || fields[1] != "mcm" {
+				return nil, fmt.Errorf("graph: line %d: want %q, got %q", lineNo, "p mcm <n> <m>", line)
+			}
+			var err error
+			if n, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node count: %v", lineNo, err)
+			}
+			if m, err = strconv.Atoi(fields[3]); err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad arc count: %v", lineNo, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative size", lineNo)
+			}
+			sawProb = true
+			arcs = make([]Arc, 0, m)
+		case "a":
+			if !sawProb {
+				return nil, fmt.Errorf("graph: line %d: arc before problem line", lineNo)
+			}
+			if len(fields) != 4 && len(fields) != 5 {
+				return nil, fmt.Errorf("graph: line %d: want %q, got %q", lineNo, "a <from> <to> <weight> [transit]", line)
+			}
+			u, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad from node: %v", lineNo, err)
+			}
+			v, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad to node: %v", lineNo, err)
+			}
+			w, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+			}
+			t := int64(1)
+			if len(fields) == 5 {
+				if t, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad transit: %v", lineNo, err)
+				}
+			}
+			if u < 1 || u > n || v < 1 || v > n {
+				return nil, fmt.Errorf("graph: line %d: node out of range [1,%d]", lineNo, n)
+			}
+			arcs = append(arcs, Arc{From: NodeID(u - 1), To: NodeID(v - 1), Weight: w, Transit: t})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawProb {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	if len(arcs) != m {
+		return nil, fmt.Errorf("graph: problem line promises %d arcs, found %d", m, len(arcs))
+	}
+	return FromArcs(n, arcs), nil
+}
+
+// WriteDOT emits g in Graphviz DOT syntax. highlight, if non-nil, is a set
+// of arc IDs (e.g. a critical cycle) drawn in bold red.
+func WriteDOT(w io.Writer, g *Graph, name string, highlight map[ArcID]bool) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(bw, "digraph %s {\n", sanitizeDOTName(name))
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [shape=circle];\n")
+	for id := ArcID(0); int(id) < g.NumArcs(); id++ {
+		a := g.Arc(id)
+		label := strconv.FormatInt(a.Weight, 10)
+		if a.Transit != 1 {
+			label += "/" + strconv.FormatInt(a.Transit, 10)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if highlight != nil && highlight[id] {
+			attrs += ", color=red, penwidth=2.0"
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [%s];\n", a.From, a.To, attrs)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func sanitizeDOTName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "G"
+	}
+	return b.String()
+}
+
+// Stats summarizes structural properties of a graph; used by the benchmark
+// harness's table headers and by cmd/mcmgen -describe.
+type Stats struct {
+	Nodes, Arcs   int
+	MinOutDegree  int
+	MaxOutDegree  int
+	SelfLoops     int
+	ParallelPairs int // arcs sharing (from,to) with an earlier arc
+	MinWeight     int64
+	MaxWeight     int64
+	SCCs          int
+	LargestSCC    int
+}
+
+// Summarize computes Stats for g.
+func Summarize(g *Graph) Stats {
+	st := Stats{Nodes: g.NumNodes(), Arcs: g.NumArcs()}
+	st.MinWeight, st.MaxWeight = g.WeightRange()
+	if st.Nodes > 0 {
+		st.MinOutDegree = g.OutDegree(0)
+	}
+	seen := make(map[[2]NodeID]bool, g.NumArcs())
+	for v := NodeID(0); int(v) < st.Nodes; v++ {
+		d := g.OutDegree(v)
+		if d < st.MinOutDegree {
+			st.MinOutDegree = d
+		}
+		if d > st.MaxOutDegree {
+			st.MaxOutDegree = d
+		}
+	}
+	for _, a := range g.Arcs() {
+		if a.From == a.To {
+			st.SelfLoops++
+		}
+		key := [2]NodeID{a.From, a.To}
+		if seen[key] {
+			st.ParallelPairs++
+		}
+		seen[key] = true
+	}
+	scc := StronglyConnectedComponents(g)
+	st.SCCs = scc.Count
+	for _, members := range scc.Members {
+		if len(members) > st.LargestSCC {
+			st.LargestSCC = len(members)
+		}
+	}
+	return st
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d m=%d outdeg=[%d,%d] selfloops=%d parallel=%d w=[%d,%d] sccs=%d largest=%d",
+		s.Nodes, s.Arcs, s.MinOutDegree, s.MaxOutDegree, s.SelfLoops, s.ParallelPairs,
+		s.MinWeight, s.MaxWeight, s.SCCs, s.LargestSCC)
+}
+
+// SortedArcIDs returns all arc IDs ordered by (From, To, Weight); useful for
+// deterministic test output over multigraphs.
+func SortedArcIDs(g *Graph) []ArcID {
+	ids := make([]ArcID, g.NumArcs())
+	for i := range ids {
+		ids[i] = ArcID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := g.Arc(ids[i]), g.Arc(ids[j])
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Weight < b.Weight
+	})
+	return ids
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, -5)
+	b.AddArcTransit(1, 2, 7, 3)
+	b.AddArc(2, 0, 10000)
+	b.AddArc(0, 0, 0)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("size changed: %d/%d", g2.NumNodes(), g2.NumArcs())
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		if g.Arc(ArcID(i)) != g2.Arc(ArcID(i)) {
+			t.Fatalf("arc %d changed: %+v vs %+v", i, g.Arc(ArcID(i)), g2.Arc(ArcID(i)))
+		}
+	}
+}
+
+func TestReadAcceptsCommentsAndBlank(t *testing.T) {
+	src := `
+c a comment line
+
+p mcm 2 2
+c another
+a 1 2 5
+a 2 1 -3 4
+`
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumArcs() != 2 {
+		t.Fatalf("size %d/%d", g.NumNodes(), g.NumArcs())
+	}
+	if a := g.Arc(1); a.Weight != -3 || a.Transit != 4 {
+		t.Fatalf("arc 1 = %+v", a)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no problem line", "a 1 2 3\n"},
+		{"missing problem", "c only comments\n"},
+		{"double problem", "p mcm 1 0\np mcm 1 0\n"},
+		{"bad record", "p mcm 1 0\nx 1 2\n"},
+		{"node out of range", "p mcm 2 1\na 1 3 5\n"},
+		{"node zero", "p mcm 2 1\na 0 1 5\n"},
+		{"arc count mismatch", "p mcm 2 2\na 1 2 5\n"},
+		{"bad weight", "p mcm 2 1\na 1 2 x\n"},
+		{"negative size", "p mcm -1 0\n"},
+		{"malformed problem", "p mcm 2\n"},
+		{"wrong problem kind", "p sp 2 1\na 1 2 3\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddNodes(2)
+	e0 := b.AddArc(0, 1, 3)
+	b.AddArcTransit(1, 0, 4, 2)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "my graph!", map[ArcID]bool{e0: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph my_graph_", "n0 -> n1", `label="3"`, `label="4/2"`, "color=red"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := NewBuilder(3, 5)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 5)
+	b.AddArc(0, 1, 9) // parallel
+	b.AddArc(1, 1, 2) // self loop
+	b.AddArc(1, 2, -4)
+	b.AddArc(2, 0, 3)
+	g := b.Build()
+	st := Summarize(g)
+	if st.SelfLoops != 1 || st.ParallelPairs != 1 {
+		t.Fatalf("selfloops=%d parallel=%d", st.SelfLoops, st.ParallelPairs)
+	}
+	if st.MinWeight != -4 || st.MaxWeight != 9 {
+		t.Fatalf("weights [%d,%d]", st.MinWeight, st.MaxWeight)
+	}
+	if st.SCCs != 1 || st.LargestSCC != 3 {
+		t.Fatalf("sccs=%d largest=%d", st.SCCs, st.LargestSCC)
+	}
+	if !strings.Contains(st.String(), "n=3 m=5") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestSortedArcIDs(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddNodes(2)
+	b.AddArc(1, 0, 7)
+	b.AddArc(0, 1, 9)
+	b.AddArc(0, 1, 2)
+	g := b.Build()
+	ids := SortedArcIDs(g)
+	want := []ArcID{2, 1, 0} // (0,1,2), (0,1,9), (1,0,7)
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, -5)
+	b.AddArcTransit(1, 2, 7, 3)
+	b.AddArcTransit(2, 0, 9, 0) // zero transit must survive the round trip
+	b.AddArc(0, 0, 1)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+		t.Fatalf("size changed")
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		if g.Arc(ArcID(i)) != g2.Arc(ArcID(i)) {
+			t.Fatalf("arc %d changed: %+v vs %+v", i, g.Arc(ArcID(i)), g2.Arc(ArcID(i)))
+		}
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":-1,"arcs":[]}`)); err == nil {
+		t.Error("negative node count accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":2,"arcs":[{"from":0,"to":5,"weight":1}]}`)); err == nil {
+		t.Error("out-of-range arc accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

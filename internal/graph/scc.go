@@ -1,0 +1,278 @@
+package graph
+
+// SCC holds a strongly-connected-component decomposition of a Graph.
+// Components are numbered 0..Count-1 in reverse topological order of the
+// condensation (i.e. a component only has condensation arcs into lower-
+// numbered components when produced by Tarjan... Tarjan emits components in
+// reverse topological order, so arcs go from higher-numbered to lower-
+// numbered components).
+type SCC struct {
+	// Comp maps each node to its component number.
+	Comp []int32
+	// Count is the number of components.
+	Count int
+	// Members lists the nodes of each component.
+	Members [][]NodeID
+}
+
+// StronglyConnectedComponents computes the SCC decomposition of g with an
+// iterative Tarjan algorithm (no recursion, so million-node graphs are safe).
+func StronglyConnectedComponents(g *Graph) *SCC {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+
+	var (
+		counter int32
+		nComp   int32
+		stack   []NodeID // Tarjan stack
+	)
+
+	// Explicit DFS stack: frame holds the node and the position within its
+	// out-arc list.
+	type frame struct {
+		v   NodeID
+		arc int32
+	}
+	var dfs []frame
+
+	for root := NodeID(0); int(root) < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			out := g.OutArcs(v)
+			if int(f.arc) < len(out) {
+				w := g.Arc(out[f.arc]).To
+				f.arc++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop v.
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+
+	members := make([][]NodeID, nComp)
+	for v := NodeID(0); int(v) < n; v++ {
+		c := comp[v]
+		members[c] = append(members[c], v)
+	}
+	return &SCC{Comp: comp, Count: int(nComp), Members: members}
+}
+
+// KosarajuSCC computes the same decomposition with Kosaraju's two-pass
+// algorithm. Component numbering may differ from Tarjan's; it exists as an
+// independent implementation for cross-checking in tests.
+func KosarajuSCC(g *Graph) *SCC {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	order := make([]NodeID, 0, n)
+
+	// First pass: finish order on g (iterative DFS with explicit post-visit).
+	type frame struct {
+		v    NodeID
+		arc  int32
+		post bool
+	}
+	var dfs []frame
+	for root := NodeID(0); int(root) < n; root++ {
+		if visited[root] {
+			continue
+		}
+		visited[root] = true
+		dfs = append(dfs[:0], frame{v: root})
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			out := g.OutArcs(f.v)
+			advanced := false
+			for int(f.arc) < len(out) {
+				w := g.Arc(out[f.arc]).To
+				f.arc++
+				if !visited[w] {
+					visited[w] = true
+					dfs = append(dfs, frame{v: w})
+					advanced = true
+					break
+				}
+			}
+			if advanced {
+				continue
+			}
+			order = append(order, f.v)
+			dfs = dfs[:len(dfs)-1]
+		}
+	}
+
+	// Second pass: DFS on the reverse graph in reverse finish order.
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var nComp int32
+	var stack []NodeID
+	for i := len(order) - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] != -1 {
+			continue
+		}
+		comp[root] = nComp
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, id := range g.InArcs(v) {
+				w := g.Arc(id).From
+				if comp[w] == -1 {
+					comp[w] = nComp
+					stack = append(stack, w)
+				}
+			}
+		}
+		nComp++
+	}
+
+	members := make([][]NodeID, nComp)
+	for v := NodeID(0); int(v) < n; v++ {
+		members[comp[v]] = append(members[comp[v]], v)
+	}
+	return &SCC{Comp: comp, Count: int(nComp), Members: members}
+}
+
+// IsStronglyConnected reports whether g has exactly one SCC (and at least
+// one node).
+func IsStronglyConnected(g *Graph) bool {
+	if g.NumNodes() == 0 {
+		return false
+	}
+	return StronglyConnectedComponents(g).Count == 1
+}
+
+// HasCycle reports whether g contains a directed cycle (an SCC with more
+// than one node, or a self-loop).
+func HasCycle(g *Graph) bool {
+	scc := StronglyConnectedComponents(g)
+	for _, members := range scc.Members {
+		if len(members) > 1 {
+			return true
+		}
+	}
+	for _, a := range g.Arcs() {
+		if a.From == a.To {
+			return true
+		}
+	}
+	return false
+}
+
+// CyclicComponents returns, for each SCC that can contain a cycle (more than
+// one node, or a single node with a self-loop), its induced subgraph plus
+// the node list and arc mapping back to g. This is the decomposition step
+// every algorithm driver performs before assuming strong connectivity.
+func CyclicComponents(g *Graph) []Component {
+	scc := StronglyConnectedComponents(g)
+	var out []Component
+	for c := 0; c < scc.Count; c++ {
+		members := scc.Members[c]
+		if len(members) == 1 {
+			v := members[0]
+			selfLoop := false
+			for _, id := range g.OutArcs(v) {
+				if g.Arc(id).To == v {
+					selfLoop = true
+					break
+				}
+			}
+			if !selfLoop {
+				continue
+			}
+		}
+		sub, arcMap := g.InducedSubgraph(members)
+		out = append(out, Component{Graph: sub, Nodes: members, ArcMap: arcMap})
+	}
+	return out
+}
+
+// Component is one cyclic SCC extracted by CyclicComponents.
+type Component struct {
+	// Graph is the induced subgraph over the component's nodes, renumbered
+	// 0..len(Nodes)-1.
+	Graph *Graph
+	// Nodes maps subgraph node i back to the original node Nodes[i].
+	Nodes []NodeID
+	// ArcMap maps subgraph arc IDs back to original arc IDs.
+	ArcMap []ArcID
+}
+
+// TopoOrder returns a topological order of an acyclic graph, or ok=false if
+// g has a cycle. Used by Burns' algorithm on the (acyclic) critical subgraph.
+func TopoOrder(g *Graph) (order []NodeID, ok bool) {
+	n := g.NumNodes()
+	indeg := make([]int32, n)
+	for _, a := range g.Arcs() {
+		indeg[a.To]++
+	}
+	queue := make([]NodeID, 0, n)
+	for v := NodeID(0); int(v) < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	order = make([]NodeID, 0, n)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, v)
+		for _, id := range g.OutArcs(v) {
+			w := g.Arc(id).To
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order, len(order) == n
+}

@@ -1,0 +1,32 @@
+package maxplus_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/maxplus"
+)
+
+func ExampleMatrix_Eigenvalue() {
+	// A two-machine production loop: machine 0 feeds 1 after 3 time units,
+	// machine 1 feeds 0 after 5; the cycle time is (3+5)/2 = 4.
+	a := maxplus.NewMatrix(2)
+	a.Set(1, 0, 3)
+	a.Set(0, 1, 5)
+
+	howard, _ := core.ByName("howard")
+	lambda, err := a.Eigenvalue(howard)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(lambda)
+	// Output: 4
+}
+
+func ExampleMatrix_CycleTime() {
+	a := maxplus.NewMatrix(2)
+	a.Set(1, 0, 3)
+	a.Set(0, 1, 5)
+	fmt.Printf("%.1f\n", a.CycleTime([]maxplus.Value{0, 0}, 100))
+	// Output: 4.0
+}

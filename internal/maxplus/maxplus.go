@@ -1,0 +1,298 @@
+// Package maxplus implements the max-plus algebra view of cycle-mean
+// analysis — the setting in which Howard's algorithm reached the paper
+// (Cochet-Terrasson, Cohen, Gaubert, McGettrick & Quadrat, "Numerical
+// computation of spectral elements in max-plus algebra", and Baccelli et
+// al., "Synchronization and Linearity"). A timed discrete event system
+// x(k+1) = A ⊗ x(k) (⊗ = matrix product with + as multiplication and max
+// as addition) has an asymptotic cycle time equal to the max-plus
+// eigenvalue of A, which equals the maximum cycle mean of A's precedence
+// graph; the eigenvectors come from the critical subgraph. This package
+// provides the semiring, the matrix operators, and the spectral
+// computations on top of internal/core's solvers.
+package maxplus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// Epsilon is the max-plus zero element ⊥ = −∞ (the additive identity).
+const Epsilon = math.MinInt64
+
+// Value is a max-plus scalar: an int64, with Epsilon playing −∞.
+type Value = int64
+
+// ErrNotIrreducible is returned by spectral computations when the
+// precedence graph is not strongly connected, so the spectrum may not be
+// unique.
+var ErrNotIrreducible = errors.New("maxplus: matrix is not irreducible")
+
+// oplus is max-plus addition (max); otimes is max-plus multiplication (+),
+// absorbing on Epsilon.
+func oplus(a, b Value) Value {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func otimes(a, b Value) Value {
+	if a == Epsilon || b == Epsilon {
+		return Epsilon
+	}
+	return a + b
+}
+
+// Matrix is a dense square max-plus matrix.
+type Matrix struct {
+	n int
+	a []Value // row major
+}
+
+// NewMatrix returns the n×n matrix filled with Epsilon (the max-plus zero
+// matrix).
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{n: n, a: make([]Value, n*n)}
+	for i := range m.a {
+		m.a[i] = Epsilon
+	}
+	return m
+}
+
+// Identity returns the max-plus identity: 0 on the diagonal, Epsilon off
+// it.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+	}
+	return m
+}
+
+// Dim returns the dimension n.
+func (m *Matrix) Dim() int { return m.n }
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) Value { return m.a[i*m.n+j] }
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, v Value) { m.a[i*m.n+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{n: m.n, a: make([]Value, len(m.a))}
+	copy(c.a, m.a)
+	return c
+}
+
+// Mul returns the max-plus product m ⊗ other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.n != other.n {
+		panic(fmt.Sprintf("maxplus: dimension mismatch %d vs %d", m.n, other.n))
+	}
+	out := NewMatrix(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			acc := Value(Epsilon)
+			for k := 0; k < m.n; k++ {
+				acc = oplus(acc, otimes(m.At(i, k), other.At(k, j)))
+			}
+			out.Set(i, j, acc)
+		}
+	}
+	return out
+}
+
+// Add returns the max-plus sum (entrywise max) m ⊕ other.
+func (m *Matrix) Add(other *Matrix) *Matrix {
+	if m.n != other.n {
+		panic("maxplus: dimension mismatch")
+	}
+	out := NewMatrix(m.n)
+	for i := range m.a {
+		out.a[i] = oplus(m.a[i], other.a[i])
+	}
+	return out
+}
+
+// AddScalar returns m with v ⊗-multiplied into every non-Epsilon entry
+// (i.e. v added conventionally); used to form A_λ = A ⊗ (−λ).
+func (m *Matrix) AddScalar(v Value) *Matrix {
+	out := m.Clone()
+	for i := range out.a {
+		if out.a[i] != Epsilon {
+			out.a[i] += v
+		}
+	}
+	return out
+}
+
+// VecMul returns m ⊗ x for a vector x of length n.
+func (m *Matrix) VecMul(x []Value) []Value {
+	if len(x) != m.n {
+		panic("maxplus: vector dimension mismatch")
+	}
+	out := make([]Value, m.n)
+	for i := 0; i < m.n; i++ {
+		acc := Value(Epsilon)
+		for k := 0; k < m.n; k++ {
+			acc = oplus(acc, otimes(m.At(i, k), x[k]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Graph returns the precedence graph of m: one node per index and an arc
+// j → i of weight m[i][j] for every non-Epsilon entry (x_i(k+1) depends on
+// x_j(k)).
+func (m *Matrix) Graph() *graph.Graph {
+	b := graph.NewBuilder(m.n, m.n)
+	b.AddNodes(m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if v := m.At(i, j); v != Epsilon {
+				b.AddArc(graph.NodeID(j), graph.NodeID(i), v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// FromGraph builds the matrix of a graph (parallel arcs keep the maximum
+// weight, matching ⊕).
+func FromGraph(g *graph.Graph) *Matrix {
+	m := NewMatrix(g.NumNodes())
+	for _, a := range g.Arcs() {
+		i, j := int(a.To), int(a.From)
+		m.Set(i, j, oplus(m.At(i, j), a.Weight))
+	}
+	return m
+}
+
+// Irreducible reports whether the precedence graph is strongly connected.
+func (m *Matrix) Irreducible() bool {
+	if m.n == 0 {
+		return false
+	}
+	return graph.IsStronglyConnected(m.Graph())
+}
+
+// Eigenvalue computes the unique max-plus eigenvalue of an irreducible
+// matrix: the maximum cycle mean of its precedence graph, obtained with
+// the given algorithm (Howard's, by construction of the paper's history,
+// is the natural choice — pass core.ByName("howard")).
+func (m *Matrix) Eigenvalue(algo core.Algorithm) (numeric.Rat, error) {
+	if !m.Irreducible() {
+		return numeric.Rat{}, ErrNotIrreducible
+	}
+	res, err := core.MaximumCycleMean(m.Graph(), algo, core.Options{})
+	if err != nil {
+		return numeric.Rat{}, err
+	}
+	return res.Mean, nil
+}
+
+// Eigenvector returns an eigenvector for the eigenvalue λ = p/q of an
+// irreducible matrix, scaled by q so it stays integral: the returned
+// vector v satisfies A ⊗ v = λ ⊗ v with entries interpreted as v_i/q.
+// Classically v is a critical column of A_λ⁺ = ⊕_{k=1..n} A_λ^k with
+// A_λ = −λ ⊗ A; the computation below is the equivalent longest-path form
+// (Bellman iterations on the q-scaled weights), which avoids building
+// matrix powers.
+func (m *Matrix) Eigenvector(algo core.Algorithm) (numeric.Rat, []numeric.Rat, error) {
+	if !m.Irreducible() {
+		return numeric.Rat{}, nil, ErrNotIrreducible
+	}
+	g := m.Graph()
+	res, err := core.MaximumCycleMean(g, algo, core.Options{})
+	if err != nil {
+		return numeric.Rat{}, nil, err
+	}
+	lambda := res.Mean
+	p, q := lambda.Num(), lambda.Den()
+	if len(res.Cycle) == 0 {
+		return numeric.Rat{}, nil, fmt.Errorf("maxplus: no critical cycle at λ = %v", lambda)
+	}
+	// The eigenvector's source must lie ON a maximum-mean cycle (a node
+	// merely touching a tight arc is not enough for the eigen-equation to
+	// close at the source).
+	source := g.Arc(res.Cycle[0]).From
+
+	// v_i = longest path weight from the critical source to i in the
+	// q-scaled reduced graph (weights q·w − p ≤ 0 around every cycle).
+	n := m.n
+	const unreach = math.MinInt64 / 4
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = unreach
+	}
+	dist[source] = 0
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range g.Arcs() {
+			if dist[a.From] <= unreach {
+				continue
+			}
+			w := q*a.Weight - p
+			if nd := dist[a.From] + w; nd > dist[a.To] {
+				dist[a.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if pass == n-1 {
+			return numeric.Rat{}, nil, fmt.Errorf("maxplus: positive reduced cycle at λ = %v", lambda)
+		}
+	}
+	vec := make([]numeric.Rat, n)
+	for i := range vec {
+		if dist[i] <= unreach {
+			return numeric.Rat{}, nil, ErrNotIrreducible
+		}
+		vec[i] = numeric.NewRat(dist[i], q)
+	}
+	return lambda, vec, nil
+}
+
+// CycleTime simulates x(k+1) = A ⊗ x(k) from x0 for k steps and returns
+// the per-step growth max_i (x_i(k) − x_i(0)) / k — which converges to the
+// eigenvalue for irreducible A. Used by tests and the example to connect
+// the algebraic and operational views.
+func (m *Matrix) CycleTime(x0 []Value, steps int) float64 {
+	x := make([]Value, len(x0))
+	copy(x, x0)
+	for k := 0; k < steps; k++ {
+		x = m.VecMul(x)
+	}
+	best := math.Inf(-1)
+	for i := range x {
+		if x[i] == Epsilon || x0[i] == Epsilon {
+			continue
+		}
+		if g := float64(x[i]-x0[i]) / float64(steps); g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// Simulate returns the trajectory x(0..steps) of the system.
+func (m *Matrix) Simulate(x0 []Value, steps int) [][]Value {
+	out := make([][]Value, 0, steps+1)
+	x := make([]Value, len(x0))
+	copy(x, x0)
+	out = append(out, append([]Value(nil), x...))
+	for k := 0; k < steps; k++ {
+		x = m.VecMul(x)
+		out = append(out, append([]Value(nil), x...))
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package maxplus
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/numeric"
+	"repro/internal/verify"
+)
+
+func howard(t *testing.T) core.Algorithm {
+	t.Helper()
+	a, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSemiringLaws(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw int32) bool {
+		a, b, c := Value(aRaw), Value(bRaw), Value(cRaw)
+		// ⊕ commutative, associative, idempotent; ⊗ distributes over ⊕.
+		if oplus(a, b) != oplus(b, a) {
+			return false
+		}
+		if oplus(oplus(a, b), c) != oplus(a, oplus(b, c)) {
+			return false
+		}
+		if oplus(a, a) != a {
+			return false
+		}
+		if otimes(a, oplus(b, c)) != oplus(otimes(a, b), otimes(a, c)) {
+			return false
+		}
+		// Epsilon is absorbing for ⊗ and neutral for ⊕.
+		if otimes(a, Epsilon) != Epsilon || oplus(a, Epsilon) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixIdentity(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 7)
+	m.Set(2, 0, 1)
+	id := Identity(3)
+	left := id.Mul(m)
+	right := m.Mul(id)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if left.At(i, j) != m.At(i, j) || right.At(i, j) != m.At(i, j) {
+				t.Fatalf("identity law broken at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatrixMulAssociative(t *testing.T) {
+	f := func(seed uint64) bool {
+		mk := func(s uint64) *Matrix {
+			m := NewMatrix(4)
+			state := s
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					state = state*6364136223846793005 + 1442695040888963407
+					switch state >> 62 {
+					case 0: // leave Epsilon
+					default:
+						m.Set(i, j, Value(int64(state>>40)%100-50))
+					}
+				}
+			}
+			return m
+		}
+		a, b, c := mk(seed), mk(seed+1), mk(seed+2)
+		l := a.Mul(b).Mul(c)
+		r := a.Mul(b.Mul(c))
+		for i := range l.a {
+			if l.a[i] != r.a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 10, M: 30, MinWeight: -20, MaxWeight: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromGraph(g)
+	g2 := m.Graph()
+	// Round trip dedupes parallel arcs to the max weight; eigenvalues must
+	// agree because ⊕ keeps exactly the arcs that matter for max means.
+	r1, _, err := verify.BruteForceMaxMean(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := verify.BruteForceMaxMean(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(r2) {
+		t.Fatalf("round trip changed max mean: %v vs %v", r1, r2)
+	}
+}
+
+func TestEigenvalueMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 20, MinWeight: -10, MaxWeight: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FromGraph(g)
+		lambda, err := m.Eigenvalue(howard(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := verify.BruteForceMaxMean(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lambda.Equal(want) {
+			t.Errorf("seed %d: eigenvalue %v, want %v", seed, lambda, want)
+		}
+	}
+}
+
+func TestEigenvectorEquation(t *testing.T) {
+	// A ⊗ v = λ ⊗ v must hold exactly. Verify in the q-scaled integer
+	// domain: for each i, max_j (q·A[i][j] + V[j]) == p + V[i], where
+	// V[i] = q·v_i.
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 7, M: 18, MinWeight: 1, MaxWeight: 20, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FromGraph(g)
+		lambda, vec, err := m.Eigenvector(howard(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, q := lambda.Num(), lambda.Den()
+		// Common denominator for the vector entries.
+		for i := 0; i < m.Dim(); i++ {
+			// lhs_i = max_j (A[i][j] + v_j), as exact rationals.
+			var (
+				best numeric.Rat
+				have bool
+			)
+			for j := 0; j < m.Dim(); j++ {
+				if m.At(i, j) == Epsilon {
+					continue
+				}
+				cand := numeric.FromInt(m.At(i, j)).Add(vec[j])
+				if !have || best.Less(cand) {
+					best, have = cand, true
+				}
+			}
+			if !have {
+				t.Fatalf("seed %d: row %d has no entries", seed, i)
+			}
+			want := vec[i].Add(numeric.NewRat(p, q))
+			if !best.Equal(want) {
+				t.Errorf("seed %d: (A⊗v)_%d = %v, want λ+v_%d = %v", seed, i, best, i, want)
+			}
+		}
+	}
+}
+
+func TestEigenvalueRequiresIrreducible(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 3) // 1 → 0 only: not strongly connected
+	if _, err := m.Eigenvalue(howard(t)); !errors.Is(err, ErrNotIrreducible) {
+		t.Fatalf("got %v, want ErrNotIrreducible", err)
+	}
+}
+
+func TestCycleTimeConvergesToEigenvalue(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 36, MinWeight: 1, MaxWeight: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromGraph(g)
+	lambda, err := m.Eigenvalue(howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]Value, m.Dim())
+	got := m.CycleTime(x0, 400)
+	if math.Abs(got-lambda.Float64()) > 0.5 {
+		t.Fatalf("cycle time %v far from eigenvalue %v", got, lambda.Float64())
+	}
+}
+
+func TestSimulateFromEigenvectorIsLinear(t *testing.T) {
+	// Starting from an eigenvector, every step advances every component by
+	// exactly λ (up to the common scaling q).
+	g, err := gen.Sprand(gen.SprandConfig{N: 6, M: 15, MinWeight: 1, MaxWeight: 9, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromGraph(g)
+	lambda, vec, err := m.Eigenvector(howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := lambda.Den()
+	// Scale the system by q: weights q·A, start vector q·v (both integral).
+	sm := NewMatrix(m.Dim())
+	for i := 0; i < m.Dim(); i++ {
+		for j := 0; j < m.Dim(); j++ {
+			if v := m.At(i, j); v != Epsilon {
+				sm.Set(i, j, v*q)
+			}
+		}
+	}
+	x0 := make([]Value, m.Dim())
+	for i := range x0 {
+		// vec[i] = V_i / q_i with q_i | q ... bring to denominator q.
+		x0[i] = vec[i].Num() * (q / vec[i].Den())
+	}
+	traj := sm.Simulate(x0, 5)
+	step := lambda.Num() * (q / lambda.Den()) // = p when den==q
+	for k := 1; k < len(traj); k++ {
+		for i := range x0 {
+			if traj[k][i] != traj[k-1][i]+step {
+				t.Fatalf("step %d component %d: %d -> %d, want +%d",
+					k, i, traj[k-1][i], traj[k][i], step)
+			}
+		}
+	}
+}
+
+func TestSeparationsAntisymmetric(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 7, M: 20, MinWeight: 1, MaxWeight: 30, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromGraph(g)
+	sep, err := m.Separations(howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.Dim(); i++ {
+		if !sep[i][i].IsZero() {
+			t.Fatalf("S[%d][%d] = %v, want 0", i, i, sep[i][i])
+		}
+		for j := 0; j < m.Dim(); j++ {
+			if !sep[i][j].Equal(sep[j][i].Neg()) {
+				t.Fatalf("separations not antisymmetric at (%d,%d)", i, j)
+			}
+			// Triangle identity: S[i][j] + S[j][k] = S[i][k].
+			for k := 0; k < m.Dim(); k++ {
+				if !sep[i][j].Add(sep[j][k]).Equal(sep[i][k]) {
+					t.Fatalf("separation triangle identity broken at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSeparationsMatchEigenvectorTrajectory(t *testing.T) {
+	// Starting from the eigenvector, every later state keeps exactly the
+	// eigen-separations (a cycle of length 3 has cyclicity 3, so the
+	// zero start would oscillate instead — hence the eigenvector start).
+	m := NewMatrix(3)
+	m.Set(1, 0, 4)
+	m.Set(2, 1, 6)
+	m.Set(0, 2, 5)
+	lambda, vec, err := m.Eigenvector(howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda.Den() != 1 {
+		t.Fatalf("3-cycle of weight 15 must have integer λ, got %v", lambda)
+	}
+	sep, err := m.Separations(howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := make([]Value, 3)
+	for i := range x0 {
+		if vec[i].Den() != 1 {
+			t.Fatalf("eigenvector entry %v not integral for integer λ", vec[i])
+		}
+		x0[i] = vec[i].Num()
+	}
+	traj := m.Simulate(x0, 9)
+	for k, x := range traj {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if got := numeric.FromInt(x[i] - x[j]); !got.Equal(sep[i][j]) {
+					t.Fatalf("step %d: separation (%d,%d) = %v, eigen %v", k, i, j, got, sep[i][j])
+				}
+			}
+		}
+	}
+	// SimulatedSeparation (zero start) still answers, even if oscillating.
+	if _, err := m.SimulatedSeparation(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SimulatedSeparation(-1, 0, 3); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestCloneAddAddScalar(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 1, 5)
+	m.Set(1, 0, 7)
+	c := m.Clone()
+	c.Set(0, 1, 99)
+	if m.At(0, 1) != 5 {
+		t.Fatal("Clone shares storage")
+	}
+	other := NewMatrix(2)
+	other.Set(0, 1, 6)
+	sum := m.Add(other)
+	if sum.At(0, 1) != 6 || sum.At(1, 0) != 7 || sum.At(0, 0) != Epsilon {
+		t.Fatalf("Add wrong: %v %v %v", sum.At(0, 1), sum.At(1, 0), sum.At(0, 0))
+	}
+	sh := m.AddScalar(-2)
+	if sh.At(0, 1) != 3 || sh.At(1, 1) != Epsilon {
+		t.Fatal("AddScalar wrong (Epsilon must stay absorbed)")
+	}
+}
+
+func TestIrreducibleEdgeCases(t *testing.T) {
+	if NewMatrix(0).Irreducible() {
+		t.Fatal("empty matrix irreducible")
+	}
+	m := NewMatrix(1)
+	m.Set(0, 0, 3)
+	if !m.Irreducible() {
+		t.Fatal("1×1 with self-loop must be irreducible")
+	}
+}
+
+func TestPeriodicityOfSingleCycle(t *testing.T) {
+	// A single cycle of length 3: cyclicity 3 (λ = 15/3 = 5 is integral,
+	// but the trajectory rotates around the cycle with period 3).
+	m := NewMatrix(3)
+	m.Set(1, 0, 4)
+	m.Set(2, 1, 6)
+	m.Set(0, 2, 5)
+	p, err := m.AnalyzePeriodicity(howard(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Lambda.Equal(numeric.FromInt(5)) {
+		t.Fatalf("λ = %v", p.Lambda)
+	}
+	if p.Cyclicity != 3 {
+		t.Fatalf("cyclicity = %d, want 3", p.Cyclicity)
+	}
+}
+
+func TestPeriodicityOfSelfLoopDominated(t *testing.T) {
+	// A dominant self-loop gives cyclicity 1 (the system becomes linear
+	// after a short transient).
+	m := NewMatrix(2)
+	m.Set(0, 0, 10)
+	m.Set(1, 0, 2)
+	m.Set(0, 1, 1)
+	p, err := m.AnalyzePeriodicity(howard(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Lambda.Equal(numeric.FromInt(10)) || p.Cyclicity != 1 {
+		t.Fatalf("λ=%v cyclicity=%d, want 10 and 1", p.Lambda, p.Cyclicity)
+	}
+	// From the periodic regime, the relation must also predict the future:
+	// simulate past the transient and check one more window by hand.
+	traj := m.Simulate(make([]Value, 2), p.Transient+4)
+	for i := range traj[p.Transient] {
+		if traj[p.Transient+1][i] != traj[p.Transient][i]+10 {
+			t.Fatalf("regime not linear at component %d", i)
+		}
+	}
+}
+
+func TestPeriodicityRandomGraphs(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 6, M: 15, MinWeight: 1, MaxWeight: 9, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := FromGraph(g)
+		p, err := m.AnalyzePeriodicity(howard(t), 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if p.Cyclicity < 1 || p.Transient < 0 {
+			t.Fatalf("seed %d: degenerate periodicity %+v", seed, p)
+		}
+		// The asymptotic growth rate over one period equals λ·C exactly.
+		traj := m.Simulate(make([]Value, m.Dim()), p.Transient+2*p.Cyclicity)
+		shift := p.Lambda.Num() * (int64(p.Cyclicity) / p.Lambda.Den())
+		for i := 0; i < m.Dim(); i++ {
+			if traj[p.Transient+p.Cyclicity][i] != traj[p.Transient][i]+shift {
+				t.Fatalf("seed %d: periodic relation fails at component %d", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package maxplus
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+)
+
+// Periodicity describes the eventually-periodic regime of an irreducible
+// max-plus system: by the cyclicity theorem (Cohen et al.; see Baccelli et
+// al., "Synchronization and Linearity"), every trajectory satisfies
+// x(k + C) = λ·C ⊗ x(k) for all k ≥ Transient, where C is the cyclicity
+// (a divisor structure of the critical graph's cycle lengths) and λ the
+// eigenvalue.
+type Periodicity struct {
+	// Lambda is the eigenvalue (exact).
+	Lambda numeric.Rat
+	// Cyclicity is the smallest C with x(k+C) = λC ⊗ x(k) eventually.
+	Cyclicity int
+	// Transient is the smallest k at which the relation starts to hold
+	// for the all-zero start vector.
+	Transient int
+}
+
+// AnalyzePeriodicity simulates the system from the all-zero vector and
+// detects the entry into the periodic regime. The search is bounded by
+// maxSteps (0 selects 16·n² + 64, generous for small systems); an error is
+// returned if periodicity is not reached, which for an irreducible matrix
+// means the bound was too small.
+//
+// The check x(k+C) = λ·C + x(k) is exact: λ·C must be an integer for the
+// relation to hold over int64 states, so candidate cyclicities are
+// multiples of λ's denominator.
+func (m *Matrix) AnalyzePeriodicity(algo core.Algorithm, maxSteps int) (*Periodicity, error) {
+	lambda, err := m.Eigenvalue(algo)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Dim()
+	if maxSteps <= 0 {
+		maxSteps = 16*n*n + 64
+	}
+	q := lambda.Den()
+
+	// Simulate, keeping the trajectory (states are small for the sizes
+	// this analysis targets).
+	x := make([]Value, n)
+	traj := [][]Value{append([]Value(nil), x...)}
+	for k := 0; k < maxSteps; k++ {
+		x = m.VecMul(x)
+		traj = append(traj, append([]Value(nil), x...))
+	}
+
+	// For each candidate cyclicity C (multiples of q), find the earliest k
+	// with x(k+C) = x(k) + λ·C held onward for one more window; take the
+	// smallest such C.
+	equalShift := func(a, b []Value, shift int64) bool {
+		for i := range a {
+			if a[i] == Epsilon || b[i] == Epsilon {
+				if a[i] != b[i] {
+					return false
+				}
+				continue
+			}
+			if b[i] != a[i]+shift {
+				return false
+			}
+		}
+		return true
+	}
+	for c := int(q); c <= maxSteps/2; c += int(q) {
+		shift := lambda.Num() * (int64(c) / q)
+		// Earliest k where the relation holds and keeps holding across the
+		// verification window [k, k+c).
+		for k := 0; k+2*c < len(traj); k++ {
+			ok := true
+			for j := k; j < k+c && ok; j++ {
+				ok = equalShift(traj[j], traj[j+c], shift)
+			}
+			if ok {
+				return &Periodicity{Lambda: lambda, Cyclicity: c, Transient: k}, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("maxplus: no periodic regime within %d steps (increase maxSteps)", maxSteps)
+}

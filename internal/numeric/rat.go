@@ -1,0 +1,316 @@
+// Package numeric provides exact rational arithmetic for cycle means and
+// cost-to-time ratios.
+//
+// A cycle mean is w(C)/|C| and a cycle ratio is w(C)/t(C); with int64 arc
+// weights both are ratios of int64 values. Comparisons are performed with
+// 128-bit cross multiplication (math/bits), so they are exact for the whole
+// int64 range and never overflow. This exactness is what lets the algorithms
+// in internal/core terminate on equality tests instead of epsilon guesses.
+package numeric
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rat is an exact rational number p/q with int64 numerator and positive
+// int64 denominator. The zero value is 0/1, i.e. the number zero.
+type Rat struct {
+	p int64 // numerator
+	q int64 // denominator, always > 0 for valid values
+}
+
+// NewRat returns the rational p/q reduced to lowest terms with a positive
+// denominator. It panics if q == 0.
+func NewRat(p, q int64) Rat {
+	if q == 0 {
+		panic("numeric: zero denominator")
+	}
+	if q < 0 {
+		p, q = -p, -q
+	}
+	if g := gcd64(abs64(p), q); g > 1 {
+		p /= g
+		q /= g
+	}
+	return Rat{p, q}
+}
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{n, 1} }
+
+// Num returns the numerator of r in lowest terms.
+func (r Rat) Num() int64 { return r.p }
+
+// Den returns the denominator of r in lowest terms (always positive for
+// values constructed through NewRat or FromInt; 1 for the zero value... the
+// zero value's denominator is reported as 1).
+func (r Rat) Den() int64 {
+	if r.q == 0 {
+		return 1
+	}
+	return r.q
+}
+
+// Float64 returns the nearest float64 to r.
+func (r Rat) Float64() float64 { return float64(r.p) / float64(r.Den()) }
+
+// IsZero reports whether r equals zero.
+func (r Rat) IsZero() bool { return r.p == 0 }
+
+// Neg returns -r.
+func (r Rat) Neg() Rat { return Rat{-r.p, r.Den()} }
+
+// Cmp compares r and s exactly, returning -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int {
+	return cmpCross(r.p, r.Den(), s.p, s.Den())
+}
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Add returns r + s. It panics on int64 overflow of the exact result, which
+// cannot occur for the cycle means of graphs with weights bounded by 2^31.
+func (r Rat) Add(s Rat) Rat {
+	rq, sq := r.Den(), s.Den()
+	g := gcd64(rq, sq)
+	l := rq / g * sq // lcm
+	p := mulCheck(r.p, l/rq) + mulCheck(s.p, l/sq)
+	return NewRat(p, l)
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Mul returns r * s, panicking on int64 overflow of the reduced result.
+func (r Rat) Mul(s Rat) Rat {
+	// Reduce cross factors first to keep intermediates small.
+	a, b := r.p, r.Den()
+	c, d := s.p, s.Den()
+	if g := gcd64(abs64(a), d); g > 1 {
+		a, d = a/g, d/g
+	}
+	if g := gcd64(abs64(c), b); g > 1 {
+		c, b = c/g, b/g
+	}
+	return NewRat(mulCheck(a, c), mulCheck(b, d))
+}
+
+// String formats r as "p/q", or "p" when q == 1.
+func (r Rat) String() string {
+	if r.Den() == 1 {
+		return fmt.Sprintf("%d", r.p)
+	}
+	return fmt.Sprintf("%d/%d", r.p, r.Den())
+}
+
+// cmpCross compares a/b with c/d for b, d > 0 using 128-bit products.
+func cmpCross(a, b, c, d int64) int {
+	// a/b < c/d  <=>  a*d < c*b  (b, d > 0)
+	lhsHi, lhsLo := mul128(a, d)
+	rhsHi, rhsLo := mul128(c, b)
+	if lhsHi != rhsHi {
+		if lhsHi < rhsHi {
+			return -1
+		}
+		return 1
+	}
+	if lhsLo != rhsLo {
+		if lhsLo < rhsLo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// mul128 returns the signed 128-bit product of x and y as (hi, lo) where hi
+// is the signed high word and lo the unsigned low word.
+func mul128(x, y int64) (int64, uint64) {
+	hi, lo := bits.Mul64(uint64(x), uint64(y))
+	// Convert unsigned product to signed: subtract correction terms.
+	if x < 0 {
+		hi -= uint64(y)
+	}
+	if y < 0 {
+		hi -= uint64(x)
+	}
+	return int64(hi), lo
+}
+
+// CmpFrac compares a/b with c/d exactly for b, d > 0 without constructing
+// Rats (hot path for parametric shortest path breakpoints). It panics if
+// b <= 0 or d <= 0.
+func CmpFrac(a, b, c, d int64) int {
+	if b <= 0 || d <= 0 {
+		panic("numeric: CmpFrac requires positive denominators")
+	}
+	return cmpCross(a, b, c, d)
+}
+
+// gcd64 returns the greatest common divisor of non-negative a and positive-
+// or-zero b (binary-free Euclid; inputs are expected to be non-negative).
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func mulCheck(a, b int64) int64 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if a < 0 {
+		hi -= uint64(b)
+	}
+	if b < 0 {
+		hi -= uint64(a)
+	}
+	s := int64(lo)
+	if (s < 0 && int64(hi) != -1) || (s >= 0 && hi != 0) {
+		panic("numeric: int64 overflow in rational arithmetic")
+	}
+	return s
+}
+
+// SnapToDenominator returns the unique rational p/q with 1 <= q <= maxDen
+// inside the open interval (lo, hi), if the interval is known to contain
+// exactly one such rational (interval width < 1/maxDen² suffices). It walks
+// the Stern–Brocot tree and is used by the exact variant of Lawler's
+// algorithm to recover λ* from a float interval.
+//
+// The boolean result is false if no rational with denominator <= maxDen lies
+// in [lo, hi].
+func SnapToDenominator(lo, hi float64, maxDen int64) (Rat, bool) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi || maxDen < 1 {
+		return Rat{}, false
+	}
+	// Shift to non-negative range: find integer k with lo+k >= 0.
+	shift := int64(0)
+	if lo < 0 {
+		shift = int64(math.Ceil(-lo)) + 1
+	}
+	l, h := lo+float64(shift), hi+float64(shift)
+	p, q, ok := sternBrocot(l, h, maxDen)
+	if !ok {
+		return Rat{}, false
+	}
+	return NewRat(p-shift*q, q), true
+}
+
+// sternBrocot finds the rational with the smallest denominator (<= maxDen)
+// in [lo, hi], lo >= 0, by descending the Stern–Brocot tree with run-length
+// jumps so it terminates in O(log maxDen) steps.
+func sternBrocot(lo, hi float64, maxDen int64) (int64, int64, bool) {
+	// Continued-fraction style search for the simplest fraction in [lo, hi].
+	var recurse func(lo, hi float64, depth int) (int64, int64, bool)
+	recurse = func(lo, hi float64, depth int) (int64, int64, bool) {
+		if depth > 128 {
+			return 0, 0, false
+		}
+		fl := math.Floor(lo)
+		if fl+1 <= hi || fl == lo {
+			// An integer lies in [lo, hi].
+			n := int64(math.Ceil(lo))
+			return n, 1, true
+		}
+		// All candidates are fl + 1/x for x in [1/(hi-fl), 1/(lo-fl)].
+		p, q, ok := recurse(1/(hi-fl), 1/(lo-fl), depth+1)
+		if !ok {
+			return 0, 0, false
+		}
+		// Result is fl + q/p = (fl*p + q)/p.
+		num := int64(fl)*p + q
+		if p > maxDen {
+			return 0, 0, false
+		}
+		return num, p, true
+	}
+	return recurse(lo, hi, 0)
+}
+
+// Div returns r / s, panicking if s is zero or on int64 overflow of the
+// reduced result.
+func (r Rat) Div(s Rat) Rat {
+	if s.IsZero() {
+		panic("numeric: division by zero")
+	}
+	// 1/s, with the sign moved to the numerator.
+	num, den := s.Den(), s.p
+	if den < 0 {
+		num, den = -num, -den
+	}
+	return r.Mul(Rat{num, den})
+}
+
+// MarshalText implements encoding.TextMarshaler ("p/q" or "p").
+func (r Rat) MarshalText() ([]byte, error) {
+	return []byte(r.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (r *Rat) UnmarshalText(text []byte) error {
+	s := string(text)
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		p, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("numeric: bad rational %q: %v", s, err)
+		}
+		*r = FromInt(p)
+		return nil
+	}
+	p, err := strconv.ParseInt(s[:slash], 10, 64)
+	if err != nil {
+		return fmt.Errorf("numeric: bad numerator in %q: %v", s, err)
+	}
+	q, err := strconv.ParseInt(s[slash+1:], 10, 64)
+	if err != nil {
+		return fmt.Errorf("numeric: bad denominator in %q: %v", s, err)
+	}
+	if q == 0 {
+		return fmt.Errorf("numeric: zero denominator in %q", s)
+	}
+	*r = NewRat(p, q)
+	return nil
+}
+
+// Ranks assigns each value its dense rank among the distinct values of the
+// slice (0 = smallest), with exact comparisons; equal values share a rank.
+// Used to rank-compress per-basin gains so hot loops compare ints instead
+// of cross-multiplying rationals.
+func Ranks(values []Rat) []int32 {
+	n := len(values)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return values[idx[a]].Less(values[idx[b]])
+	})
+	ranks := make([]int32, n)
+	rank := int32(0)
+	for i, id := range idx {
+		if i > 0 && values[idx[i-1]].Less(values[id]) {
+			rank++
+		}
+		ranks[id] = rank
+	}
+	return ranks
+}

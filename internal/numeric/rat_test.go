@@ -1,0 +1,266 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRatNormalizes(t *testing.T) {
+	cases := []struct {
+		p, q         int64
+		wantP, wantQ int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{7, 1, 7, 1},
+		{-9, 3, -3, 1},
+		{6, 9, 2, 3},
+	}
+	for _, c := range cases {
+		r := NewRat(c.p, c.q)
+		if r.Num() != c.wantP || r.Den() != c.wantQ {
+			t.Errorf("NewRat(%d,%d) = %d/%d, want %d/%d", c.p, c.q, r.Num(), r.Den(), c.wantP, c.wantQ)
+		}
+	}
+}
+
+func TestNewRatPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRat(1, 0)
+}
+
+func TestZeroValue(t *testing.T) {
+	var r Rat
+	if !r.IsZero() || r.Den() != 1 || r.Float64() != 0 {
+		t.Fatalf("zero value misbehaves: %v den=%d f=%v", r, r.Den(), r.Float64())
+	}
+	if r.Cmp(FromInt(0)) != 0 {
+		t.Fatal("zero value != FromInt(0)")
+	}
+}
+
+func TestCmpExtremes(t *testing.T) {
+	// Values chosen so that cross products overflow int64: the 128-bit
+	// comparison must still get them right.
+	big := int64(1) << 62
+	a := NewRat(big, 3)
+	b := NewRat(big-1, 3)
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Fatal("overflow-scale comparison wrong")
+	}
+	neg := NewRat(-big, 5)
+	if neg.Cmp(a) != -1 {
+		t.Fatal("negative vs positive comparison wrong")
+	}
+	if CmpFrac(big, 7, big, 7) != 0 {
+		t.Fatal("CmpFrac equal case wrong")
+	}
+}
+
+func TestCmpMatchesFloat(t *testing.T) {
+	f := func(a, c int32, b, d uint16) bool {
+		bb, dd := int64(b)+1, int64(d)+1
+		r1 := NewRat(int64(a), bb)
+		r2 := NewRat(int64(c), dd)
+		got := r1.Cmp(r2)
+		lhs := float64(a) / float64(bb)
+		rhs := float64(c) / float64(dd)
+		if lhs == rhs {
+			// Float equality at this scale implies exact equality only when
+			// the cross products agree; trust the exact comparison.
+			return true
+		}
+		want := -1
+		if lhs > rhs {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := NewRat(1, 2)
+	third := NewRat(1, 3)
+	if got := half.Add(third); !got.Equal(NewRat(5, 6)) {
+		t.Errorf("1/2+1/3 = %v", got)
+	}
+	if got := half.Sub(third); !got.Equal(NewRat(1, 6)) {
+		t.Errorf("1/2-1/3 = %v", got)
+	}
+	if got := half.Mul(third); !got.Equal(NewRat(1, 6)) {
+		t.Errorf("1/2*1/3 = %v", got)
+	}
+	if got := half.Neg(); !got.Equal(NewRat(-1, 2)) {
+		t.Errorf("-1/2 = %v", got)
+	}
+}
+
+func TestArithmeticProperties(t *testing.T) {
+	gen := func(a int16, b uint8) Rat { return NewRat(int64(a), int64(b)+1) }
+	// Commutativity and x - x == 0.
+	f := func(a1 int16, b1 uint8, a2 int16, b2 uint8) bool {
+		x, y := gen(a1, b1), gen(a2, b2)
+		if !x.Add(y).Equal(y.Add(x)) {
+			return false
+		}
+		if !x.Mul(y).Equal(y.Mul(x)) {
+			return false
+		}
+		if !x.Sub(x).IsZero() {
+			return false
+		}
+		// (x+y)-y == x
+		return x.Add(y).Sub(y).Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := NewRat(7, 1).String(); s != "7" {
+		t.Errorf("got %q", s)
+	}
+	if s := NewRat(-3, 9).String(); s != "-1/3" {
+		t.Errorf("got %q", s)
+	}
+}
+
+func TestSnapToDenominator(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		maxDen int64
+		want   Rat
+		ok     bool
+	}{
+		{0.49, 0.51, 10, NewRat(1, 2), true},
+		{0.3330, 0.3336, 10, NewRat(1, 3), true},
+		{2.9999, 3.0001, 5, NewRat(3, 1), true},
+		{-0.5001, -0.4999, 4, NewRat(-1, 2), true},
+		{0.412, 0.413, 2, Rat{}, false}, // no den<=2 rational in window
+		{5.25, 5.25, 4, NewRat(21, 4), true},
+	}
+	for _, c := range cases {
+		got, ok := SnapToDenominator(c.lo, c.hi, c.maxDen)
+		if ok != c.ok {
+			t.Errorf("Snap(%v,%v,%d) ok=%v want %v", c.lo, c.hi, c.maxDen, ok, c.ok)
+			continue
+		}
+		if ok && !got.Equal(c.want) {
+			t.Errorf("Snap(%v,%v,%d) = %v, want %v", c.lo, c.hi, c.maxDen, got, c.want)
+		}
+	}
+}
+
+func TestSnapRecoversRandomRationals(t *testing.T) {
+	f := func(p int16, qRaw uint8) bool {
+		q := int64(qRaw)%64 + 1
+		target := NewRat(int64(p), q)
+		x := target.Float64()
+		w := 1 / float64(2*64*64+1) // narrower than 1/(2·maxDen²)
+		got, ok := SnapToDenominator(x-w, x+w, 64)
+		return ok && got.Equal(target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if got := NewRat(1, 3).Float64(); math.Abs(got-1.0/3.0) > 1e-15 {
+		t.Errorf("Float64(1/3) = %v", got)
+	}
+}
+
+func TestMulOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	big := NewRat((1<<62)+1, 1)
+	big.Mul(NewRat(3, 1))
+}
+
+func TestDiv(t *testing.T) {
+	cases := []struct{ a, b, want Rat }{
+		{NewRat(1, 2), NewRat(1, 3), NewRat(3, 2)},
+		{NewRat(-6, 4), NewRat(3, 1), NewRat(-1, 2)},
+		{NewRat(5, 7), NewRat(-5, 7), NewRat(-1, 1)},
+		{FromInt(0), NewRat(9, 4), FromInt(0)},
+	}
+	for _, c := range cases {
+		if got := c.a.Div(c.b); !got.Equal(c.want) {
+			t.Errorf("%v / %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero did not panic")
+		}
+	}()
+	FromInt(1).Div(FromInt(0))
+}
+
+func TestDivMulInverseProperty(t *testing.T) {
+	f := func(a int16, b uint8, c int16, d uint8) bool {
+		x := NewRat(int64(a), int64(b)+1)
+		y := NewRat(int64(c), int64(d)+1)
+		if y.IsZero() {
+			return true
+		}
+		return x.Div(y).Mul(y).Equal(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextMarshaling(t *testing.T) {
+	for _, r := range []Rat{NewRat(3, 7), FromInt(-12), NewRat(-5, 9), FromInt(0)} {
+		data, err := r.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Rat
+		if err := back.UnmarshalText(data); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(r) {
+			t.Errorf("round trip %v -> %s -> %v", r, data, back)
+		}
+	}
+	var r Rat
+	for _, bad := range []string{"", "x", "1/", "/2", "1/0", "a/b"} {
+		if err := r.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("bad input %q accepted", bad)
+		}
+	}
+}
+
+func TestRanks(t *testing.T) {
+	vals := []Rat{NewRat(1, 2), NewRat(3, 1), NewRat(2, 4), NewRat(-1, 3), NewRat(3, 1)}
+	got := Ranks(vals)
+	want := []int32{1, 2, 1, 0, 2} // -1/3 < 1/2 == 2/4 < 3 == 3
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+	if len(Ranks(nil)) != 0 {
+		t.Fatal("Ranks(nil) not empty")
+	}
+}

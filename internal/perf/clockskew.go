@@ -1,0 +1,107 @@
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// ClockSchedule is the result of optimal clock skew scheduling: the minimum
+// feasible period and one latching time (skew) per latch-graph node
+// realizing it.
+type ClockSchedule struct {
+	// Period is the optimal clock period T* — the maximum cycle mean of
+	// the latch graph, exact.
+	Period numeric.Rat
+	// Skew[v] is the clock arrival time assigned to latch-graph node v
+	// (node 0 is the host). Skews satisfy, for every latch-to-latch path
+	// with maximum combinational delay d(u→v):
+	//     Skew[v] − Skew[u] ≥ d(u,v) − T*   (setup feasibility at T*)
+	// exactly, in rational arithmetic.
+	Skew []numeric.Rat
+	// Critical lists the arcs that are tight under the schedule — the
+	// paths with zero slack that forbid any smaller period.
+	Critical []graph.ArcID
+}
+
+// OptimalClockSchedule computes an optimal clock schedule for a sequential
+// circuit (Szymanski, "Computing optimal clock schedules", DAC 1992 — one
+// of the paper's motivating CAD applications): intentional clock skews let
+// the period shrink until the maximum mean register-to-register cycle
+// becomes binding; that bound, and skews achieving it, come directly from
+// the cycle-mean machinery — T* is the maximum cycle mean of the latch
+// graph and the skews are the shortest-path potentials of G_{T*}.
+func OptimalClockSchedule(nl *circuit.Netlist, algo core.Algorithm) (*ClockSchedule, error) {
+	lg, err := circuit.LatchGraph(nl)
+	if err != nil {
+		return nil, err
+	}
+	return ScheduleLatchGraph(lg, algo)
+}
+
+// ScheduleLatchGraph computes the optimal schedule directly from a latch
+// graph (node 0 = host, arc weights = max combinational path delays).
+func ScheduleLatchGraph(lg *graph.Graph, algo core.Algorithm) (*ClockSchedule, error) {
+	res, err := core.MaximumCycleMean(lg, algo, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("perf: clock schedule: %w", err)
+	}
+	period := res.Mean
+	p, q := period.Num(), period.Den()
+
+	// Setup constraint at period T: skew(v) − skew(u) ≥ d(u,v) − T for
+	// every latch arc, i.e. skew(u) − skew(v) ≤ T − d(u,v). Shortest-path
+	// potentials on the reversed graph with scaled weights p − q·d are
+	// such skews; they exist because T = T* leaves no negative cycle.
+	n := lg.NumNodes()
+	dist := make([]int64, n) // scaled by q
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range lg.Arcs() {
+			w := p - q*a.Weight // scaled (T − d)
+			// Constraint skew(u) ≤ skew(v) + (T − d) relaxes u from v.
+			if nd := dist[a.To] + w; nd < dist[a.From] {
+				dist[a.From] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if pass == n-1 {
+			return nil, fmt.Errorf("perf: period %v infeasible (negative constraint cycle)", period)
+		}
+	}
+	skews := make([]numeric.Rat, n)
+	for v := range skews {
+		skews[v] = numeric.NewRat(dist[v], q)
+	}
+	var critical []graph.ArcID
+	for id := graph.ArcID(0); int(id) < lg.NumArcs(); id++ {
+		a := lg.Arc(id)
+		if dist[a.From] == dist[a.To]+p-q*a.Weight {
+			critical = append(critical, id)
+		}
+	}
+	return &ClockSchedule{Period: period, Skew: skews, Critical: critical}, nil
+}
+
+// Validate checks the schedule's setup constraints exactly against the
+// latch graph it was computed from; it returns an error naming the first
+// violated arc, or nil.
+func (cs *ClockSchedule) Validate(lg *graph.Graph) error {
+	for id := graph.ArcID(0); int(id) < lg.NumArcs(); id++ {
+		a := lg.Arc(id)
+		// skew(v) − skew(u) ≥ d − T  ⟺  skew(u) − skew(v) ≤ T − d.
+		lhs := cs.Skew[a.From].Sub(cs.Skew[a.To])
+		rhs := cs.Period.Sub(numeric.FromInt(a.Weight))
+		if rhs.Less(lhs) {
+			return fmt.Errorf("perf: setup violated on arc %d (%d→%d): slack %v",
+				id, a.From, a.To, rhs.Sub(lhs))
+		}
+	}
+	return nil
+}

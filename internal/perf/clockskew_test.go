@@ -1,0 +1,114 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func TestScheduleLatchGraphHand(t *testing.T) {
+	// Two latches: delays 0→1 of 8, 1→0 of 2. Zero-skew period would be 8;
+	// with skew the bound is the cycle mean (8+2)/2 = 5.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 8)
+	b.AddArc(1, 0, 2)
+	lg := b.Build()
+
+	algo, _ := core.ByName("howard")
+	cs, err := ScheduleLatchGraph(lg, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(5, 1); !cs.Period.Equal(want) {
+		t.Fatalf("period = %v, want 5", cs.Period)
+	}
+	if err := cs.Validate(lg); err != nil {
+		t.Fatal(err)
+	}
+	// The skew difference must absorb the asymmetry: skew(1) − skew(0) = 3.
+	diff := cs.Skew[1].Sub(cs.Skew[0])
+	if want := numeric.NewRat(3, 1); !diff.Equal(want) {
+		t.Fatalf("skew difference = %v, want 3", diff)
+	}
+	// Both arcs are critical at the optimum of a single cycle.
+	if len(cs.Critical) != 2 {
+		t.Fatalf("critical arcs = %v, want both", cs.Critical)
+	}
+}
+
+func TestOptimalClockScheduleOnGeneratedCircuits(t *testing.T) {
+	algo, _ := core.ByName("yto")
+	for seed := uint64(1); seed <= 5; seed++ {
+		nl, err := circuit.Generate(circuit.GenConfig{
+			FFs: 24, CloudGates: 16, MaxFanin: 3, Feedback: 6, PIs: 4, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, err := circuit.LatchGraph(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := OptimalClockSchedule(nl, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.Validate(lg); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(cs.Critical) == 0 {
+			t.Fatalf("seed %d: no critical paths at the optimal period", seed)
+		}
+		// The optimal period can never exceed the zero-skew period (the
+		// largest single-hop delay) and never beat the max cycle mean.
+		var maxDelay int64
+		for _, a := range lg.Arcs() {
+			if a.Weight > maxDelay {
+				maxDelay = a.Weight
+			}
+		}
+		if numeric.FromInt(maxDelay).Less(cs.Period) {
+			t.Fatalf("seed %d: period %v exceeds zero-skew period %d", seed, cs.Period, maxDelay)
+		}
+	}
+}
+
+// TestScheduleIsTightSomewhere: shrinking the period by any amount makes
+// the constraint system infeasible — i.e. the computed period is optimal,
+// not merely feasible.
+func TestScheduleIsTight(t *testing.T) {
+	algo, _ := core.ByName("howard")
+	nl, err := circuit.Generate(circuit.GenConfig{
+		FFs: 16, CloudGates: 12, MaxFanin: 3, Feedback: 4, PIs: 3, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := circuit.LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ScheduleLatchGraph(lg, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasibility of period T ⟺ no cycle of mean > T ⟺ max mean ≤ T.
+	res, err := core.MaximumCycleMean(lg, algo, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mean.Equal(cs.Period) {
+		t.Fatalf("period %v != max cycle mean %v", cs.Period, res.Mean)
+	}
+	// A strictly smaller period puts a positive-mean-excess cycle in the
+	// constraint graph: validate must fail for the same skews.
+	smaller := cs.Period.Sub(numeric.NewRat(1, 1000))
+	bad := &ClockSchedule{Period: smaller, Skew: cs.Skew}
+	if err := bad.Validate(lg); err == nil {
+		t.Fatal("schedule remained feasible below the cycle-mean bound")
+	}
+}

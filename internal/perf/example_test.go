@@ -1,0 +1,46 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/perf"
+	"repro/internal/ratio"
+)
+
+func ExampleDataflow_IterationBound() {
+	// A one-delay feedback loop: adder (1 unit) + multiplier (2 units).
+	d := perf.NewDataflow()
+	d.AddActor("add", 1)
+	d.AddActor("mul", 2)
+	d.AddEdge("add", "mul", 1)
+	d.AddEdge("mul", "add", 0)
+
+	algo, _ := ratio.ByName("howard")
+	bound, loop, err := d.IterationBound(algo)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("T∞ = %v via %v\n", bound, loop)
+	// Output: T∞ = 3 via [add mul]
+}
+
+func ExampleScheduleLatchGraph() {
+	// Two latches with asymmetric path delays: zero-skew period would be
+	// 8; skewing reaches the cycle-mean bound (8+2)/2 = 5.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 8)
+	b.AddArc(1, 0, 2)
+	lg := b.Build()
+
+	algo, _ := core.ByName("howard")
+	cs, err := perf.ScheduleLatchGraph(lg, algo)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal period %v, skew difference %v\n",
+		cs.Period, cs.Skew[1].Sub(cs.Skew[0]))
+	// Output: optimal period 5, skew difference 3
+}

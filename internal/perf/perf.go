@@ -1,0 +1,177 @@
+// Package perf implements the CAD applications that motivate the paper's
+// Section 1.1: computing the cycle period of cyclic discrete-event systems.
+// Three concrete analyses are provided, each a thin, well-typed layer over
+// the cycle-mean/cycle-ratio solvers:
+//
+//   - the iteration bound of a DSP dataflow graph (Ito & Parhi's problem:
+//     a maximum cost-to-time ratio over cycles, costs = actor execution
+//     times, times = edge delays/tokens);
+//   - the minimum clock period bound of a sequential circuit under retiming
+//     (a maximum cycle mean of the latch-to-latch timing graph);
+//   - rate analysis of embedded process graphs (Mathur, Dasdan & Gupta:
+//     per-process execution-rate bounds from the maximum cycle mean of the
+//     process's strongly connected component).
+package perf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+)
+
+// ErrDeadlock means a dataflow cycle carries no delays (tokens), so the
+// graph cannot execute at any rate.
+var ErrDeadlock = errors.New("perf: delay-free cycle (deadlocked dataflow graph)")
+
+// Dataflow is a DSP dataflow graph under construction: actors with
+// execution times, edges with delay (token) counts. Use AddActor/AddEdge,
+// then IterationBound.
+type Dataflow struct {
+	names []string
+	exec  []int64
+	byN   map[string]graph.NodeID
+	edges []dfEdge
+}
+
+type dfEdge struct {
+	from, to graph.NodeID
+	delays   int64
+}
+
+// NewDataflow returns an empty dataflow graph.
+func NewDataflow() *Dataflow {
+	return &Dataflow{byN: make(map[string]graph.NodeID)}
+}
+
+// AddActor declares an actor with the given execution time (>= 0) and
+// returns its node. Duplicate names are an error.
+func (d *Dataflow) AddActor(name string, execTime int64) (graph.NodeID, error) {
+	if _, dup := d.byN[name]; dup {
+		return 0, fmt.Errorf("perf: duplicate actor %q", name)
+	}
+	if execTime < 0 {
+		return 0, fmt.Errorf("perf: actor %q has negative execution time", name)
+	}
+	id := graph.NodeID(len(d.names))
+	d.names = append(d.names, name)
+	d.exec = append(d.exec, execTime)
+	d.byN[name] = id
+	return id, nil
+}
+
+// AddEdge adds a dataflow edge with the given delay (token) count (>= 0).
+func (d *Dataflow) AddEdge(from, to string, delays int64) error {
+	u, ok := d.byN[from]
+	if !ok {
+		return fmt.Errorf("perf: unknown actor %q", from)
+	}
+	v, ok := d.byN[to]
+	if !ok {
+		return fmt.Errorf("perf: unknown actor %q", to)
+	}
+	if delays < 0 {
+		return fmt.Errorf("perf: negative delay count on %s→%s", from, to)
+	}
+	d.edges = append(d.edges, dfEdge{from: u, to: v, delays: delays})
+	return nil
+}
+
+// Graph lowers the dataflow graph to the ratio form: arc u→v carries weight
+// = exec(u) and transit = delays, so a cycle's ratio is its total execution
+// time over its delay count — the quantity the iteration bound maximizes.
+func (d *Dataflow) Graph() *graph.Graph {
+	b := graph.NewBuilder(len(d.names), len(d.edges))
+	b.AddNodes(len(d.names))
+	for _, e := range d.edges {
+		b.AddArcTransit(e.from, e.to, d.exec[e.from], e.delays)
+	}
+	return b.Build()
+}
+
+// IterationBound computes T∞ = max over cycles of (Σ execution time)/(Σ
+// delays), the minimum achievable iteration period of the dataflow graph
+// [Ito & Parhi 1995]. The returned cycle names the actors of a critical
+// loop in order. Returns ErrDeadlock for delay-free cycles and
+// ratio.ErrAcyclic when the graph has no cycles (bound 0: fully
+// pipelineable).
+func (d *Dataflow) IterationBound(algo ratio.Algorithm) (numeric.Rat, []string, error) {
+	g := d.Graph()
+	res, err := ratio.MaximumCycleRatio(g, algo, core.Options{})
+	switch {
+	case errors.Is(err, ratio.ErrNonPositiveTransit):
+		return numeric.Rat{}, nil, ErrDeadlock
+	case err != nil:
+		return numeric.Rat{}, nil, err
+	}
+	names := make([]string, len(res.Cycle))
+	for i, id := range res.Cycle {
+		names[i] = d.names[g.Arc(id).From]
+	}
+	return res.Ratio, names, nil
+}
+
+// ClockPeriodBound computes the minimum clock period achievable for the
+// netlist by retiming: the maximum cycle mean of its latch-to-latch timing
+// graph (delay per register crossing). The result is exact; the critical
+// cycle is returned in terms of latch-graph arcs.
+func ClockPeriodBound(nl *circuit.Netlist, algo core.Algorithm) (numeric.Rat, core.Result, error) {
+	lg, err := circuit.LatchGraph(nl)
+	if err != nil {
+		return numeric.Rat{}, core.Result{}, err
+	}
+	res, err := core.MaximumCycleMean(lg, algo, core.Options{})
+	if err != nil {
+		return numeric.Rat{}, core.Result{}, err
+	}
+	return res.Mean, res, nil
+}
+
+// Rate is a per-process execution-rate bound from rate analysis.
+type Rate struct {
+	// Node is the process.
+	Node graph.NodeID
+	// Period is the minimum time between successive executions (the
+	// maximum cycle mean of the process's SCC); zero period means the
+	// process is not on any cycle.
+	Period numeric.Rat
+	// RatePerSecond is 1/Period as a float convenience (+Inf when
+	// unconstrained).
+	RatePerSecond float64
+}
+
+// ProcessRates performs rate analysis on a cyclic process graph whose arc
+// weights are inter-process latencies [Mathur, Dasdan & Gupta 1998]: each
+// process's asymptotic execution rate is bounded by the maximum cycle mean
+// of its strongly connected component. Processes in acyclic components are
+// unconstrained (infinite rate bound).
+func ProcessRates(g *graph.Graph, algo core.Algorithm) ([]Rate, error) {
+	n := g.NumNodes()
+	rates := make([]Rate, n)
+	for v := range rates {
+		rates[v] = Rate{Node: graph.NodeID(v), RatePerSecond: math.Inf(1)}
+	}
+	for _, comp := range graph.CyclicComponents(g) {
+		res, err := algo.Solve(comp.Graph.NegateWeights(), core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("perf: rate analysis on component of %d nodes: %w", comp.Graph.NumNodes(), err)
+		}
+		period := res.Mean.Neg()
+		rate := 0.0
+		if period.Float64() > 0 {
+			rate = 1 / period.Float64()
+		} else {
+			rate = math.Inf(1)
+		}
+		for _, v := range comp.Nodes {
+			rates[v].Period = period
+			rates[v].RatePerSecond = rate
+		}
+	}
+	return rates, nil
+}

@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+)
+
+// biquad builds the classic second-order IIR filter (biquad) dataflow
+// graph used in iteration-bound papers: adders (1 time unit), multipliers
+// (2 time units), and feedback loops through one and two delays.
+func biquad(t *testing.T) *Dataflow {
+	t.Helper()
+	d := NewDataflow()
+	mustActor := func(name string, w int64) {
+		if _, err := d.AddActor(name, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge := func(from, to string, delays int64) {
+		if err := d.AddEdge(from, to, delays); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Adders a1, a2; multipliers m1, m2 in the feedback paths.
+	mustActor("a1", 1)
+	mustActor("a2", 1)
+	mustActor("m1", 2)
+	mustActor("m2", 2)
+	// Loop 1: a1 → (1 delay) → m1 → a1 : time 3, delays 1.
+	mustEdge("a1", "m1", 1)
+	mustEdge("m1", "a1", 0)
+	// Loop 2: a1 → a2 → (2 delays) → m2 → a1 : time 4, delays 2.
+	mustEdge("a1", "a2", 0)
+	mustEdge("a2", "m2", 2)
+	mustEdge("m2", "a1", 0)
+	return d
+}
+
+func TestIterationBoundBiquad(t *testing.T) {
+	d := biquad(t)
+	algo, err := ratio.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, cycle, err := d.IterationBound(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop 1 dominates: (1+2)/1 = 3 versus (1+1+2)/2 = 2.
+	if want := numeric.NewRat(3, 1); !bound.Equal(want) {
+		t.Fatalf("iteration bound = %v, want %v (critical loop %v)", bound, want, cycle)
+	}
+	if len(cycle) != 2 {
+		t.Fatalf("critical loop %v, want the 2-actor loop", cycle)
+	}
+}
+
+func TestIterationBoundAllRatioAlgorithms(t *testing.T) {
+	d := biquad(t)
+	for _, algo := range ratio.All() {
+		bound, _, err := d.IterationBound(algo)
+		if strings.HasPrefix(algo.Name(), "expand") {
+			// The transit-expansion reduction requires every delay count to
+			// be >= 1; the biquad's zero-delay edges are out of its domain.
+			if err == nil {
+				t.Errorf("%s: expected a transit-domain error on zero-delay edges", algo.Name())
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", algo.Name(), err)
+		}
+		if want := numeric.NewRat(3, 1); !bound.Equal(want) {
+			t.Errorf("%s: bound %v, want 3", algo.Name(), bound)
+		}
+	}
+}
+
+func TestIterationBoundDeadlock(t *testing.T) {
+	d := NewDataflow()
+	if _, err := d.AddActor("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddActor("y", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("x", "y", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge("y", "x", 0); err != nil {
+		t.Fatal(err)
+	}
+	algo, _ := ratio.ByName("howard")
+	if _, _, err := d.IterationBound(algo); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+}
+
+func TestClockPeriodBound(t *testing.T) {
+	nl, err := circuit.Generate(circuit.GenConfig{FFs: 10, CloudGates: 14, MaxFanin: 3, Feedback: 3, PIs: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []numeric.Rat
+	for _, name := range []string{"howard", "karp", "yto", "burns"} {
+		algo, err := core.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		period, res, err := ClockPeriodBound(nl, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Cycle) == 0 {
+			t.Fatalf("%s: no critical cycle", name)
+		}
+		bounds = append(bounds, period)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !bounds[i].Equal(bounds[0]) {
+			t.Fatalf("algorithms disagree on clock bound: %v vs %v", bounds[i], bounds[0])
+		}
+	}
+	if bounds[0].Float64() < 1 {
+		t.Fatalf("clock bound %v below one gate delay", bounds[0])
+	}
+}
+
+func TestProcessRates(t *testing.T) {
+	// Two SCCs: a fast 2-cycle (latencies 1+3 → period 2) and a slow
+	// self-loop (latency 10), plus a dangling acyclic process.
+	b := graph.NewBuilder(4, 4)
+	b.AddNodes(4)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 0, 3)
+	b.AddArc(2, 2, 10)
+	b.AddArc(1, 3, 5) // 3 is on no cycle
+	g := b.Build()
+
+	algo, _ := core.ByName("howard")
+	rates, err := ProcessRates(g, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(2, 1); !rates[0].Period.Equal(want) || !rates[1].Period.Equal(want) {
+		t.Errorf("fast SCC period = %v/%v, want 2", rates[0].Period, rates[1].Period)
+	}
+	if want := numeric.NewRat(10, 1); !rates[2].Period.Equal(want) {
+		t.Errorf("slow SCC period = %v, want 10", rates[2].Period)
+	}
+	if !math.IsInf(rates[3].RatePerSecond, 1) {
+		t.Errorf("acyclic process rate = %v, want +Inf", rates[3].RatePerSecond)
+	}
+	if got := rates[0].RatePerSecond; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("fast SCC rate = %v, want 0.5", got)
+	}
+}

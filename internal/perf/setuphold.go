@@ -1,0 +1,185 @@
+package perf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/ncd"
+	"repro/internal/numeric"
+)
+
+// ErrHoldInfeasible means the hold constraints alone contain a negative
+// cycle: no clock period, however large, can fix the race (only inserting
+// delay buffers or registers can).
+var ErrHoldInfeasible = errors.New("perf: hold constraints are infeasible at every period")
+
+// ScheduleSetupHold computes the minimum clock period and skews for a
+// latch graph under BOTH timing constraint families:
+//
+//	setup: skew(u) + maxDelay(u,v) ≤ skew(v) + T
+//	hold:  skew(v) + holdMargin   ≤ skew(u) + minDelay(u,v)
+//
+// maxDelay comes from the latch graph's arc weights and minDelay from
+// circuit.LatchGraphMinMax. With hold constraints the optimal period is no
+// longer a pure maximum cycle mean but a maximum cost-to-time ratio over
+// mixed constraint cycles (setup arcs count toward the period, hold arcs
+// do not); the search mirrors Lawler's algorithm — exact bisection on a
+// fixed grid with a cycle-refined exact finish.
+func ScheduleSetupHold(lg *graph.Graph, minDelay []int64, holdMargin int64) (*ClockSchedule, error) {
+	m := lg.NumArcs()
+	if len(minDelay) != m {
+		return nil, fmt.Errorf("perf: %d min delays for %d arcs", len(minDelay), m)
+	}
+	n := lg.NumNodes()
+	if n == 0 || m == 0 {
+		return nil, errors.New("perf: empty latch graph")
+	}
+
+	// Constraint graph: for latch arc e = (u, v) with max delay D and min
+	// delay d,
+	//   setup arc  v → u, weight T − D   (counts one T)
+	//   hold  arc  u → v, weight d − holdMargin
+	type cArc struct {
+		from, to graph.NodeID
+		fixed    int64 // weight excluding the T contribution
+		setups   int64 // number of T terms (1 for setup arcs)
+	}
+	arcs := make([]cArc, 0, 2*m)
+	for id := graph.ArcID(0); int(id) < m; id++ {
+		a := lg.Arc(id)
+		arcs = append(arcs,
+			cArc{from: a.To, to: a.From, fixed: -a.Weight, setups: 1},
+			cArc{from: a.From, to: a.To, fixed: minDelay[id] - holdMargin, setups: 0},
+		)
+	}
+	cg := func() *graph.Graph {
+		b := graph.NewBuilder(n, len(arcs))
+		b.AddNodes(n)
+		for _, a := range arcs {
+			b.AddArc(a.from, a.to, 0) // weights supplied per probe
+		}
+		return b.Build()
+	}()
+
+	// Any-period infeasibility: a negative cycle among hold arcs alone.
+	holdW := make([]int64, len(arcs))
+	for i, a := range arcs {
+		if a.setups == 1 {
+			holdW[i] = 1 << 40 // setup arcs effectively removed
+		} else {
+			holdW[i] = a.fixed
+		}
+	}
+	if _, neg := ncd.Detect(cg, holdW, ncd.EarlyExit, nil); neg {
+		return nil, ErrHoldInfeasible
+	}
+
+	// Bisection on T = x/K. T* is the maximum over constraint cycles of
+	// (−Σ fixed)/(Σ setups) with Σ setups ≤ m, so K = m²+1 pins it down
+	// exactly once the window closes to one grid cell.
+	K := int64(m)*int64(m) + 1
+	var counts counter.Counts
+	weights := make([]int64, len(arcs))
+	probe := func(x int64) ([]graph.ArcID, bool) {
+		for i, a := range arcs {
+			weights[i] = K*a.fixed + a.setups*x
+		}
+		return ncd.Detect(cg, weights, ncd.EarlyExit, &counts)
+	}
+
+	// Bounds: hi must be feasible and lo infeasible; both grow
+	// geometrically from the max-delay scale until the invariant holds.
+	// (An infeasible T always exists: each latch arc's setup+hold pair
+	// forms a constraint 2-cycle whose weight goes to −∞ as T does.)
+	var bestCycle []graph.ArcID
+	_, maxW := lg.WeightRange()
+	scale := maxW + abs64(holdMargin) + 1
+	hi := K * scale
+	for tries := 0; ; tries++ {
+		if _, neg := probe(hi); !neg {
+			break
+		}
+		hi *= 2
+		if tries > 60 {
+			return nil, errors.New("perf: period search diverged upward")
+		}
+	}
+	lo := -K * scale
+	for tries := 0; ; tries++ {
+		cyc, neg := probe(lo)
+		if neg {
+			bestCycle = cyc
+			break
+		}
+		lo *= 2
+		if tries > 60 {
+			return nil, errors.New("perf: period search diverged downward")
+		}
+	}
+
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		cyc, neg := probe(mid)
+		if neg {
+			lo = mid
+			bestCycle = cyc
+		} else {
+			hi = mid
+		}
+	}
+
+	// Exact period from the last infeasible probe's cycle: it forces
+	// T ≥ (−Σ fixed)/(Σ setups), and at the closed window that bound is T*.
+	var fixed, setups int64
+	for _, id := range bestCycle {
+		fixed += arcs[id].fixed
+		setups += arcs[id].setups
+	}
+	if setups == 0 {
+		return nil, ErrHoldInfeasible // cannot happen after the pre-check
+	}
+	period := numeric.NewRat(-fixed, setups)
+
+	// Final exact feasibility at T* and skew extraction.
+	p, q := period.Num(), period.Den()
+	dist := make([]int64, n)
+	for pass := 0; ; pass++ {
+		changed := false
+		for _, a := range arcs {
+			w := q*a.fixed + a.setups*p
+			if nd := dist[a.from] + w; nd < dist[a.to] {
+				dist[a.to] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if pass >= n {
+			return nil, fmt.Errorf("perf: recovered period %v not feasible", period)
+		}
+	}
+
+	skews := make([]numeric.Rat, n)
+	for v := range skews {
+		skews[v] = numeric.NewRat(dist[v], q)
+	}
+	// Critical latch arcs: setup constraints that are tight at T*.
+	var critical []graph.ArcID
+	for id := graph.ArcID(0); int(id) < m; id++ {
+		a := arcs[2*id] // the setup arc of latch arc id
+		if dist[a.to] == dist[a.from]+q*a.fixed+a.setups*p {
+			critical = append(critical, id)
+		}
+	}
+	return &ClockSchedule{Period: period, Skew: skews, Critical: critical}, nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,159 @@
+package perf
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// validateSetupHold checks every constraint exactly.
+func validateSetupHold(t *testing.T, lg *graph.Graph, minDelay []int64, hold int64, cs *ClockSchedule) {
+	t.Helper()
+	for id := graph.ArcID(0); int(id) < lg.NumArcs(); id++ {
+		a := lg.Arc(id)
+		// setup: skew(u) + maxD <= skew(v) + T
+		lhs := cs.Skew[a.From].Add(numeric.FromInt(a.Weight))
+		rhs := cs.Skew[a.To].Add(cs.Period)
+		if rhs.Less(lhs) {
+			t.Fatalf("setup violated on arc %d: %v > %v", id, lhs, rhs)
+		}
+		// hold: skew(v) + hold <= skew(u) + minD
+		lhs = cs.Skew[a.To].Add(numeric.FromInt(hold))
+		rhs = cs.Skew[a.From].Add(numeric.FromInt(minDelay[id]))
+		if rhs.Less(lhs) {
+			t.Fatalf("hold violated on arc %d: %v > %v", id, lhs, rhs)
+		}
+	}
+}
+
+func TestSetupHoldWithoutHoldPressureMatchesCycleMean(t *testing.T) {
+	// With min delays huge and hold margin 0, hold constraints are slack
+	// and the optimal period must equal the plain cycle-mean bound.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 8)
+	b.AddArc(1, 0, 2)
+	lg := b.Build()
+	minDelay := []int64{8, 2} // min == max: generous slow paths
+
+	cs, err := ScheduleSetupHold(lg, minDelay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(5, 1); !cs.Period.Equal(want) {
+		t.Fatalf("period = %v, want 5 (the cycle mean)", cs.Period)
+	}
+	validateSetupHold(t, lg, minDelay, 0, cs)
+	if len(cs.Critical) == 0 {
+		t.Fatal("no critical setup arcs at the optimum")
+	}
+}
+
+func TestSetupHoldRaceLimitsSkew(t *testing.T) {
+	// Arc 0→1 has a racing fast path (min delay 0) and we demand a hold
+	// margin of 2, which forces skew(1) ≤ skew(0) − 2 — the opposite of
+	// what setup-only scheduling wants. The optimal period must rise above
+	// the cycle-mean bound of (8+4)/2 = 6: the mixed constraint cycle
+	// setup(0→1) + hold(0→1) gives (T − 8) + (0 − 2) ≥ 0, i.e. T ≥ 10.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 8)
+	b.AddArc(1, 0, 4)
+	lg := b.Build()
+	minDelay := []int64{0, 4}
+	hold := int64(2)
+
+	cs, err := ScheduleSetupHold(lg, minDelay, hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateSetupHold(t, lg, minDelay, hold, cs)
+	if !numeric.NewRat(6, 1).Less(cs.Period) {
+		t.Fatalf("period = %v; hold pressure should push it above 6", cs.Period)
+	}
+	// Mixed constraint cycle: setup(0→1) + hold(0→1 reversed...):
+	// skew0−skew1 ≤ T−8 and skew1−skew0 ≤ 0−2 ⇒ 0 ≤ T−10 ⇒ T ≥ 10.
+	if want := numeric.NewRat(10, 1); !cs.Period.Equal(want) {
+		t.Fatalf("period = %v, want 10", cs.Period)
+	}
+}
+
+func TestSetupHoldInfeasible(t *testing.T) {
+	// A pure hold cycle that no period can fix: two latches with zero min
+	// delay both ways and a positive hold margin.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 5)
+	b.AddArc(1, 0, 5)
+	lg := b.Build()
+	minDelay := []int64{0, 0}
+	if _, err := ScheduleSetupHold(lg, minDelay, 1); !errors.Is(err, ErrHoldInfeasible) {
+		t.Fatalf("got %v, want ErrHoldInfeasible", err)
+	}
+}
+
+func TestSetupHoldOnGeneratedCircuits(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		nl, err := circuit.Generate(circuit.GenConfig{
+			FFs: 16, CloudGates: 12, MaxFanin: 3, Feedback: 4, PIs: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg, minDelay, err := circuit.LatchGraphMinMax(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := ScheduleSetupHold(lg, minDelay, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		validateSetupHold(t, lg, minDelay, 0, cs)
+
+		// Sanity against the hold-free optimum: adding constraints can
+		// only raise the period.
+		algo, _ := core.ByName("howard")
+		plain, err := ScheduleLatchGraph(lg, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Period.Less(plain.Period) {
+			t.Fatalf("seed %d: setup+hold period %v below setup-only %v", seed, cs.Period, plain.Period)
+		}
+	}
+}
+
+func TestLatchGraphMinMaxConsistent(t *testing.T) {
+	nl, err := circuit.Generate(circuit.GenConfig{
+		FFs: 10, CloudGates: 14, MaxFanin: 3, Feedback: 3, PIs: 3, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lgMax, err := circuit.LatchGraph(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, minDelay, err := circuit.LatchGraphMinMax(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.NumArcs() != lgMax.NumArcs() || lg.NumNodes() != lgMax.NumNodes() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", lg.NumNodes(), lg.NumArcs(), lgMax.NumNodes(), lgMax.NumArcs())
+	}
+	for id := graph.ArcID(0); int(id) < lg.NumArcs(); id++ {
+		if lg.Arc(id).Weight != lgMax.Arc(id).Weight {
+			t.Fatalf("max delays disagree on arc %d", id)
+		}
+		if minDelay[id] > lg.Arc(id).Weight {
+			t.Fatalf("arc %d: min delay %d exceeds max %d", id, minDelay[id], lg.Arc(id).Weight)
+		}
+		if minDelay[id] < 0 {
+			t.Fatalf("arc %d: negative min delay", id)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package pq
+
+import "repro/internal/counter"
+
+// BinNode is a handle into a BinHeap.
+type BinNode[K any] struct {
+	Key   K
+	Value int32
+	pos   int32 // index in the heap array, -1 when removed
+}
+
+// BinHeap is a classic array-backed binary heap with handle-based
+// decrease-key (the handle tracks its array position). It exists as an
+// ablation alternative to the Fibonacci heap: DecreaseKey costs O(log n)
+// instead of O(1) amortized, but constants are small.
+type BinHeap[K any] struct {
+	less func(a, b K) bool
+	a    []*BinNode[K]
+	ops  *counter.Counts
+}
+
+// NewBinHeap returns an empty binary heap ordered by less, counting
+// operations into ops when non-nil.
+func NewBinHeap[K any](less func(a, b K) bool, ops *counter.Counts) *BinHeap[K] {
+	return &BinHeap[K]{less: less, ops: ops}
+}
+
+// Len returns the number of items in the heap.
+func (h *BinHeap[K]) Len() int { return len(h.a) }
+
+// Insert adds a new item and returns its handle.
+func (h *BinHeap[K]) Insert(key K, value int32) *BinNode[K] {
+	if h.ops != nil {
+		h.ops.HeapInserts++
+	}
+	n := &BinNode[K]{Key: key, Value: value, pos: int32(len(h.a))}
+	h.a = append(h.a, n)
+	h.up(int(n.pos))
+	return n
+}
+
+// Min returns the minimum item's handle without removing it, or nil.
+func (h *BinHeap[K]) Min() *BinNode[K] {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+// ExtractMin removes and returns the minimum item, or nil if empty.
+func (h *BinHeap[K]) ExtractMin() *BinNode[K] {
+	if h.ops != nil {
+		h.ops.HeapExtractMins++
+	}
+	if len(h.a) == 0 {
+		return nil
+	}
+	top := h.a[0]
+	h.removeAt(0)
+	return top
+}
+
+// DecreaseKey lowers the key of node. Panics if the key would increase or
+// the node was removed.
+func (h *BinHeap[K]) DecreaseKey(node *BinNode[K], key K) {
+	if h.ops != nil {
+		h.ops.HeapDecreaseKeys++
+	}
+	if node.pos < 0 {
+		panic("pq: DecreaseKey on a removed node")
+	}
+	if h.less(node.Key, key) {
+		panic("pq: DecreaseKey with a larger key")
+	}
+	node.Key = key
+	h.up(int(node.pos))
+}
+
+// Delete removes node from the heap. Panics if already removed.
+func (h *BinHeap[K]) Delete(node *BinNode[K]) {
+	if h.ops != nil {
+		h.ops.HeapDeletes++
+	}
+	if node.pos < 0 {
+		panic("pq: Delete on a removed node")
+	}
+	h.removeAt(int(node.pos))
+}
+
+func (h *BinHeap[K]) removeAt(i int) {
+	last := len(h.a) - 1
+	node := h.a[i]
+	h.swap(i, last)
+	h.a = h.a[:last]
+	node.pos = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *BinHeap[K]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.a[i].Key, h.a[parent].Key) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *BinHeap[K]) down(i int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(h.a[l].Key, h.a[smallest].Key) {
+			smallest = l
+		}
+		if r < n && h.less(h.a[r].Key, h.a[smallest].Key) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *BinHeap[K]) swap(i, j int) {
+	h.a[i], h.a[j] = h.a[j], h.a[i]
+	h.a[i].pos = int32(i)
+	h.a[j].pos = int32(j)
+}

@@ -1,0 +1,276 @@
+// Package pq provides the priority queues used by the parametric shortest
+// path algorithms (KO and YTO): a Fibonacci heap — the paper's choice, being
+// LEDA's default — plus binary and pairing heaps for ablation experiments.
+//
+// All heaps share the same handle-based API (Insert returns a handle that
+// DecreaseKey and Delete accept) and all can be instrumented with a
+// *counter.Counts so the §4.2 heap-operation comparison can be regenerated.
+package pq
+
+import "repro/internal/counter"
+
+// FibNode is a handle into a FibHeap.
+type FibNode[K any] struct {
+	Key   K
+	Value int32
+
+	parent, child   *FibNode[K]
+	left, right     *FibNode[K]
+	degree          int32
+	mark            bool
+	inHeap          bool
+	minimumPossible bool // set transiently by Delete to act as -infinity
+}
+
+// FibHeap is a Fibonacci heap with O(1) amortized Insert and DecreaseKey and
+// O(log n) amortized ExtractMin. The zero value is not usable; construct
+// with NewFibHeap.
+type FibHeap[K any] struct {
+	less func(a, b K) bool
+	min  *FibNode[K]
+	n    int
+	ops  *counter.Counts
+	cons []*FibNode[K] // consolidation scratch
+}
+
+// NewFibHeap returns an empty Fibonacci heap ordered by less. If ops is
+// non-nil, heap operations are counted into it.
+func NewFibHeap[K any](less func(a, b K) bool, ops *counter.Counts) *FibHeap[K] {
+	return &FibHeap[K]{less: less, ops: ops}
+}
+
+// Len returns the number of items in the heap.
+func (h *FibHeap[K]) Len() int { return h.n }
+
+// Insert adds a new item and returns its handle.
+func (h *FibHeap[K]) Insert(key K, value int32) *FibNode[K] {
+	if h.ops != nil {
+		h.ops.HeapInserts++
+	}
+	node := &FibNode[K]{Key: key, Value: value, inHeap: true}
+	node.left, node.right = node, node
+	h.meldRoot(node)
+	h.n++
+	return node
+}
+
+// Min returns the handle of the minimum item without removing it, or nil if
+// the heap is empty.
+func (h *FibHeap[K]) Min() *FibNode[K] { return h.min }
+
+// ExtractMin removes and returns the minimum item, or nil if empty.
+func (h *FibHeap[K]) ExtractMin() *FibNode[K] {
+	if h.ops != nil {
+		h.ops.HeapExtractMins++
+	}
+	z := h.min
+	if z == nil {
+		return nil
+	}
+	// Promote children to the root list.
+	if c := z.child; c != nil {
+		for {
+			next := c.right
+			c.parent = nil
+			c.left, c.right = c, c
+			h.meldRootNoMin(c)
+			if next == z.child {
+				break
+			}
+			c = next
+		}
+		z.child = nil
+	}
+	// Remove z from the root list.
+	if z.right == z {
+		h.min = nil
+	} else {
+		z.left.right = z.right
+		z.right.left = z.left
+		h.min = z.right // arbitrary root; fixed by consolidate
+		h.consolidate()
+	}
+	z.left, z.right = nil, nil
+	z.inHeap = false
+	h.n--
+	return z
+}
+
+// DecreaseKey lowers the key of node to key. It panics if the new key would
+// be greater than the current key or if node is not in the heap.
+func (h *FibHeap[K]) DecreaseKey(node *FibNode[K], key K) {
+	if h.ops != nil {
+		h.ops.HeapDecreaseKeys++
+	}
+	if !node.inHeap {
+		panic("pq: DecreaseKey on a node not in the heap")
+	}
+	if h.less(node.Key, key) {
+		panic("pq: DecreaseKey with a larger key")
+	}
+	node.Key = key
+	h.cutIfViolating(node)
+}
+
+// Delete removes node from the heap. It panics if node is not in the heap.
+func (h *FibHeap[K]) Delete(node *FibNode[K]) {
+	if h.ops != nil {
+		h.ops.HeapDeletes++
+	}
+	if !node.inHeap {
+		panic("pq: Delete on a node not in the heap")
+	}
+	// Hoist node to the root as if it had -infinity key, then extract.
+	node.minimumPossible = true
+	h.cutIfViolating(node)
+	h.min = node
+	// ExtractMin will count an extract; compensate so Delete counts once.
+	if h.ops != nil {
+		h.ops.HeapExtractMins--
+	}
+	h.ExtractMin()
+	node.minimumPossible = false
+}
+
+// nodeLess orders nodes, treating a node flagged by Delete as minus
+// infinity.
+func (h *FibHeap[K]) nodeLess(a, b *FibNode[K]) bool {
+	if a.minimumPossible {
+		return true
+	}
+	if b.minimumPossible {
+		return false
+	}
+	return h.less(a.Key, b.Key)
+}
+
+func (h *FibHeap[K]) meldRoot(node *FibNode[K]) {
+	h.meldRootNoMin(node)
+	if h.min == nil || h.nodeLess(node, h.min) {
+		h.min = node
+	}
+}
+
+func (h *FibHeap[K]) meldRootNoMin(node *FibNode[K]) {
+	if h.min == nil {
+		h.min = node
+		node.left, node.right = node, node
+		return
+	}
+	// Splice node to the right of h.min.
+	node.left = h.min
+	node.right = h.min.right
+	h.min.right.left = node
+	h.min.right = node
+}
+
+func (h *FibHeap[K]) consolidate() {
+	h.cons = h.cons[:0]
+	// Collect roots.
+	var roots []*FibNode[K]
+	start := h.min
+	for r := start; ; {
+		roots = append(roots, r)
+		r = r.right
+		if r == start {
+			break
+		}
+	}
+	for _, r := range roots {
+		x := r
+		d := int(x.degree)
+		for {
+			for len(h.cons) <= d {
+				h.cons = append(h.cons, nil)
+			}
+			y := h.cons[d]
+			if y == nil {
+				break
+			}
+			if h.nodeLess(y, x) {
+				x, y = y, x
+			}
+			h.link(y, x)
+			h.cons[d] = nil
+			d++
+		}
+		for len(h.cons) <= d {
+			h.cons = append(h.cons, nil)
+		}
+		h.cons[d] = x
+	}
+	h.min = nil
+	for _, x := range h.cons {
+		if x == nil {
+			continue
+		}
+		x.left, x.right = x, x
+		h.meldRoot(x)
+	}
+	for i := range h.cons {
+		h.cons[i] = nil
+	}
+}
+
+// link makes y a child of x (both roots, key(x) <= key(y)).
+func (h *FibHeap[K]) link(y, x *FibNode[K]) {
+	// Remove y from root list.
+	y.left.right = y.right
+	y.right.left = y.left
+	y.parent = x
+	if x.child == nil {
+		x.child = y
+		y.left, y.right = y, y
+	} else {
+		y.left = x.child
+		y.right = x.child.right
+		x.child.right.left = y
+		x.child.right = y
+	}
+	x.degree++
+	y.mark = false
+}
+
+func (h *FibHeap[K]) cutIfViolating(node *FibNode[K]) {
+	p := node.parent
+	if p != nil && h.nodeLess(node, p) {
+		h.cut(node, p)
+		h.cascadingCut(p)
+	}
+	if h.nodeLess(node, h.min) {
+		h.min = node
+	}
+}
+
+func (h *FibHeap[K]) cut(node, parent *FibNode[K]) {
+	// Remove node from parent's child list.
+	if node.right == node {
+		parent.child = nil
+	} else {
+		node.left.right = node.right
+		node.right.left = node.left
+		if parent.child == node {
+			parent.child = node.right
+		}
+	}
+	parent.degree--
+	node.parent = nil
+	node.mark = false
+	node.left, node.right = node, node
+	h.meldRootNoMin(node)
+}
+
+func (h *FibHeap[K]) cascadingCut(node *FibNode[K]) {
+	for {
+		p := node.parent
+		if p == nil {
+			return
+		}
+		if !node.mark {
+			node.mark = true
+			return
+		}
+		h.cut(node, p)
+		node = p
+	}
+}

@@ -1,0 +1,158 @@
+package pq
+
+import (
+	"fmt"
+
+	"repro/internal/counter"
+)
+
+// Kind selects a heap implementation; the DAC'99 study used Fibonacci heaps
+// (LEDA's default), and the other kinds support the heap ablation bench.
+type Kind int
+
+const (
+	Fibonacci Kind = iota
+	Binary
+	Pairing
+	// Linear is an unsorted array with O(n) extract-min; inside KO it
+	// realizes the heap-free Θ(n³) Karp–Orlin variant (Table 1, row 6).
+	Linear
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Fibonacci:
+		return "fibonacci"
+	case Binary:
+		return "binary"
+	case Pairing:
+		return "pairing"
+	case Linear:
+		return "linear"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is a heap-implementation-independent handle.
+type Node[K any] interface {
+	// GetKey returns the node's current key.
+	GetKey() K
+	// GetValue returns the payload stored at insertion.
+	GetValue() int32
+}
+
+// Heap is the common interface KO and YTO are written against, so the heap
+// implementation can be swapped per run.
+type Heap[K any] interface {
+	Len() int
+	Insert(key K, value int32) Node[K]
+	Min() Node[K]
+	ExtractMin() Node[K]
+	DecreaseKey(n Node[K], key K)
+	Delete(n Node[K])
+}
+
+// GetKey returns the node's key.
+func (n *FibNode[K]) GetKey() K { return n.Key }
+
+// GetValue returns the node's payload.
+func (n *FibNode[K]) GetValue() int32 { return n.Value }
+
+// GetKey returns the node's key.
+func (n *BinNode[K]) GetKey() K { return n.Key }
+
+// GetValue returns the node's payload.
+func (n *BinNode[K]) GetValue() int32 { return n.Value }
+
+// GetKey returns the node's key.
+func (n *PairNode[K]) GetKey() K { return n.Key }
+
+// GetValue returns the node's payload.
+func (n *PairNode[K]) GetValue() int32 { return n.Value }
+
+type fibAdapter[K any] struct{ h *FibHeap[K] }
+
+func (a fibAdapter[K]) Len() int { return a.h.Len() }
+func (a fibAdapter[K]) Insert(key K, value int32) Node[K] {
+	return a.h.Insert(key, value)
+}
+func (a fibAdapter[K]) Min() Node[K] {
+	if n := a.h.Min(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a fibAdapter[K]) ExtractMin() Node[K] {
+	if n := a.h.ExtractMin(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a fibAdapter[K]) DecreaseKey(n Node[K], key K) {
+	a.h.DecreaseKey(n.(*FibNode[K]), key)
+}
+func (a fibAdapter[K]) Delete(n Node[K]) { a.h.Delete(n.(*FibNode[K])) }
+
+type binAdapter[K any] struct{ h *BinHeap[K] }
+
+func (a binAdapter[K]) Len() int { return a.h.Len() }
+func (a binAdapter[K]) Insert(key K, value int32) Node[K] {
+	return a.h.Insert(key, value)
+}
+func (a binAdapter[K]) Min() Node[K] {
+	if n := a.h.Min(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a binAdapter[K]) ExtractMin() Node[K] {
+	if n := a.h.ExtractMin(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a binAdapter[K]) DecreaseKey(n Node[K], key K) {
+	a.h.DecreaseKey(n.(*BinNode[K]), key)
+}
+func (a binAdapter[K]) Delete(n Node[K]) { a.h.Delete(n.(*BinNode[K])) }
+
+type pairAdapter[K any] struct{ h *PairHeap[K] }
+
+func (a pairAdapter[K]) Len() int { return a.h.Len() }
+func (a pairAdapter[K]) Insert(key K, value int32) Node[K] {
+	return a.h.Insert(key, value)
+}
+func (a pairAdapter[K]) Min() Node[K] {
+	if n := a.h.Min(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a pairAdapter[K]) ExtractMin() Node[K] {
+	if n := a.h.ExtractMin(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a pairAdapter[K]) DecreaseKey(n Node[K], key K) {
+	a.h.DecreaseKey(n.(*PairNode[K]), key)
+}
+func (a pairAdapter[K]) Delete(n Node[K]) { a.h.Delete(n.(*PairNode[K])) }
+
+// New constructs a heap of the requested kind behind the common interface.
+func New[K any](kind Kind, less func(a, b K) bool, ops *counter.Counts) Heap[K] {
+	switch kind {
+	case Fibonacci:
+		return fibAdapter[K]{NewFibHeap(less, ops)}
+	case Binary:
+		return binAdapter[K]{NewBinHeap(less, ops)}
+	case Pairing:
+		return pairAdapter[K]{NewPairHeap(less, ops)}
+	case Linear:
+		return linAdapter[K]{NewLinHeap(less, ops)}
+	default:
+		panic(fmt.Sprintf("pq: unknown heap kind %d", int(kind)))
+	}
+}

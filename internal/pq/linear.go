@@ -1,0 +1,130 @@
+package pq
+
+import "repro/internal/counter"
+
+// LinNode is a handle into a LinHeap.
+type LinNode[K any] struct {
+	Key   K
+	Value int32
+	pos   int32 // index in the array, -1 when removed
+}
+
+// LinHeap is the degenerate "heap": an unsorted array with O(1) insert and
+// decrease-key but O(n) extract-min. Plugged into the KO algorithm it
+// realizes the Θ(n³) variant of Karp & Orlin that the paper's Table 1
+// lists as row 6 (the heap-free original), so the heap ablation spans the
+// full historical range.
+type LinHeap[K any] struct {
+	less func(a, b K) bool
+	a    []*LinNode[K]
+	ops  *counter.Counts
+}
+
+// NewLinHeap returns an empty linear-scan heap.
+func NewLinHeap[K any](less func(a, b K) bool, ops *counter.Counts) *LinHeap[K] {
+	return &LinHeap[K]{less: less, ops: ops}
+}
+
+// Len returns the number of items.
+func (h *LinHeap[K]) Len() int { return len(h.a) }
+
+// Insert adds an item in O(1).
+func (h *LinHeap[K]) Insert(key K, value int32) *LinNode[K] {
+	if h.ops != nil {
+		h.ops.HeapInserts++
+	}
+	n := &LinNode[K]{Key: key, Value: value, pos: int32(len(h.a))}
+	h.a = append(h.a, n)
+	return n
+}
+
+// Min scans for the minimum in O(n).
+func (h *LinHeap[K]) Min() *LinNode[K] {
+	if len(h.a) == 0 {
+		return nil
+	}
+	best := h.a[0]
+	for _, n := range h.a[1:] {
+		if h.less(n.Key, best.Key) {
+			best = n
+		}
+	}
+	return best
+}
+
+// ExtractMin removes and returns the minimum in O(n).
+func (h *LinHeap[K]) ExtractMin() *LinNode[K] {
+	if h.ops != nil {
+		h.ops.HeapExtractMins++
+	}
+	top := h.Min()
+	if top == nil {
+		return nil
+	}
+	h.removeAt(int(top.pos))
+	return top
+}
+
+// DecreaseKey updates the key in O(1).
+func (h *LinHeap[K]) DecreaseKey(node *LinNode[K], key K) {
+	if h.ops != nil {
+		h.ops.HeapDecreaseKeys++
+	}
+	if node.pos < 0 {
+		panic("pq: DecreaseKey on a removed node")
+	}
+	if h.less(node.Key, key) {
+		panic("pq: DecreaseKey with a larger key")
+	}
+	node.Key = key
+}
+
+// Delete removes the node in O(1) (swap with last).
+func (h *LinHeap[K]) Delete(node *LinNode[K]) {
+	if h.ops != nil {
+		h.ops.HeapDeletes++
+	}
+	if node.pos < 0 {
+		panic("pq: Delete on a removed node")
+	}
+	h.removeAt(int(node.pos))
+}
+
+func (h *LinHeap[K]) removeAt(i int) {
+	last := len(h.a) - 1
+	h.a[i].pos = -1
+	if i != last {
+		h.a[i] = h.a[last]
+		h.a[i].pos = int32(i)
+	}
+	h.a = h.a[:last]
+}
+
+// GetKey returns the node's key.
+func (n *LinNode[K]) GetKey() K { return n.Key }
+
+// GetValue returns the node's payload.
+func (n *LinNode[K]) GetValue() int32 { return n.Value }
+
+type linAdapter[K any] struct{ h *LinHeap[K] }
+
+func (a linAdapter[K]) Len() int { return a.h.Len() }
+func (a linAdapter[K]) Insert(key K, value int32) Node[K] {
+	return a.h.Insert(key, value)
+}
+func (a linAdapter[K]) Min() Node[K] {
+	if n := a.h.Min(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a linAdapter[K]) ExtractMin() Node[K] {
+	if n := a.h.ExtractMin(); n != nil {
+		return n
+	}
+	return nil
+}
+func (a linAdapter[K]) DecreaseKey(n Node[K], key K) {
+	a.h.DecreaseKey(n.(*LinNode[K]), key)
+}
+func (a linAdapter[K]) Delete(n Node[K]) { a.h.Delete(n.(*LinNode[K])) }

@@ -1,0 +1,176 @@
+package pq
+
+import "repro/internal/counter"
+
+// PairNode is a handle into a PairHeap.
+type PairNode[K any] struct {
+	Key   K
+	Value int32
+
+	child, sibling, prev *PairNode[K] // prev: left sibling, or parent if first child
+	inHeap               bool
+	minimumPossible      bool
+}
+
+// PairHeap is a pairing heap: the same amortized interface as the Fibonacci
+// heap with simpler structure and, often, better constants in practice. It
+// rounds out the heap ablation for the KO/YTO experiments.
+type PairHeap[K any] struct {
+	less func(a, b K) bool
+	root *PairNode[K]
+	n    int
+	ops  *counter.Counts
+}
+
+// NewPairHeap returns an empty pairing heap ordered by less.
+func NewPairHeap[K any](less func(a, b K) bool, ops *counter.Counts) *PairHeap[K] {
+	return &PairHeap[K]{less: less, ops: ops}
+}
+
+// Len returns the number of items.
+func (h *PairHeap[K]) Len() int { return h.n }
+
+func (h *PairHeap[K]) nodeLess(a, b *PairNode[K]) bool {
+	if a.minimumPossible {
+		return true
+	}
+	if b.minimumPossible {
+		return false
+	}
+	return h.less(a.Key, b.Key)
+}
+
+// Insert adds a new item and returns its handle.
+func (h *PairHeap[K]) Insert(key K, value int32) *PairNode[K] {
+	if h.ops != nil {
+		h.ops.HeapInserts++
+	}
+	node := &PairNode[K]{Key: key, Value: value, inHeap: true}
+	h.root = h.meld(h.root, node)
+	h.n++
+	return node
+}
+
+// Min returns the minimum item's handle, or nil.
+func (h *PairHeap[K]) Min() *PairNode[K] { return h.root }
+
+// ExtractMin removes and returns the minimum item, or nil if empty.
+func (h *PairHeap[K]) ExtractMin() *PairNode[K] {
+	if h.ops != nil {
+		h.ops.HeapExtractMins++
+	}
+	top := h.root
+	if top == nil {
+		return nil
+	}
+	h.root = h.mergePairs(top.child)
+	if h.root != nil {
+		h.root.prev = nil
+		h.root.sibling = nil
+	}
+	top.child, top.sibling, top.prev = nil, nil, nil
+	top.inHeap = false
+	h.n--
+	return top
+}
+
+// DecreaseKey lowers node's key. Panics on key increase or a removed node.
+func (h *PairHeap[K]) DecreaseKey(node *PairNode[K], key K) {
+	if h.ops != nil {
+		h.ops.HeapDecreaseKeys++
+	}
+	if !node.inHeap {
+		panic("pq: DecreaseKey on a node not in the heap")
+	}
+	if h.less(node.Key, key) {
+		panic("pq: DecreaseKey with a larger key")
+	}
+	node.Key = key
+	if node == h.root {
+		return
+	}
+	h.detach(node)
+	h.root = h.meld(h.root, node)
+}
+
+// Delete removes node from the heap.
+func (h *PairHeap[K]) Delete(node *PairNode[K]) {
+	if h.ops != nil {
+		h.ops.HeapDeletes++
+	}
+	if !node.inHeap {
+		panic("pq: Delete on a node not in the heap")
+	}
+	node.minimumPossible = true
+	if node != h.root {
+		h.detach(node)
+		h.root = h.meld(h.root, node)
+	}
+	if h.ops != nil {
+		h.ops.HeapExtractMins-- // compensate the extract below
+	}
+	h.ExtractMin()
+	node.minimumPossible = false
+}
+
+// detach unlinks node (not the root) from its parent/sibling chain.
+func (h *PairHeap[K]) detach(node *PairNode[K]) {
+	if node.prev.child == node { // node is first child: prev is the parent
+		node.prev.child = node.sibling
+	} else {
+		node.prev.sibling = node.sibling
+	}
+	if node.sibling != nil {
+		node.sibling.prev = node.prev
+	}
+	node.prev, node.sibling = nil, nil
+}
+
+func (h *PairHeap[K]) meld(a, b *PairNode[K]) *PairNode[K] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if h.nodeLess(b, a) {
+		a, b = b, a
+	}
+	// b becomes a's first child.
+	b.prev = a
+	b.sibling = a.child
+	if a.child != nil {
+		a.child.prev = b
+	}
+	a.child = b
+	return a
+}
+
+// mergePairs performs the two-pass pairing over a sibling list.
+func (h *PairHeap[K]) mergePairs(first *PairNode[K]) *PairNode[K] {
+	if first == nil {
+		return nil
+	}
+	// Pass 1: meld adjacent pairs, collecting results.
+	var pairs []*PairNode[K]
+	for first != nil {
+		a := first
+		b := first.sibling
+		var next *PairNode[K]
+		if b != nil {
+			next = b.sibling
+		}
+		a.prev, a.sibling = nil, nil
+		if b != nil {
+			b.prev, b.sibling = nil, nil
+		}
+		pairs = append(pairs, h.meld(a, b))
+		first = next
+	}
+	// Pass 2: meld right to left.
+	result := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		result = h.meld(result, pairs[i])
+	}
+	return result
+}

@@ -1,0 +1,37 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchWorkload produces a deterministic mixed op sequence representative
+// of the KO/YTO usage pattern: many inserts, interleaved decrease-keys,
+// and extract-mins.
+func benchHeap(b *testing.B, kind Kind) {
+	rng := rand.New(rand.NewSource(1))
+	const live = 4096
+	keys := make([]int64, live)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := New[int64](kind, func(a, b int64) bool { return a < b }, nil)
+		handles := make([]Node[int64], live)
+		for j := 0; j < live; j++ {
+			handles[j] = h.Insert(keys[j], int32(j))
+		}
+		for j := 0; j < live/2; j++ {
+			idx := j * 2
+			h.DecreaseKey(handles[idx], handles[idx].GetKey()-1000)
+		}
+		for h.Len() > 0 {
+			h.ExtractMin()
+		}
+	}
+}
+
+func BenchmarkFibHeap(b *testing.B)     { benchHeap(b, Fibonacci) }
+func BenchmarkBinaryHeap(b *testing.B)  { benchHeap(b, Binary) }
+func BenchmarkPairingHeap(b *testing.B) { benchHeap(b, Pairing) }

@@ -1,0 +1,263 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/counter"
+)
+
+func intLess(a, b int64) bool { return a < b }
+
+var kinds = []Kind{Fibonacci, Binary, Pairing, Linear}
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := New[int64](kind, intLess, nil)
+			var want []int64
+			for i := 0; i < 500; i++ {
+				v := rng.Int63n(1000) - 500
+				h.Insert(v, int32(i))
+				want = append(want, v)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			var got []int64
+			for h.Len() > 0 {
+				got = append(got, h.ExtractMin().GetKey())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("extracted %d of %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("position %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			h := New[int64](kind, intLess, nil)
+			nodes := make([]Node[int64], 10)
+			for i := range nodes {
+				nodes[i] = h.Insert(int64(100+i), int32(i))
+			}
+			h.DecreaseKey(nodes[7], 5)
+			h.DecreaseKey(nodes[3], 1)
+			if top := h.ExtractMin(); top.GetValue() != 3 || top.GetKey() != 1 {
+				t.Fatalf("min = %d/%d, want value 3 key 1", top.GetValue(), top.GetKey())
+			}
+			if top := h.ExtractMin(); top.GetValue() != 7 {
+				t.Fatalf("second min value = %d, want 7", top.GetValue())
+			}
+			if top := h.ExtractMin(); top.GetKey() != 100 {
+				t.Fatalf("third min key = %d, want 100", top.GetKey())
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			h := New[int64](kind, intLess, nil)
+			var nodes []Node[int64]
+			for i := 0; i < 20; i++ {
+				nodes = append(nodes, h.Insert(int64(i), int32(i)))
+			}
+			// Delete evens.
+			for i := 0; i < 20; i += 2 {
+				h.Delete(nodes[i])
+			}
+			if h.Len() != 10 {
+				t.Fatalf("len = %d, want 10", h.Len())
+			}
+			for want := int64(1); want < 20; want += 2 {
+				got := h.ExtractMin().GetKey()
+				if got != want {
+					t.Fatalf("got %d want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyHeapBehavior(t *testing.T) {
+	for _, kind := range kinds {
+		h := New[int64](kind, intLess, nil)
+		if h.Min() != nil {
+			t.Fatalf("%v: Min on empty != nil", kind)
+		}
+		if h.ExtractMin() != nil {
+			t.Fatalf("%v: ExtractMin on empty != nil", kind)
+		}
+		if h.Len() != 0 {
+			t.Fatalf("%v: Len != 0", kind)
+		}
+	}
+}
+
+func TestDecreaseKeyLargerPanics(t *testing.T) {
+	for _, kind := range kinds {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: expected panic on key increase", kind)
+				}
+			}()
+			h := New[int64](kind, intLess, nil)
+			n := h.Insert(5, 0)
+			h.DecreaseKey(n, 10)
+		}()
+	}
+}
+
+func TestDoubleDeletePanics(t *testing.T) {
+	for _, kind := range kinds {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: expected panic on double delete", kind)
+				}
+			}()
+			h := New[int64](kind, intLess, nil)
+			n := h.Insert(5, 0)
+			h.Delete(n)
+			h.Delete(n)
+		}()
+	}
+}
+
+// TestRandomOperationSequences drives all three heaps with the same random
+// operation stream and checks they always agree with each other and with a
+// sorted-slice model.
+func TestRandomOperationSequences(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		heaps := make([]Heap[int64], len(kinds))
+		handles := make([][]Node[int64], len(kinds))
+		for i, k := range kinds {
+			heaps[i] = New[int64](k, intLess, nil)
+		}
+		type item struct {
+			key   int64
+			alive bool
+		}
+		var model []item
+
+		// Keys are made unique (key = base*1000 + id) so every heap must
+		// extract the same item and the model stays in lockstep.
+		for step := 0; step < 300; step++ {
+			op := rng.Intn(10)
+			switch {
+			case op < 5: // insert
+				key := rng.Int63n(10000)*1000 + int64(len(model))
+				for i := range heaps {
+					handles[i] = append(handles[i], heaps[i].Insert(key, int32(len(model))))
+				}
+				model = append(model, item{key: key, alive: true})
+			case op < 7: // extract min
+				if heaps[0].Len() == 0 {
+					continue
+				}
+				want := int64(0)
+				wantIdx := -1
+				for idx, it := range model {
+					if it.alive && (wantIdx < 0 || it.key < want) {
+						want, wantIdx = it.key, idx
+					}
+				}
+				for i := range heaps {
+					top := heaps[i].ExtractMin()
+					if top.GetKey() != want || int(top.GetValue()) != wantIdx {
+						return false
+					}
+					handles[i][wantIdx] = nil
+				}
+				model[wantIdx].alive = false
+			case op < 9: // decrease key (keeps uniqueness: subtract multiples of 1000)
+				idx := -1
+				for tries := 0; tries < 5; tries++ {
+					cand := rng.Intn(len(model) + 1)
+					if cand < len(model) && model[cand].alive {
+						idx = cand
+						break
+					}
+				}
+				if idx < 0 {
+					continue
+				}
+				nk := model[idx].key - rng.Int63n(100)*1000
+				model[idx].key = nk
+				for i := range heaps {
+					heaps[i].DecreaseKey(handles[i][idx], nk)
+				}
+			default: // delete
+				idx := -1
+				for tries := 0; tries < 5; tries++ {
+					cand := rng.Intn(len(model) + 1)
+					if cand < len(model) && model[cand].alive {
+						idx = cand
+						break
+					}
+				}
+				if idx < 0 {
+					continue
+				}
+				model[idx].alive = false
+				for i := range heaps {
+					heaps[i].Delete(handles[i][idx])
+					handles[i][idx] = nil
+				}
+			}
+			// Check Len agreement.
+			alive := 0
+			for _, it := range model {
+				if it.alive {
+					alive++
+				}
+			}
+			for i := range heaps {
+				if heaps[i].Len() != alive {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperationCounting(t *testing.T) {
+	var c counter.Counts
+	h := New[int64](Fibonacci, intLess, &c)
+	n1 := h.Insert(5, 0)
+	n2 := h.Insert(9, 1)
+	h.DecreaseKey(n2, 1)
+	h.ExtractMin()
+	h.Delete(n1)
+	if c.HeapInserts != 2 || c.HeapDecreaseKeys != 1 || c.HeapExtractMins != 1 || c.HeapDeletes != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.HeapOps() != 5 {
+		t.Fatalf("total = %d", c.HeapOps())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Fibonacci.String() != "fibonacci" || Binary.String() != "binary" || Pairing.String() != "pairing" || Linear.String() != "linear" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

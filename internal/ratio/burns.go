@@ -1,0 +1,210 @@
+package ratio
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/graph"
+)
+
+func init() {
+	register("burns", func() Algorithm { return burnsRatio{} })
+}
+
+// burnsRatio is Burns' algorithm in its original cost-to-time ratio form
+// [Burns 1991], developed for the performance analysis of asynchronous
+// circuits. It solves max λ s.t. d(v) − d(u) ≤ w(u,v) − λ·t(u,v) by the
+// primal-dual method: each iteration rebuilds the critical subgraph from
+// scratch, computes transit-weighted longest-path levels h inside it (so
+// critical arcs, for which h(v) ≥ h(u) + t(u,v), stay critical) and takes
+// the largest step θ preserving feasibility under d(v) ← d(v) − θ·h(v),
+// λ ← λ + θ. It terminates when the critical subgraph becomes cyclic, and
+// the terminating cycle is certified exactly.
+type burnsRatio struct{}
+
+func (burnsRatio) Name() string { return "burns" }
+
+func (burnsRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	if err := checkInput(g); err != nil {
+		return Result{}, err
+	}
+	n := g.NumNodes()
+	m := g.NumArcs()
+	var counts counter.Counts
+
+	minW, maxW := g.WeightRange()
+	scale := math.Max(1, math.Max(math.Abs(float64(minW)), math.Abs(float64(maxW))))
+	tol := 1e-7 * scale
+	minTol := 1e-13 * scale
+
+	d := make([]float64, n)
+	// Initial feasible point: λ small enough that w − λt ≥ 0 for all arcs
+	// with t > 0 and w − λ·0 = w ≥ ... arcs with t = 0 need w ≥ d(v) − d(u)
+	// = 0, which may fail for negative zero-transit arcs; start from the
+	// trivially feasible λ = −(n·|w|max + 1) and potentials from one
+	// Bellman–Ford pass at that λ.
+	absW := maxW
+	if -minW > absW {
+		absW = -minW
+	}
+	lambda := -float64(int64(n)*absW + 1)
+	// Potentials: shortest distances under w − λt (feasible since ρ* > λ).
+	{
+		p, q := -(int64(n)*absW + 1), int64(1)
+		dist := make([]int64, n)
+		for pass := 0; pass < n; pass++ {
+			changed := false
+			for _, a := range g.Arcs() {
+				w := q*a.Weight - p*a.Transit
+				if nd := dist[a.From] + w; nd < dist[a.To] {
+					dist[a.To] = nd
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			if pass == n-1 {
+				return Result{}, ErrNonPositiveTransit
+			}
+		}
+		for v := 0; v < n; v++ {
+			d[v] = float64(dist[v])
+		}
+	}
+
+	slack := make([]float64, m)
+	critical := make([]bool, m)
+	indeg := make([]int32, n)
+	h := make([]float64, n)
+	order := make([]graph.NodeID, 0, n)
+
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 4*n*n + 100
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		counts.Iterations++
+
+		for id := 0; id < m; id++ {
+			counts.Relaxations++
+			a := g.Arc(graph.ArcID(id))
+			slack[id] = float64(a.Weight) - lambda*float64(a.Transit) - (d[a.To] - d[a.From])
+			critical[id] = slack[id] <= tol
+		}
+
+		for v := range indeg {
+			indeg[v] = 0
+			h[v] = 0
+		}
+		for id := 0; id < m; id++ {
+			if critical[id] {
+				indeg[g.Arc(graph.ArcID(id)).To]++
+			}
+		}
+		order = order[:0]
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if indeg[v] == 0 {
+				order = append(order, v)
+			}
+		}
+		for qi := 0; qi < len(order); qi++ {
+			u := order[qi]
+			for _, id := range g.OutArcs(u) {
+				if !critical[id] {
+					continue
+				}
+				a := g.Arc(id)
+				if nh := h[u] + float64(a.Transit); nh > h[a.To] {
+					h[a.To] = nh
+				}
+				indeg[a.To]--
+				if indeg[a.To] == 0 {
+					order = append(order, a.To)
+				}
+			}
+		}
+
+		if len(order) < n {
+			cycle := criticalRatioCycleFrom(g, critical, order, n)
+			counts.CyclesExamined++
+			r, ok := cycleRatio(g, cycle)
+			if ok {
+				if neg, _ := hasNegativeCycleRatio(g, r.Num(), r.Den(), &counts); !neg {
+					return Result{Ratio: r, Cycle: cycle, Exact: true, Counts: counts}, nil
+				}
+			}
+			tol /= 10
+			if tol < minTol {
+				return Result{}, ErrIterationLimit
+			}
+			continue
+		}
+
+		theta := math.Inf(1)
+		for id := 0; id < m; id++ {
+			a := g.Arc(graph.ArcID(id))
+			c := float64(a.Transit) + h[a.From] - h[a.To]
+			if c <= 1e-9 {
+				continue
+			}
+			if step := slack[id] / c; step < theta {
+				theta = step
+			}
+		}
+		if math.IsInf(theta, 1) {
+			return Result{}, ErrIterationLimit
+		}
+		if theta < 0 {
+			theta = 0
+		}
+		lambda += theta
+		for v := 0; v < n; v++ {
+			d[v] -= theta * h[v]
+		}
+	}
+	return Result{}, ErrIterationLimit
+}
+
+// criticalRatioCycleFrom mirrors core's critical-cycle extraction: every
+// node Kahn could not remove has a critical predecessor among such nodes,
+// so walking predecessors revisits a node and closes a cycle.
+func criticalRatioCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n int) []graph.ArcID {
+	inOrder := make([]bool, n)
+	for _, v := range order {
+		inOrder[v] = true
+	}
+	pred := func(v graph.NodeID) graph.ArcID {
+		for _, id := range g.InArcs(v) {
+			if critical[id] && !inOrder[g.Arc(id).From] {
+				return id
+			}
+		}
+		panic("ratio: remaining node without remaining critical predecessor")
+	}
+	var start graph.NodeID
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if !inOrder[v] {
+			start = v
+			break
+		}
+	}
+	pos := make(map[graph.NodeID]int, 16)
+	var rev []graph.ArcID
+	v := start
+	for {
+		if at, seen := pos[v]; seen {
+			seg := rev[at:]
+			cycle := make([]graph.ArcID, len(seg))
+			for i, id := range seg {
+				cycle[len(seg)-1-i] = id
+			}
+			return cycle
+		}
+		pos[v] = len(rev)
+		id := pred(v)
+		rev = append(rev, id)
+		v = g.Arc(id).From
+	}
+}

@@ -1,0 +1,46 @@
+package ratio_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ratio"
+)
+
+func ExampleMinimumCycleRatio() {
+	// Two cycles: ratio (3+5)/(2+2) = 2 and ratio (6+2)/(1+1) = 4.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArcTransit(0, 1, 3, 2)
+	b.AddArcTransit(1, 0, 5, 2)
+	b.AddArcTransit(1, 2, 6, 1)
+	b.AddArcTransit(2, 1, 2, 1)
+	g := b.Build()
+
+	algo, _ := ratio.ByName("howard")
+	res, err := ratio.MinimumCycleRatio(g, algo, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ρ* = %v over a cycle of %d arcs\n", res.Ratio, len(res.Cycle))
+	// Output: ρ* = 2 over a cycle of 2 arcs
+}
+
+func ExampleMaximumCycleRatio() {
+	// The iteration-bound convention: weights are execution times, transit
+	// times are delays; the bound is the maximum ratio.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 3, 1)
+	b.AddArcTransit(1, 0, 3, 1)
+	g := b.Build()
+
+	algo, _ := ratio.ByName("megiddo")
+	res, err := ratio.MaximumCycleRatio(g, algo, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Ratio)
+	// Output: 3
+}

@@ -1,0 +1,113 @@
+package ratio
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func init() {
+	register("expand", func() Algorithm {
+		inner, err := core.ByName("howard")
+		if err != nil {
+			panic(err)
+		}
+		return expandAlg{inner: inner}
+	})
+}
+
+// NewExpand returns the transit-expansion ratio algorithm running the given
+// minimum-mean solver on the expanded graph. Registering "expand" uses
+// Howard's algorithm inside; this constructor lets benches ablate the inner
+// solver.
+func NewExpand(inner core.Algorithm) Algorithm { return expandAlg{inner: inner} }
+
+// expandAlg is the classical reduction from the ratio problem to the mean
+// problem used by the Hartmann–Orlin O(Tm) algorithm ("finding minimum cost
+// to time ratio cycles with small integral transit times"): replace every
+// arc of transit time t ≥ 1 by a path of t unit-transit arcs carrying the
+// weight on the first arc. A cycle's expanded length equals its total
+// transit time, so the minimum cycle mean of the expanded graph is exactly
+// the minimum cycle ratio of the original. The expansion is pseudo-
+// polynomial (T = total transit time arcs), which is why the paper lists
+// these algorithms separately.
+//
+// Requires every transit time >= 1 (zero-transit arcs have no expanded
+// length; graphs with them need one of the direct ratio algorithms).
+type expandAlg struct {
+	inner core.Algorithm
+}
+
+func (e expandAlg) Name() string { return "expand-" + e.inner.Name() }
+
+func (e expandAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	if err := checkInput(g); err != nil {
+		return Result{}, err
+	}
+	for _, a := range g.Arcs() {
+		if a.Transit < 1 {
+			return Result{}, fmt.Errorf("ratio: expand requires transit times >= 1, arc %d->%d has %d",
+				a.From, a.To, a.Transit)
+		}
+	}
+
+	exp, origin := Expand(g)
+	res, err := e.inner.Solve(exp, opt)
+	if err != nil {
+		return Result{}, fmt.Errorf("ratio: inner %s on expanded graph: %w", e.inner.Name(), err)
+	}
+
+	// Map the expanded cycle back: keep the arcs that begin original arcs,
+	// in order.
+	var cycle []graph.ArcID
+	for _, id := range res.Cycle {
+		if orig := origin[id]; orig >= 0 {
+			cycle = append(cycle, orig)
+		}
+	}
+	r, ok := cycleRatio(g, cycle)
+	if !ok {
+		return Result{}, fmt.Errorf("ratio: expanded cycle maps to zero-transit cycle")
+	}
+	if !r.Equal(res.Mean) {
+		return Result{}, fmt.Errorf("ratio: expansion mismatch: mean %v vs mapped ratio %v", res.Mean, r)
+	}
+	return Result{Ratio: r, Cycle: cycle, Exact: res.Exact, Counts: res.Counts}, nil
+}
+
+// Expand builds the transit-expanded graph: each arc (u, v) with transit t
+// becomes a chain u → x₁ → … → x_{t−1} → v of t arcs, the first carrying
+// the arc's weight and all carrying transit 1. origin[i] gives, for each
+// expanded arc, the original ArcID it begins, or −1 for chain fillers.
+func Expand(g *graph.Graph) (exp *graph.Graph, origin []graph.ArcID) {
+	b := graph.NewBuilder(g.NumNodes(), int(g.TotalTransit()))
+	b.AddNodes(g.NumNodes())
+	for id := graph.ArcID(0); int(id) < g.NumArcs(); id++ {
+		a := g.Arc(id)
+		if a.Transit == 1 {
+			b.AddArc(a.From, a.To, a.Weight)
+			origin = append(origin, id)
+			continue
+		}
+		prev := a.From
+		for step := int64(0); step < a.Transit; step++ {
+			var next graph.NodeID
+			if step == a.Transit-1 {
+				next = a.To
+			} else {
+				next = b.AddNode()
+			}
+			w := int64(0)
+			orig := graph.ArcID(-1)
+			if step == 0 {
+				w = a.Weight
+				orig = id
+			}
+			b.AddArc(prev, next, w)
+			origin = append(origin, orig)
+			prev = next
+		}
+	}
+	return b.Build(), origin
+}

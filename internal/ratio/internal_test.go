@@ -1,0 +1,139 @@
+package ratio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func TestNamesAndByName(t *testing.T) {
+	names := Names()
+	want := map[string]bool{
+		"burns": true, "dinkelbach": true, "expand": true, "howard": true, "megiddo": true,
+		"ko": true, "lawler": true, "yto": true,
+	}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected algorithm %q", n)
+		}
+		algo, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if algo.Name() != n && n != "expand" { // expand reports its inner solver
+			t.Fatalf("ByName(%q).Name() = %q", n, algo.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestExtractCriticalRatioCycle(t *testing.T) {
+	// Two cycles: ratio 2 (optimal) and ratio 4.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArcTransit(0, 1, 3, 2)
+	b.AddArcTransit(1, 0, 5, 2) // cycle ratio (3+5)/(2+2) = 2
+	b.AddArcTransit(1, 2, 6, 1)
+	b.AddArcTransit(2, 1, 2, 1) // cycle ratio (6+2)/2 = 4
+	g := b.Build()
+
+	cycle, err := extractCriticalRatioCycle(g, numeric.NewRat(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := cycleRatio(g, cycle)
+	if !ok || !r.Equal(numeric.NewRat(2, 1)) {
+		t.Fatalf("extracted cycle ratio %v, want 2", r)
+	}
+	// ρ below the optimum: no tight cycle exists.
+	if _, err := extractCriticalRatioCycle(g, numeric.NewRat(1, 1)); err == nil {
+		t.Fatal("sub-optimal ρ accepted")
+	}
+	// ρ above the optimum: reduced graph has a negative cycle.
+	if _, err := extractCriticalRatioCycle(g, numeric.NewRat(3, 1)); err == nil {
+		t.Fatal("super-optimal ρ accepted")
+	}
+}
+
+func TestCheckInputRejections(t *testing.T) {
+	// Negative transit.
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 1, -1)
+	b.AddArcTransit(1, 0, 1, 1)
+	if err := checkInput(b.Build()); err == nil {
+		t.Fatal("negative transit accepted")
+	}
+	// Not strongly connected.
+	b2 := graph.NewBuilder(2, 1)
+	b2.AddNodes(2)
+	b2.AddArcTransit(0, 1, 1, 1)
+	if err := checkInput(b2.Build()); err != ErrNotStronglyConnected {
+		t.Fatalf("got %v", err)
+	}
+	// Empty.
+	if err := checkInput(graph.NewBuilder(0, 0).Build()); err != ErrAcyclic {
+		t.Fatalf("got %v", err)
+	}
+	// Single node with self-loop: fine.
+	b3 := graph.NewBuilder(1, 1)
+	b3.AddNodes(1)
+	b3.AddArcTransit(0, 0, 4, 2)
+	if err := checkInput(b3.Build()); err != nil {
+		t.Fatalf("self-loop rejected: %v", err)
+	}
+	// Single node without self-loop.
+	b4 := graph.NewBuilder(1, 0)
+	b4.AddNodes(1)
+	if err := checkInput(b4.Build()); err != ErrAcyclic {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNewExpandCustomInner(t *testing.T) {
+	inner, err := core.ByName("yto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := NewExpand(inner)
+	if algo.Name() != "expand-yto" {
+		t.Fatalf("name = %q", algo.Name())
+	}
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 3, 2)
+	b.AddArcTransit(1, 0, 5, 2)
+	res, err := algo.Solve(b.Build(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ratio.Equal(numeric.NewRat(2, 1)) {
+		t.Fatalf("ratio = %v, want 2", res.Ratio)
+	}
+}
+
+func TestEpsilonModeRatioLawler(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 30, 2)
+	b.AddArcTransit(1, 0, 50, 2)
+	g := b.Build()
+	algo, _ := ByName("lawler")
+	res, err := algo.Solve(g, core.Options{Epsilon: 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("epsilon mode must be inexact")
+	}
+	if diff := res.Ratio.Float64() - 20; diff > 0.5 || diff < -0.5 {
+		t.Fatalf("approximate ρ = %v, want ≈ 20", res.Ratio)
+	}
+}

@@ -1,0 +1,135 @@
+package ratio
+
+import (
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func init() {
+	register("lawler", func() Algorithm { return lawlerRatio{} })
+}
+
+// lawlerRatio is Lawler's binary search in its original ratio form: ρ* lies
+// between the smallest and largest single-arc ratios; each probe λ asks
+// whether some cycle satisfies w(C) − λ·t(C) < 0 via Bellman–Ford on the
+// reduced weights. The search bisects a fixed-denominator grid, recording
+// the best negative cycle; an exact endgame then re-probes at that cycle's
+// exact ratio until the probe certifies feasibility (each failed probe
+// yields a strictly better cycle, so the endgame terminates). Under
+// Options.Epsilon > 0 the endgame is skipped, reproducing the paper's
+// approximate variant.
+type lawlerRatio struct{}
+
+func (lawlerRatio) Name() string { return "lawler" }
+
+func (lawlerRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	if err := checkInput(g); err != nil {
+		return Result{}, err
+	}
+	var counts counter.Counts
+
+	// ρ* ∈ [−B, B] with B = n·max|w| (cycle weight bound over transit ≥ 1).
+	minW, maxW := g.WeightRange()
+	absW := maxW
+	if -minW > absW {
+		absW = -minW
+	}
+	if absW < 1 {
+		absW = 1
+	}
+	bound := int64(g.NumNodes()) * absW
+
+	// Grid denominator: fine enough to separate most ratios; the endgame
+	// restores exactness regardless.
+	S := int64(1 << 16)
+	if opt.Epsilon > 0 {
+		for S > 2 && 1/float64(S) < opt.Epsilon {
+			S >>= 1
+		}
+	}
+	for S > 2 && (bound+1) > (int64(1)<<61)/(4*S*int64(g.NumNodes())*maxTransit(g)+1) {
+		S >>= 1
+	}
+
+	var (
+		bestRatio numeric.Rat
+		bestCycle []graph.ArcID
+		haveBest  bool
+	)
+	record := func(cycle []graph.ArcID) {
+		r, ok := cycleRatio(g, cycle)
+		if !ok {
+			return
+		}
+		if !haveBest || r.Less(bestRatio) {
+			bestRatio, bestCycle, haveBest = r, cycle, true
+		}
+	}
+
+	lo, hi := -S*bound, S*bound+1
+	for hi-lo > 1 {
+		counts.Iterations++
+		mid := lo + (hi-lo)/2
+		neg, cyc := hasNegativeCycleRatio(g, mid, S, &counts)
+		if !neg {
+			lo = mid
+			continue
+		}
+		hi = mid
+		record(cyc)
+	}
+
+	if opt.Epsilon > 0 {
+		if !haveBest {
+			return Result{Ratio: numeric.NewRat(lo, S), Exact: false, Counts: counts}, nil
+		}
+		return Result{Ratio: bestRatio, Cycle: bestCycle, Exact: false, Counts: counts}, nil
+	}
+
+	if !haveBest {
+		// Every probe was feasible: ρ* ∈ [lo/S, hi/S). Fall back to a
+		// policy cycle to seed the endgame.
+		policy := make([]graph.ArcID, g.NumNodes())
+		for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+			policy[v] = g.OutArcs(v)[0]
+		}
+		ratioPolicyCycles(g, policy, func(cycle []graph.ArcID) {
+			c := make([]graph.ArcID, len(cycle))
+			copy(c, cycle)
+			record(c)
+		})
+		if !haveBest {
+			return Result{}, ErrAcyclic
+		}
+	}
+
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = g.NumNodes()*g.NumArcs() + 64
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		counts.Iterations++
+		neg, cyc := hasNegativeCycleRatio(g, bestRatio.Num(), bestRatio.Den(), &counts)
+		if !neg {
+			return Result{Ratio: bestRatio, Cycle: bestCycle, Exact: true, Counts: counts}, nil
+		}
+		r, ok := cycleRatio(g, cyc)
+		if !ok || !r.Less(bestRatio) {
+			return Result{}, ErrIterationLimit
+		}
+		bestRatio, bestCycle = r, cyc
+	}
+	return Result{}, ErrIterationLimit
+}
+
+func maxTransit(g *graph.Graph) int64 {
+	var t int64 = 1
+	for _, a := range g.Arcs() {
+		if a.Transit > t {
+			t = a.Transit
+		}
+	}
+	return t
+}

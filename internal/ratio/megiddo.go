@@ -1,0 +1,163 @@
+package ratio
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func init() {
+	register("megiddo", func() Algorithm { return megiddoAlg{} })
+}
+
+// megiddoAlg is Megiddo's parametric-search algorithm for the minimum
+// cost-to-time ratio problem [Megiddo 1979] — row 12 of the paper's Table 1.
+// Bellman–Ford runs *symbolically*: every tentative distance is the linear
+// function d(λ) = a − λ·b (a the path weight, b its transit time), valid for
+// every λ in a shrinking interval (lo, hi) with lo always feasible
+// (lo ≤ ρ*) and hi always infeasible (hi > ρ*). When a relaxation's
+// comparison changes order inside the interval, the crossing point
+// λ_c = Δa/Δb is resolved with one exact feasibility probe (Bellman–Ford on
+// scaled integers), shrinking the interval to make the order constant
+// again. A feasible probe that admits a tight cycle is exactly ρ*; if the
+// symbolic run converges first, lo has been pinned to ρ* (any negative
+// cycle at hi would otherwise have forced another crossing inside the
+// interval). Either way the result is exact.
+type megiddoAlg struct{}
+
+func (megiddoAlg) Name() string { return "megiddo" }
+
+// linFn is the linear function a − λ·b.
+type linFn struct {
+	a int64 // weight part
+	b int64 // transit part (slope magnitude)
+}
+
+func (megiddoAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	if err := checkInput(g); err != nil {
+		return Result{}, err
+	}
+	var counts counter.Counts
+	n := g.NumNodes()
+
+	minW, maxW := g.WeightRange()
+	absW := maxW
+	if -minW > absW {
+		absW = -minW
+	}
+	if absW < 1 {
+		absW = 1
+	}
+	lo := numeric.FromInt(-(int64(n)*absW + 1)) // feasible: below every ratio
+	hi := numeric.FromInt(int64(n)*absW + 1)    // infeasible: above every ratio
+
+	// probe resolves a crossing point: shrink the interval, and if the
+	// crossing is feasible and tight, we are done.
+	type probeResult int
+	const (
+		probeContinue probeResult = iota
+		probeDone
+	)
+	var (
+		finalRatio numeric.Rat
+		finalCycle []graph.ArcID
+	)
+	probe := func(lambda numeric.Rat) (probeResult, error) {
+		counts.Iterations++
+		neg, _ := hasNegativeCycleRatio(g, lambda.Num(), lambda.Den(), &counts)
+		if neg {
+			hi = lambda
+			return probeContinue, nil
+		}
+		lo = lambda
+		cycle, err := extractCriticalRatioCycle(g, lambda)
+		if err == nil {
+			finalRatio, finalCycle = lambda, cycle
+			return probeDone, nil
+		}
+		return probeContinue, nil
+	}
+
+	// cmpAtLoPlus compares f and g at λ = lo + ε: first exact values at lo,
+	// ties broken by slope (larger b wins for λ just above lo).
+	cmpAtLoPlus := func(f, h linFn) int {
+		p, q := lo.Num(), lo.Den()
+		fv := q*f.a - p*f.b
+		hv := q*h.a - p*h.b
+		switch {
+		case fv < hv:
+			return -1
+		case fv > hv:
+			return 1
+		case f.b > h.b: // steeper decline: smaller just above lo
+			return -1
+		case f.b < h.b:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	d := make([]linFn, n)
+	parent := make([]graph.ArcID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	maxProbes := opt.MaxIterations
+	if maxProbes <= 0 {
+		maxProbes = 4*n*g.NumArcs() + 64
+	}
+	probes := 0
+
+	for pass := 0; pass <= n; pass++ {
+		changed := false
+		for id := graph.ArcID(0); int(id) < g.NumArcs(); id++ {
+			counts.Relaxations++
+			arc := g.Arc(id)
+			cand := linFn{a: d[arc.From].a + arc.Weight, b: d[arc.From].b + arc.Transit}
+			cur := d[arc.To]
+			if cand == cur {
+				continue
+			}
+			// Is the order of cand vs cur constant on (lo, hi)? They cross
+			// at λ_c = Δa/Δb when the slopes differ.
+			if cand.b != cur.b {
+				num, den := cand.a-cur.a, cand.b-cur.b
+				lambdaC := numeric.NewRat(num, den)
+				if lo.Less(lambdaC) && lambdaC.Less(hi) {
+					probes++
+					if probes > maxProbes {
+						return Result{}, ErrIterationLimit
+					}
+					res, err := probe(lambdaC)
+					if err != nil {
+						return Result{}, err
+					}
+					if res == probeDone {
+						return Result{Ratio: finalRatio, Cycle: finalCycle, Exact: true, Counts: counts}, nil
+					}
+					// The interval shrank so λ_c is now a boundary; the
+					// order below is constant again.
+				}
+			}
+			if cmpAtLoPlus(cand, cur) < 0 {
+				d[arc.To] = cand
+				parent[arc.To] = id
+				changed = true
+			}
+		}
+		if !changed {
+			// Converged for every λ in (lo, hi): lo must be ρ*.
+			cycle, err := extractCriticalRatioCycle(g, lo)
+			if err != nil {
+				return Result{}, fmt.Errorf("ratio: megiddo converged but lo=%v is not tight: %w", lo, err)
+			}
+			return Result{Ratio: lo, Cycle: cycle, Exact: true, Counts: counts}, nil
+		}
+	}
+	return Result{}, ErrIterationLimit
+}

@@ -1,0 +1,384 @@
+// Package ratio implements the minimum cost-to-time ratio problem (MCRP)
+// algorithms of the DAC'99 study: Howard's algorithm, Lawler's algorithm and
+// Burns' algorithm in their full ratio form, plus the classical
+// transit-time-expansion reduction to the minimum mean problem (the
+// Hartmann–Orlin O(Tm) approach).
+//
+// The cycle ratio of a cycle C is ρ(C) = w(C)/t(C) with t(C) > 0; the
+// minimum mean problem is the special case where every transit time is 1,
+// which is how the paper reduces its study to MCMP. This package keeps the
+// general form so the CAD applications in internal/perf (iteration bounds
+// of dataflow graphs, rate analysis) can use true transit times.
+package ratio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// Errors mirrored from the mean solvers, plus ratio-specific failures.
+var (
+	// ErrAcyclic means no cycle exists, so no cycle ratio is defined.
+	ErrAcyclic = errors.New("ratio: graph has no cycles")
+	// ErrNonPositiveTransit means some cycle has non-positive total transit
+	// time, making its ratio undefined (the problem requires t(C) > 0).
+	ErrNonPositiveTransit = errors.New("ratio: a cycle with non-positive total transit time exists")
+	// ErrNotStronglyConnected mirrors core.ErrNotStronglyConnected.
+	ErrNotStronglyConnected = errors.New("ratio: graph is not strongly connected")
+	// ErrIterationLimit mirrors core.ErrIterationLimit.
+	ErrIterationLimit = errors.New("ratio: iteration limit exceeded")
+)
+
+// Result is the outcome of a ratio solver run; Mean holds ρ* (named for
+// symmetry with core.Result).
+type Result struct {
+	// Ratio is ρ*, exact.
+	Ratio numeric.Rat
+	// Cycle attains the optimum ratio.
+	Cycle []graph.ArcID
+	// Exact reports whether Ratio is exact (always true under default
+	// options).
+	Exact bool
+	// Counts holds operation counts.
+	Counts counter.Counts
+}
+
+// Algorithm is the uniform solver interface, mirroring core.Algorithm.
+type Algorithm interface {
+	Name() string
+	// Solve computes the minimum cycle ratio of a strongly connected cyclic
+	// graph in which every cycle has positive total transit time.
+	Solve(g *graph.Graph, opt core.Options) (Result, error)
+}
+
+var registry = map[string]func() Algorithm{}
+
+func register(name string, ctor func() Algorithm) {
+	if _, dup := registry[name]; dup {
+		panic("ratio: duplicate algorithm name " + name)
+	}
+	registry[name] = ctor
+}
+
+// ByName returns a fresh instance of the named ratio algorithm.
+func ByName(name string) (Algorithm, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("ratio: unknown algorithm %q (known: %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered ratio algorithms, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns one instance of every registered ratio algorithm.
+func All() []Algorithm {
+	names := Names()
+	out := make([]Algorithm, len(names))
+	for i, name := range names {
+		out[i], _ = ByName(name)
+	}
+	return out
+}
+
+// checkInput validates the shared Solve preconditions: strong connectivity,
+// at least one cycle, non-negative transit times, and no zero-transit cycle
+// (a cycle within the zero-transit arc subgraph would have an undefined
+// ratio).
+func checkInput(g *graph.Graph) error {
+	if g.NumNodes() == 0 || g.NumArcs() == 0 {
+		return ErrAcyclic
+	}
+	for _, a := range g.Arcs() {
+		if a.Transit < 0 {
+			return fmt.Errorf("ratio: negative transit time on arc %d->%d", a.From, a.To)
+		}
+	}
+	if !graph.IsStronglyConnected(g) {
+		return ErrNotStronglyConnected
+	}
+	if g.NumNodes() == 1 {
+		hasLoop := false
+		for _, a := range g.Arcs() {
+			if a.From == a.To {
+				hasLoop = true
+			}
+		}
+		if !hasLoop {
+			return ErrAcyclic
+		}
+	}
+	// Zero-transit cycles: any cycle among the t = 0 arcs.
+	var zeroArcs []graph.Arc
+	for _, a := range g.Arcs() {
+		if a.Transit == 0 {
+			zeroArcs = append(zeroArcs, a)
+		}
+	}
+	if len(zeroArcs) > 0 {
+		zg := graph.FromArcs(g.NumNodes(), zeroArcs)
+		if graph.HasCycle(zg) {
+			return ErrNonPositiveTransit
+		}
+	}
+	return nil
+}
+
+// MinimumCycleRatio computes ρ* of an arbitrary graph with the given
+// algorithm, decomposing into strongly connected components exactly like
+// core.MinimumCycleMean.
+func MinimumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (Result, error) {
+	comps := graph.CyclicComponents(g)
+	if len(comps) == 0 {
+		return Result{}, ErrAcyclic
+	}
+	var (
+		best  Result
+		found bool
+	)
+	for _, comp := range comps {
+		r, err := algo.Solve(comp.Graph, opt)
+		if err != nil {
+			return Result{}, fmt.Errorf("ratio: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)
+		}
+		cycle := make([]graph.ArcID, len(r.Cycle))
+		for i, id := range r.Cycle {
+			cycle[i] = comp.ArcMap[id]
+		}
+		r.Cycle = cycle
+		if !found || r.Ratio.Less(best.Ratio) {
+			counts := best.Counts
+			counts.Add(r.Counts)
+			best = r
+			best.Counts = counts
+			found = true
+		} else {
+			best.Counts.Add(r.Counts)
+		}
+	}
+	return best, nil
+}
+
+// MaximumCycleRatio computes the maximum cycle ratio by weight negation.
+// This is the quantity CAD applications usually need: the iteration bound
+// of a dataflow graph and the cycle period of an event graph are maximum
+// ratios.
+func MaximumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (Result, error) {
+	r, err := MinimumCycleRatio(g.NegateWeights(), algo, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	r.Ratio = r.Ratio.Neg()
+	return r, nil
+}
+
+// cycleRatio returns w(C)/t(C) for a cycle, or ok=false if t(C) <= 0.
+func cycleRatio(g *graph.Graph, cycle []graph.ArcID) (numeric.Rat, bool) {
+	t := g.CycleTransit(cycle)
+	if t <= 0 {
+		return numeric.Rat{}, false
+	}
+	return numeric.NewRat(g.CycleWeight(cycle), t), true
+}
+
+// hasNegativeCycleRatio reports whether some cycle C has
+// q·w(C) − p·t(C) < 0, i.e. ρ(C) < p/q, returning one such cycle. It is
+// the Bellman–Ford oracle every ratio algorithm shares.
+func hasNegativeCycleRatio(g *graph.Graph, p, q int64, counts *counter.Counts) (bool, []graph.ArcID) {
+	if counts != nil {
+		counts.NegativeCycleChecks++
+	}
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	parent := make([]graph.ArcID, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	arcs := g.Arcs()
+	lastChanged := graph.NodeID(-1)
+	for pass := 0; pass < n; pass++ {
+		lastChanged = -1
+		for id, a := range arcs {
+			if counts != nil {
+				counts.Relaxations++
+			}
+			w := q*a.Weight - p*a.Transit
+			if nd := dist[a.From] + w; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = graph.ArcID(id)
+				lastChanged = a.To
+			}
+		}
+		if lastChanged == -1 {
+			return false, nil
+		}
+	}
+	v := lastChanged
+	for i := 0; i < n; i++ {
+		v = g.Arc(parent[v]).From
+	}
+	start := v
+	var rev []graph.ArcID
+	for {
+		id := parent[v]
+		rev = append(rev, id)
+		v = g.Arc(id).From
+		if v == start {
+			break
+		}
+	}
+	cycle := make([]graph.ArcID, len(rev))
+	for i, id := range rev {
+		cycle[len(rev)-1-i] = id
+	}
+	return true, cycle
+}
+
+// extractCriticalRatioCycle returns a cycle whose ratio is exactly rho,
+// assuming rho = ρ*: shortest distances under the scaled weights
+// q·w − p·t leave the critical (tight) arcs, any cycle of which has ratio
+// exactly ρ*.
+func extractCriticalRatioCycle(g *graph.Graph, rho numeric.Rat) ([]graph.ArcID, error) {
+	p, q := rho.Num(), rho.Den()
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range g.Arcs() {
+			w := q*a.Weight - p*a.Transit
+			if nd := dist[a.From] + w; nd < dist[a.To] {
+				dist[a.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if pass == n-1 {
+			return nil, fmt.Errorf("ratio: ρ = %v is below the optimum", rho)
+		}
+	}
+	// DFS over the tight arcs (zero reduced slack): any cycle found
+	// telescopes to reduced weight zero, i.e. ratio exactly p/q. Standard
+	// white/gray/black coloring, iterative.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, n)
+	onPath := make([]graph.ArcID, 0, n)
+	type frame struct {
+		v   graph.NodeID
+		arc int32
+	}
+	stack := make([]frame, 0, n)
+	for root := graph.NodeID(0); int(root) < n; root++ {
+		if color[root] != white {
+			continue
+		}
+		color[root] = gray
+		stack = append(stack[:0], frame{v: root})
+		onPath = onPath[:0]
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			out := g.OutArcs(f.v)
+			advanced := false
+			for int(f.arc) < len(out) {
+				id := out[f.arc]
+				f.arc++
+				a := g.Arc(id)
+				if dist[a.From]+q*a.Weight-p*a.Transit != dist[a.To] {
+					continue
+				}
+				w := a.To
+				switch color[w] {
+				case gray:
+					idx := -1
+					for i := range stack {
+						if stack[i].v == w {
+							idx = i
+							break
+						}
+					}
+					var cycle []graph.ArcID
+					for i := idx; i < len(stack)-1; i++ {
+						cycle = append(cycle, onPath[i])
+					}
+					cycle = append(cycle, id)
+					if r, ok := cycleRatio(g, cycle); ok && r.Equal(rho) {
+						return cycle, nil
+					}
+					// A zero-transit tight cycle is impossible after
+					// checkInput, so this cannot happen; keep searching.
+					continue
+				case white:
+					color[w] = gray
+					onPath = append(onPath, id)
+					stack = append(stack, frame{v: w})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if advanced {
+				continue
+			}
+			color[f.v] = black
+			stack = stack[:len(stack)-1]
+			if len(onPath) > 0 {
+				onPath = onPath[:len(onPath)-1]
+			}
+		}
+	}
+	return nil, fmt.Errorf("ratio: no cycle of ratio %v found", rho)
+}
+
+// ratioPolicyCycles finds the cycles of an out-degree-one policy graph
+// (each node contributes the arc policy[v]); fn receives each cycle's arcs
+// in forward order.
+func ratioPolicyCycles(g *graph.Graph, policy []graph.ArcID, fn func(cycle []graph.ArcID)) {
+	n := len(policy)
+	state := make([]int32, n)
+	walkPos := make([]int32, n)
+	var walk []graph.NodeID
+	for root := 0; root < n; root++ {
+		if state[root] != 0 {
+			continue
+		}
+		walk = walk[:0]
+		v := graph.NodeID(root)
+		for state[v] == 0 {
+			state[v] = 1
+			walkPos[v] = int32(len(walk))
+			walk = append(walk, v)
+			v = g.Arc(policy[v]).To
+		}
+		if state[v] == 1 {
+			start := walkPos[v]
+			cycle := make([]graph.ArcID, 0, int32(len(walk))-start)
+			for i := start; i < int32(len(walk)); i++ {
+				cycle = append(cycle, policy[walk[i]])
+			}
+			fn(cycle)
+		}
+		for _, u := range walk {
+			state[u] = 2
+		}
+	}
+}

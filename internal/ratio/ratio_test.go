@@ -1,0 +1,158 @@
+package ratio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/verify"
+)
+
+// randomTransitGraph builds a SPRAND graph and assigns pseudo-random transit
+// times in [1, maxT] derived deterministically from the arc index and seed.
+func randomTransitGraph(t *testing.T, n, m int, maxT int64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.Sprand(gen.SprandConfig{N: n, M: m, MinWeight: -15, MaxWeight: 25, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arcs := make([]graph.Arc, g.NumArcs())
+	state := seed*0x9e3779b97f4a7c15 + 12345
+	for i, a := range g.Arcs() {
+		state = state*6364136223846793005 + 1442695040888963407
+		a.Transit = 1 + int64((state>>33)%uint64(maxT))
+		arcs[i] = a
+	}
+	return graph.FromArcs(g.NumNodes(), arcs)
+}
+
+// TestRatioAlgorithmsAgreeWithOracle checks every ratio algorithm against
+// the brute-force enumeration oracle on small graphs with varied transit
+// times.
+func TestRatioAlgorithmsAgreeWithOracle(t *testing.T) {
+	algos := All()
+	for _, size := range []struct{ n, m int }{
+		{2, 3}, {3, 6}, {4, 8}, {6, 12}, {8, 14}, {10, 20},
+	} {
+		for seed := uint64(0); seed < 10; seed++ {
+			g := randomTransitGraph(t, size.n, size.m, 4, seed)
+			want, _, err := verify.BruteForceMinRatio(g)
+			if err != nil {
+				t.Fatalf("oracle n=%d m=%d seed=%d: %v", size.n, size.m, seed, err)
+			}
+			for _, algo := range algos {
+				got, err := algo.Solve(g, core.Options{})
+				if err != nil {
+					t.Fatalf("%s n=%d m=%d seed=%d: %v", algo.Name(), size.n, size.m, seed, err)
+				}
+				if !got.Ratio.Equal(want) {
+					t.Errorf("%s n=%d m=%d seed=%d: ρ*=%v, oracle %v",
+						algo.Name(), size.n, size.m, seed, got.Ratio, want)
+					continue
+				}
+				if err := verify.CheckRatioCycleIsOptimal(g, got.Ratio, got.Cycle); err != nil {
+					t.Errorf("%s n=%d m=%d seed=%d: bad cycle: %v", algo.Name(), size.n, size.m, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRatioReducesToMean: with all transit times 1, every ratio algorithm
+// must agree with the mean solvers (the paper's framing of MCMP as the
+// special case of MCRP).
+func TestRatioReducesToMean(t *testing.T) {
+	howardMean, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 20, M: 50, MinWeight: -10, MaxWeight: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean, err := howardMean.Solve(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range All() {
+			got, err := algo.Solve(g, core.Options{})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", algo.Name(), seed, err)
+			}
+			if !got.Ratio.Equal(mean.Mean) {
+				t.Errorf("%s seed=%d: ratio %v != mean %v", algo.Name(), seed, got.Ratio, mean.Mean)
+			}
+		}
+	}
+}
+
+// TestMaximumCycleRatio exercises the negation driver on a known graph.
+func TestMaximumCycleRatio(t *testing.T) {
+	// Two cycles: 0→1→0 (w=6, t=2 → ratio 3) and 0→2→0 (w=10, t=4 → 2.5).
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArcTransit(0, 1, 4, 1)
+	b.AddArcTransit(1, 0, 2, 1)
+	b.AddArcTransit(0, 2, 7, 2)
+	b.AddArcTransit(2, 0, 3, 2)
+	g := b.Build()
+
+	algo, err := ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := MinimumCycleRatio(g, algo, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(5, 2); !min.Ratio.Equal(want) {
+		t.Errorf("min ratio = %v, want %v", min.Ratio, want)
+	}
+	max, err := MaximumCycleRatio(g, algo, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(3, 1); !max.Ratio.Equal(want) {
+		t.Errorf("max ratio = %v, want %v", max.Ratio, want)
+	}
+}
+
+// TestZeroTransitCycleRejected: a cycle entirely within zero-transit arcs
+// must be rejected by every algorithm.
+func TestZeroTransitCycleRejected(t *testing.T) {
+	b := graph.NewBuilder(2, 3)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 1, 0)
+	b.AddArcTransit(1, 0, 1, 0)
+	b.AddArcTransit(0, 0, 5, 3)
+	g := b.Build()
+	for _, algo := range All() {
+		if _, err := algo.Solve(g, core.Options{}); err == nil {
+			t.Errorf("%s: expected error on zero-transit cycle", algo.Name())
+		}
+	}
+}
+
+// TestExpandMatchesDirect cross-checks the expansion reduction against the
+// direct Howard ratio solver on medium graphs with larger transit times.
+func TestExpandMatchesDirect(t *testing.T) {
+	direct, _ := ByName("howard")
+	expandAlgo, _ := ByName("expand")
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomTransitGraph(t, 24, 60, 5, seed)
+		a, err := direct.Solve(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := expandAlgo.Solve(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Ratio.Equal(b.Ratio) {
+			t.Errorf("seed %d: direct %v != expand %v", seed, a.Ratio, b.Ratio)
+		}
+	}
+}

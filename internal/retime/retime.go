@@ -1,0 +1,373 @@
+// Package retime implements Leiserson–Saxe retiming on top of the circuit
+// substrate: moving registers across combinational logic to minimize the
+// clock period. It closes the loop on the paper's CAD motivation — the
+// cycle-mean/cycle-ratio machinery provides the fundamental lower bound
+// (no retiming can beat the maximum delay-to-register ratio over cycles),
+// and this package computes a retiming that gets as close as the classical
+// OPT algorithm allows, verifying the bound relation in tests.
+//
+// The model is the standard one: a retiming graph with one vertex per
+// functional element (propagation delay d(v) ≥ 0) plus a host vertex, and
+// edges carrying register counts w(e) ≥ 0. A retiming r: V → Z relocates
+// registers (w_r(e) = w(e) + r(head) − r(tail)), preserving behavior; the
+// clock period of a configuration is the longest register-free
+// combinational path.
+package retime
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+)
+
+// Graph is a retiming graph: Delay per vertex, register counts on arcs
+// (stored in the underlying graph's Weight field... kept separately for
+// clarity). Vertex 0 is the host (delay 0) when built from a netlist.
+type Graph struct {
+	// G holds the topology; arc Weight is the register count w(e).
+	G *graph.Graph
+	// Delay[v] is the propagation delay of vertex v.
+	Delay []int64
+}
+
+// Validate checks the invariants: register counts and delays non-negative,
+// and every cycle carries at least one register (otherwise the circuit has
+// a combinational loop and no period is defined).
+func (rg *Graph) Validate() error {
+	if rg.G.NumNodes() != len(rg.Delay) {
+		return fmt.Errorf("retime: %d delays for %d vertices", len(rg.Delay), rg.G.NumNodes())
+	}
+	for _, d := range rg.Delay {
+		if d < 0 {
+			return errors.New("retime: negative delay")
+		}
+	}
+	var zero []graph.Arc
+	for _, a := range rg.G.Arcs() {
+		if a.Weight < 0 {
+			return errors.New("retime: negative register count")
+		}
+		if a.Weight == 0 {
+			zero = append(zero, a)
+		}
+	}
+	if len(zero) > 0 && graph.HasCycle(graph.FromArcs(rg.G.NumNodes(), zero)) {
+		return errors.New("retime: register-free cycle (combinational loop)")
+	}
+	return nil
+}
+
+// Period returns the clock period of the current register placement: the
+// maximum total vertex delay along a register-free path (including both
+// endpoints).
+func (rg *Graph) Period() (int64, error) {
+	if err := rg.Validate(); err != nil {
+		return 0, err
+	}
+	n := rg.G.NumNodes()
+	// Longest path over the zero-register subgraph (a DAG after Validate).
+	var zeroArcs []graph.Arc
+	for _, a := range rg.G.Arcs() {
+		if a.Weight == 0 {
+			zeroArcs = append(zeroArcs, a)
+		}
+	}
+	zg := graph.FromArcs(n, zeroArcs)
+	order, ok := graph.TopoOrder(zg)
+	if !ok {
+		return 0, errors.New("retime: register-free cycle")
+	}
+	// dist[v] = max delay sum of a zero-register path ending at v.
+	dist := make([]int64, n)
+	period := int64(0)
+	for v := 0; v < n; v++ {
+		dist[v] = rg.Delay[v]
+		if dist[v] > period {
+			period = dist[v]
+		}
+	}
+	for _, u := range order {
+		for _, id := range zg.OutArcs(u) {
+			v := zg.Arc(id).To
+			if nd := dist[u] + rg.Delay[v]; nd > dist[v] {
+				dist[v] = nd
+				if nd > period {
+					period = nd
+				}
+			}
+		}
+	}
+	return period, nil
+}
+
+// LowerBound returns the fundamental retiming bound from the paper's
+// machinery: the maximum over cycles of (total delay)/(total registers) —
+// a maximum cycle ratio with vertex delays pushed onto outgoing arcs. No
+// retiming can achieve a period below ⌈bound⌉ − ... precisely, the period
+// of every retiming is ≥ the bound (registers on a cycle are invariant
+// under retiming while its delay is fixed).
+func (rg *Graph) LowerBound(algo ratio.Algorithm) (numeric.Rat, error) {
+	b := graph.NewBuilder(rg.G.NumNodes(), rg.G.NumArcs())
+	b.AddNodes(rg.G.NumNodes())
+	for _, a := range rg.G.Arcs() {
+		b.AddArcTransit(a.From, a.To, rg.Delay[a.From], a.Weight)
+	}
+	res, err := ratio.MaximumCycleRatio(b.Build(), algo, core.Options{})
+	if err != nil {
+		return numeric.Rat{}, err
+	}
+	return res.Ratio, nil
+}
+
+// Result is an optimal retiming.
+type Result struct {
+	// Period is the minimum achievable clock period.
+	Period int64
+	// R is the retiming lag per vertex (host fixed at 0).
+	R []int64
+	// Registers[arcID] is the retimed register count of each arc.
+	Registers []int64
+}
+
+// Minimize computes a minimum-period retiming with the classical OPT
+// algorithm: build the W (minimum registers between vertices) and D
+// (maximum delay over minimum-register paths) matrices, binary-search the
+// sorted D values, and test each candidate period by Bellman–Ford on the
+// constraint graph. O(n³ + n² log n · n...) — intended for circuit-sized
+// graphs (thousands of vertices at most).
+func Minimize(rg *Graph) (*Result, error) {
+	if err := rg.Validate(); err != nil {
+		return nil, err
+	}
+	n := rg.G.NumNodes()
+	if n == 0 {
+		return nil, errors.New("retime: empty graph")
+	}
+
+	// W/D via Floyd–Warshall on lexicographic weights (w(e), −d(tail)).
+	const inf = int64(math.MaxInt64 / 4)
+	W := make([]int64, n*n)
+	Dm := make([]int64, n*n)
+	for i := range W {
+		W[i] = inf
+	}
+	for v := 0; v < n; v++ {
+		W[v*n+v] = 0
+		Dm[v*n+v] = rg.Delay[v]
+	}
+	for _, a := range rg.G.Arcs() {
+		i, j := int(a.From), int(a.To)
+		if i == j {
+			continue
+		}
+		// Lexicographic min: fewer registers, then more delay.
+		cand := a.Weight
+		candD := rg.Delay[a.From] + rg.Delay[a.To]
+		if cand < W[i*n+j] || (cand == W[i*n+j] && candD > Dm[i*n+j]) {
+			W[i*n+j] = cand
+			Dm[i*n+j] = candD
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			wik := W[i*n+k]
+			if wik >= inf {
+				continue
+			}
+			dik := Dm[i*n+k]
+			for j := 0; j < n; j++ {
+				if W[k*n+j] >= inf {
+					continue
+				}
+				w := wik + W[k*n+j]
+				d := dik + Dm[k*n+j] - rg.Delay[k] // k counted twice
+				if w < W[i*n+j] || (w == W[i*n+j] && d > Dm[i*n+j]) {
+					W[i*n+j] = w
+					Dm[i*n+j] = d
+				}
+			}
+		}
+	}
+
+	// Candidate periods: the distinct D values (only finite ones).
+	seen := map[int64]bool{}
+	var candidates []int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if W[i*n+j] < inf && !seen[Dm[i*n+j]] {
+				seen[Dm[i*n+j]] = true
+				candidates = append(candidates, Dm[i*n+j])
+			}
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	// Binary search the smallest feasible candidate.
+	lo, hi := 0, len(candidates)-1
+	var (
+		bestR []int64
+		found bool
+	)
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if r, ok := rg.feasible(W, Dm, candidates[mid]); ok {
+			bestR, found = r, true
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if !found {
+		return nil, errors.New("retime: no feasible period among candidates (corrupt W/D)")
+	}
+	period := candidates[lo]
+
+	regs := make([]int64, rg.G.NumArcs())
+	for id := graph.ArcID(0); int(id) < rg.G.NumArcs(); id++ {
+		a := rg.G.Arc(id)
+		regs[id] = a.Weight + bestR[a.To] - bestR[a.From]
+		if regs[id] < 0 {
+			return nil, fmt.Errorf("retime: internal error: negative retimed register count on arc %d", id)
+		}
+	}
+	return &Result{Period: period, R: bestR, Registers: regs}, nil
+}
+
+// feasible tests period c via the Leiserson–Saxe constraint graph:
+//
+//	r(u) − r(v) ≤ w(e)              for every edge u → v
+//	r(u) − r(v) ≤ W(u,v) − 1        whenever D(u,v) > c
+//
+// and returns retiming lags (Bellman–Ford potentials) when satisfiable.
+func (rg *Graph) feasible(W, Dm []int64, c int64) ([]int64, bool) {
+	n := rg.G.NumNodes()
+	const inf = int64(math.MaxInt64 / 4)
+	type cArc struct {
+		from, to int32
+		w        int64
+	}
+	var arcs []cArc
+	for _, a := range rg.G.Arcs() {
+		// Constraint r(u) − r(v) ≤ w(e) is a difference-constraint arc
+		// v → u of weight w(e) in shortest-path form r(u) ≤ r(v) + w.
+		arcs = append(arcs, cArc{from: int32(a.To), to: int32(a.From), w: a.Weight})
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || W[u*n+v] >= inf {
+				continue
+			}
+			if Dm[u*n+v] > c {
+				arcs = append(arcs, cArc{from: int32(v), to: int32(u), w: W[u*n+v] - 1})
+			}
+		}
+	}
+	dist := make([]int64, n)
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range arcs {
+			if nd := dist[a.from] + a.w; nd < dist[a.to] {
+				dist[a.to] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return dist, true
+		}
+	}
+	for _, a := range arcs {
+		if dist[a.from]+a.w < dist[a.to] {
+			return nil, false
+		}
+	}
+	return dist, true
+}
+
+// Apply returns a copy of the graph with the retimed register counts.
+func (rg *Graph) Apply(res *Result) *Graph {
+	arcs := make([]graph.Arc, rg.G.NumArcs())
+	for id, a := range rg.G.Arcs() {
+		a.Weight = res.Registers[id]
+		arcs[id] = a
+	}
+	return &Graph{G: graph.FromArcs(rg.G.NumNodes(), arcs), Delay: rg.Delay}
+}
+
+// FromNetlist builds the retiming graph of a sequential circuit: vertex 0
+// is the host (delay 0), other vertices are the combinational gates
+// (Gate.Delay each); an edge carries the number of DFFs on the connection
+// (chains of DFFs collapse into the count). Primary inputs and outputs
+// attach to the host.
+func FromNetlist(nl *circuit.Netlist) (*Graph, error) {
+	// Map combinational gates to vertices 1..; host is 0.
+	vert := make([]int32, nl.NumGates())
+	for i := range vert {
+		vert[i] = -1
+	}
+	delays := []int64{0} // host
+	for gi, g := range nl.Gates {
+		if g.Type.IsCombinational() {
+			vert[gi] = int32(len(delays))
+			delays = append(delays, g.Delay)
+		}
+	}
+	b := graph.NewBuilder(len(delays), nl.NumGates()*2)
+	b.AddNodes(len(delays))
+
+	// traceSource walks fan-in through DFF chains, returning the driving
+	// vertex (host for PIs) and the register count along the way.
+	var traceSource func(gi int32) (int32, int64, error)
+	traceSource = func(gi int32) (int32, int64, error) {
+		regs := int64(0)
+		cur := gi
+		for hops := 0; hops <= nl.NumGates(); hops++ {
+			g := nl.Gates[cur]
+			switch {
+			case g.Type == circuit.DFF:
+				regs++
+				if len(g.Fanin) != 1 {
+					return 0, 0, fmt.Errorf("retime: DFF %s has %d inputs", g.Name, len(g.Fanin))
+				}
+				cur = g.Fanin[0]
+			case g.Type == circuit.Input:
+				return 0, regs, nil // host
+			case g.Type.IsCombinational():
+				return vert[cur], regs, nil
+			default:
+				return 0, 0, fmt.Errorf("retime: unexpected fan-in gate type %v", g.Type)
+			}
+		}
+		return 0, 0, errors.New("retime: DFF chain cycle without combinational gate")
+	}
+
+	for gi, g := range nl.Gates {
+		var sinkVert int32
+		switch {
+		case g.Type.IsCombinational():
+			sinkVert = vert[gi]
+		case g.Type == circuit.Output:
+			sinkVert = 0 // host
+		default:
+			continue
+		}
+		for _, f := range g.Fanin {
+			src, regs, err := traceSource(f)
+			if err != nil {
+				return nil, err
+			}
+			b.AddArc(graph.NodeID(src), graph.NodeID(sinkVert), regs)
+		}
+	}
+	rg := &Graph{G: b.Build(), Delay: delays}
+	if err := rg.Validate(); err != nil {
+		return nil, err
+	}
+	return rg, nil
+}

@@ -1,0 +1,183 @@
+package retime
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+)
+
+// correlator builds the classic Leiserson–Saxe correlator example: host
+// (δ=0) → three adders (δ=7) and four comparators (δ=3), original period
+// 24, optimal period 13.
+func correlator(t *testing.T) *Graph {
+	t.Helper()
+	// Vertices: 0 host, 1..3 adders (+), 4..7 comparators (δ).
+	delays := []int64{0, 7, 7, 7, 3, 3, 3, 3}
+	b := graph.NewBuilder(8, 11)
+	b.AddNodes(8)
+	// The canonical correlator wiring (LS Fig. 1): host → δ1 chain with
+	// one register per hop on the top row, zero-register adder chain back
+	// to the host.
+	b.AddArc(0, 4, 1) // host → δ1, 1 register
+	b.AddArc(4, 5, 1)
+	b.AddArc(5, 6, 1)
+	b.AddArc(6, 7, 1)
+	b.AddArc(7, 3, 0)
+	b.AddArc(3, 2, 0)
+	b.AddArc(2, 1, 0)
+	b.AddArc(1, 0, 0)
+	b.AddArc(6, 3, 0)
+	b.AddArc(5, 2, 0)
+	b.AddArc(4, 1, 0)
+	rg := &Graph{G: b.Build(), Delay: delays}
+	if err := rg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return rg
+}
+
+func TestCorrelatorPeriods(t *testing.T) {
+	rg := correlator(t)
+	period, err := rg.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest zero-register path: δ(7)→+(3)→+(2)→+(1)→host: 3+7+7+7 = 24.
+	if period != 24 {
+		t.Fatalf("original period = %d, want 24", period)
+	}
+	res, err := Minimize(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Leiserson–Saxe optimum for the correlator is 13.
+	if res.Period != 13 {
+		t.Fatalf("optimal period = %d, want 13", res.Period)
+	}
+	// Applying the retiming must realize exactly that period.
+	retimed := rg.Apply(res)
+	got, err := retimed.Period()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res.Period {
+		t.Fatalf("applied period = %d, claimed %d", got, res.Period)
+	}
+}
+
+func TestRetimingPreservesCycleRegisters(t *testing.T) {
+	rg := correlator(t)
+	res, err := Minimize(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retimed := rg.Apply(res)
+	// Register count around any cycle is invariant: compare total over the
+	// (only) big cycle via summing all arcs on each simple cycle — here,
+	// spot-check total registers (conserved on this graph because every
+	// arc lies on some cycle through the host... total is NOT generally
+	// invariant, so check per-cycle via the lag telescoping instead).
+	for id := graph.ArcID(0); int(id) < rg.G.NumArcs(); id++ {
+		a := rg.G.Arc(id)
+		want := a.Weight + res.R[a.To] - res.R[a.From]
+		if retimed.G.Arc(id).Weight != want {
+			t.Fatalf("arc %d: retimed %d, want %d", id, retimed.G.Arc(id).Weight, want)
+		}
+		if retimed.G.Arc(id).Weight < 0 {
+			t.Fatalf("arc %d: negative registers", id)
+		}
+	}
+}
+
+func TestLowerBoundHolds(t *testing.T) {
+	rg := correlator(t)
+	algo, err := ratio.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := rg.LowerBound(algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.FromInt(res.Period).Less(bound) {
+		t.Fatalf("optimal period %d beats the cycle-ratio bound %v", res.Period, bound)
+	}
+}
+
+func TestFromNetlistAndMinimize(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		nl, err := circuit.Generate(circuit.GenConfig{
+			FFs: 12, CloudGates: 10, MaxFanin: 3, Feedback: 3, PIs: 3, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := FromNetlist(nl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		before, err := rg.Period()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := Minimize(rg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Period > before {
+			t.Fatalf("seed %d: retiming worsened the period: %d > %d", seed, res.Period, before)
+		}
+		retimed := rg.Apply(res)
+		after, err := retimed.Period()
+		if err != nil {
+			t.Fatalf("seed %d: retimed graph invalid: %v", seed, err)
+		}
+		if after != res.Period {
+			t.Fatalf("seed %d: applied period %d != claimed %d", seed, after, res.Period)
+		}
+		// Cycle-ratio lower bound from the paper's machinery.
+		algo, _ := ratio.ByName("howard")
+		bound, err := rg.LowerBound(algo)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if numeric.FromInt(res.Period).Less(bound) {
+			t.Fatalf("seed %d: period %d below bound %v", seed, res.Period, bound)
+		}
+	}
+}
+
+func TestValidateRejectsCombinationalLoop(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 0)
+	b.AddArc(1, 0, 0)
+	rg := &Graph{G: b.Build(), Delay: []int64{1, 1}}
+	if err := rg.Validate(); err == nil {
+		t.Fatal("register-free cycle accepted")
+	}
+}
+
+func TestValidateRejectsNegativeValues(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 0, 1)
+	rg := &Graph{G: b.Build(), Delay: []int64{1, -1}}
+	if err := rg.Validate(); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	rg2 := &Graph{G: b.Build(), Delay: []int64{1, 1}}
+	arcs := []graph.Arc{{From: 0, To: 1, Weight: -1, Transit: 1}, {From: 1, To: 0, Weight: 1, Transit: 1}}
+	rg2.G = graph.FromArcs(2, arcs)
+	if err := rg2.Validate(); err == nil {
+		t.Fatal("negative registers accepted")
+	}
+}

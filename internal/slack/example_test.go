@@ -1,0 +1,29 @@
+package slack_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/slack"
+)
+
+func ExampleAnalyze() {
+	// Triangle of mean 2 plus a heavy chord.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 2)
+	b.AddArc(2, 0, 3)
+	b.AddArc(1, 0, 10)
+	g := b.Build()
+
+	howard, _ := core.ByName("howard")
+	rep, err := slack.Analyze(g, howard)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("λ* = %v; %d critical arcs; chord slack = %v\n",
+		rep.Lambda, len(rep.CriticalArcs), rep.Arcs[3].Slack)
+	// Output: λ* = 2; 3 critical arcs; chord slack = 7
+}

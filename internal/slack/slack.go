@@ -1,0 +1,169 @@
+// Package slack computes per-arc criticality information on top of the
+// cycle-mean machinery: exact arc slacks with respect to λ* (the paper's
+// criticality criterion d(v) − d(u) = w(u,v) − λ, Section 2, turned into a
+// quantitative report) and bottleneck sensitivities — how much an arc's
+// weight can decrease before the optimum changes, the question a designer
+// asks right after "what is the critical cycle?".
+package slack
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// ArcSlack is the criticality report for one arc.
+type ArcSlack struct {
+	Arc graph.ArcID
+	// Slack is w(u,v) − λ* − (d(v) − d(u)) ≥ 0, exact; zero means the arc
+	// is critical (lies on a shortest path of the reduced graph and
+	// possibly on a minimum mean cycle).
+	Slack numeric.Rat
+	// Critical is Slack == 0.
+	Critical bool
+}
+
+// Report is the whole-graph criticality analysis.
+type Report struct {
+	// Lambda is the exact minimum cycle mean the report is relative to.
+	Lambda numeric.Rat
+	// Arcs holds one entry per arc, indexed by ArcID.
+	Arcs []ArcSlack
+	// CriticalArcs lists the critical arc IDs in increasing order.
+	CriticalArcs []graph.ArcID
+	// CriticalNodes lists nodes incident to a critical arc.
+	CriticalNodes []graph.NodeID
+}
+
+// ErrNotCyclic mirrors core.ErrAcyclic for the analysis entry points.
+var ErrNotCyclic = errors.New("slack: graph has no cycles")
+
+// Analyze computes the slack report of a graph using the given algorithm
+// for λ* (the graph may have several SCCs; slacks are relative to the
+// global λ*, so arcs in components with larger cycle means simply carry
+// positive slack). Potentials come from one exact Bellman–Ford pass on the
+// scaled reduced graph.
+func Analyze(g *graph.Graph, algo core.Algorithm) (*Report, error) {
+	res, err := core.MinimumCycleMean(g, algo, core.Options{})
+	if err != nil {
+		if errors.Is(err, core.ErrAcyclic) {
+			return nil, ErrNotCyclic
+		}
+		return nil, err
+	}
+	lambda := res.Mean
+	critical, _, err := core.CriticalSubgraph(g, lambda)
+	if err != nil {
+		return nil, err
+	}
+	inCrit := make(map[graph.ArcID]bool, len(critical))
+	for _, id := range critical {
+		inCrit[id] = true
+	}
+
+	// Potentials for the quantitative slack: shortest distances in the
+	// scaled reduced graph (same computation CriticalSubgraph performs;
+	// recomputed here to expose the exact values).
+	p, q := lambda.Num(), lambda.Den()
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range g.Arcs() {
+			w := q*a.Weight - p
+			if nd := dist[a.From] + w; nd < dist[a.To] {
+				dist[a.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	rep := &Report{Lambda: lambda, Arcs: make([]ArcSlack, g.NumArcs())}
+	nodes := make([]bool, n)
+	for id := graph.ArcID(0); int(id) < g.NumArcs(); id++ {
+		a := g.Arc(id)
+		// slack = (w − λ) − (d(v) − d(u)), all over the common scale q.
+		s := numeric.NewRat(q*a.Weight-p-(dist[a.To]-dist[a.From]), q)
+		entry := ArcSlack{Arc: id, Slack: s, Critical: inCrit[id]}
+		rep.Arcs[id] = entry
+		if entry.Critical {
+			rep.CriticalArcs = append(rep.CriticalArcs, id)
+			nodes[a.From] = true
+			nodes[a.To] = true
+		}
+	}
+	for v, in := range nodes {
+		if in {
+			rep.CriticalNodes = append(rep.CriticalNodes, graph.NodeID(v))
+		}
+	}
+	return rep, nil
+}
+
+// Bottlenecks returns the arcs sorted by increasing slack — the ranking a
+// designer optimizes first. Ties are broken by arc ID for determinism.
+func (r *Report) Bottlenecks() []ArcSlack {
+	out := make([]ArcSlack, len(r.Arcs))
+	copy(out, r.Arcs)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Slack.Less(out[j].Slack)
+	})
+	return out
+}
+
+// Sensitivity computes how much arc id's weight can decrease before λ*
+// strictly decreases (the arc becomes the binding bottleneck). For an arc
+// already on a minimum mean cycle the answer is zero: any decrease lowers
+// λ*. For other arcs the margin is the smallest total decrease that
+// creates a cycle through the arc with mean below λ*; it equals
+// |C_e| · (λ* − mean-margin) along the best cycle through e... computed
+// here directly: the best cycle through e has reduced weight
+// slack-like quantity minCycleThrough(e), and the margin is exactly that
+// reduced weight (scaled back), because decreasing w(e) by more than it
+// creates a negative reduced cycle.
+func (r *Report) Sensitivity(g *graph.Graph, id graph.ArcID) (numeric.Rat, error) {
+	if int(id) >= g.NumArcs() {
+		return numeric.Rat{}, fmt.Errorf("slack: arc %d out of range", id)
+	}
+	p, q := r.Lambda.Num(), r.Lambda.Den()
+	a := g.Arc(id)
+	// Shortest reduced path from a.To back to a.From (Bellman–Ford from
+	// a.To; no negative cycles in the reduced graph).
+	n := g.NumNodes()
+	const inf = int64(1) << 61
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[a.To] = 0
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, arc := range g.Arcs() {
+			if dist[arc.From] >= inf {
+				continue
+			}
+			w := q*arc.Weight - p
+			if nd := dist[arc.From] + w; nd < dist[arc.To] {
+				dist[arc.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if dist[a.From] >= inf {
+		// No cycle through this arc at all: λ* is insensitive to it.
+		return numeric.Rat{}, fmt.Errorf("slack: no cycle passes through arc %d", id)
+	}
+	// Best reduced cycle through e: red(e) + dist(a.To → a.From) ≥ 0.
+	margin := (q*a.Weight - p) + dist[a.From]
+	return numeric.NewRat(margin, q), nil
+}

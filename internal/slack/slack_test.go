@@ -1,0 +1,157 @@
+package slack
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func howard(t *testing.T) core.Algorithm {
+	t.Helper()
+	a, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalyzeTriangleWithChord(t *testing.T) {
+	// Triangle 0→1→2→0 of mean 2 plus a heavy chord 1→0.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 2)
+	b.AddArc(2, 0, 3)
+	b.AddArc(1, 0, 10)
+	g := b.Build()
+
+	rep, err := Analyze(g, howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Lambda.Equal(numeric.FromInt(2)) {
+		t.Fatalf("λ* = %v", rep.Lambda)
+	}
+	for _, id := range []graph.ArcID{0, 1, 2} {
+		if !rep.Arcs[id].Critical || !rep.Arcs[id].Slack.IsZero() {
+			t.Errorf("triangle arc %d: %+v, want critical zero slack", id, rep.Arcs[id])
+		}
+	}
+	// Chord 1→0: on the 2-cycle 0→1→0 of mean 11/2; slack is
+	// (w − λ) − (d(0) − d(1)) = (10 − 2) − (0 − (−1)) = 7.
+	if rep.Arcs[3].Critical {
+		t.Error("chord marked critical")
+	}
+	if want := numeric.FromInt(7); !rep.Arcs[3].Slack.Equal(want) {
+		t.Errorf("chord slack = %v, want %v", rep.Arcs[3].Slack, want)
+	}
+	if len(rep.CriticalNodes) != 3 {
+		t.Errorf("critical nodes = %v", rep.CriticalNodes)
+	}
+
+	// Bottleneck order: zero-slack arcs first.
+	order := rep.Bottlenecks()
+	for i := 0; i < 3; i++ {
+		if !order[i].Slack.IsZero() {
+			t.Fatalf("bottleneck %d has slack %v", i, order[i].Slack)
+		}
+	}
+	if order[3].Arc != 3 {
+		t.Fatalf("last bottleneck = %v", order[3])
+	}
+}
+
+func TestSlackNonNegativeEverywhere(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 30, M: 90, MinWeight: -20, MaxWeight: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(g, howard(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		zero := numeric.FromInt(0)
+		nCrit := 0
+		for _, as := range rep.Arcs {
+			if as.Slack.Less(zero) {
+				t.Fatalf("seed %d: negative slack %v on arc %d", seed, as.Slack, as.Arc)
+			}
+			if as.Critical != as.Slack.IsZero() {
+				t.Fatalf("seed %d: criticality flag inconsistent on arc %d (slack %v)", seed, as.Arc, as.Slack)
+			}
+			if as.Critical {
+				nCrit++
+			}
+		}
+		if nCrit == 0 {
+			t.Fatalf("seed %d: no critical arcs", seed)
+		}
+	}
+}
+
+func TestSensitivity(t *testing.T) {
+	// Two disjoint 2-cycles sharing node 0: means 2 and 5.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 0, 3) // cycle mean 2 (critical)
+	b.AddArc(0, 2, 4)
+	b.AddArc(2, 0, 6) // cycle mean 5
+	g := b.Build()
+
+	rep, err := Analyze(g, howard(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical arc: zero margin.
+	s0, err := rep.Sensitivity(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s0.IsZero() {
+		t.Errorf("critical arc margin = %v, want 0", s0)
+	}
+	// Arc 2 (0→2): the best cycle through it has mean 5; decreasing its
+	// weight by the cycle's total reduced weight (4−2)+(6−2) = 6 makes that
+	// cycle the new optimum boundary.
+	s2, err := rep.Sensitivity(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.FromInt(6); !s2.Equal(want) {
+		t.Errorf("margin = %v, want %v", s2, want)
+	}
+	// Decreasing by exactly the margin must keep λ* (cycle ties at 2);
+	// decreasing by more must lower it.
+	check := func(dec int64, wantLambda numeric.Rat) {
+		arcs := append([]graph.Arc(nil), g.Arcs()...)
+		arcs[2].Weight -= dec
+		g2 := graph.FromArcs(3, arcs)
+		res, err := core.MinimumCycleMean(g2, howard(t), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mean.Equal(wantLambda) {
+			t.Errorf("after decreasing arc 2 by %d: λ* = %v, want %v", dec, res.Mean, wantLambda)
+		}
+	}
+	check(6, numeric.FromInt(2))    // ties: λ* unchanged
+	check(8, numeric.NewRat(1, 1))  // (4−8+6)/2 = 1 < 2
+	_, err = rep.Sensitivity(g, 99) // out of range
+	if err == nil {
+		t.Error("out-of-range arc accepted")
+	}
+}
+
+func TestAnalyzeAcyclic(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 5)
+	if _, err := Analyze(b.Build(), howard(t)); err == nil {
+		t.Fatal("acyclic graph accepted")
+	}
+}

@@ -1,0 +1,342 @@
+// Package verify provides independent ground truth for the cycle-mean and
+// cycle-ratio solvers: exhaustive simple-cycle enumeration (Johnson's
+// algorithm), a brute-force optimum computed from the enumeration, and the
+// linear-programming feasibility certificate from the paper's Equation 1.
+// Tests use it as the oracle every algorithm must agree with.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// ErrAcyclic is returned when an optimum over cycles is requested for a
+// graph that has no cycles.
+var ErrAcyclic = errors.New("verify: graph has no cycles")
+
+// ErrTooManyCycles is returned when enumeration exceeds the caller's limit.
+var ErrTooManyCycles = errors.New("verify: cycle limit exceeded")
+
+// EnumerateCycles calls fn for each simple cycle of g, passing the cycle as
+// a sequence of arc IDs. Enumeration stops early (with ErrTooManyCycles) if
+// more than limit cycles are produced; limit <= 0 means no limit. fn must
+// not retain the slice. Self-loops count as cycles of length one. The
+// implementation is Johnson's algorithm (1975) over the SCCs of g.
+func EnumerateCycles(g *graph.Graph, limit int, fn func(cycle []graph.ArcID) error) error {
+	count := 0
+	emit := func(cycle []graph.ArcID) error {
+		count++
+		if limit > 0 && count > limit {
+			return ErrTooManyCycles
+		}
+		return fn(cycle)
+	}
+	for _, comp := range graph.CyclicComponents(g) {
+		if err := johnson(comp, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// johnson enumerates the simple cycles of one strongly connected component,
+// translating arc IDs back into the parent graph via comp.ArcMap.
+func johnson(comp graph.Component, emit func([]graph.ArcID) error) error {
+	g := comp.Graph
+	n := g.NumNodes()
+
+	blocked := make([]bool, n)
+	blockList := make([][]graph.NodeID, n)
+	var pathArcs []graph.ArcID
+
+	var unblock func(v graph.NodeID)
+	unblock = func(v graph.NodeID) {
+		blocked[v] = false
+		for _, w := range blockList[v] {
+			if blocked[w] {
+				unblock(w)
+			}
+		}
+		blockList[v] = blockList[v][:0]
+	}
+
+	var start graph.NodeID
+	var circuit func(v graph.NodeID) (bool, error)
+	circuit = func(v graph.NodeID) (bool, error) {
+		found := false
+		blocked[v] = true
+		for _, id := range g.OutArcs(v) {
+			w := g.Arc(id).To
+			if w < start {
+				continue // nodes below start are handled by earlier roots
+			}
+			if w == start {
+				pathArcs = append(pathArcs, id)
+				orig := make([]graph.ArcID, len(pathArcs))
+				for i, aid := range pathArcs {
+					orig[i] = comp.ArcMap[aid]
+				}
+				if err := emit(orig); err != nil {
+					return false, err
+				}
+				pathArcs = pathArcs[:len(pathArcs)-1]
+				found = true
+			} else if !blocked[w] {
+				pathArcs = append(pathArcs, id)
+				f, err := circuit(w)
+				if err != nil {
+					return false, err
+				}
+				pathArcs = pathArcs[:len(pathArcs)-1]
+				if f {
+					found = true
+				}
+			}
+		}
+		if found {
+			unblock(v)
+		} else {
+			for _, id := range g.OutArcs(v) {
+				w := g.Arc(id).To
+				if w < start {
+					continue
+				}
+				// v waits on w: when w unblocks, unblock v too.
+				already := false
+				for _, x := range blockList[w] {
+					if x == v {
+						already = true
+						break
+					}
+				}
+				if !already {
+					blockList[w] = append(blockList[w], v)
+				}
+			}
+		}
+		return found, nil
+	}
+
+	for start = 0; int(start) < n; start++ {
+		for i := range blocked {
+			blocked[i] = false
+			blockList[i] = blockList[i][:0]
+		}
+		pathArcs = pathArcs[:0]
+		if _, err := circuit(start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountCycles returns the number of simple cycles of g, up to limit
+// (limit <= 0 counts all; beware exponential blowup).
+func CountCycles(g *graph.Graph, limit int) (int, error) {
+	count := 0
+	err := EnumerateCycles(g, limit, func([]graph.ArcID) error {
+		count++
+		return nil
+	})
+	if errors.Is(err, ErrTooManyCycles) {
+		return count, err
+	}
+	return count, err
+}
+
+// BruteForceMinMean enumerates every simple cycle and returns the exact
+// minimum cycle mean plus a cycle attaining it. Only usable on small graphs.
+func BruteForceMinMean(g *graph.Graph) (numeric.Rat, []graph.ArcID, error) {
+	return bruteForce(g, func(w, _ int64, l int) (numeric.Rat, error) {
+		return numeric.NewRat(w, int64(l)), nil
+	})
+}
+
+// BruteForceMaxMean is the maximization counterpart of BruteForceMinMean.
+func BruteForceMaxMean(g *graph.Graph) (numeric.Rat, []graph.ArcID, error) {
+	r, c, err := BruteForceMinMean(g.NegateWeights())
+	if err != nil {
+		return numeric.Rat{}, nil, err
+	}
+	return r.Neg(), c, nil
+}
+
+// BruteForceMinRatio returns the exact minimum cost-to-time ratio and an
+// attaining cycle. A cycle with non-positive total transit time violates
+// the problem definition (ρ(C) requires t(C) > 0) and yields an error.
+func BruteForceMinRatio(g *graph.Graph) (numeric.Rat, []graph.ArcID, error) {
+	return bruteForce(g, func(w, t int64, _ int) (numeric.Rat, error) {
+		if t <= 0 {
+			return numeric.Rat{}, fmt.Errorf("verify: cycle with non-positive transit time %d", t)
+		}
+		return numeric.NewRat(w, t), nil
+	})
+}
+
+// bruteForce minimizes value(w(C), t(C), |C|) over all simple cycles C.
+func bruteForce(g *graph.Graph, value func(w, t int64, l int) (numeric.Rat, error)) (numeric.Rat, []graph.ArcID, error) {
+	var (
+		best      numeric.Rat
+		bestCycle []graph.ArcID
+		found     bool
+	)
+	err := EnumerateCycles(g, 0, func(cycle []graph.ArcID) error {
+		val, err := value(g.CycleWeight(cycle), g.CycleTransit(cycle), len(cycle))
+		if err != nil {
+			return err
+		}
+		if !found || val.Less(best) {
+			best = val
+			bestCycle = append(bestCycle[:0], cycle...)
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return numeric.Rat{}, nil, err
+	}
+	if !found {
+		return numeric.Rat{}, nil, ErrAcyclic
+	}
+	return best, bestCycle, nil
+}
+
+// CheckFeasible verifies the paper's Equation 1 certificate: lambda is a
+// lower bound on the minimum cycle mean iff there exist node potentials d
+// with d(v) − d(u) ≤ w(u,v) − λ for every arc, i.e. iff G_λ has no negative
+// cycle. The check runs Bellman–Ford on G_λ (weights scaled by lambda's
+// denominator to stay in exact integer arithmetic) and returns true when no
+// negative cycle exists.
+func CheckFeasible(g *graph.Graph, lambda numeric.Rat) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	p, q := lambda.Num(), lambda.Den()
+	// Scaled arc weight: q*w - p (sign matches w - λ since q > 0).
+	dist := make([]int64, n)
+	// Start all-zero (virtual source to every node): detects any negative
+	// cycle reachable anywhere.
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range g.Arcs() {
+			w := q*a.Weight - p
+			if nd := dist[a.From] + w; nd < dist[a.To] {
+				dist[a.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	// One more pass: any further improvement proves a negative cycle.
+	for _, a := range g.Arcs() {
+		w := q*a.Weight - p
+		if dist[a.From]+w < dist[a.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCycleIsOptimal validates a solver's answer end to end: the cycle is a
+// closed walk in g, its mean equals lambda exactly, and lambda is feasible
+// (no cycle of smaller mean exists). This certifies optimality without
+// enumeration, so it scales to the Table 2 sizes.
+func CheckCycleIsOptimal(g *graph.Graph, lambda numeric.Rat, cycle []graph.ArcID) error {
+	if len(cycle) == 0 {
+		return errors.New("verify: empty cycle")
+	}
+	if err := g.ValidateCycle(cycle); err != nil {
+		return err
+	}
+	mean := numeric.NewRat(g.CycleWeight(cycle), int64(len(cycle)))
+	if !mean.Equal(lambda) {
+		return fmt.Errorf("verify: cycle mean %v does not equal claimed λ* = %v", mean, lambda)
+	}
+	if !CheckFeasible(g, lambda) {
+		return fmt.Errorf("verify: λ* = %v is not feasible: a smaller-mean cycle exists", lambda)
+	}
+	return nil
+}
+
+// CheckRatioCycleIsOptimal is the ratio counterpart of CheckCycleIsOptimal:
+// the cycle's ratio w(C)/t(C) must equal rho and no cycle with smaller
+// ratio may exist (checked via Bellman–Ford on weights q·w − p·t).
+func CheckRatioCycleIsOptimal(g *graph.Graph, rho numeric.Rat, cycle []graph.ArcID) error {
+	if len(cycle) == 0 {
+		return errors.New("verify: empty cycle")
+	}
+	if err := g.ValidateCycle(cycle); err != nil {
+		return err
+	}
+	t := g.CycleTransit(cycle)
+	if t <= 0 {
+		return fmt.Errorf("verify: cycle transit time %d is not positive", t)
+	}
+	ratio := numeric.NewRat(g.CycleWeight(cycle), t)
+	if !ratio.Equal(rho) {
+		return fmt.Errorf("verify: cycle ratio %v does not equal claimed ρ* = %v", ratio, rho)
+	}
+	if !checkRatioFeasible(g, rho) {
+		return fmt.Errorf("verify: ρ* = %v is not feasible: a smaller-ratio cycle exists", rho)
+	}
+	return nil
+}
+
+func checkRatioFeasible(g *graph.Graph, rho numeric.Rat) bool {
+	n := g.NumNodes()
+	if n == 0 {
+		return true
+	}
+	p, q := rho.Num(), rho.Den()
+	dist := make([]int64, n)
+	for pass := 0; pass < n; pass++ {
+		changed := false
+		for _, a := range g.Arcs() {
+			w := q*a.Weight - p*a.Transit
+			if nd := dist[a.From] + w; nd < dist[a.To] {
+				dist[a.To] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	for _, a := range g.Arcs() {
+		w := q*a.Weight - p*a.Transit
+		if dist[a.From]+w < dist[a.To] {
+			return false
+		}
+	}
+	return true
+}
+
+// FloatMinMean is a float64 brute force used in property tests to sanity
+// check the exact rational plumbing (it should agree with BruteForceMinMean
+// to within 1e-9 on small weights).
+func FloatMinMean(g *graph.Graph) (float64, error) {
+	best := math.Inf(1)
+	found := false
+	err := EnumerateCycles(g, 0, func(cycle []graph.ArcID) error {
+		mean := float64(g.CycleWeight(cycle)) / float64(len(cycle))
+		if mean < best {
+			best = mean
+		}
+		found = true
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, ErrAcyclic
+	}
+	return best, nil
+}

@@ -1,0 +1,281 @@
+package verify
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func trianglePlusChord() *graph.Graph {
+	// Cycles: 0→1→2→0 (mean 2) and 1→2→1 (mean 3), self-loop at 2 (mean 7).
+	b := graph.NewBuilder(3, 5)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 2)
+	b.AddArc(2, 0, 3)
+	b.AddArc(2, 1, 4)
+	b.AddArc(2, 2, 7)
+	return b.Build()
+}
+
+func TestEnumerateCyclesCounts(t *testing.T) {
+	n, err := CountCycles(trianglePlusChord(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+}
+
+func TestEnumerateCompleteGraphCount(t *testing.T) {
+	// Complete digraph on k nodes has sum over j=2..k of C(k,j)·(j-1)!
+	// simple cycles (length >= 2). For k=4: C(4,2)·1 + C(4,3)·2 + C(4,4)·6
+	// = 6 + 8 + 6 = 20.
+	g := gen.Complete(4, 1, 1, 1)
+	n, err := CountCycles(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("K4 cycle count = %d, want 20", n)
+	}
+}
+
+func TestEnumerateEmitsValidCycles(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 20, MinWeight: 1, MaxWeight: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	err = EnumerateCycles(g, 0, func(cycle []graph.ArcID) error {
+		if err := g.ValidateCycle(cycle); err != nil {
+			return err
+		}
+		// Simple: no repeated nodes.
+		nodes := make(map[graph.NodeID]bool)
+		key := ""
+		// Canonical key: rotate so the smallest arc id is first.
+		minAt := 0
+		for i, id := range cycle {
+			if id < cycle[minAt] {
+				minAt = i
+			}
+		}
+		for i := range cycle {
+			id := cycle[(minAt+i)%len(cycle)]
+			key += string(rune(id)) + ","
+			from := g.Arc(id).From
+			if nodes[from] {
+				t.Fatalf("cycle %v repeats node %d", cycle, from)
+			}
+			nodes[from] = true
+		}
+		if seen[key] {
+			t.Fatalf("cycle emitted twice: %v", cycle)
+		}
+		seen[key] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no cycles found in a strongly connected graph")
+	}
+}
+
+func TestCycleLimit(t *testing.T) {
+	g := gen.Complete(6, 1, 1, 1)
+	_, err := CountCycles(g, 5)
+	if !errors.Is(err, ErrTooManyCycles) {
+		t.Fatalf("got %v, want ErrTooManyCycles", err)
+	}
+}
+
+func TestBruteForceMinMean(t *testing.T) {
+	mean, cycle, err := BruteForceMinMean(trianglePlusChord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(2, 1); !mean.Equal(want) {
+		t.Fatalf("min mean = %v, want 2", mean)
+	}
+	if len(cycle) != 3 {
+		t.Fatalf("critical cycle %v, want the triangle", cycle)
+	}
+	max, _, err := BruteForceMaxMean(trianglePlusChord())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(7, 1); !max.Equal(want) {
+		t.Fatalf("max mean = %v, want 7 (self-loop)", max)
+	}
+}
+
+func TestBruteForceAcyclic(t *testing.T) {
+	b := graph.NewBuilder(3, 2)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 1)
+	g := b.Build()
+	if _, _, err := BruteForceMinMean(g); !errors.Is(err, ErrAcyclic) {
+		t.Fatalf("got %v, want ErrAcyclic", err)
+	}
+	if _, err := FloatMinMean(g); !errors.Is(err, ErrAcyclic) {
+		t.Fatalf("got %v, want ErrAcyclic", err)
+	}
+}
+
+func TestBruteForceMinRatio(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 3, 2)
+	b.AddArcTransit(1, 0, 5, 2)
+	g := b.Build()
+	r, cycle, err := BruteForceMinRatio(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := numeric.NewRat(2, 1); !r.Equal(want) {
+		t.Fatalf("min ratio = %v, want 2", r)
+	}
+	if len(cycle) != 2 {
+		t.Fatalf("cycle %v", cycle)
+	}
+}
+
+func TestBruteForceMinRatioRejectsZeroTransit(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	b.AddNodes(2)
+	b.AddArcTransit(0, 1, 3, 0)
+	b.AddArcTransit(1, 0, 5, 0)
+	g := b.Build()
+	if _, _, err := BruteForceMinRatio(g); err == nil {
+		t.Fatal("zero-transit cycle accepted")
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	g := trianglePlusChord() // λ* = 2
+	if !CheckFeasible(g, numeric.NewRat(2, 1)) {
+		t.Fatal("λ* must be feasible")
+	}
+	if !CheckFeasible(g, numeric.NewRat(1, 1)) {
+		t.Fatal("values below λ* must be feasible")
+	}
+	if CheckFeasible(g, numeric.NewRat(21, 10)) {
+		t.Fatal("values above λ* must be infeasible")
+	}
+}
+
+func TestCheckCycleIsOptimal(t *testing.T) {
+	g := trianglePlusChord()
+	lambda := numeric.NewRat(2, 1)
+	good := []graph.ArcID{0, 1, 2}
+	if err := CheckCycleIsOptimal(g, lambda, good); err != nil {
+		t.Fatalf("optimal cycle rejected: %v", err)
+	}
+	// Wrong lambda claims.
+	if err := CheckCycleIsOptimal(g, numeric.NewRat(3, 1), good); err == nil {
+		t.Fatal("mismatched λ accepted")
+	}
+	// Suboptimal cycle (1→2→1, mean 3).
+	if err := CheckCycleIsOptimal(g, numeric.NewRat(3, 1), []graph.ArcID{1, 3}); err == nil {
+		t.Fatal("suboptimal cycle accepted")
+	}
+	if err := CheckCycleIsOptimal(g, lambda, nil); err == nil {
+		t.Fatal("empty cycle accepted")
+	}
+}
+
+func TestFloatAgreesWithExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.Sprand(gen.SprandConfig{N: 7, M: 15, MinWeight: -9, MaxWeight: 9, Seed: seed})
+		if err != nil {
+			return false
+		}
+		exact, _, err := BruteForceMinMean(g)
+		if err != nil {
+			return false
+		}
+		fl, err := FloatMinMean(g)
+		if err != nil {
+			return false
+		}
+		return math.Abs(exact.Float64()-fl) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFeasibilityCharacterizesOptimum is the LP view of Karp's theorem as a
+// property test: for random small graphs, λ* from brute force is feasible
+// while λ* + 1/(n²+1) is not.
+func TestFeasibilityCharacterizesOptimum(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := gen.Sprand(gen.SprandConfig{N: 6, M: 14, MinWeight: -5, MaxWeight: 15, Seed: seed})
+		if err != nil {
+			return false
+		}
+		lambda, _, err := BruteForceMinMean(g)
+		if err != nil {
+			return false
+		}
+		nudge := numeric.NewRat(1, int64(g.NumNodes()*g.NumNodes()+1))
+		return CheckFeasible(g, lambda) && !CheckFeasible(g, lambda.Add(nudge))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRatioCycleIsOptimal(t *testing.T) {
+	// Cycles of ratio 2 (arcs 0,1) and 4 (arcs 2,3).
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArcTransit(0, 1, 3, 2)
+	b.AddArcTransit(1, 0, 5, 2)
+	b.AddArcTransit(1, 2, 6, 1)
+	b.AddArcTransit(2, 1, 2, 1)
+	g := b.Build()
+
+	good := []graph.ArcID{0, 1}
+	if err := CheckRatioCycleIsOptimal(g, numeric.NewRat(2, 1), good); err != nil {
+		t.Fatalf("optimal ratio cycle rejected: %v", err)
+	}
+	if err := CheckRatioCycleIsOptimal(g, numeric.NewRat(4, 1), []graph.ArcID{2, 3}); err == nil {
+		t.Fatal("suboptimal ratio accepted")
+	}
+	if err := CheckRatioCycleIsOptimal(g, numeric.NewRat(3, 1), good); err == nil {
+		t.Fatal("mismatched ρ accepted")
+	}
+	if err := CheckRatioCycleIsOptimal(g, numeric.NewRat(2, 1), nil); err == nil {
+		t.Fatal("empty cycle accepted")
+	}
+	if err := CheckRatioCycleIsOptimal(g, numeric.NewRat(2, 1), []graph.ArcID{0, 2}); err == nil {
+		t.Fatal("broken walk accepted")
+	}
+	// Zero-transit cycle.
+	b2 := graph.NewBuilder(1, 1)
+	b2.AddNodes(1)
+	b2.AddArcTransit(0, 0, 5, 0)
+	if err := CheckRatioCycleIsOptimal(b2.Build(), numeric.FromInt(5), []graph.ArcID{0}); err == nil {
+		t.Fatal("zero-transit cycle accepted")
+	}
+}
+
+func TestBruteForceMaxMeanError(t *testing.T) {
+	b := graph.NewBuilder(2, 1)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 3)
+	if _, _, err := BruteForceMaxMean(b.Build()); !errors.Is(err, ErrAcyclic) {
+		t.Fatalf("got %v, want ErrAcyclic", err)
+	}
+}
