@@ -13,6 +13,8 @@ build:
 test:
 	$(GO) test ./...
 
+# Merge gate (also run by CI): the concurrent SCC driver, portfolio
+# racing, and pooled workspaces must stay race-clean.
 test-race:
 	$(GO) test -race ./...
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,7 +30,8 @@ import (
 
 func main() {
 	var (
-		algoName = flag.String("algo", "howard", "algorithm: mean solvers "+strings.Join(core.Names(), ",")+"; ratio solvers "+strings.Join(ratio.Names(), ","))
+		algoName = flag.String("algo", "howard", "algorithm: mean solvers "+strings.Join(core.Names(), ",")+
+			", or portfolio[:a+b] to race several solvers; ratio solvers "+strings.Join(ratio.Names(), ","))
 		useRatio = flag.Bool("ratio", false, "solve the cost-to-time ratio problem instead of the mean problem")
 		maximize = flag.Bool("max", false, "maximize instead of minimize")
 		counts   = flag.Bool("counts", false, "print operation counts")
@@ -38,6 +40,7 @@ func main() {
 		eps      = flag.Float64("epsilon", 0, "precision for the approximate algorithms (0 = exact)")
 		all      = flag.Bool("all", false, "run every mean algorithm concurrently, cross-check, and print a timing table")
 		slackTop = flag.Int("slack", 0, "print the k tightest arcs (criticality/slack report; mean problem only)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for solving strongly connected components concurrently (1 = sequential)")
 	)
 	flag.Parse()
 	var err error
@@ -47,7 +50,7 @@ func main() {
 	case *slackTop > 0:
 		err = runSlack(*slackTop, flag.Args())
 	default:
-		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, flag.Args())
+		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcm:", err)
@@ -131,7 +134,7 @@ func runAll(args []string) error {
 	return nil
 }
 
-func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, args []string) error {
+func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, args []string) error {
 	var in io.Reader = os.Stdin
 	name := "<stdin>"
 	if len(args) > 0 {
@@ -147,7 +150,7 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Epsilon: eps}
+	opt := core.Options{Epsilon: eps, Parallelism: parallel}
 
 	var (
 		value  string

@@ -48,7 +48,7 @@ a 3 1 4
 func TestRunMean(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, true, true, "", 0, []string{path})
+		return run("howard", false, false, true, true, "", 0, 2, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +72,7 @@ a 1 1 9
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("karp", false, true, false, false, "", 0, []string{path})
+		return run("karp", false, true, false, false, "", 0, 2, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ a 2 1 5 2
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("howard", true, false, false, false, "", 0, []string{path})
+		return run("howard", true, false, false, false, "", 0, 2, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestRunDOTOutput(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	if _, err := capture(t, func() error {
-		return run("yto", false, false, false, false, dot, 0, []string{path})
+		return run("yto", false, false, false, false, dot, 0, 2, []string{path})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -118,19 +118,19 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
-	if err := run("bogus", false, false, false, false, "", 0, []string{path}); err == nil {
+	if err := run("bogus", false, false, false, false, "", 0, 2, []string{path}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("howard", false, false, false, false, "", 0, []string{"/does/not/exist"}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeGraphFile(t, "not a graph\n")
-	if err := run("howard", false, false, false, false, "", 0, []string{bad}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, []string{bad}); err == nil {
 		t.Error("malformed file accepted")
 	}
 	// Acyclic graph → solver error surfaces.
 	dag := writeGraphFile(t, "p mcm 2 1\na 1 2 5\n")
-	if err := run("howard", false, false, false, false, "", 0, []string{dag}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, []string{dag}); err == nil {
 		t.Error("acyclic graph accepted")
 	}
 }

@@ -38,14 +38,16 @@ func main() {
 		verify   = flag.Bool("verify", false, "cross-check all algorithms agree exactly on every instance")
 		progress = flag.Bool("progress", false, "print one line per completed run to stderr")
 		jsonOut  = flag.Bool("json", false, "emit the sweep as JSON instead of a table")
+		parallel = flag.Int("parallel", 1, "seed instances solved concurrently per size (negative = NumCPU); results are aggregated deterministically, but per-run timings contend for cores")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{
-		Seeds:    *seeds,
-		Timeout:  *timeout,
-		MemLimit: *memLimit,
-		Verify:   *verify,
+		Seeds:       *seeds,
+		Timeout:     *timeout,
+		MemLimit:    *memLimit,
+		Verify:      *verify,
+		Parallelism: *parallel,
 	}
 	if *quick {
 		if cfg.Seeds == 0 {

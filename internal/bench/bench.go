@@ -10,6 +10,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/circuit"
@@ -45,6 +48,12 @@ type Config struct {
 	// Verify enables the exact cross-check that all algorithms agree and
 	// every returned cycle is optimal.
 	Verify bool
+	// Parallelism is the number of seed instances evaluated concurrently
+	// within each size (0 or 1 = sequential, negative = NumCPU). Outcomes
+	// are aggregated in seed order after the fan-out joins, so the report —
+	// cell sums, verify mismatches, progress lines — is byte-identical to a
+	// sequential sweep; only wall-clock timing of individual runs varies.
+	Parallelism int
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -119,59 +128,114 @@ func Run(cfg Config) (*Report, error) {
 		}
 		rep.Cells = append(rep.Cells, cells)
 
-		for seed := 0; seed < cfg.Seeds; seed++ {
+		// Skip decisions depend only on smaller sizes (timedOutAt) and on
+		// static memory bounds, so they are fixed up front for the whole
+		// size; the remaining algorithms run on every seed.
+		run := make([]string, 0, len(cfg.Algorithms))
+		for _, name := range cfg.Algorithms {
+			cell := cells[name]
+			if quadraticSpace[name] && int64(n+1)*int64(n)*8 > cfg.MemLimit {
+				cell.Skipped, cell.Reason = true, "memory"
+				continue
+			}
+			if bad, ok := timedOutAt[name]; ok && n > bad {
+				cell.Skipped, cell.Reason = true, "time"
+				continue
+			}
+			run = append(run, name)
+		}
+		algos := make([]core.Algorithm, len(run))
+		for i, name := range run {
+			algo, err := core.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			algos[i] = algo
+		}
+
+		// Fan the seeds out to a bounded worker pool (each worker owns its
+		// seed's outcome slot — no shared accumulation), then aggregate in
+		// seed order below so the sums match a sequential sweep exactly.
+		type outcome struct {
+			elapsed time.Duration
+			res     core.Result
+		}
+		outs := make([][]outcome, cfg.Seeds)
+		errs := make([]error, cfg.Seeds)
+		solveSeed := func(seed int) {
 			g, err := gen.Sprand(gen.SprandConfig{
 				N: n, M: m, MinWeight: cfg.MinWeight, MaxWeight: cfg.MaxWeight,
 				Seed: uint64(seed) + 1,
 			})
 			if err != nil {
-				return nil, err
+				errs[seed] = err
+				return
 			}
-			var ref numeric.Rat
-			haveRef := false
-			for _, name := range cfg.Algorithms {
-				cell := cells[name]
-				if cell.Skipped {
-					continue
-				}
-				if quadraticSpace[name] && int64(n+1)*int64(n)*8 > cfg.MemLimit {
-					cell.Skipped, cell.Reason = true, "memory"
-					continue
-				}
-				if bad, ok := timedOutAt[name]; ok && n > bad {
-					cell.Skipped, cell.Reason = true, "time"
-					continue
-				}
-				algo, err := core.ByName(name)
-				if err != nil {
-					return nil, err
-				}
+			row := make([]outcome, len(algos))
+			for i, algo := range algos {
 				start := time.Now()
 				res, err := algo.Solve(g, core.Options{})
 				elapsed := time.Since(start)
 				if err != nil {
-					return nil, fmt.Errorf("bench: %s on n=%d m=%d seed=%d: %w", name, n, m, seed, err)
+					errs[seed] = fmt.Errorf("bench: %s on n=%d m=%d seed=%d: %w", run[i], n, m, seed, err)
+					return
 				}
-				cell.Seconds += elapsed.Seconds()
-				cell.Counts.Add(res.Counts)
-				cell.Lambda += res.Mean.Float64()
+				row[i] = outcome{elapsed, res}
+			}
+			outs[seed] = row
+		}
+		if workers := benchWorkers(cfg.Parallelism, cfg.Seeds); workers > 1 {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						seed := int(next.Add(1)) - 1
+						if seed >= cfg.Seeds {
+							return
+						}
+						solveSeed(seed)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				solveSeed(seed)
+			}
+		}
+
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			if errs[seed] != nil {
+				return nil, errs[seed]
+			}
+			var ref numeric.Rat
+			haveRef := false
+			for i, name := range run {
+				o := outs[seed][i]
+				cell := cells[name]
+				cell.Seconds += o.elapsed.Seconds()
+				cell.Counts.Add(o.res.Counts)
+				cell.Lambda += o.res.Mean.Float64()
 				cell.Seeds++
-				if elapsed > cfg.Timeout {
+				if o.elapsed > cfg.Timeout {
 					if prev, ok := timedOutAt[name]; !ok || n < prev {
 						timedOutAt[name] = n
 					}
 				}
 				if cfg.Verify {
 					if !haveRef {
-						ref, haveRef = res.Mean, true
-					} else if !res.Mean.Equal(ref) {
+						ref, haveRef = o.res.Mean, true
+					} else if !o.res.Mean.Equal(ref) {
 						rep.Mismatches = append(rep.Mismatches,
-							fmt.Sprintf("n=%d m=%d seed=%d: %s returned %v, reference %v", n, m, seed, name, res.Mean, ref))
+							fmt.Sprintf("n=%d m=%d seed=%d: %s returned %v, reference %v", n, m, seed, name, o.res.Mean, ref))
 					}
 				}
 				if cfg.Progress != nil {
 					fmt.Fprintf(cfg.Progress, "n=%5d m=%6d seed=%2d %-7s %10.3fms\n",
-						n, m, seed, name, elapsed.Seconds()*1000)
+						n, m, seed, name, o.elapsed.Seconds()*1000)
 				}
 			}
 		}
@@ -186,6 +250,20 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// benchWorkers resolves Config.Parallelism against the seed count.
+func benchWorkers(parallelism, seeds int) int {
+	if parallelism < 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > seeds {
+		parallelism = seeds
+	}
+	return parallelism
 }
 
 func scaleCounts(c counter.Counts, by int) counter.Counts {

@@ -54,6 +54,50 @@ func TestRunSweepAndRenderAll(t *testing.T) {
 	}
 }
 
+func TestRunParallelSeedsDeterministic(t *testing.T) {
+	seq, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.Parallelism = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Mismatches) != 0 {
+		t.Fatalf("mismatches under parallel seeds: %v", par.Mismatches)
+	}
+	// Everything except wall-clock timing must be identical: parallel seed
+	// evaluation is aggregated in seed order, so counts, λ values, and seed
+	// tallies match the sequential sweep exactly.
+	for i := range seq.Cells {
+		for name, want := range seq.Cells[i] {
+			got := par.Cells[i][name]
+			if got == nil {
+				t.Fatalf("size %d: %s missing from parallel report", i, name)
+			}
+			if got.Counts != want.Counts || got.Lambda != want.Lambda ||
+				got.Seeds != want.Seeds || got.Skipped != want.Skipped {
+				t.Fatalf("size %d %s: parallel cell %+v != sequential %+v", i, name, got, want)
+			}
+		}
+	}
+}
+
+func TestBenchWorkers(t *testing.T) {
+	for _, tc := range []struct{ p, seeds, want int }{
+		{0, 10, 1}, {1, 10, 1}, {4, 10, 4}, {16, 10, 10},
+	} {
+		if got := benchWorkers(tc.p, tc.seeds); got != tc.want {
+			t.Errorf("benchWorkers(%d, %d) = %d, want %d", tc.p, tc.seeds, got, tc.want)
+		}
+	}
+	if got := benchWorkers(-1, 10); got < 1 || got > 10 {
+		t.Errorf("benchWorkers(-1, 10) = %d, want in [1, 10]", got)
+	}
+}
+
 func TestMemLimitProducesNA(t *testing.T) {
 	cfg := tinyConfig()
 	cfg.MemLimit = 1024 // absurdly small: all quadratic-space algorithms skip

@@ -40,8 +40,18 @@ func abs64(x int64) int64 {
 // otherwise. counts, if non-nil, accumulates relaxation counts.
 func bellmanFordScaled(g *graph.Graph, p, q int64, counts *counter.Counts) (dist []int64, negCycle []graph.ArcID) {
 	n := g.NumNodes()
-	dist = make([]int64, n)
-	parent := make([]graph.ArcID, n)
+	return bellmanFordScaledInto(g, p, q, counts, make([]int64, n), make([]graph.ArcID, n))
+}
+
+// bellmanFordScaledInto is bellmanFordScaled with caller-provided scratch
+// (both slices must have length g.NumNodes()); the returned dist aliases
+// the provided slice. Hot paths pass pooled workspace slices so repeated
+// feasibility checks allocate nothing.
+func bellmanFordScaledInto(g *graph.Graph, p, q int64, counts *counter.Counts, dist []int64, parent []graph.ArcID) ([]int64, []graph.ArcID) {
+	n := g.NumNodes()
+	for i := range dist {
+		dist[i] = 0
+	}
 	for i := range parent {
 		parent[i] = -1
 	}
@@ -82,7 +92,7 @@ func bellmanFordScaled(g *graph.Graph, p, q int64, counts *counter.Counts) (dist
 	}
 	// rev lists arcs backwards (ending at start); reverse to get a forward
 	// closed walk.
-	negCycle = make([]graph.ArcID, len(rev))
+	negCycle := make([]graph.ArcID, len(rev))
 	for i, id := range rev {
 		negCycle[len(rev)-1-i] = id
 	}
@@ -92,11 +102,17 @@ func bellmanFordScaled(g *graph.Graph, p, q int64, counts *counter.Counts) (dist
 // hasNegativeCycleScaled reports whether G_{p/q} has a negative cycle,
 // returning one if so.
 func hasNegativeCycleScaled(g *graph.Graph, p, q int64, counts *counter.Counts) (bool, []graph.ArcID) {
+	n := g.NumNodes()
+	return hasNegativeCycleScaledInto(g, p, q, counts, make([]int64, n), make([]graph.ArcID, n))
+}
+
+// hasNegativeCycleScaledInto is hasNegativeCycleScaled with caller-provided
+// scratch; see bellmanFordScaledInto.
+func hasNegativeCycleScaledInto(g *graph.Graph, p, q int64, counts *counter.Counts, dist []int64, parent []graph.ArcID) (bool, []graph.ArcID) {
 	if counts != nil {
 		counts.NegativeCycleChecks++
 	}
-	dist, neg := bellmanFordScaled(g, p, q, counts)
-	_ = dist
+	_, neg := bellmanFordScaledInto(g, p, q, counts, dist, parent)
 	return neg != nil, neg
 }
 
@@ -111,31 +127,29 @@ func extractCriticalCycle(g *graph.Graph, lambda numeric.Rat) ([]graph.ArcID, er
 	if scaledOverflows(g, p, q) {
 		return nil, ErrWeightRange
 	}
-	dist, neg := bellmanFordScaled(g, p, q, nil)
+	n := g.NumNodes()
+	ws := getExtractWS(n)
+	defer ws.release()
+	dist, neg := bellmanFordScaledInto(g, p, q, nil, ws.dist, ws.parent)
 	if neg != nil {
 		return nil, fmt.Errorf("core: λ = %v is below the minimum cycle mean", lambda)
 	}
-	// Tight successor lists.
-	n := g.NumNodes()
 	// Find a cycle among tight arcs with an iterative DFS (white/gray/black).
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make([]byte, n)
-	onPath := make([]graph.ArcID, 0, n) // arc taken to reach each gray node
-	type frame struct {
-		v   graph.NodeID
-		arc int32
-	}
-	stack := make([]frame, 0, n)
+	color := ws.color
+	onPath := ws.onPath // arc taken to reach each gray node
+	stack := ws.stack
+	defer func() { ws.onPath, ws.stack = onPath, stack }()
 	for root := graph.NodeID(0); int(root) < n; root++ {
 		if color[root] != white {
 			continue
 		}
 		color[root] = gray
-		stack = append(stack[:0], frame{v: root})
+		stack = append(stack[:0], ecFrame{v: root})
 		onPath = onPath[:0]
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
@@ -169,7 +183,7 @@ func extractCriticalCycle(g *graph.Graph, lambda numeric.Rat) ([]graph.ArcID, er
 				case white:
 					color[w] = gray
 					onPath = append(onPath, id)
-					stack = append(stack, frame{v: w})
+					stack = append(stack, ecFrame{v: w})
 					advanced = true
 				}
 				if advanced {
@@ -206,10 +220,24 @@ func finishExact(g *graph.Graph, lambda numeric.Rat, cycle []graph.ArcID, counts
 // out-arc per node (arc IDs into g; policy[v] must leave v). fn is called
 // once per cycle with the arc sequence; the slice is reused across calls.
 func policyCycles(g *graph.Graph, policy []graph.ArcID, fn func(cycle []graph.ArcID)) {
+	var s pcScratch
+	s.policyCycles(g, policy, fn)
+}
+
+// policyCycles is the scratch-reusing form of the free function: Howard's
+// algorithm calls it once per policy iteration, so the traversal buffers
+// live in the solver's pooled workspace instead of being reallocated.
+func (s *pcScratch) policyCycles(g *graph.Graph, policy []graph.ArcID, fn func(cycle []graph.ArcID)) {
 	n := len(policy)
-	state := make([]int32, n) // 0 unvisited, 1 in current walk, 2 done
-	walkPos := make([]int32, n)
-	var walk []graph.NodeID
+	s.state = grow(s.state, n) // 0 unvisited, 1 in current walk, 2 done
+	for i := range s.state {
+		s.state[i] = 0
+	}
+	s.walkPos = grow(s.walkPos, n)
+	state, walkPos := s.state, s.walkPos
+	walk := s.walk[:0]
+	cycle := s.cycle[:0]
+	defer func() { s.walk, s.cycle = walk, cycle }()
 	for root := 0; root < n; root++ {
 		if state[root] != 0 {
 			continue
@@ -225,7 +253,7 @@ func policyCycles(g *graph.Graph, policy []graph.ArcID, fn func(cycle []graph.Ar
 		if state[v] == 1 {
 			// Nodes from walkPos[v] onward form a cycle.
 			start := walkPos[v]
-			cycle := make([]graph.ArcID, 0, int32(len(walk))-start)
+			cycle = cycle[:0]
 			for i := start; i < int32(len(walk)); i++ {
 				cycle = append(cycle, policy[walk[i]])
 			}

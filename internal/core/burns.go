@@ -60,6 +60,9 @@ func (burnsAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 
 	maxIter := opt.maxIter(4*n*n + 100)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		counts.Iterations++
 
 		// Rebuild the critical subgraph from scratch (the non-incremental

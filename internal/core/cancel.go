@@ -1,0 +1,40 @@
+package core
+
+import "sync/atomic"
+
+// cancelFlag is a lock-free cancellation token polled by the solvers' main
+// loops. Flags chain through parent so a Portfolio race nested inside an
+// already-cancellable run observes both its own loss and the outer
+// cancellation.
+type cancelFlag struct {
+	flag   atomic.Bool
+	parent *cancelFlag
+}
+
+func (c *cancelFlag) set() { c.flag.Store(true) }
+
+func (c *cancelFlag) canceled() bool {
+	for ; c != nil; c = c.parent {
+		if c.flag.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// Canceled reports whether this run has been canceled (for example because
+// another solver of a Portfolio race already produced an exact answer).
+// Long-running custom Algorithm implementations should poll it once per
+// main-loop iteration and return ErrCanceled when it fires, exactly as the
+// built-in solvers do; runs not started by a cancellable context always
+// report false.
+func (o Options) Canceled() bool { return o.cancel.canceled() }
+
+// checkpoint returns ErrCanceled when the run has been canceled, else nil.
+// The built-in solvers call it at the top of every main-loop iteration.
+func (o Options) checkpoint() error {
+	if o.cancel.canceled() {
+		return ErrCanceled
+	}
+	return nil
+}

@@ -20,7 +20,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
 
 	"repro/internal/counter"
 	"repro/internal/graph"
@@ -43,12 +45,16 @@ var (
 	ErrIterationLimit = errors.New("core: iteration limit exceeded")
 	// ErrWeightRange means arc weights are too large for the exact integer
 	// arithmetic (|w| must fit 32 bits for the scaled computations).
-	ErrWeightRange = errors.New("core: arc weights exceed the supported ±2^31 range")
+	ErrWeightRange = errors.New("core: arc weights exceed the supported ±(2^31−1) range")
+	// ErrCanceled is returned by Solve when the run was canceled (by a
+	// Portfolio race that another solver won, or by a caller-installed
+	// cancellation); see Options.Canceled.
+	ErrCanceled = errors.New("core: solve canceled")
 )
 
 // MaxWeightMagnitude is the largest |weight| the exact scaled arithmetic
-// supports; see ErrWeightRange.
-const MaxWeightMagnitude = 1 << 31
+// supports (the largest magnitude that fits 32 bits); see ErrWeightRange.
+const MaxWeightMagnitude = 1<<31 - 1
 
 // Options carries the tunables shared by all algorithms. The zero value
 // selects the defaults used throughout the paper's experiments.
@@ -73,6 +79,20 @@ type Options struct {
 	// MaxIterations caps main-loop iterations as a safety valve; zero
 	// selects a generous per-algorithm default.
 	MaxIterations int
+
+	// Parallelism bounds the number of concurrently solved strongly
+	// connected components in MinimumCycleMean. 0 and 1 select the
+	// sequential driver (the zero value keeps the classic behavior);
+	// negative means runtime.NumCPU(). The parallel driver returns
+	// bit-identical results to the sequential one: components are merged
+	// in decomposition order, so the winning mean, cycle, and operation
+	// counts do not depend on goroutine scheduling.
+	Parallelism int
+
+	// cancel, when non-nil, makes the solvers return ErrCanceled soon
+	// after the flag is set; the main loops poll it once per iteration.
+	// Installed by Portfolio to stop losing solvers promptly.
+	cancel *cancelFlag
 }
 
 func (o Options) maxIter(def int) int {
@@ -80,6 +100,18 @@ func (o Options) maxIter(def int) int {
 		return o.MaxIterations
 	}
 	return def
+}
+
+// workers resolves Options.Parallelism to a worker count (>= 1).
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.NumCPU()
+	case o.Parallelism <= 1:
+		return 1
+	default:
+		return o.Parallelism
+	}
 }
 
 // Result is the outcome of one solver run.
@@ -150,11 +182,16 @@ func register(name string, ctor func() Algorithm) {
 }
 
 // ByName returns a fresh instance of the named algorithm. Valid names are
-// the ones in Names.
+// the ones in Names, plus the meta-algorithm "portfolio" (optionally with
+// an explicit roster, e.g. "portfolio:howard+karp"), which races several
+// solvers and returns the first exact answer; see NewPortfolio.
 func ByName(name string) (Algorithm, error) {
+	if name == portfolioName || strings.HasPrefix(name, portfolioName+":") {
+		return portfolioByName(name)
+	}
 	ctor, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("core: unknown algorithm %q (known: %v, plus %q)", name, Names(), portfolioName)
 	}
 	return ctor(), nil
 }
@@ -184,13 +221,23 @@ func All() []Algorithm {
 // connected components, solve each cyclic component, take the minimum.
 // Cycle arc IDs in the result refer to g. Returns ErrAcyclic when g has no
 // cycle.
+//
+// With Options.Parallelism > 1 the cyclic components are fanned out to a
+// bounded worker pool; the result (mean, cycle, and operation counts) is
+// bit-identical to the sequential driver's. The Algorithm must then be safe
+// for concurrent Solve calls — every built-in solver is, as all per-run
+// state lives in private workspaces.
 func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, error) {
 	comps := graph.CyclicComponents(g)
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
 	}
+	if workers := opt.workers(); workers > 1 && len(comps) > 1 {
+		return minimumCycleMeanParallel(algo, opt, comps, workers)
+	}
 	var (
 		best  Result
+		total counter.Counts
 		found bool
 	)
 	for _, comp := range comps {
@@ -198,6 +245,7 @@ func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, erro
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)
 		}
+		total.Add(r.Counts)
 		// Translate cycle arcs back to g.
 		cycle := make([]graph.ArcID, len(r.Cycle))
 		for i, id := range r.Cycle {
@@ -205,15 +253,11 @@ func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, erro
 		}
 		r.Cycle = cycle
 		if !found || r.Mean.Less(best.Mean) {
-			counts := best.Counts
-			counts.Add(r.Counts)
 			best = r
-			best.Counts = counts
 			found = true
-		} else {
-			best.Counts.Add(r.Counts)
 		}
 	}
+	best.Counts = total
 	return best, nil
 }
 

@@ -165,6 +165,36 @@ func TestWeightRangeGuard(t *testing.T) {
 	}
 }
 
+func TestWeightRangeBoundary(t *testing.T) {
+	// ±(2^31−1) is the documented limit and must be admitted exactly;
+	// one past it must be rejected. Exercises both sides of the guard.
+	mk := func(w int64) *graph.Graph {
+		b := graph.NewBuilder(2, 2)
+		b.AddNodes(2)
+		b.AddArc(0, 1, w)
+		b.AddArc(1, 0, -w)
+		return b.Build()
+	}
+	for _, w := range []int64{MaxWeightMagnitude, -MaxWeightMagnitude} {
+		g := mk(w)
+		if err := checkSolveInput(g); err != nil {
+			t.Fatalf("weight %d rejected: %v", w, err)
+		}
+		res, err := howardAlg{}.Solve(g, Options{})
+		if err != nil {
+			t.Fatalf("howard at weight %d: %v", w, err)
+		}
+		if !res.Exact || !res.Mean.IsZero() {
+			t.Fatalf("howard at weight %d: mean %v, want exact 0", w, res.Mean)
+		}
+	}
+	for _, w := range []int64{MaxWeightMagnitude + 1, -(MaxWeightMagnitude + 1)} {
+		if err := checkSolveInput(mk(w)); !errors.Is(err, ErrWeightRange) {
+			t.Fatalf("weight %d: %v, want ErrWeightRange", w, err)
+		}
+	}
+}
+
 func TestMinimumCycleMeanDriver(t *testing.T) {
 	// MultiSCC: minimum over blocks. Howard on the full graph via driver
 	// must match brute force over the whole graph.

@@ -45,6 +45,9 @@ func (dgAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	next := make([]graph.NodeID, 0, n)
 
 	for k := 1; k <= n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		prev, cur := row(k-1), row(k)
 		for i := range cur {
 			cur[i] = infD

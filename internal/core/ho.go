@@ -63,6 +63,9 @@ func (hoAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	potInfinite := n
 
 	for k := 1; k <= n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		prev, cur := row(k-1), row(k)
 		for i := range cur {
 			cur[i] = infD

@@ -57,8 +57,11 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		eps = 1e-10 * scale
 	}
 
+	ws := getHowardWS(n)
+	defer ws.release()
+
 	// Initial policy: cheapest out-arc (Figure 1 lines 1–4).
-	policy := make([]graph.ArcID, n)
+	policy := ws.policy
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		policy[v] = -1
 		best := int64(0)
@@ -73,18 +76,23 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		}
 	}
 
-	gain := make([]numeric.Rat, n)
-	gainRank := make([]int32, n) // rank of gain[v] among this iteration's distinct gains
-	gainSet := make([]bool, n)
-	cycleGains := make([]numeric.Rat, 0, 8)
-	cycleSeq := make([]int32, n) // v -> index into cycleGains
-	d := make([]float64, n)
-	childHead := make([]int32, n)
-	childNext := make([]int32, n)
-	queue := make([]graph.NodeID, 0, n)
+	gain := ws.gain
+	gainRank := ws.gainRank // rank of gain[v] among this iteration's distinct gains
+	gainSet := ws.gainSet
+	cycleGains := ws.cycleGains[:0]
+	cycleSeq := ws.cycleSeq // v -> index into cycleGains
+	d := ws.d               // zeroed by getHowardWS
+	childHead := ws.childHead
+	childNext := ws.childNext
+	queue := ws.queue[:0]
+	bestCycBuf := ws.bestCyc[:0]
+	defer func() { ws.cycleGains, ws.queue, ws.bestCyc = cycleGains, queue, bestCycBuf }()
 
 	maxIter := opt.maxIter(100*n + 1000)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		counts.Iterations++
 
 		// Value determination per basin.
@@ -100,15 +108,14 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		}
 		var (
 			bestGain numeric.Rat
-			bestCyc  []graph.ArcID
 			haveBest bool
 		)
-		policyCycles(g, policy, func(cycle []graph.ArcID) {
+		ws.pc.policyCycles(g, policy, func(cycle []graph.ArcID) {
 			counts.CyclesExamined++
 			r := numeric.NewRat(g.CycleWeight(cycle), int64(len(cycle)))
 			if !haveBest || r.Less(bestGain) {
 				bestGain = r
-				bestCyc = append(bestCyc[:0], cycle...)
+				bestCycBuf = append(bestCycBuf[:0], cycle...)
 				haveBest = true
 			}
 			rf := r.Float64()
@@ -147,7 +154,10 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		if !haveBest {
 			return Result{}, ErrIterationLimit // impossible: out-degree 1 everywhere
 		}
-		ranks := numeric.Ranks(cycleGains)
+		ws.rankIdx = grow(ws.rankIdx, len(cycleGains))
+		ws.ranks = grow(ws.ranks, len(cycleGains))
+		numeric.RanksInto(cycleGains, ws.rankIdx, ws.ranks)
+		ranks := ws.ranks
 		for v := 0; v < n; v++ {
 			gainRank[v] = ranks[cycleSeq[v]]
 		}
@@ -194,9 +204,9 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		// Hardened Figure 1 line 19: certify λ exactly before returning;
 		// resume with a tighter threshold on (float-induced) failure.
 		if !improved {
-			if neg, _ := hasNegativeCycleScaled(g, bestGain.Num(), bestGain.Den(), &counts); !neg {
-				cycle := make([]graph.ArcID, len(bestCyc))
-				copy(cycle, bestCyc)
+			if neg, _ := hasNegativeCycleScaledInto(g, bestGain.Num(), bestGain.Den(), &counts, ws.bfDist, ws.bfParent); !neg {
+				cycle := make([]graph.ArcID, len(bestCycBuf))
+				copy(cycle, bestCycBuf)
 				return Result{Mean: bestGain, Cycle: cycle, Exact: true, Counts: counts}, nil
 			}
 			eps /= 2

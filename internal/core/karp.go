@@ -36,8 +36,12 @@ func (karpAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	n := g.NumNodes()
 	var counts counter.Counts
 
+	ws := getKarpWS()
+	defer ws.release()
+
 	// D is (n+1) rows of n values, flattened.
-	D := make([]int64, (n+1)*n)
+	ws.D = grow(ws.D, (n+1)*n)
+	D := ws.D
 	row := func(k int) []int64 { return D[k*n : (k+1)*n] }
 	r0 := row(0)
 	for i := range r0 {
@@ -46,6 +50,9 @@ func (karpAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	r0[0] = 0 // source s = node 0
 
 	for k := 1; k <= n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		prev, cur := row(k-1), row(k)
 		for i := range cur {
 			cur[i] = infD
@@ -129,8 +136,13 @@ func (karp2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	n := g.NumNodes()
 	var counts counter.Counts
 
-	prev := make([]int64, n)
-	cur := make([]int64, n)
+	ws := getKarpWS()
+	defer ws.release()
+
+	ws.prev = grow(ws.prev, n)
+	ws.cur = grow(ws.cur, n)
+	prev := ws.prev
+	cur := ws.cur
 	step := func() {
 		for i := range cur {
 			cur[i] = infD
@@ -157,15 +169,25 @@ func (karp2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	// Pass 1: compute D_n.
 	reset()
 	for k := 1; k <= n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		step()
 	}
-	dn := make([]int64, n)
+	ws.dn = grow(ws.dn, n)
+	dn := ws.dn
 	copy(dn, prev)
 
 	// Pass 2: recompute D_k for k = 0..n−1, folding the maximization.
-	maxNum := make([]int64, n)
-	maxDen := make([]int64, n)
-	haveMax := make([]bool, n)
+	ws.maxNum = grow(ws.maxNum, n)
+	ws.maxDen = grow(ws.maxDen, n)
+	ws.haveMax = grow(ws.haveMax, n)
+	maxNum := ws.maxNum
+	maxDen := ws.maxDen
+	haveMax := ws.haveMax
+	for i := range haveMax {
+		haveMax[i] = false
+	}
 	fold := func(k int) {
 		for v := 0; v < n; v++ {
 			if dn[v] >= infD || prev[v] >= infD {
@@ -181,6 +203,9 @@ func (karp2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	reset()
 	fold(0)
 	for k := 1; k < n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		step()
 		fold(k)
 	}

@@ -71,6 +71,9 @@ func (lawlerAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		return ncd.Detect(g, weights, opt.NCD, &counts)
 	}
 	for hi-lo > 1 {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		counts.Iterations++
 		mid := lo + (hi-lo)/2
 		cyc, neg := probe(mid)

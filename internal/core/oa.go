@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/counter"
 	"repro/internal/graph"
@@ -134,6 +135,9 @@ func (a oaAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	}
 	maxIter := opt.maxIter(g.NumNodes()*g.NumArcs() + 64)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		counts.Iterations++
 		counts.NegativeCycleChecks++
 		p, q := bestMean.Num(), bestMean.Den()
@@ -191,6 +195,9 @@ func newAssignInstance(g *graph.Graph) *assignInstance {
 		for to, id := range bestTo {
 			edges = append(edges, assignEdge{obj: to, arcID: id, w: g.Arc(id).Weight})
 		}
+		// Map iteration order is randomized; sort so the oracle's edge scan
+		// order — and with it the operation counts — is deterministic.
+		sort.Slice(edges[1:], func(i, j int) bool { return edges[1+i].obj < edges[1+j].obj })
 		inst.adj[u] = edges
 	}
 	return inst

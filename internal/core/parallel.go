@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/counter"
+	"repro/internal/graph"
+)
+
+// minimumCycleMeanParallel is the concurrent SCC driver behind
+// MinimumCycleMean when Options.Parallelism asks for more than one worker.
+// Components are distributed to a bounded pool via an atomic work index;
+// every outcome is stored at its component's slot and the merge runs
+// sequentially in decomposition order afterwards, so the returned mean,
+// cycle, and error do not depend on goroutine scheduling. Operation counts
+// are aggregated into one private counter.Counts per worker (no shared
+// mutable state between goroutines) and folded once after the join; integer
+// addition commutes, so the totals equal the sequential driver's.
+func minimumCycleMeanParallel(algo Algorithm, opt Options, comps []graph.Component, workers int) (Result, error) {
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	type compOut struct {
+		res Result
+		err error
+	}
+	outs := make([]compOut, len(comps))
+	partial := make([]counter.Counts, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(comps) {
+					return
+				}
+				r, err := algo.Solve(comps[i].Graph, opt)
+				if err != nil {
+					outs[i] = compOut{err: err}
+					continue
+				}
+				partial[w].Add(r.Counts)
+				r.Counts = counter.Counts{}
+				cycle := make([]graph.ArcID, len(r.Cycle))
+				for j, id := range r.Cycle {
+					cycle[j] = comps[i].ArcMap[id]
+				}
+				r.Cycle = cycle
+				outs[i] = compOut{res: r}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total counter.Counts
+	for w := range partial {
+		total.Add(partial[w])
+	}
+	var (
+		best  Result
+		found bool
+	)
+	for i := range outs {
+		if err := outs[i].err; err != nil {
+			// Same error the sequential driver would report: the failure of
+			// the earliest component in decomposition order.
+			return Result{}, fmt.Errorf("core: %s on component of %d nodes: %w", algo.Name(), comps[i].Graph.NumNodes(), err)
+		}
+		if !found || outs[i].res.Mean.Less(best.Mean) {
+			best = outs[i].res
+			found = true
+		}
+	}
+	best.Counts = total
+	return best, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestParallelDriverMatchesSequential is the tentpole equivalence test: on
+// well over 100 random multi-SCC graphs, the parallel driver must return a
+// bit-identical mean, the identical critical cycle, and identical operation
+// counts to the sequential driver — parallelism is an implementation detail
+// that must never leak into results.
+func TestParallelDriverMatchesSequential(t *testing.T) {
+	algos := []Algorithm{howardAlg{}, karpAlg{}, ytoAlg{}}
+	cases := 0
+	for _, k := range []int{2, 3, 5, 8} {
+		for _, nPer := range []int{3, 6, 12} {
+			for seed := uint64(1); seed <= 10; seed++ {
+				g, err := gen.MultiSCC(k, nPer, 3*nPer, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cases++
+				algo := algos[int(seed)%len(algos)]
+				seq, err := MinimumCycleMean(g, algo, Options{})
+				if err != nil {
+					t.Fatalf("k=%d nPer=%d seed=%d %s sequential: %v", k, nPer, seed, algo.Name(), err)
+				}
+				for _, par := range []int{2, 4, -1} {
+					got, err := MinimumCycleMean(g, algo, Options{Parallelism: par})
+					if err != nil {
+						t.Fatalf("k=%d nPer=%d seed=%d %s parallel=%d: %v", k, nPer, seed, algo.Name(), par, err)
+					}
+					if got.Mean != seq.Mean {
+						t.Fatalf("k=%d nPer=%d seed=%d %s parallel=%d: mean %v != sequential %v",
+							k, nPer, seed, algo.Name(), par, got.Mean, seq.Mean)
+					}
+					if len(got.Cycle) != len(seq.Cycle) {
+						t.Fatalf("k=%d nPer=%d seed=%d %s parallel=%d: cycle %v != sequential %v",
+							k, nPer, seed, algo.Name(), par, got.Cycle, seq.Cycle)
+					}
+					for i := range got.Cycle {
+						if got.Cycle[i] != seq.Cycle[i] {
+							t.Fatalf("k=%d nPer=%d seed=%d %s parallel=%d: cycle %v != sequential %v",
+								k, nPer, seed, algo.Name(), par, got.Cycle, seq.Cycle)
+						}
+					}
+					if got.Counts != seq.Counts {
+						t.Fatalf("k=%d nPer=%d seed=%d %s parallel=%d: counts %+v != sequential %+v",
+							k, nPer, seed, algo.Name(), par, got.Counts, seq.Counts)
+					}
+					if got.Exact != seq.Exact {
+						t.Fatalf("exactness mismatch")
+					}
+				}
+			}
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d multi-SCC graphs exercised, want >= 100", cases)
+	}
+}
+
+// TestParallelDriverErrors checks that per-component failures surface
+// deterministically: the reported error is the earliest failing component's
+// in decomposition order, matching the sequential driver.
+func TestParallelDriverErrors(t *testing.T) {
+	// Two separate SCCs; the second one has an out-of-range weight.
+	b := graph.NewBuilder(4, 5)
+	b.AddNodes(4)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 0, 1)
+	b.AddArc(2, 3, 1<<31)
+	b.AddArc(3, 2, 0)
+	b.AddArc(1, 2, 1) // condensation arc, keeps the SCCs separate
+	g := b.Build()
+
+	seqRes, seqErr := MinimumCycleMean(g, howardAlg{}, Options{})
+	parRes, parErr := MinimumCycleMean(g, howardAlg{}, Options{Parallelism: 4})
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected errors, got seq=(%v,%v) par=(%v,%v)", seqRes, seqErr, parRes, parErr)
+	}
+	if !errors.Is(seqErr, ErrWeightRange) || !errors.Is(parErr, ErrWeightRange) {
+		t.Fatalf("want ErrWeightRange from both drivers, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Fatalf("driver error messages differ:\n  seq: %v\n  par: %v", seqErr, parErr)
+	}
+
+	// Acyclic graph: both drivers agree on ErrAcyclic.
+	b2 := graph.NewBuilder(3, 2)
+	b2.AddNodes(3)
+	b2.AddArc(0, 1, 1)
+	b2.AddArc(1, 2, 1)
+	dag := b2.Build()
+	if _, err := MinimumCycleMean(dag, howardAlg{}, Options{Parallelism: 4}); !errors.Is(err, ErrAcyclic) {
+		t.Fatalf("want ErrAcyclic, got %v", err)
+	}
+}
+
+// TestParallelDriverSingleComponent makes sure a strongly connected input
+// (one component) never pays the worker-pool overhead path and still
+// matches the sequential result.
+func TestParallelDriverSingleComponent(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 64, M: 192, MinWeight: 1, MaxWeight: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := MinimumCycleMean(g, howardAlg{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MinimumCycleMean(g, howardAlg{}, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Mean != seq.Mean || par.Counts != seq.Counts {
+		t.Fatalf("single-component parallel mismatch: %v vs %v", par, seq)
+	}
+}
+
+// TestOptionsWorkers pins the Parallelism resolution contract: 0 and 1 are
+// sequential, negatives mean NumCPU, anything else is taken literally.
+func TestOptionsWorkers(t *testing.T) {
+	if w := (Options{}).workers(); w != 1 {
+		t.Fatalf("zero value workers = %d, want 1", w)
+	}
+	if w := (Options{Parallelism: 1}).workers(); w != 1 {
+		t.Fatalf("parallelism 1 workers = %d, want 1", w)
+	}
+	if w := (Options{Parallelism: 6}).workers(); w != 6 {
+		t.Fatalf("parallelism 6 workers = %d, want 6", w)
+	}
+	if w := (Options{Parallelism: -1}).workers(); w < 1 {
+		t.Fatalf("parallelism -1 workers = %d, want >= 1", w)
+	}
+}

@@ -286,6 +286,9 @@ func (koAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 
 	maxIter := opt.maxIter(g.NumNodes()*g.NumNodes() + 16)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		top := h.ExtractMin()
 		if top == nil {
 			return Result{}, ErrAcyclic
@@ -413,6 +416,9 @@ func (ytoAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 
 	maxIter := opt.maxIter(n*n + 16)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		top := h.ExtractMin()
 		if top == nil {
 			return Result{}, ErrAcyclic

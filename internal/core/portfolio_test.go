@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// TestPortfolioMatchesOracle checks the portfolio against the brute-force
+// cycle-enumeration oracle on small random graphs: the racing winner may be
+// any roster member, but the mean must be the exact optimum and the cycle
+// must attain it.
+func TestPortfolioMatchesOracle(t *testing.T) {
+	p := NewPortfolio()
+	for seed := uint64(1); seed <= 40; seed++ {
+		n := 3 + int(seed%8)
+		g, err := gen.Sprand(gen.SprandConfig{N: n, M: 3 * n, MinWeight: -50, MaxWeight: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := verify.BruteForceMinMean(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Solve(g, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Exact || !res.Mean.Equal(want) {
+			t.Fatalf("seed %d: portfolio mean %v (exact=%v), oracle %v", seed, res.Mean, res.Exact, want)
+		}
+		if err := verify.CheckCycleIsOptimal(g, res.Mean, res.Cycle); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if live := portfolioLive.Load(); live != 0 {
+		t.Fatalf("%d portfolio goroutines still live after solves", live)
+	}
+}
+
+// TestPortfolioUnderParallelDriver races the portfolio inside the
+// concurrent SCC driver (nested concurrency) and cross-checks against the
+// plain sequential Howard run.
+func TestPortfolioUnderParallelDriver(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g, err := gen.MultiSCC(4, 8, 24, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := MinimumCycleMean(g, howardAlg{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MinimumCycleMean(g, NewPortfolio(), Options{Parallelism: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Mean.Equal(want.Mean) {
+			t.Fatalf("seed %d: portfolio driver mean %v, howard %v", seed, got.Mean, want.Mean)
+		}
+		if err := verify.CheckCycleIsOptimal(g, got.Mean, got.Cycle); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if live := portfolioLive.Load(); live != 0 {
+		t.Fatalf("%d portfolio goroutines still live after solves", live)
+	}
+}
+
+// spinAlg runs forever until canceled, instrumenting every lifecycle stage
+// so the tests can prove losers are stopped promptly and joined.
+type spinAlg struct {
+	started  *atomic.Int64
+	canceled *atomic.Int64
+	exited   *atomic.Int64
+}
+
+func (s spinAlg) Name() string { return "spin-stub" }
+
+func (s spinAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	s.started.Add(1)
+	defer s.exited.Add(1)
+	for {
+		if err := opt.checkpoint(); err != nil {
+			s.canceled.Add(1)
+			return Result{}, err
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// TestPortfolioCancelsLosers races Howard against a never-terminating stub:
+// the stub must observe cancellation and exit before Solve returns, and the
+// live-goroutine counter must drop back to zero — no leaks.
+func TestPortfolioCancelsLosers(t *testing.T) {
+	g := gen.Cycle(16, 3)
+	var started, canceled, exited atomic.Int64
+	p := NewPortfolio(howardAlg{}, spinAlg{&started, &canceled, &exited})
+	for i := 0; i < 10; i++ {
+		res, err := p.Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exact || res.Mean.Float64() != 3 {
+			t.Fatalf("res = %+v, want exact mean 3", res)
+		}
+	}
+	if started.Load() != 10 || canceled.Load() != 10 || exited.Load() != 10 {
+		t.Fatalf("stub lifecycle: started=%d canceled=%d exited=%d, want 10/10/10",
+			started.Load(), canceled.Load(), exited.Load())
+	}
+	if live := portfolioLive.Load(); live != 0 {
+		t.Fatalf("%d portfolio goroutines still live after solves", live)
+	}
+}
+
+// TestPortfolioContextCancellation cancels the caller's context while only
+// non-terminating solvers are racing; SolveContext must unwind with
+// ErrCanceled and join every racer.
+func TestPortfolioContextCancellation(t *testing.T) {
+	g := gen.Cycle(8, 1)
+	var started, canceled, exited atomic.Int64
+	stub := spinAlg{&started, &canceled, &exited}
+	p := NewPortfolio(stub, stub)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := p.SolveContext(ctx, g, Options{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if started.Load() != 2 || canceled.Load() != 2 || exited.Load() != 2 {
+		t.Fatalf("stub lifecycle: started=%d canceled=%d exited=%d, want 2/2/2",
+			started.Load(), canceled.Load(), exited.Load())
+	}
+	if live := portfolioLive.Load(); live != 0 {
+		t.Fatalf("%d portfolio goroutines still live", live)
+	}
+}
+
+// errAlg always fails.
+type errAlg struct{ err error }
+
+func (e errAlg) Name() string { return "err-stub" }
+func (e errAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	return Result{}, e.err
+}
+
+// TestPortfolioAllFail propagates a roster-wide failure instead of hanging.
+func TestPortfolioAllFail(t *testing.T) {
+	g := gen.Cycle(4, 1)
+	boom := errors.New("boom")
+	p := NewPortfolio(errAlg{boom}, errAlg{boom})
+	_, err := p.Solve(g, Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// TestPortfolioByName covers the ByName spellings.
+func TestPortfolioByName(t *testing.T) {
+	a, err := ByName("portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := a.(*Portfolio)
+	if !ok || len(p.Algorithms()) != len(defaultPortfolioRoster) {
+		t.Fatalf("ByName(portfolio) = %T with %d members", a, len(p.Algorithms()))
+	}
+	if p.Name() != "portfolio" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	a, err = ByName("portfolio:howard+karp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := a.(*Portfolio); len(p.Algorithms()) != 2 {
+		t.Fatalf("portfolio:howard+karp has %d members", len(p.Algorithms()))
+	}
+	if _, err := ByName("portfolio:nope"); err == nil {
+		t.Fatal("unknown portfolio member accepted")
+	}
+	if _, err := ByName("portfolio:"); err == nil {
+		t.Fatal("empty roster accepted")
+	}
+	// A portfolio result must agree with a plain solver through ByName.
+	g := gen.Cycle(5, 7)
+	res, err := MinimumCycleMean(g, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.Float64() != 7 {
+		t.Fatalf("mean = %v, want 7", res.Mean)
+	}
+}
+
+// TestOptionsCanceledDefault: a zero Options never reports cancellation.
+func TestOptionsCanceledDefault(t *testing.T) {
+	if (Options{}).Canceled() {
+		t.Fatal("zero Options reports canceled")
+	}
+}

@@ -71,6 +71,9 @@ func (dg2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	// Pass 1: D_n.
 	reset()
 	for k := 1; k <= n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		step()
 	}
 	dn := make([]int64, n)
@@ -95,6 +98,9 @@ func (dg2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	reset()
 	fold(0)
 	for k := 1; k < n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		step()
 		fold(k)
 	}
@@ -227,6 +233,9 @@ func (ho2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 
 	reset()
 	for k := 1; k <= n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		step()
 
 		improved := false
@@ -296,6 +305,9 @@ func (ho2Alg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	reset()
 	fold(0)
 	for k := 1; k < n; k++ {
+		if err := opt.checkpoint(); err != nil {
+			return Result{}, err
+		}
 		step()
 		fold(k)
 	}

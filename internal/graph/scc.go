@@ -1,5 +1,7 @@
 package graph
 
+import "sync"
+
 // SCC holds a strongly-connected-component decomposition of a Graph.
 // Components are numbered 0..Count-1 in reverse topological order of the
 // condensation (i.e. a component only has condensation arcs into lower-
@@ -182,13 +184,64 @@ func KosarajuSCC(g *Graph) *SCC {
 	return &SCC{Comp: comp, Count: int(nComp), Members: members}
 }
 
+// reachWS is pooled scratch for IsStronglyConnected, which sits on every
+// solver's input-validation path and would otherwise allocate per solve.
+type reachWS struct {
+	seen  []bool
+	stack []NodeID
+}
+
+var reachPool = sync.Pool{New: func() any { return new(reachWS) }}
+
 // IsStronglyConnected reports whether g has exactly one SCC (and at least
-// one node).
+// one node). It uses two pooled reachability sweeps (forward over OutArcs,
+// backward over InArcs) rather than a full Tarjan decomposition, so warm
+// calls allocate nothing.
 func IsStronglyConnected(g *Graph) bool {
-	if g.NumNodes() == 0 {
+	n := g.NumNodes()
+	if n == 0 {
 		return false
 	}
-	return StronglyConnectedComponents(g).Count == 1
+	ws := reachPool.Get().(*reachWS)
+	defer reachPool.Put(ws)
+	if cap(ws.seen) < n {
+		ws.seen = make([]bool, n)
+	}
+	seen := ws.seen[:n]
+	stack := ws.stack[:0]
+	defer func() { ws.stack = stack }()
+
+	sweep := func(forward bool) bool {
+		for i := range seen {
+			seen[i] = false
+		}
+		seen[0] = true
+		stack = append(stack[:0], 0)
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if forward {
+				for _, id := range g.OutArcs(v) {
+					if w := g.Arc(id).To; !seen[w] {
+						seen[w] = true
+						count++
+						stack = append(stack, w)
+					}
+				}
+			} else {
+				for _, id := range g.InArcs(v) {
+					if w := g.Arc(id).From; !seen[w] {
+						seen[w] = true
+						count++
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+		return count == n
+	}
+	return sweep(true) && sweep(false)
 }
 
 // HasCycle reports whether g contains a directed cycle (an SCC with more

@@ -297,20 +297,38 @@ func (r *Rat) UnmarshalText(text []byte) error {
 // of cross-multiplying rationals.
 func Ranks(values []Rat) []int32 {
 	n := len(values)
-	idx := make([]int32, n)
+	ranks := make([]int32, n)
+	RanksInto(values, make([]int32, n), ranks)
+	return ranks
+}
+
+// RanksInto is the allocation-free form of Ranks: idx is scratch storage
+// and dst receives the ranks; both must have length len(values). Small
+// inputs (the common case for Howard's per-iteration gain ranking) are
+// sorted with an insertion sort so steady-state callers allocate nothing;
+// larger inputs fall back to sort.Slice.
+func RanksInto(values []Rat, idx, dst []int32) {
+	n := len(values)
+	idx, dst = idx[:n], dst[:n]
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		return values[idx[a]].Less(values[idx[b]])
-	})
-	ranks := make([]int32, n)
+	if n <= 64 {
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && values[idx[j]].Less(values[idx[j-1]]); j-- {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			}
+		}
+	} else {
+		sort.Slice(idx, func(a, b int) bool {
+			return values[idx[a]].Less(values[idx[b]])
+		})
+	}
 	rank := int32(0)
 	for i, id := range idx {
 		if i > 0 && values[idx[i-1]].Less(values[id]) {
 			rank++
 		}
-		ranks[id] = rank
+		dst[id] = rank
 	}
-	return ranks
 }
