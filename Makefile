@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench fuzz repro repro-quick cover clean
+.PHONY: all build test test-race bench bench-kernel fuzz repro repro-quick cover clean
 
 all: build test
 
@@ -18,8 +18,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-bench:
+bench: bench-kernel
 	$(GO) test -bench=. -benchmem ./...
+
+# Kernelization sweep: kernelized vs raw solves on chain-heavy and SPRAND
+# families plus the Session warm-start workload; records BENCH_kernel.json.
+bench-kernel:
+	$(GO) run ./cmd/mcmbench -table kernel -progress -json > BENCH_kernel.json
+	@echo "wrote BENCH_kernel.json"
 
 # Differential soak test: every algorithm vs the oracle on random graphs.
 fuzz:

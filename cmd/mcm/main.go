@@ -41,6 +41,7 @@ func main() {
 		all      = flag.Bool("all", false, "run every mean algorithm concurrently, cross-check, and print a timing table")
 		slackTop = flag.Int("slack", 0, "print the k tightest arcs (criticality/slack report; mean problem only)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for solving strongly connected components concurrently (1 = sequential)")
+		kernel   = flag.Bool("kernel", false, "kernelize each strongly connected component (self-loop extraction, chain contraction, tiny closed forms) before solving")
 	)
 	flag.Parse()
 	var err error
@@ -50,7 +51,7 @@ func main() {
 	case *slackTop > 0:
 		err = runSlack(*slackTop, flag.Args())
 	default:
-		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, flag.Args())
+		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, *kernel, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcm:", err)
@@ -134,7 +135,7 @@ func runAll(args []string) error {
 	return nil
 }
 
-func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, args []string) error {
+func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, kernel bool, args []string) error {
 	var in io.Reader = os.Stdin
 	name := "<stdin>"
 	if len(args) > 0 {
@@ -150,7 +151,7 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Epsilon: eps, Parallelism: parallel}
+	opt := core.Options{Epsilon: eps, Parallelism: parallel, Kernelize: kernel}
 
 	var (
 		value  string

@@ -48,7 +48,7 @@ a 3 1 4
 func TestRunMean(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, true, true, "", 0, 2, []string{path})
+		return run("howard", false, false, true, true, "", 0, 2, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -64,6 +64,24 @@ func TestRunMean(t *testing.T) {
 	}
 }
 
+func TestRunKernelized(t *testing.T) {
+	// A pure cycle contracts to nothing: the closed-form candidate must
+	// come back expanded to the original three arcs.
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error {
+		return run("howard", false, false, false, true, "", 0, 2, true, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda* = 3 (3.000000)") {
+		t.Fatalf("kernelized λ* wrong: %s", out)
+	}
+	if !strings.Contains(out, "critical cycle (3 arcs)") {
+		t.Fatalf("kernelized cycle not expanded: %s", out)
+	}
+}
+
 func TestRunMax(t *testing.T) {
 	src := `p mcm 2 3
 a 1 2 1
@@ -72,7 +90,7 @@ a 1 1 9
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("karp", false, true, false, false, "", 0, 2, []string{path})
+		return run("karp", false, true, false, false, "", 0, 2, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -89,7 +107,7 @@ a 2 1 5 2
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("howard", true, false, false, false, "", 0, 2, []string{path})
+		return run("howard", true, false, false, false, "", 0, 2, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +121,7 @@ func TestRunDOTOutput(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	if _, err := capture(t, func() error {
-		return run("yto", false, false, false, false, dot, 0, 2, []string{path})
+		return run("yto", false, false, false, false, dot, 0, 2, false, []string{path})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -118,19 +136,19 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
-	if err := run("bogus", false, false, false, false, "", 0, 2, []string{path}); err == nil {
+	if err := run("bogus", false, false, false, false, "", 0, 2, false, []string{path}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("howard", false, false, false, false, "", 0, 2, []string{"/does/not/exist"}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeGraphFile(t, "not a graph\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, []string{bad}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, []string{bad}); err == nil {
 		t.Error("malformed file accepted")
 	}
 	// Acyclic graph → solver error surfaces.
 	dag := writeGraphFile(t, "p mcm 2 1\na 1 2 5\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, []string{dag}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, []string{dag}); err == nil {
 		t.Error("acyclic graph accepted")
 	}
 }

@@ -8,7 +8,12 @@
 //	mcmbench -table karp              # E-44: Karp-variant behavior
 //	mcmbench -table ranking           # E-45: overall speed ranking
 //	mcmbench -table circuits          # E-C : benchmark-circuit family
+//	mcmbench -table kernel            # kernelization + warm-start sweep
 //	mcmbench -table all               # everything from one sweep
+//
+// -cpuprofile/-memprofile write pprof profiles of any sweep, so wins (e.g.
+// kernelization) are attributable to specific hot paths; see
+// docs/ALGORITHMS.md for the workflow.
 //
 // The full Table 2 grid (n up to 8192, 10 seeds) takes tens of minutes;
 // -quick runs a reduced grid (n up to 2048, 3 seeds) in a couple of
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,19 +35,49 @@ import (
 
 func main() {
 	var (
-		table    = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, all")
-		quick    = flag.Bool("quick", false, "reduced grid (n <= 2048) and 3 seeds")
-		seeds    = flag.Int("seeds", 0, "instances per size (default 10, or 3 with -quick)")
-		maxN     = flag.Int("maxn", 0, "limit the grid to sizes with n <= maxn")
-		algos    = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's Table 2 columns)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-instance budget; larger n are N/A once exceeded")
-		memLimit = flag.Int64("memlimit", 256<<20, "D-table memory budget in bytes for Karp/DG/HO (paper machine: 64 MB)")
-		verify   = flag.Bool("verify", false, "cross-check all algorithms agree exactly on every instance")
-		progress = flag.Bool("progress", false, "print one line per completed run to stderr")
-		jsonOut  = flag.Bool("json", false, "emit the sweep as JSON instead of a table")
-		parallel = flag.Int("parallel", 1, "seed instances solved concurrently per size (negative = NumCPU); results are aggregated deterministically, but per-run timings contend for cores")
+		table      = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, kernel, all")
+		quick      = flag.Bool("quick", false, "reduced grid (n <= 2048) and 3 seeds")
+		seeds      = flag.Int("seeds", 0, "instances per size (default 10, or 3 with -quick)")
+		maxN       = flag.Int("maxn", 0, "limit the grid to sizes with n <= maxn")
+		algos      = flag.String("algos", "", "comma-separated algorithm subset (default: the paper's Table 2 columns)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-instance budget; larger n are N/A once exceeded")
+		memLimit   = flag.Int64("memlimit", 256<<20, "D-table memory budget in bytes for Karp/DG/HO (paper machine: 64 MB)")
+		verify     = flag.Bool("verify", false, "cross-check all algorithms agree exactly on every instance")
+		progress   = flag.Bool("progress", false, "print one line per completed run to stderr")
+		jsonOut    = flag.Bool("json", false, "emit the sweep as JSON instead of a table")
+		parallel   = flag.Int("parallel", 1, "seed instances solved concurrently per size (negative = NumCPU); results are aggregated deterministically, but per-run timings contend for cores")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcmbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			}
+		}()
+	}
 
 	cfg := bench.Config{
 		Seeds:       *seeds,
@@ -99,6 +136,31 @@ func main() {
 			os.Exit(1)
 		}
 		bench.WriteRatioTable(os.Stdout, rows)
+		return
+	case "kernel":
+		kcfg := bench.KernelConfig{Seeds: cfg.Seeds}
+		if *algos != "" {
+			kcfg.Algorithm = strings.Split(*algos, ",")[0]
+		}
+		if *progress {
+			kcfg.Progress = os.Stderr
+		}
+		rep, err := bench.RunKernelSweep(kcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcmbench:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		bench.WriteKernel(os.Stdout, rep)
 		return
 	}
 

@@ -1,0 +1,295 @@
+package bench
+
+// This file is the kernelization experiment harness: it measures the
+// internal/prep pipeline end-to-end (kernelized vs raw solves across graph
+// families, with the node/arc reduction each family admits) plus the
+// core.Session policy warm-start cache on a repeated weight-perturbation
+// workload. `mcmbench -table kernel -json > BENCH_kernel.json` records the
+// sweep; `make bench-kernel` wires it into the benchmark suite.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/prep"
+)
+
+// KernelConfig parameterizes RunKernelSweep.
+type KernelConfig struct {
+	// Seeds is the number of instances per case (default 3).
+	Seeds int
+	// Reps is the number of timed repetitions per instance; the fastest rep
+	// is kept, damping scheduler noise (default 3).
+	Reps int
+	// Algorithm is the solver raced with and without kernelization
+	// (default "howard").
+	Algorithm string
+	// Progress, when non-nil, receives one line per completed case.
+	Progress io.Writer
+}
+
+func (c KernelConfig) withDefaults() KernelConfig {
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "howard"
+	}
+	return c
+}
+
+// KernelRow is one (family, size) aggregate of the kernelization sweep.
+type KernelRow struct {
+	Family string `json:"family"`
+	Name   string `json:"name"`
+	Nodes  int    `json:"nodes"`
+	Arcs   int    `json:"arcs"`
+	// KernelNodes/KernelArcs are the post-reduction totals summed over the
+	// graph's cyclic SCCs (kernels the solver actually sees).
+	KernelNodes int `json:"kernel_nodes"`
+	KernelArcs  int `json:"kernel_arcs"`
+	// NodeReduction/ArcReduction are fractions removed (1 = everything).
+	NodeReduction float64 `json:"node_reduction"`
+	ArcReduction  float64 `json:"arc_reduction"`
+	// RawMs/KernelMs are mean per-solve wall times (ms) over the seeds.
+	RawMs    float64 `json:"raw_ms"`
+	KernelMs float64 `json:"kernel_ms"`
+	// Speedup is RawMs / KernelMs.
+	Speedup float64 `json:"speedup"`
+}
+
+// SessionRow reports the Howard warm-start cache measurement: one structure,
+// a stream of weight perturbations, solved cold (cache reset each time) vs
+// warm (cache kept).
+type SessionRow struct {
+	Nodes    int     `json:"nodes"`
+	Arcs     int     `json:"arcs"`
+	Rounds   int     `json:"rounds"`
+	ColdMs   float64 `json:"cold_ms"`
+	WarmMs   float64 `json:"warm_ms"`
+	Speedup  float64 `json:"speedup"`
+	WarmHits int     `json:"warm_hits"`
+}
+
+// KernelReport is a completed kernelization sweep.
+type KernelReport struct {
+	Algorithm  string      `json:"algorithm"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Rows       []KernelRow `json:"rows"`
+	Session    *SessionRow `json:"session,omitempty"`
+}
+
+// JSON renders the report for BENCH_kernel.json.
+func (r *KernelReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// kernelCase is one graph family entry of the sweep.
+type kernelCase struct {
+	family string
+	name   string
+	build  func(seed uint64) (*graph.Graph, error)
+}
+
+func kernelCases() []kernelCase {
+	var cases []kernelCase
+	for _, cc := range []struct {
+		name string
+		cfg  gen.ChainConfig
+	}{
+		{"chain-small", gen.ChainConfig{CoreN: 16, Chains: 32, ChainLen: 60, MinWeight: 1, MaxWeight: 10000, SelfLoops: 4}},
+		{"chain-medium", gen.ChainConfig{CoreN: 32, Chains: 64, ChainLen: 120, MinWeight: 1, MaxWeight: 10000, SelfLoops: 8}},
+		{"chain-large", gen.ChainConfig{CoreN: 64, Chains: 128, ChainLen: 200, MinWeight: 1, MaxWeight: 10000, SelfLoops: 16}},
+	} {
+		cfg := cc.cfg
+		cases = append(cases, kernelCase{
+			family: "chain", name: cc.name,
+			build: func(seed uint64) (*graph.Graph, error) {
+				c := cfg
+				c.Seed = seed
+				return gen.Chain(c)
+			},
+		})
+	}
+	for _, sz := range [][2]int{{1024, 2048}, {2048, 4096}, {4096, 8192}} {
+		n, m := sz[0], sz[1]
+		cases = append(cases, kernelCase{
+			family: "sprand", name: fmt.Sprintf("sprand-%d-%d", n, m),
+			build: func(seed uint64) (*graph.Graph, error) {
+				return gen.Sprand(gen.SprandConfig{N: n, M: m, MinWeight: 1, MaxWeight: 10000, Seed: seed})
+			},
+		})
+	}
+	return cases
+}
+
+// RunKernelSweep measures kernelized vs raw solves over the chain-heavy and
+// SPRAND families plus the Session warm-start workload.
+func RunKernelSweep(cfg KernelConfig) (*KernelReport, error) {
+	cfg = cfg.withDefaults()
+	algo, err := core.ByName(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	rep := &KernelReport{
+		Algorithm:  cfg.Algorithm,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	timeSolve := func(g *graph.Graph, opt core.Options) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < cfg.Reps; i++ {
+			start := time.Now()
+			if _, err := core.MinimumCycleMean(g, algo, opt); err != nil {
+				return 0, err
+			}
+			if el := time.Since(start); i == 0 || el < best {
+				best = el
+			}
+		}
+		return best, nil
+	}
+
+	for _, kc := range kernelCases() {
+		row := KernelRow{Family: kc.family, Name: kc.name}
+		var rawTotal, kernTotal time.Duration
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			g, err := kc.build(uint64(seed) + 1)
+			if err != nil {
+				return nil, err
+			}
+			row.Nodes = g.NumNodes()
+			row.Arcs = g.NumArcs()
+			// Reduction stats over the cyclic SCCs (what the driver solves).
+			kn, ka := 0, 0
+			for _, comp := range graph.CyclicComponents(g) {
+				k := prep.Kernelize(comp.Graph, prep.Mean)
+				if k.Err != nil {
+					kn += comp.Graph.NumNodes()
+					ka += comp.Graph.NumArcs()
+					continue
+				}
+				kn += k.G.NumNodes()
+				ka += k.G.NumArcs()
+			}
+			row.KernelNodes = kn
+			row.KernelArcs = ka
+
+			raw, err := timeSolve(g, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("bench: raw %s on %s seed %d: %w", cfg.Algorithm, kc.name, seed, err)
+			}
+			kern, err := timeSolve(g, core.Options{Kernelize: true})
+			if err != nil {
+				return nil, fmt.Errorf("bench: kernelized %s on %s seed %d: %w", cfg.Algorithm, kc.name, seed, err)
+			}
+			rawTotal += raw
+			kernTotal += kern
+		}
+		s := float64(cfg.Seeds)
+		row.RawMs = rawTotal.Seconds() * 1000 / s
+		row.KernelMs = kernTotal.Seconds() * 1000 / s
+		if row.KernelMs > 0 {
+			row.Speedup = row.RawMs / row.KernelMs
+		}
+		if row.Nodes > 0 {
+			row.NodeReduction = 1 - float64(row.KernelNodes)/float64(row.Nodes)
+		}
+		if row.Arcs > 0 {
+			row.ArcReduction = 1 - float64(row.KernelArcs)/float64(row.Arcs)
+		}
+		rep.Rows = append(rep.Rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%-14s raw %8.3fms kern %8.3fms speedup %5.2fx (nodes -%2.0f%% arcs -%2.0f%%)\n",
+				kc.name, row.RawMs, row.KernelMs, row.Speedup, 100*row.NodeReduction, 100*row.ArcReduction)
+		}
+	}
+
+	sess, err := runSessionBench(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Session = sess
+	if cfg.Progress != nil {
+		fmt.Fprintf(cfg.Progress, "session        cold %8.3fms warm %8.3fms speedup %5.2fx\n",
+			sess.ColdMs, sess.WarmMs, sess.Speedup)
+	}
+	return rep, nil
+}
+
+// runSessionBench measures core.Session on a weight-perturbation stream.
+func runSessionBench(cfg KernelConfig) (*SessionRow, error) {
+	base, err := gen.Sprand(gen.SprandConfig{N: 2000, M: 8000, MinWeight: 1, MaxWeight: 10000, Seed: 99})
+	if err != nil {
+		return nil, err
+	}
+	const rounds = 12
+	stream := make([]*graph.Graph, rounds)
+	stream[0] = base
+	for r := 1; r < rounds; r++ {
+		arcs := append([]graph.Arc(nil), base.Arcs()...)
+		for i := range arcs {
+			arcs[i].Weight += int64((i*r)%11 - 5)
+		}
+		stream[r] = graph.FromArcs(base.NumNodes(), arcs)
+	}
+
+	row := &SessionRow{Nodes: base.NumNodes(), Arcs: base.NumArcs(), Rounds: rounds}
+
+	cold := core.NewSession(core.Options{})
+	start := time.Now()
+	for _, g := range stream {
+		cold.Reset()
+		if _, err := cold.Solve(g); err != nil {
+			return nil, err
+		}
+	}
+	row.ColdMs = time.Since(start).Seconds() * 1000 / rounds
+
+	warm := core.NewSession(core.Options{})
+	if _, err := warm.Solve(stream[0]); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	for _, g := range stream {
+		if _, err := warm.Solve(g); err != nil {
+			return nil, err
+		}
+	}
+	row.WarmMs = time.Since(start).Seconds() * 1000 / rounds
+	row.WarmHits = warm.Stats().WarmHits
+	if row.WarmMs > 0 {
+		row.Speedup = row.ColdMs / row.WarmMs
+	}
+	return row, nil
+}
+
+// WriteKernel renders the sweep as a text table.
+func WriteKernel(w io.Writer, rep *KernelReport) {
+	fmt.Fprintf(w, "Kernelization sweep (algorithm: %s, %d CPUs, GOMAXPROCS %d)\n\n",
+		rep.Algorithm, rep.NumCPU, rep.GOMAXPROCS)
+	fmt.Fprintf(w, "%-14s %8s %8s %8s %8s %9s %9s %10s %10s %8s\n",
+		"case", "nodes", "arcs", "k-nodes", "k-arcs", "node-red", "arc-red", "raw-ms", "kern-ms", "speedup")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-14s %8d %8d %8d %8d %8.1f%% %8.1f%% %10.3f %10.3f %7.2fx\n",
+			r.Name, r.Nodes, r.Arcs, r.KernelNodes, r.KernelArcs,
+			100*r.NodeReduction, 100*r.ArcReduction, r.RawMs, r.KernelMs, r.Speedup)
+	}
+	if rep.Session != nil {
+		s := rep.Session
+		fmt.Fprintf(w, "\nSession warm-start (n=%d m=%d, %d weight-perturbation rounds):\n", s.Nodes, s.Arcs, s.Rounds)
+		fmt.Fprintf(w, "  cold %.3fms/solve   warm %.3fms/solve   speedup %.2fx   (%d cache hits)\n",
+			s.ColdMs, s.WarmMs, s.Speedup, s.WarmHits)
+	}
+}

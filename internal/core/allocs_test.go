@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// These tests pin the pooled-workspace allocation wins so later changes
+// cannot silently regress them: in the steady state (pool warm) a Howard
+// solve allocates at most 1 object per op (the returned critical cycle) and
+// a Karp2 solve at most 5. The pins are ceilings on testing.AllocsPerRun,
+// which is unreliable under the race detector — hence the raceEnabled skip.
+
+func TestHowardAllocsPerOpPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	howard := mustAlgo(t, "howard")
+	g, err := gen.Sprand(gen.SprandConfig{N: 200, M: 800, MinWeight: -1000, MaxWeight: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the workspace pool so the measurement sees the steady state.
+	if _, err := howard.Solve(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := howard.Solve(g, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("howard allocates %.1f objects/op in steady state, pinned at <= 1", avg)
+	}
+}
+
+func TestKarp2AllocsPerOpPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	karp2 := mustAlgo(t, "karp2")
+	g, err := gen.Sprand(gen.SprandConfig{N: 200, M: 800, MinWeight: -1000, MaxWeight: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := karp2.Solve(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := karp2.Solve(g, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 5 {
+		t.Errorf("karp2 allocates %.1f objects/op in steady state, pinned at <= 5", avg)
+	}
+}

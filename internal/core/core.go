@@ -29,6 +29,7 @@ import (
 	"repro/internal/ncd"
 	"repro/internal/numeric"
 	"repro/internal/pq"
+	"repro/internal/prep"
 )
 
 // Errors returned by the solvers and drivers.
@@ -88,6 +89,24 @@ type Options struct {
 	// in decomposition order, so the winning mean, cycle, and operation
 	// counts do not depend on goroutine scheduling.
 	Parallelism int
+
+	// Kernelize runs the internal/prep reduction pipeline on every
+	// strongly connected component before dispatching a solver: self-loops
+	// become closed-form candidates, degree-(1,1) chains are contracted,
+	// two-node kernels are solved by enumeration, and per-kernel λ* bounds
+	// prune components that cannot beat the incumbent. The reported mean is
+	// identical to an unkernelized run and the critical cycle is expanded
+	// back to original-graph arc IDs, but operation counts reflect the
+	// (smaller) kernel actually solved, so counts are not comparable
+	// between kernelized and raw runs.
+	Kernelize bool
+
+	// LambdaLower and LambdaUpper, when non-nil, narrow the initial
+	// bracket of bound-driven algorithms (currently Lawler's binary
+	// search). They must satisfy LambdaLower ≤ λ* ≤ LambdaUpper for the
+	// graph being solved; the kernelization driver derives them from
+	// per-kernel arc-value bounds. Invalid bounds yield undefined results.
+	LambdaLower, LambdaUpper *numeric.Rat
 
 	// cancel, when non-nil, makes the solvers return ErrCanceled soon
 	// after the flag is set; the main loops poll it once per iteration.
@@ -241,7 +260,26 @@ func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, erro
 		found bool
 	)
 	for _, comp := range comps {
-		r, err := algo.Solve(comp.Graph, opt)
+		var (
+			r   Result
+			err error
+		)
+		if opt.Kernelize {
+			kern := prep.Kernelize(comp.Graph, prep.Mean)
+			if found && kern.Err == nil && kern.HasBounds && !kern.Lower.Less(best.Mean) {
+				// Cross-SCC pruning: every cycle of this component has mean
+				// at least kern.Lower ≥ the incumbent, so it cannot win —
+				// unless its weights are out of range, in which case the
+				// solver must still run to report ErrWeightRange exactly as
+				// an unkernelized pass would.
+				if min, max := comp.Graph.WeightRange(); min >= -MaxWeightMagnitude && max <= MaxWeightMagnitude {
+					continue
+				}
+			}
+			r, err = solveComponentKernelized(algo, opt, comp.Graph, kern)
+		} else {
+			r, err = algo.Solve(comp.Graph, opt)
+		}
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)
 		}

@@ -44,8 +44,36 @@ type howardAlg struct{}
 func (howardAlg) Name() string { return "howard" }
 
 func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	r, _, err := howardRun(g, opt, nil, false)
+	return r, err
+}
+
+// validWarmPolicy reports whether warm is a structurally valid policy for g:
+// one out-arc per node. Policy iteration converges to the exact optimum from
+// ANY such policy (the exact certificate gates every return), so a stale warm
+// start can cost iterations but can never change the answer.
+func validWarmPolicy(g *graph.Graph, warm []graph.ArcID) bool {
+	if len(warm) != g.NumNodes() {
+		return false
+	}
+	m := graph.ArcID(g.NumArcs())
+	for v, id := range warm {
+		if id < 0 || id >= m || g.Arc(id).From != graph.NodeID(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// howardRun is the full Howard iteration behind howardAlg.Solve and
+// Session's warm-started solves. A non-nil warm policy (one out-arc per
+// node) replaces the cheapest-arc initial policy when structurally valid for
+// g, and is silently ignored otherwise. When wantPolicy is set the converged
+// optimal policy is returned in a freshly allocated slice (the internal one
+// is pooled), for callers that cache policies across solves.
+func howardRun(g *graph.Graph, opt Options, warm []graph.ArcID, wantPolicy bool) (Result, []graph.ArcID, error) {
 	if err := checkSolveInput(g); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	n := g.NumNodes()
 	var counts counter.Counts
@@ -60,19 +88,24 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	ws := getHowardWS(n)
 	defer ws.release()
 
-	// Initial policy: cheapest out-arc (Figure 1 lines 1–4).
+	// Initial policy: a valid warm start wins, else cheapest out-arc
+	// (Figure 1 lines 1–4).
 	policy := ws.policy
-	for v := graph.NodeID(0); int(v) < n; v++ {
-		policy[v] = -1
-		best := int64(0)
-		for _, id := range g.OutArcs(v) {
-			if w := g.Arc(id).Weight; policy[v] < 0 || w < best {
-				best = w
-				policy[v] = id
+	if warm != nil && validWarmPolicy(g, warm) {
+		copy(policy, warm)
+	} else {
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			policy[v] = -1
+			best := int64(0)
+			for _, id := range g.OutArcs(v) {
+				if w := g.Arc(id).Weight; policy[v] < 0 || w < best {
+					best = w
+					policy[v] = id
+				}
 			}
-		}
-		if policy[v] < 0 {
-			return Result{}, ErrNotStronglyConnected
+			if policy[v] < 0 {
+				return Result{}, nil, ErrNotStronglyConnected
+			}
 		}
 	}
 
@@ -91,7 +124,7 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	maxIter := opt.maxIter(100*n + 1000)
 	for iter := 0; iter < maxIter; iter++ {
 		if err := opt.checkpoint(); err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		counts.Iterations++
 
@@ -152,7 +185,7 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 			}
 		})
 		if !haveBest {
-			return Result{}, ErrIterationLimit // impossible: out-degree 1 everywhere
+			return Result{}, nil, ErrIterationLimit // impossible: out-degree 1 everywhere
 		}
 		ws.rankIdx = grow(ws.rankIdx, len(cycleGains))
 		ws.ranks = grow(ws.ranks, len(cycleGains))
@@ -207,10 +240,15 @@ func (howardAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 			if neg, _ := hasNegativeCycleScaledInto(g, bestGain.Num(), bestGain.Den(), &counts, ws.bfDist, ws.bfParent); !neg {
 				cycle := make([]graph.ArcID, len(bestCycBuf))
 				copy(cycle, bestCycBuf)
-				return Result{Mean: bestGain, Cycle: cycle, Exact: true, Counts: counts}, nil
+				var outPolicy []graph.ArcID
+				if wantPolicy {
+					outPolicy = make([]graph.ArcID, n)
+					copy(outPolicy, policy)
+				}
+				return Result{Mean: bestGain, Cycle: cycle, Exact: true, Counts: counts}, outPolicy, nil
 			}
 			eps /= 2
 		}
 	}
-	return Result{}, ErrIterationLimit
+	return Result{}, nil, ErrIterationLimit
 }

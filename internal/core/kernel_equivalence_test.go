@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// equivalenceCorpus builds the kernelization test corpus: ≥120 graphs
+// spanning every generator family, weighted toward the chain-heavy circuits
+// the pipeline targets. Each entry is named so failures are reproducible.
+func equivalenceCorpus(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	corpus := make(map[string]*graph.Graph)
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			t.Fatalf("corpus %s: %v", name, err)
+		}
+		corpus[name] = g
+	}
+
+	// SPRAND spread: 50 graphs.
+	for _, size := range []struct{ n, m int }{{4, 8}, {10, 25}, {30, 90}, {60, 120}, {100, 300}} {
+		for seed := uint64(0); seed < 10; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: -500, MaxWeight: 500, Seed: seed})
+			add(fmt.Sprintf("sprand-%d-%d-%d", size.n, size.m, seed), g, err)
+		}
+	}
+	// Chain-heavy circuits: 40 graphs, the kernelization target family.
+	for i, cfg := range []gen.ChainConfig{
+		{CoreN: 4, Chains: 3, ChainLen: 10, MinWeight: -50, MaxWeight: 50},
+		{CoreN: 8, Chains: 6, ChainLen: 30, MinWeight: -50, MaxWeight: 50, SelfLoops: 2},
+		{CoreN: 12, Chains: 10, ChainLen: 50, MinWeight: 1, MaxWeight: 1000, SelfLoops: 4},
+		{CoreN: 2, Chains: 2, ChainLen: 100, MinWeight: -9, MaxWeight: 9},
+	} {
+		for seed := uint64(0); seed < 10; seed++ {
+			cfg.Seed = seed
+			g, err := gen.Chain(cfg)
+			add(fmt.Sprintf("chain-%d-%d", i, seed), g, err)
+		}
+	}
+	// Structured and multi-SCC shapes: 30 graphs.
+	for seed := uint64(0); seed < 5; seed++ {
+		add(fmt.Sprintf("torus-%d", seed), gen.Torus(6, 7, -100, 100, seed), nil)
+		add(fmt.Sprintf("complete-%d", seed), gen.Complete(10, -50, 50, seed), nil)
+		g, err := gen.MultiSCC(5, 12, 30, seed)
+		add(fmt.Sprintf("multiscc-%d", seed), g, err)
+		add(fmt.Sprintf("cycle-%d", seed), gen.Cycle(int(20+seed*13), int64(seed)-2), nil)
+		g, _, err = gen.PlantedMinMean(40, 120, 6, -7, 100, seed)
+		add(fmt.Sprintf("planted-%d", seed), g, err)
+		// Single node with self-loops, the smallest cyclic graph.
+		add(fmt.Sprintf("loops-%d", seed), graph.FromArcs(1, []graph.Arc{
+			{From: 0, To: 0, Weight: int64(seed) + 1, Transit: 1},
+			{From: 0, To: 0, Weight: 5, Transit: 1},
+		}), nil)
+	}
+	if len(corpus) < 120 {
+		t.Fatalf("corpus has only %d graphs, want >= 120", len(corpus))
+	}
+	return corpus
+}
+
+// TestKernelEquivalenceMean is the tentpole guarantee: for every corpus
+// graph and every bound-sensitive algorithm, a kernelized solve returns the
+// same λ* as a raw solve, and its cycle — expanded to original-graph arc
+// IDs — is a valid cycle of the original graph whose exact rational mean
+// equals λ* (no float drift anywhere).
+func TestKernelEquivalenceMean(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	algos := []Algorithm{mustAlgo(t, "howard"), mustAlgo(t, "karp"), mustAlgo(t, "lawler")}
+	for name, g := range corpus {
+		raw, err := MinimumCycleMean(g, algos[0], Options{})
+		if err != nil {
+			t.Fatalf("%s: raw solve: %v", name, err)
+		}
+		for _, algo := range algos {
+			kr, err := MinimumCycleMean(g, algo, Options{Kernelize: true})
+			if err != nil {
+				t.Fatalf("%s/%s: kernelized solve: %v", name, algo.Name(), err)
+			}
+			if !kr.Mean.Equal(raw.Mean) {
+				t.Errorf("%s/%s: kernelized λ* = %v, raw = %v", name, algo.Name(), kr.Mean, raw.Mean)
+				continue
+			}
+			if !kr.Exact {
+				t.Errorf("%s/%s: kernelized result must be exact", name, algo.Name())
+			}
+			if err := g.ValidateCycle(kr.Cycle); err != nil {
+				t.Errorf("%s/%s: expanded cycle invalid on original graph: %v", name, algo.Name(), err)
+				continue
+			}
+			// Satellite property: recompute the expanded cycle's value on the
+			// original graph in exact rational arithmetic.
+			mean := numeric.NewRat(g.CycleWeight(kr.Cycle), int64(len(kr.Cycle)))
+			if !mean.Equal(kr.Mean) {
+				t.Errorf("%s/%s: expanded cycle mean %v != reported λ* %v", name, algo.Name(), mean, kr.Mean)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceParallel checks the parallel driver's kernelized
+// path: same λ* and a valid original-ID cycle, for multi-SCC inputs where
+// components actually fan out.
+func TestKernelEquivalenceParallel(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	for seed := uint64(0); seed < 8; seed++ {
+		g, err := gen.MultiSCC(6, 20, 50, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := MinimumCycleMean(g, howard, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kr, err := MinimumCycleMean(g, howard, Options{Kernelize: true, Parallelism: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kr.Mean.Equal(raw.Mean) {
+			t.Errorf("seed %d: parallel kernelized λ* = %v, raw = %v", seed, kr.Mean, raw.Mean)
+		}
+		if err := g.ValidateCycle(kr.Cycle); err != nil {
+			t.Errorf("seed %d: cycle invalid: %v", seed, err)
+		}
+		if mean := numeric.NewRat(g.CycleWeight(kr.Cycle), int64(len(kr.Cycle))); !mean.Equal(kr.Mean) {
+			t.Errorf("seed %d: cycle mean %v != λ* %v", seed, mean, kr.Mean)
+		}
+	}
+}
+
+// TestKernelEquivalenceMaximum covers the negation path (MaximumCycleMean
+// kernelizes the negated graph).
+func TestKernelEquivalenceMaximum(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := gen.Chain(gen.ChainConfig{CoreN: 6, Chains: 4, ChainLen: 20, MinWeight: -30, MaxWeight: 30, SelfLoops: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := MaximumCycleMean(g, howard, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kr, err := MaximumCycleMean(g, howard, Options{Kernelize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kr.Mean.Equal(raw.Mean) {
+			t.Errorf("seed %d: kernelized max mean %v, raw %v", seed, kr.Mean, raw.Mean)
+		}
+	}
+}
+
+// TestKernelBoundsFeedLawler pins the bound-sharpening integration: a
+// kernelized Lawler solve must not probe more than the raw solve on
+// chain-heavy graphs (the kernel bounds can only shrink its bracket) and
+// must agree exactly.
+func TestKernelBoundsFeedLawler(t *testing.T) {
+	lawler := mustAlgo(t, "lawler")
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := gen.Chain(gen.ChainConfig{CoreN: 10, Chains: 5, ChainLen: 15, MinWeight: -100, MaxWeight: 100, SelfLoops: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := MinimumCycleMean(g, lawler, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kr, err := MinimumCycleMean(g, lawler, Options{Kernelize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !kr.Mean.Equal(raw.Mean) {
+			t.Fatalf("seed %d: λ* mismatch: %v vs %v", seed, kr.Mean, raw.Mean)
+		}
+		if kr.Counts.Iterations > raw.Counts.Iterations {
+			t.Errorf("seed %d: kernelized Lawler probed %d times, raw %d — bounds made it worse",
+				seed, kr.Counts.Iterations, raw.Counts.Iterations)
+		}
+	}
+}
+
+// TestLawlerExplicitBounds drives Options.LambdaLower/LambdaUpper directly,
+// including the λ* == Upper edge case the +2 grid slack exists for.
+func TestLawlerExplicitBounds(t *testing.T) {
+	lawler := mustAlgo(t, "lawler")
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 20, M: 60, MinWeight: -50, MaxWeight: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := lawler.Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases := []struct {
+			name   string
+			lo, hi numeric.Rat
+		}{
+			{"tight", ref.Mean, ref.Mean}, // λ* == Lower == Upper exactly
+			{"loose", numeric.NewRat(ref.Mean.Num()-ref.Mean.Den()*10, ref.Mean.Den()), numeric.NewRat(ref.Mean.Num()+ref.Mean.Den()*10, ref.Mean.Den())},
+			{"upper-only", numeric.FromInt(-50), ref.Mean},
+		}
+		for _, tc := range cases {
+			lo, hi := tc.lo, tc.hi
+			got, err := lawler.Solve(g, Options{LambdaLower: &lo, LambdaUpper: &hi})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.name, err)
+			}
+			if !got.Mean.Equal(ref.Mean) {
+				t.Errorf("seed %d %s: bounded Lawler = %v, want %v", seed, tc.name, got.Mean, ref.Mean)
+			}
+			if err := g.ValidateCycle(got.Cycle); err != nil {
+				t.Errorf("seed %d %s: %v", seed, tc.name, err)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceWeightRange pins that kernelization does not widen
+// the input contract: weights beyond ±(2^31−1) must yield ErrWeightRange
+// exactly as a raw solve does, even when the closed-form candidate or the
+// cross-SCC pruning bound could have answered without running a solver.
+func TestKernelEquivalenceWeightRange(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	over := int64(MaxWeightMagnitude) + 1
+
+	// Single component collapsing entirely to a closed-form candidate.
+	single := graph.FromArcs(2, []graph.Arc{
+		{From: 0, To: 1, Weight: over, Transit: 1},
+		{From: 1, To: 0, Weight: 0, Transit: 1},
+	})
+	// Multi-SCC: a small in-range component first, so the out-of-range one
+	// is a pruning target (its bound cannot beat the incumbent mean 1).
+	multi := graph.FromArcs(4, []graph.Arc{
+		{From: 0, To: 1, Weight: 1, Transit: 1},
+		{From: 1, To: 0, Weight: 1, Transit: 1},
+		{From: 2, To: 3, Weight: over, Transit: 1},
+		{From: 3, To: 2, Weight: over, Transit: 1},
+	})
+	for name, g := range map[string]*graph.Graph{"single": single, "multi": multi} {
+		if _, err := MinimumCycleMean(g, howard, Options{}); !errors.Is(err, ErrWeightRange) {
+			t.Errorf("%s raw: err = %v, want ErrWeightRange", name, err)
+		}
+		if _, err := MinimumCycleMean(g, howard, Options{Kernelize: true}); !errors.Is(err, ErrWeightRange) {
+			t.Errorf("%s kernelized: err = %v, want ErrWeightRange", name, err)
+		}
+		if _, err := MinimumCycleMean(g, howard, Options{Kernelize: true, Parallelism: 4}); !errors.Is(err, ErrWeightRange) {
+			t.Errorf("%s kernelized parallel: err = %v, want ErrWeightRange", name, err)
+		}
+	}
+}

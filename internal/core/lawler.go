@@ -62,6 +62,22 @@ func (lawlerAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		return finishExact(g, lambda, nil, counts)
 	}
 
+	// Caller-supplied λ* bounds (e.g. from kernelization) shrink the initial
+	// bracket. lo/K must stay feasible: ⌊K·L⌋/K ≤ L ≤ λ*. hi/K must stay
+	// strictly infeasible AND the last probeable grid point (hi−1)/K must
+	// exceed λ* strictly so a negative cycle is always recorded:
+	// (⌊K·U⌋+1)/K > U ≥ λ* in all cases, hence the +2.
+	if opt.LambdaLower != nil {
+		if v, ok := scaleFloor(K, opt.LambdaLower.Num(), opt.LambdaLower.Den()); ok && v > lo {
+			lo = v
+		}
+	}
+	if opt.LambdaUpper != nil {
+		if v, ok := scaleFloor(K, opt.LambdaUpper.Num(), opt.LambdaUpper.Den()); ok && v+2 < hi {
+			hi = v + 2
+		}
+	}
+
 	var bestCycle []graph.ArcID
 	weights := make([]int64, g.NumArcs())
 	probe := func(p int64) ([]graph.ArcID, bool) {
@@ -100,4 +116,22 @@ func (lawlerAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 	}
 	mean := numeric.NewRat(g.CycleWeight(bestCycle), int64(len(bestCycle)))
 	return Result{Mean: mean, Cycle: bestCycle, Exact: exact, Counts: counts}, nil
+}
+
+// scaleFloor returns ⌊K·p/q⌋ for q > 0, reporting ok=false when K·p would
+// overflow int64 (the caller then skips the optional bound clamp).
+func scaleFloor(K, p, q int64) (int64, bool) {
+	ap := p
+	if ap < 0 {
+		ap = -ap
+	}
+	if ap != 0 && K > math.MaxInt64/ap {
+		return 0, false
+	}
+	kp := K * p
+	v := kp / q
+	if kp%q != 0 && kp < 0 {
+		v--
+	}
+	return v, true
 }

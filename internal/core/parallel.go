@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/counter"
 	"repro/internal/graph"
+	"repro/internal/prep"
 )
 
 // minimumCycleMeanParallel is the concurrent SCC driver behind
@@ -39,7 +40,19 @@ func minimumCycleMeanParallel(algo Algorithm, opt Options, comps []graph.Compone
 				if i >= len(comps) {
 					return
 				}
-				r, err := algo.Solve(comps[i].Graph, opt)
+				var (
+					r   Result
+					err error
+				)
+				if opt.Kernelize {
+					// Kernelize per component. No cross-SCC pruning here: the
+					// incumbent would depend on completion order and the
+					// driver's merge must stay deterministic.
+					kern := prep.Kernelize(comps[i].Graph, prep.Mean)
+					r, err = solveComponentKernelized(algo, opt, comps[i].Graph, kern)
+				} else {
+					r, err = algo.Solve(comps[i].Graph, opt)
+				}
 				if err != nil {
 					outs[i] = compOut{err: err}
 					continue

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// benchPerturbations builds the repeated-solve workload: one base graph and
+// a ring of weight-perturbed copies with identical structure.
+func benchPerturbations(b *testing.B, rounds int) []*graph.Graph {
+	b.Helper()
+	g, err := gen.Sprand(gen.SprandConfig{N: 2000, M: 8000, MinWeight: -10000, MaxWeight: 10000, Seed: 1234})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]*graph.Graph, rounds)
+	out[0] = g
+	for r := 1; r < rounds; r++ {
+		out[r] = reweight(g, func(i int) int64 { return int64((i*r)%11 - 5) })
+	}
+	return out
+}
+
+// BenchmarkSessionWarm measures the steady-state cost of solving a stream of
+// weight-perturbed graphs through one Session (policy cache hot after the
+// first solve).
+func BenchmarkSessionWarm(b *testing.B) {
+	graphs := benchPerturbations(b, 8)
+	s := NewSession(Options{})
+	if _, err := s.Solve(graphs[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(graphs[i%len(graphs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionCold solves the same stream with a cache reset before
+// every solve — the baseline the warm path is measured against.
+func BenchmarkSessionCold(b *testing.B) {
+	graphs := benchPerturbations(b, 8)
+	s := NewSession(Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		if _, err := s.Solve(graphs[i%len(graphs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ChainConfig parameterizes the chain-heavy circuit family mirroring the
+// DAC'99 study's Table 4 workloads: circuit timing graphs are dominated by
+// long combinational chains (in-degree = out-degree = 1 paths) hanging
+// between a small strongly cyclic core of registers. The family is the
+// stress test for the kernelization pipeline — almost every node is a chain
+// interior that contraction removes.
+type ChainConfig struct {
+	// CoreN is the number of core nodes, joined in a ring (guaranteeing
+	// strong connectivity) plus CoreN/2 random chord arcs.
+	CoreN int
+	// Chains is the number of long chains; each runs from a random core node
+	// through ChainLen fresh interior nodes back to a random core node.
+	Chains int
+	// ChainLen is the number of interior nodes per chain (each contributes
+	// ChainLen+1 arcs). Zero-length chains degenerate to single core arcs.
+	ChainLen int
+	// MinWeight and MaxWeight bound the uniform arc weights.
+	MinWeight, MaxWeight int64
+	// SelfLoops adds this many self-loops on random core nodes (weights from
+	// the same interval) — exercising the self-loop extraction reduction.
+	SelfLoops int
+	// Seed drives the deterministic generator.
+	Seed uint64
+}
+
+// Chain builds a chain-heavy strongly connected graph per cfg. The total
+// node count is CoreN + Chains·ChainLen and the arc count is
+// CoreN + CoreN/2 + Chains·(ChainLen+1) + SelfLoops.
+func Chain(cfg ChainConfig) (*graph.Graph, error) {
+	if cfg.CoreN < 2 {
+		return nil, fmt.Errorf("gen: Chain needs CoreN >= 2, got %d", cfg.CoreN)
+	}
+	if cfg.Chains < 0 || cfg.ChainLen < 0 || cfg.SelfLoops < 0 {
+		return nil, fmt.Errorf("gen: Chain counts must be non-negative")
+	}
+	if cfg.MaxWeight < cfg.MinWeight {
+		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", cfg.MinWeight, cfg.MaxWeight)
+	}
+	r := newRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	n := cfg.CoreN + cfg.Chains*cfg.ChainLen
+	m := cfg.CoreN + cfg.CoreN/2 + cfg.Chains*(cfg.ChainLen+1) + cfg.SelfLoops
+	b := graph.NewBuilder(n, m)
+	b.AddNodes(n)
+	w := func() int64 { return r.rangeInt(cfg.MinWeight, cfg.MaxWeight) }
+
+	// Core ring plus chords.
+	for i := 0; i < cfg.CoreN; i++ {
+		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%cfg.CoreN), w())
+	}
+	for i := 0; i < cfg.CoreN/2; i++ {
+		u := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		for v == u {
+			v = graph.NodeID(r.intn(int64(cfg.CoreN)))
+		}
+		b.AddArc(u, v, w())
+	}
+
+	// Chains: core -> interior -> ... -> interior -> core. Every interior
+	// node has in-degree = out-degree = 1, so chain contraction removes all
+	// of them.
+	next := graph.NodeID(cfg.CoreN)
+	for c := 0; c < cfg.Chains; c++ {
+		u := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		prev := u
+		for i := 0; i < cfg.ChainLen; i++ {
+			b.AddArc(prev, next, w())
+			prev = next
+			next++
+		}
+		b.AddArc(prev, v, w())
+	}
+
+	// Self-loops on core nodes.
+	for i := 0; i < cfg.SelfLoops; i++ {
+		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		b.AddArc(v, v, w())
+	}
+	return b.Build(), nil
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/counter"
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/prep"
 )
 
 // Errors mirrored from the mean solvers, plus ratio-specific failures.
@@ -151,7 +152,21 @@ func MinimumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (Result
 		found bool
 	)
 	for _, comp := range comps {
-		r, err := algo.Solve(comp.Graph, opt)
+		var (
+			r   Result
+			err error
+		)
+		if opt.Kernelize {
+			kern := prep.Kernelize(comp.Graph, prep.Ratio)
+			if found && kern.Err == nil && kern.HasBounds && !kern.Lower.Less(best.Ratio) {
+				// Cross-SCC pruning: every cycle of this component has ratio
+				// at least kern.Lower ≥ the incumbent, so it cannot win.
+				continue
+			}
+			r, err = solveComponentKernelized(algo, opt, comp.Graph, kern)
+		} else {
+			r, err = algo.Solve(comp.Graph, opt)
+		}
 		if err != nil {
 			return Result{}, fmt.Errorf("ratio: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)
 		}
@@ -169,6 +184,44 @@ func MinimumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (Result
 		} else {
 			best.Counts.Add(r.Counts)
 		}
+	}
+	return best, nil
+}
+
+// solveComponentKernelized solves one strongly connected cyclic component g
+// through its Ratio-mode kernel. Unlike the mean problem, a contracted ratio
+// kernel is still a plain ratio instance (transit times accumulate), so the
+// caller's algorithm solves it directly, with sharpened ρ* bounds when
+// available. Any kernel-solve failure falls back to an unkernelized solve of
+// the original component: accumulated kernel weights can exceed a solver's
+// range even when the original weights do not, and the raw solve also
+// reproduces the exact diagnostics an unkernelized run would report.
+func solveComponentKernelized(algo Algorithm, opt core.Options, g *graph.Graph, kern *prep.Kernel) (Result, error) {
+	if kern.Err != nil || (kern.Solved && !kern.HasCandidate) {
+		return algo.Solve(g, opt)
+	}
+	var best Result
+	have := false
+	if kern.HasCandidate {
+		best = Result{Ratio: kern.CandidateValue, Cycle: kern.CandidateCycle(), Exact: true}
+		have = true
+	}
+	if !kern.Solved {
+		sub := opt
+		if kern.HasBounds {
+			lo, hi := kern.Lower, kern.Upper
+			sub.LambdaLower, sub.LambdaUpper = &lo, &hi
+		}
+		r, err := algo.Solve(kern.G, sub)
+		if err != nil {
+			return algo.Solve(g, opt)
+		}
+		r.Cycle = kern.ExpandCycle(r.Cycle)
+		cts := r.Counts
+		if !have || r.Ratio.Less(best.Ratio) {
+			best = r
+		}
+		best.Counts = cts
 	}
 	return best, nil
 }
