@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel fuzz repro repro-quick cover clean
+.PHONY: all build test test-race bench bench-kernel fuzz fuzz-smoke repro repro-quick cover clean
 
 all: build test
 
@@ -30,6 +30,13 @@ bench-kernel:
 # Differential soak test: every algorithm vs the oracle on random graphs.
 fuzz:
 	$(GO) run ./cmd/mcmfuzz -duration 30s
+
+# Native coverage-guided fuzzing, 30s per target (same as the CI smoke job).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzGraphRead -fuzztime 30s ./internal/graph
+	$(GO) test -run '^$$' -fuzz FuzzSolveDifferential -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzRatioDifferential -fuzztime 30s ./internal/ratio
 
 # Full Table 2 + every observation table (tens of minutes).
 repro:

@@ -42,6 +42,7 @@ func main() {
 		slackTop = flag.Int("slack", 0, "print the k tightest arcs (criticality/slack report; mean problem only)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for solving strongly connected components concurrently (1 = sequential)")
 		kernel   = flag.Bool("kernel", false, "kernelize each strongly connected component (self-loop extraction, chain contraction, tiny closed forms) before solving")
+		certify  = flag.Bool("certify", true, "prove the answer exactly: snap to a bounded-denominator rational and verify optimality with an integer Bellman-Ford feasibility check")
 	)
 	flag.Parse()
 	var err error
@@ -51,7 +52,7 @@ func main() {
 	case *slackTop > 0:
 		err = runSlack(*slackTop, flag.Args())
 	default:
-		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, *kernel, flag.Args())
+		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, *kernel, *certify, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcm:", err)
@@ -135,7 +136,7 @@ func runAll(args []string) error {
 	return nil
 }
 
-func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, kernel bool, args []string) error {
+func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, kernel, certify bool, args []string) error {
 	var in io.Reader = os.Stdin
 	name := "<stdin>"
 	if len(args) > 0 {
@@ -151,13 +152,14 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Epsilon: eps, Parallelism: parallel, Kernelize: kernel}
+	opt := core.Options{Epsilon: eps, Parallelism: parallel, Kernelize: kernel, Certify: certify}
 
 	var (
 		value  string
 		cycle  []graph.ArcID
 		cts    string
 		approx bool
+		cert   *core.Certificate
 	)
 	if useRatio {
 		algo, err := ratio.ByName(algoName)
@@ -174,7 +176,7 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 			return err
 		}
 		value = fmt.Sprintf("rho* = %v (%.6f)", res.Ratio, res.Ratio.Float64())
-		cycle, cts, approx = res.Cycle, res.Counts.String(), !res.Exact
+		cycle, cts, approx, cert = res.Cycle, res.Counts.String(), !res.Exact, res.Certificate
 	} else {
 		algo, err := core.ByName(algoName)
 		if err != nil {
@@ -190,13 +192,21 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 			return err
 		}
 		value = fmt.Sprintf("lambda* = %v (%.6f)", res.Mean, res.Mean.Float64())
-		cycle, cts, approx = res.Cycle, res.Counts.String(), !res.Exact
+		cycle, cts, approx, cert = res.Cycle, res.Counts.String(), !res.Exact, res.Certificate
 	}
 
 	fmt.Printf("%s: n=%d m=%d algo=%s\n", name, g.NumNodes(), g.NumArcs(), algoName)
 	fmt.Println(value)
 	if approx {
 		fmt.Println("(approximate: epsilon mode)")
+	}
+	if cert != nil {
+		snapped := ""
+		if cert.Snapped {
+			snapped = ", snapped from float"
+		}
+		fmt.Printf("certified: witness cycle of %d arcs, no better cycle exists (den <= %d%s)\n",
+			len(cert.Witness), cert.MaxDen, snapped)
 	}
 	if critical && len(cycle) > 0 {
 		fmt.Printf("critical cycle (%d arcs):\n", len(cycle))

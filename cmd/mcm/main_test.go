@@ -48,7 +48,7 @@ a 3 1 4
 func TestRunMean(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, true, true, "", 0, 2, false, []string{path})
+		return run("howard", false, false, true, true, "", 0, 2, false, true, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -62,6 +62,23 @@ func TestRunMean(t *testing.T) {
 	if !strings.Contains(out, "counts:") {
 		t.Fatalf("output missing counts: %s", out)
 	}
+	if !strings.Contains(out, "certified: witness cycle of 3 arcs") {
+		t.Fatalf("output missing certificate line: %s", out)
+	}
+}
+
+// TestRunCertifyOff pins that -certify=false suppresses the proof.
+func TestRunCertifyOff(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error {
+		return run("howard", false, false, false, false, "", 0, 2, false, false, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "certified:") {
+		t.Fatalf("certificate printed with -certify=false: %s", out)
+	}
 }
 
 func TestRunKernelized(t *testing.T) {
@@ -69,7 +86,7 @@ func TestRunKernelized(t *testing.T) {
 	// come back expanded to the original three arcs.
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, false, true, "", 0, 2, true, []string{path})
+		return run("howard", false, false, false, true, "", 0, 2, true, true, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +107,7 @@ a 1 1 9
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("karp", false, true, false, false, "", 0, 2, false, []string{path})
+		return run("karp", false, true, false, false, "", 0, 2, false, true, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +124,7 @@ a 2 1 5 2
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("howard", true, false, false, false, "", 0, 2, false, []string{path})
+		return run("howard", true, false, false, false, "", 0, 2, false, true, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +138,7 @@ func TestRunDOTOutput(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	if _, err := capture(t, func() error {
-		return run("yto", false, false, false, false, dot, 0, 2, false, []string{path})
+		return run("yto", false, false, false, false, dot, 0, 2, false, true, []string{path})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -136,19 +153,19 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
-	if err := run("bogus", false, false, false, false, "", 0, 2, false, []string{path}); err == nil {
+	if err := run("bogus", false, false, false, false, "", 0, 2, false, true, []string{path}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("howard", false, false, false, false, "", 0, 2, false, []string{"/does/not/exist"}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, true, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeGraphFile(t, "not a graph\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, false, []string{bad}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, true, []string{bad}); err == nil {
 		t.Error("malformed file accepted")
 	}
 	// Acyclic graph → solver error surfaces.
 	dag := writeGraphFile(t, "p mcm 2 1\na 1 2 5\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, false, []string{dag}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, true, []string{dag}); err == nil {
 		t.Error("acyclic graph accepted")
 	}
 }

@@ -111,7 +111,18 @@ func (burnsAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 		if len(order) < n {
 			// The critical subgraph is cyclic: extract a critical cycle and
 			// certify it exactly.
-			cycle := criticalCycleFrom(g, critical, order, n)
+			cycle, ok := criticalCycleFrom(g, critical, order, n)
+			if !ok {
+				// Kahn's invariant guarantees a critical predecessor for
+				// every unremoved node, so extraction can only fail through
+				// float inconsistency in the slack classification; tighten
+				// the tolerance and rebuild rather than crash.
+				tol /= 10
+				if tol < minTol {
+					return Result{}, ErrIterationLimit
+				}
+				continue
+			}
 			counts.CyclesExamined++
 			mean := numeric.NewRat(g.CycleWeight(cycle), int64(len(cycle)))
 			if neg, _ := hasNegativeCycleScaled(g, mean.Num(), mean.Den(), &counts); !neg {
@@ -157,8 +168,12 @@ func (burnsAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
 
 // criticalCycleFrom extracts a cycle among the critical arcs, given the
 // (incomplete) Kahn order: nodes not in the order lie on or downstream of a
-// cycle; following critical arcs among them must revisit a node.
-func criticalCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n int) []graph.ArcID {
+// cycle; following critical arcs among them must revisit a node. The false
+// return (no remaining critical predecessor for some node) is impossible
+// under Kahn's invariant — every unremoved node kept a positive critical
+// in-degree from unremoved nodes — and is reported instead of panicking so
+// the solver can recover from any float-drift inconsistency.
+func criticalCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n int) ([]graph.ArcID, bool) {
 	inOrder := make([]bool, n)
 	for _, v := range order {
 		inOrder[v] = true
@@ -172,7 +187,7 @@ func criticalCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n 
 				return id
 			}
 		}
-		panic("core: remaining node without remaining critical predecessor")
+		return -1
 	}
 	var start graph.NodeID
 	for v := graph.NodeID(0); int(v) < n; v++ {
@@ -192,10 +207,13 @@ func criticalCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n 
 			for i, id := range seg {
 				cycle[len(seg)-1-i] = id
 			}
-			return cycle
+			return cycle, true
 		}
 		pos[v] = len(rev)
 		id := pred(v)
+		if id < 0 {
+			return nil, false
+		}
 		rev = append(rev, id)
 		v = g.Arc(id).From
 	}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// TestCertifyMatchesBruteForce proves the certificate's claim independently:
+// on small graphs the certified λ* must equal the enumerated optimum and the
+// witness must pass the oracle's end-to-end optimality check.
+func TestCertifyMatchesBruteForce(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 20, MinWeight: -50, MaxWeight: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MinimumCycleMean(g, howard, Options{Certify: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Certificate == nil {
+			t.Fatalf("seed %d: no certificate", seed)
+		}
+		want, _, err := verify.BruteForceMinMean(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mean.Equal(want) {
+			t.Errorf("seed %d: certified λ* = %v, brute force = %v", seed, res.Mean, want)
+		}
+		if err := verify.CheckCycleIsOptimal(g, res.Certificate.Value, res.Certificate.Witness); err != nil {
+			t.Errorf("seed %d: certificate fails independent check: %v", seed, err)
+		}
+	}
+}
+
+// TestCertifyEpsilonModeSnaps is the tentpole scenario: an approximate
+// (epsilon-mode) solver answer is snapped to the exact rational and verified,
+// so the caller gets a proven-exact λ* out of an inexact run.
+func TestCertifyEpsilonModeSnaps(t *testing.T) {
+	oa1 := mustAlgo(t, "oa1")
+	howard := mustAlgo(t, "howard")
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 36, MinWeight: -40, MaxWeight: 40, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := MinimumCycleMean(g, howard, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Epsilon below the grid resolution: the approximate run still finds
+		// the optimal cycle but reports Exact=false; certification must
+		// recover and prove the exact value.
+		res, err := MinimumCycleMean(g, oa1, Options{Epsilon: 1e-12, Certify: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Exact {
+			t.Errorf("seed %d: certified result not marked exact", seed)
+		}
+		if res.Certificate == nil || !res.Certificate.Snapped {
+			t.Errorf("seed %d: expected a snapped certificate, got %+v", seed, res.Certificate)
+		}
+		if !res.Mean.Equal(exact.Mean) {
+			t.Errorf("seed %d: certified λ* = %v, exact = %v", seed, res.Mean, exact.Mean)
+		}
+	}
+}
+
+// TestCertifyMaximum pins the negation path: the certificate of a
+// MaximumCycleMean solve reports the maximization orientation and the
+// maximizing value.
+func TestCertifyMaximum(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 20, MinWeight: -50, MaxWeight: 50, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MaximumCycleMean(g, howard, Options{Certify: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Certificate == nil || !res.Certificate.Maximize {
+			t.Fatalf("seed %d: want a maximization certificate, got %+v", seed, res.Certificate)
+		}
+		if !res.Certificate.Value.Equal(res.Mean) {
+			t.Errorf("seed %d: certificate value %v != mean %v", seed, res.Certificate.Value, res.Mean)
+		}
+		want, _, err := verify.BruteForceMaxMean(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Mean.Equal(want) {
+			t.Errorf("seed %d: certified max mean %v, brute force %v", seed, res.Mean, want)
+		}
+	}
+}
+
+// TestCertifyDriverPaths runs certification through every driver variant —
+// parallel, kernelized, portfolio, session — and demands the same proof from
+// each.
+func TestCertifyDriverPaths(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	g, err := gen.MultiSCC(5, 12, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MinimumCycleMean(g, howard, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, res Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Certificate == nil {
+			t.Fatalf("%s: no certificate", name)
+		}
+		if !res.Mean.Equal(ref.Mean) {
+			t.Errorf("%s: λ* = %v, want %v", name, res.Mean, ref.Mean)
+		}
+		if err := verify.CheckCycleIsOptimal(g, res.Certificate.Value, res.Certificate.Witness); err != nil {
+			t.Errorf("%s: certificate fails independent check: %v", name, err)
+		}
+	}
+
+	res, err := MinimumCycleMean(g, howard, Options{Certify: true, Parallelism: 4})
+	check("parallel", res, err)
+	res, err = MinimumCycleMean(g, howard, Options{Certify: true, Kernelize: true})
+	check("kernelized", res, err)
+	portfolio, err := ByName("portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = MinimumCycleMean(g, portfolio, Options{Certify: true})
+	check("portfolio", res, err)
+
+	sess := NewSession(Options{Certify: true})
+	for i := 0; i < 3; i++ {
+		res, err = sess.Solve(g)
+		check("session", res, err)
+	}
+}
+
+// TestRecoverNumericRange exercises the panic-free boundary helper directly.
+func TestRecoverNumericRange(t *testing.T) {
+	run := func(p any) (err error) {
+		defer RecoverNumericRange(&err, ErrNumericRange)
+		if p != nil {
+			panic(p)
+		}
+		return nil
+	}
+	if err := run(nil); err != nil {
+		t.Errorf("no panic: err = %v", err)
+	}
+	if err := run("numeric: int64 overflow in rational arithmetic"); !errors.Is(err, ErrNumericRange) {
+		t.Errorf("numeric panic: err = %v, want ErrNumericRange", err)
+	}
+	// Foreign panics must not be swallowed.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("foreign panic was swallowed")
+			}
+		}()
+		_ = run(errors.New("unrelated"))
+	}()
+}
+
+// TestGuardedRegistry pins that every registry instance carries the numeric
+// boundary: a graph constructed to overflow the scaled arithmetic must come
+// back as a typed error from every algorithm, never a panic.
+func TestGuardedRegistry(t *testing.T) {
+	// Weights at the contract boundary: accepted by checkSolveInput, but big
+	// enough that certification-scale arithmetic stays in range while solver
+	// internals exercise large magnitudes.
+	big := int64(MaxWeightMagnitude)
+	g := graph.FromArcs(2, []graph.Arc{
+		{From: 0, To: 1, Weight: big, Transit: 1},
+		{From: 1, To: 0, Weight: -big, Transit: 1},
+		{From: 0, To: 0, Weight: big - 1, Transit: 1},
+	})
+	for _, algo := range All() {
+		res, err := MinimumCycleMean(g, algo, Options{})
+		if err != nil {
+			if !errors.Is(err, ErrNumericRange) && !errors.Is(err, ErrWeightRange) {
+				t.Errorf("%s: err = %v, want typed range error or success", algo.Name(), err)
+			}
+			continue
+		}
+		if res.Mean.Den() == 0 {
+			t.Errorf("%s: zero-denominator mean", algo.Name())
+		}
+	}
+}

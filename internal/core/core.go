@@ -101,6 +101,17 @@ type Options struct {
 	// between kernelized and raw runs.
 	Kernelize bool
 
+	// Certify makes the drivers (MinimumCycleMean, MaximumCycleMean,
+	// Session.Solve) prove every answer before returning it: the value is
+	// snapped to the unique rational with denominator ≤ n (continued-
+	// fraction recovery, a no-op for the exact solvers), the critical
+	// cycle's value is recomputed in exact arithmetic, and optimality is
+	// verified with an exact Bellman–Ford no-negative-cycle check on the
+	// reweighted graph. The proof is attached as Result.Certificate; a
+	// failed proof returns ErrCertification instead of an unverified
+	// answer. Costs one O(nm) integer Bellman–Ford pass per solve.
+	Certify bool
+
 	// LambdaLower and LambdaUpper, when non-nil, narrow the initial
 	// bracket of bound-driven algorithms (currently Lawler's binary
 	// search). They must satisfy LambdaLower ≤ λ* ≤ LambdaUpper for the
@@ -145,6 +156,9 @@ type Result struct {
 	Exact bool
 	// Counts holds the representative operation counts of the run.
 	Counts counter.Counts
+	// Certificate is the exact optimality proof, present if and only if the
+	// run was driven with Options.Certify and the proof succeeded.
+	Certificate *Certificate
 }
 
 // Lambda returns λ* as a float64 convenience.
@@ -197,7 +211,9 @@ func register(name string, ctor func() Algorithm) {
 	if _, dup := registry[name]; dup {
 		panic("core: duplicate algorithm name " + name)
 	}
-	registry[name] = ctor
+	// Every instance handed out is wrapped in the panic-free boundary:
+	// numeric overflow panics surface as ErrNumericRange, never as a crash.
+	registry[name] = func() Algorithm { return guardedAlg{ctor()} }
 }
 
 // ByName returns a fresh instance of the named algorithm. Valid names are
@@ -246,7 +262,23 @@ func All() []Algorithm {
 // bit-identical to the sequential driver's. The Algorithm must then be safe
 // for concurrent Solve calls — every built-in solver is, as all per-run
 // state lives in private workspaces.
-func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, error) {
+func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (res Result, err error) {
+	// The driver itself runs exact rational arithmetic (kernel bounds,
+	// incumbent comparisons), so the panic-free boundary sits here too.
+	defer RecoverNumericRange(&err, ErrNumericRange)
+	res, err = minimumCycleMeanAny(g, algo, opt)
+	if err == nil && opt.Certify {
+		if cerr := certifyMean(g, &res); cerr != nil {
+			return Result{}, cerr
+		}
+	}
+	return res, err
+}
+
+// minimumCycleMeanAny is MinimumCycleMean without the certification and
+// recovery wrapper: SCC decomposition, per-component solve (sequential or
+// parallel), merge.
+func minimumCycleMeanAny(g *graph.Graph, algo Algorithm, opt Options) (Result, error) {
 	comps := graph.CyclicComponents(g)
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
@@ -308,6 +340,12 @@ func MaximumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (Result, erro
 		return Result{}, err
 	}
 	r.Mean = r.Mean.Neg()
+	if r.Certificate != nil {
+		// The proof ran on the negated instance; report it in the caller's
+		// orientation (arc IDs are shared between g and its negation).
+		r.Certificate.Value = r.Certificate.Value.Neg()
+		r.Certificate.Maximize = true
+	}
 	return r, nil
 }
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// decodeFuzzGraph derives a small graph from fuzz bytes: byte 0 picks the
+// node count in [2, maxN], then each 3-byte chunk becomes an arc
+// (from, to, int8 weight). Self-loops and parallel arcs are deliberately
+// reachable; the graph need not be strongly connected or even cyclic.
+func decodeFuzzGraph(data []byte, maxN, maxArcs int) *graph.Graph {
+	if len(data) < 4 {
+		return nil
+	}
+	n := 2 + int(data[0])%(maxN-1)
+	data = data[1:]
+	var arcs []graph.Arc
+	for len(data) >= 3 && len(arcs) < maxArcs {
+		arcs = append(arcs, graph.Arc{
+			From:    graph.NodeID(int(data[0]) % n),
+			To:      graph.NodeID(int(data[1]) % n),
+			Weight:  int64(int8(data[2])),
+			Transit: 1,
+		})
+		data = data[3:]
+	}
+	if len(arcs) == 0 {
+		return nil
+	}
+	return graph.FromArcs(n, arcs)
+}
+
+// FuzzSolveDifferential cross-checks every registered mean algorithm — plus
+// the portfolio, the parallel driver, and the session — against the
+// brute-force cycle-enumeration oracle, with certification on. Any
+// disagreement, missing certificate, or panic is a finding.
+func FuzzSolveDifferential(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 5, 1, 2, 250, 2, 0, 3})
+	f.Add([]byte{0, 0, 0, 200, 1, 1, 10})
+	f.Add([]byte{5, 0, 1, 1, 1, 0, 255})
+	f.Add([]byte{2, 0, 1, 7, 1, 2, 7, 2, 3, 7, 3, 0, 7})
+	f.Add([]byte{4, 1, 1, 128, 2, 2, 127, 1, 2, 0, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeFuzzGraph(data, 6, 14)
+		if g == nil {
+			return
+		}
+		want, _, oracleErr := verify.BruteForceMinMean(g)
+
+		algos := All()
+		if p, err := ByName("portfolio"); err == nil {
+			algos = append(algos, p)
+		}
+		for _, algo := range algos {
+			res, err := MinimumCycleMean(g, algo, Options{Certify: true})
+			if oracleErr != nil {
+				if err == nil {
+					t.Fatalf("%s: oracle failed (%v) but solver returned %v", algo.Name(), oracleErr, res.Mean)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", algo.Name(), err)
+			}
+			if !res.Mean.Equal(want) {
+				t.Fatalf("%s: λ* = %v, oracle %v", algo.Name(), res.Mean, want)
+			}
+			if res.Certificate == nil || !res.Certificate.Value.Equal(want) {
+				t.Fatalf("%s: bad certificate %+v", algo.Name(), res.Certificate)
+			}
+			if err := verify.CheckCycleIsOptimal(g, res.Certificate.Value, res.Certificate.Witness); err != nil {
+				t.Fatalf("%s: certificate fails independent check: %v", algo.Name(), err)
+			}
+		}
+
+		// Driver variants over Howard.
+		howard, err := ByName("howard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opt := range map[string]Options{
+			"parallel":   {Certify: true, Parallelism: 2},
+			"kernelized": {Certify: true, Kernelize: true},
+		} {
+			res, err := MinimumCycleMean(g, howard, opt)
+			if oracleErr != nil {
+				if err == nil {
+					t.Fatalf("%s: oracle failed (%v) but solver returned %v", name, oracleErr, res.Mean)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !res.Mean.Equal(want) {
+				t.Fatalf("%s: λ* = %v, oracle %v", name, res.Mean, want)
+			}
+		}
+		sess := NewSession(Options{Certify: true})
+		for i := 0; i < 2; i++ {
+			res, err := sess.Solve(g)
+			if oracleErr != nil {
+				if err == nil {
+					t.Fatalf("session: oracle failed (%v) but solver returned %v", oracleErr, res.Mean)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			if !res.Mean.Equal(want) {
+				t.Fatalf("session: λ* = %v, oracle %v", res.Mean, want)
+			}
+		}
+	})
+}
+
+// FuzzKernelEquivalence pins the kernelization pipeline against raw solves
+// on slightly larger graphs than the differential target (kernels only get
+// interesting with chains and self-loops to contract).
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{8, 0, 1, 5, 1, 2, 250, 2, 3, 3, 3, 4, 9, 4, 0, 1})
+	f.Add([]byte{9, 0, 0, 1, 1, 1, 255, 0, 1, 3, 1, 0, 4})
+	f.Add([]byte{1, 0, 1, 100, 1, 0, 156})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := decodeFuzzGraph(data, 10, 24)
+		if g == nil {
+			return
+		}
+		howard, err := ByName("howard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, rawErr := MinimumCycleMean(g, howard, Options{})
+		kr, krErr := MinimumCycleMean(g, howard, Options{Kernelize: true})
+		if (rawErr == nil) != (krErr == nil) {
+			t.Fatalf("error disagreement: raw=%v kernelized=%v", rawErr, krErr)
+		}
+		if rawErr != nil {
+			return
+		}
+		if !kr.Mean.Equal(raw.Mean) {
+			t.Fatalf("kernelized λ* = %v, raw = %v", kr.Mean, raw.Mean)
+		}
+		if err := g.ValidateCycle(kr.Cycle); err != nil {
+			t.Fatalf("kernelized cycle invalid on original graph: %v", err)
+		}
+	})
+}

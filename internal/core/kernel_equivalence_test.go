@@ -73,12 +73,15 @@ func TestKernelEquivalenceMean(t *testing.T) {
 	corpus := equivalenceCorpus(t)
 	algos := []Algorithm{mustAlgo(t, "howard"), mustAlgo(t, "karp"), mustAlgo(t, "lawler")}
 	for name, g := range corpus {
-		raw, err := MinimumCycleMean(g, algos[0], Options{})
+		raw, err := MinimumCycleMean(g, algos[0], Options{Certify: true})
 		if err != nil {
 			t.Fatalf("%s: raw solve: %v", name, err)
 		}
+		if raw.Certificate == nil {
+			t.Fatalf("%s: certified solve returned no certificate", name)
+		}
 		for _, algo := range algos {
-			kr, err := MinimumCycleMean(g, algo, Options{Kernelize: true})
+			kr, err := MinimumCycleMean(g, algo, Options{Kernelize: true, Certify: true})
 			if err != nil {
 				t.Fatalf("%s/%s: kernelized solve: %v", name, algo.Name(), err)
 			}
@@ -88,6 +91,9 @@ func TestKernelEquivalenceMean(t *testing.T) {
 			}
 			if !kr.Exact {
 				t.Errorf("%s/%s: kernelized result must be exact", name, algo.Name())
+			}
+			if kr.Certificate == nil || !kr.Certificate.Value.Equal(kr.Mean) {
+				t.Errorf("%s/%s: missing or mismatched certificate: %+v", name, algo.Name(), kr.Certificate)
 			}
 			if err := g.ValidateCycle(kr.Cycle); err != nil {
 				t.Errorf("%s/%s: expanded cycle invalid on original graph: %v", name, algo.Name(), err)

@@ -44,15 +44,22 @@ func minimumCycleMeanParallel(algo Algorithm, opt Options, comps []graph.Compone
 					r   Result
 					err error
 				)
-				if opt.Kernelize {
-					// Kernelize per component. No cross-SCC pruning here: the
-					// incumbent would depend on completion order and the
-					// driver's merge must stay deterministic.
-					kern := prep.Kernelize(comps[i].Graph, prep.Mean)
-					r, err = solveComponentKernelized(algo, opt, comps[i].Graph, kern)
-				} else {
-					r, err = algo.Solve(comps[i].Graph, opt)
-				}
+				// A panic inside a worker goroutine would kill the whole
+				// process regardless of any recover in the caller, so the
+				// numeric boundary must live here: capture the overflow as
+				// this component's error and keep draining the queue.
+				func() {
+					defer RecoverNumericRange(&err, ErrNumericRange)
+					if opt.Kernelize {
+						// Kernelize per component. No cross-SCC pruning here:
+						// the incumbent would depend on completion order and
+						// the driver's merge must stay deterministic.
+						kern := prep.Kernelize(comps[i].Graph, prep.Mean)
+						r, err = solveComponentKernelized(algo, opt, comps[i].Graph, kern)
+					} else {
+						r, err = algo.Solve(comps[i].Graph, opt)
+					}
+				}()
 				if err != nil {
 					outs[i] = compOut{err: err}
 					continue

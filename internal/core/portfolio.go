@@ -121,7 +121,17 @@ func (p *Portfolio) SolveContext(ctx context.Context, g *graph.Graph, opt Option
 		go func(i int, a Algorithm, sub Options) {
 			defer wg.Done()
 			defer portfolioLive.Add(-1)
-			res, err := a.Solve(g, sub)
+			var (
+				res Result
+				err error
+			)
+			// Racer goroutines need their own numeric boundary: registry
+			// members are individually guarded, but a caller-supplied
+			// Algorithm is not, and a panic here would kill the process.
+			func() {
+				defer RecoverNumericRange(&err, ErrNumericRange)
+				res, err = a.Solve(g, sub)
+			}()
 			results <- outcome{idx: i, res: res, err: err}
 		}(i, a, sub)
 	}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/prep"
+)
+
+// nearLimitGraphs builds instances whose weights sit exactly at the
+// ±(2^31−1) contract boundary — the largest magnitudes checkSolveInput
+// admits — in shapes that stress different solver internals: Lawler's grid
+// products, the parametric trees' breakpoint fractions, Karp's DP table, and
+// the kernelization pipeline's contraction sums.
+func nearLimitGraphs() map[string]*graph.Graph {
+	lim := int64(MaxWeightMagnitude)
+	return map[string]*graph.Graph{
+		// Two-cycle swinging between the extremes: λ* = 0.
+		"swing": graph.FromArcs(2, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 1},
+			{From: 1, To: 0, Weight: -lim, Transit: 1},
+		}),
+		// All-max triangle: λ* = lim.
+		"allmax": graph.FromArcs(3, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim, Transit: 1},
+			{From: 2, To: 0, Weight: lim, Transit: 1},
+		}),
+		// All-min triangle: λ* = −lim.
+		"allmin": graph.FromArcs(3, []graph.Arc{
+			{From: 0, To: 1, Weight: -lim, Transit: 1},
+			{From: 1, To: 2, Weight: -lim, Transit: 1},
+			{From: 2, To: 0, Weight: -lim, Transit: 1},
+		}),
+		// Non-trivial choice between a near-limit self-loop and a mixed
+		// cycle: λ* = −1 via the 4-cycle of mean (−lim + lim−2 − 2 − 0)/4.
+		"choice": graph.FromArcs(4, []graph.Arc{
+			{From: 0, To: 1, Weight: -lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim - 2, Transit: 1},
+			{From: 2, To: 3, Weight: -2, Transit: 1},
+			{From: 3, To: 0, Weight: 0, Transit: 1},
+			{From: 1, To: 1, Weight: lim, Transit: 1},
+		}),
+		// Chain-heavy shape so kernelization's contraction actually sums
+		// near-limit weights (sums stay within int64 but far outside the
+		// per-arc contract).
+		"chain": graph.FromArcs(6, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim, Transit: 1},
+			{From: 2, To: 3, Weight: lim, Transit: 1},
+			{From: 3, To: 4, Weight: -lim, Transit: 1},
+			{From: 4, To: 5, Weight: -lim, Transit: 1},
+			{From: 5, To: 0, Weight: -lim + 6, Transit: 1},
+		}),
+	}
+}
+
+// nearLimitWant gives the exact λ* for each nearLimitGraphs entry.
+func nearLimitWant() map[string]numeric.Rat {
+	lim := int64(MaxWeightMagnitude)
+	return map[string]numeric.Rat{
+		"swing":  numeric.FromInt(0),
+		"allmax": numeric.FromInt(lim),
+		"allmin": numeric.FromInt(-lim),
+		"choice": numeric.FromInt(-1),
+		"chain":  numeric.FromInt(1),
+	}
+}
+
+// TestNearLimitAllAlgorithms drives every registered algorithm (and the
+// portfolio) at the weight-contract boundary: each must either return the
+// exact λ* or a typed range error — never panic, never a wrong answer.
+func TestNearLimitAllAlgorithms(t *testing.T) {
+	graphs := nearLimitGraphs()
+	want := nearLimitWant()
+	algos := All()
+	portfolio, err := ByName("portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos = append(algos, portfolio)
+	for name, g := range graphs {
+		for _, algo := range algos {
+			res, err := MinimumCycleMean(g, algo, Options{Certify: true})
+			if err != nil {
+				if !errors.Is(err, ErrNumericRange) && !errors.Is(err, ErrWeightRange) && !errors.Is(err, ErrIterationLimit) {
+					t.Errorf("%s/%s: err = %v, want a typed range error", name, algo.Name(), err)
+				}
+				continue
+			}
+			if !res.Mean.Equal(want[name]) {
+				t.Errorf("%s/%s: λ* = %v, want %v", name, algo.Name(), res.Mean, want[name])
+			}
+			if res.Certificate == nil {
+				t.Errorf("%s/%s: certified solve carries no certificate", name, algo.Name())
+			}
+		}
+	}
+}
+
+// TestNearLimitLawlerGrid pins Lawler's binary search specifically: its grid
+// denominator multiplies near-limit weights, the scenario the
+// scaledOverflows guard exists for.
+func TestNearLimitLawlerGrid(t *testing.T) {
+	lawler := mustAlgo(t, "lawler")
+	want := nearLimitWant()
+	for name, g := range nearLimitGraphs() {
+		res, err := lawler.Solve(g, Options{})
+		if err != nil {
+			if !errors.Is(err, ErrNumericRange) && !errors.Is(err, ErrWeightRange) {
+				t.Errorf("%s: err = %v, want typed range error", name, err)
+			}
+			continue
+		}
+		if !res.Mean.Equal(want[name]) {
+			t.Errorf("%s: λ* = %v, want %v", name, res.Mean, want[name])
+		}
+	}
+}
+
+// TestNearLimitParametricBreakpoints pins the parametric tree algorithms
+// (ko, yto and variants), whose breakpoint fractions subtract near-limit
+// path weights.
+func TestNearLimitParametricBreakpoints(t *testing.T) {
+	want := nearLimitWant()
+	for _, algoName := range []string{"ko", "yto", "karp", "karp2", "dg", "dg2"} {
+		algo := mustAlgo(t, algoName)
+		for name, g := range nearLimitGraphs() {
+			res, err := MinimumCycleMean(g, algo, Options{})
+			if err != nil {
+				if !errors.Is(err, ErrNumericRange) && !errors.Is(err, ErrWeightRange) && !errors.Is(err, ErrIterationLimit) {
+					t.Errorf("%s/%s: err = %v, want typed range error", name, algoName, err)
+				}
+				continue
+			}
+			if !res.Mean.Equal(want[name]) {
+				t.Errorf("%s/%s: λ* = %v, want %v", name, algoName, res.Mean, want[name])
+			}
+		}
+	}
+}
+
+// TestNearLimitKernelContraction runs the prep pipeline on the chain-heavy
+// boundary instance: contraction sums leave the per-arc contract range, and
+// the kernelized solve must still agree with the raw one (or fail typed).
+func TestNearLimitKernelContraction(t *testing.T) {
+	howard := mustAlgo(t, "howard")
+	want := nearLimitWant()
+	for name, g := range nearLimitGraphs() {
+		kern := prep.Kernelize(g, prep.Mean)
+		if kern == nil {
+			continue
+		}
+		res, err := MinimumCycleMean(g, howard, Options{Kernelize: true, Certify: true})
+		if err != nil {
+			if !errors.Is(err, ErrNumericRange) && !errors.Is(err, ErrWeightRange) {
+				t.Errorf("%s: kernelized err = %v, want typed range error", name, err)
+			}
+			continue
+		}
+		if !res.Mean.Equal(want[name]) {
+			t.Errorf("%s: kernelized λ* = %v, want %v", name, res.Mean, want[name])
+		}
+	}
+}
+
+// TestNearLimitSession drives the warm-start path at the boundary twice, so
+// the second solve exercises a warm policy over near-limit weights.
+func TestNearLimitSession(t *testing.T) {
+	want := nearLimitWant()
+	sess := NewSession(Options{Certify: true})
+	for round := 0; round < 2; round++ {
+		for name, g := range nearLimitGraphs() {
+			res, err := sess.Solve(g)
+			if err != nil {
+				if !errors.Is(err, ErrNumericRange) && !errors.Is(err, ErrWeightRange) {
+					t.Errorf("round %d %s: err = %v, want typed range error", round, name, err)
+				}
+				continue
+			}
+			if !res.Mean.Equal(want[name]) {
+				t.Errorf("round %d %s: λ* = %v, want %v", round, name, res.Mean, want[name])
+			}
+		}
+	}
+}

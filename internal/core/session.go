@@ -56,7 +56,9 @@ type SessionStats struct {
 // solver and the only one whose iteration state (the policy) is meaningful
 // across solves. Options.Parallelism and Options.Kernelize are ignored —
 // components are solved sequentially on the raw graph, since a kernel solved
-// by closed forms leaves no policy to cache.
+// by closed forms leaves no policy to cache. Options.Certify is honored:
+// every warm-started answer then carries the same exact optimality
+// certificate a cold MinimumCycleMean solve would produce.
 type Session struct {
 	opt Options
 
@@ -74,7 +76,8 @@ func NewSession(opt Options) *Session {
 // MinimumCycleMean(g, howard, opt), warm-starting each component from the
 // session's policy cache and caching the converged policies for the next
 // call. Returns ErrAcyclic when g has no cycle.
-func (s *Session) Solve(g *graph.Graph) (Result, error) {
+func (s *Session) Solve(g *graph.Graph) (res Result, err error) {
+	defer RecoverNumericRange(&err, ErrNumericRange)
 	comps := graph.CyclicComponents(g)
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
@@ -124,6 +127,11 @@ func (s *Session) Solve(g *graph.Graph) (Result, error) {
 		}
 	}
 	best.Counts = total
+	if opt.Certify {
+		if cerr := certifyMean(g, &best); cerr != nil {
+			return Result{}, cerr
+		}
+	}
 	s.mu.Lock()
 	s.stats.Solves++
 	s.mu.Unlock()

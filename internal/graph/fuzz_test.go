@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzGraphRead throws arbitrary bytes at the text-format reader. Any input
+// must either fail with an error or produce a graph that survives the full
+// pipeline: summarization, re-serialization, and an exact re-read round
+// trip. No input may panic or allocate unboundedly.
+func FuzzGraphRead(f *testing.F) {
+	f.Add([]byte("p mcm 2 2\na 1 2 5\na 2 1 -3 4\n"))
+	f.Add([]byte("c comment\n\np mcm 3 3\na 1 2 2\na 2 3 4\na 3 1 3\n"))
+	f.Add([]byte("p mcm 1 1\na 1 1 -9 2\n"))
+	f.Add([]byte("p mcm 2 1\na 1 3 5\n"))
+	f.Add([]byte("p mcm 99999999999 0\n"))
+	f.Add([]byte("a 1 2 3\n"))
+	f.Add([]byte("p mcm -1 -1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		st := Summarize(g)
+		if st.Nodes != g.NumNodes() || st.Arcs != g.NumArcs() {
+			t.Fatalf("summary disagrees with graph: %+v", st)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of parsed graph failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written graph failed: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumArcs() != g.NumArcs() {
+			t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+				g.NumNodes(), g.NumArcs(), g2.NumNodes(), g2.NumArcs())
+		}
+		for i := 0; i < g.NumArcs(); i++ {
+			if g.Arc(ArcID(i)) != g2.Arc(ArcID(i)) {
+				t.Fatalf("round trip changed arc %d: %+v vs %+v", i, g.Arc(ArcID(i)), g2.Arc(ArcID(i)))
+			}
+		}
+	})
+}

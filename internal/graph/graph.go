@@ -177,6 +177,24 @@ func (g *Graph) WeightRange() (min, max int64) {
 	return min, max
 }
 
+// TransitRange returns the minimum and maximum arc transit times, or (0, 0)
+// for an arcless graph.
+func (g *Graph) TransitRange() (min, max int64) {
+	if len(g.arcs) == 0 {
+		return 0, 0
+	}
+	min, max = math.MaxInt64, math.MinInt64
+	for _, a := range g.arcs {
+		if a.Transit < min {
+			min = a.Transit
+		}
+		if a.Transit > max {
+			max = a.Transit
+		}
+	}
+	return min, max
+}
+
 // TotalTransit returns the sum of all transit times (the quantity T in the
 // paper's pseudopolynomial bounds).
 func (g *Graph) TotalTransit() int64 {

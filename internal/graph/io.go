@@ -32,7 +32,22 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Read parses a graph in the text format produced by Write.
+// maxReadDim bounds the node and arc counts Read accepts. NodeID is an
+// int32, and a hostile problem line must not be able to drive a multi-GB
+// allocation before a single arc is parsed; 2^26 (≈67M) is far beyond any
+// instance the solvers can process while keeping the worst-case header
+// allocation modest.
+const maxReadDim = 1 << 26
+
+// maxArcPrealloc caps the arc-slice capacity reserved on the problem line's
+// say-so; beyond it, growth is paid only as arcs actually arrive.
+const maxArcPrealloc = 1 << 16
+
+// Read parses a graph in the text format produced by Write. It validates as
+// it goes — malformed records, out-of-range or negative node ids, counts
+// that disagree with the problem line, duplicate headers, and oversized
+// dimensions all produce line-numbered errors, never panics or unbounded
+// allocations.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
@@ -67,8 +82,15 @@ func Read(r io.Reader) (*Graph, error) {
 			if n < 0 || m < 0 {
 				return nil, fmt.Errorf("graph: line %d: negative size", lineNo)
 			}
+			if n > maxReadDim || m > maxReadDim {
+				return nil, fmt.Errorf("graph: line %d: size %dx%d exceeds limit %d", lineNo, n, m, maxReadDim)
+			}
 			sawProb = true
-			arcs = make([]Arc, 0, m)
+			prealloc := m
+			if prealloc > maxArcPrealloc {
+				prealloc = maxArcPrealloc
+			}
+			arcs = make([]Arc, 0, prealloc)
 		case "a":
 			if !sawProb {
 				return nil, fmt.Errorf("graph: line %d: arc before problem line", lineNo)
@@ -96,6 +118,9 @@ func Read(r io.Reader) (*Graph, error) {
 			}
 			if u < 1 || u > n || v < 1 || v > n {
 				return nil, fmt.Errorf("graph: line %d: node out of range [1,%d]", lineNo, n)
+			}
+			if len(arcs) == m {
+				return nil, fmt.Errorf("graph: line %d: more arcs than the %d promised by the problem line", lineNo, m)
 			}
 			arcs = append(arcs, Arc{From: NodeID(u - 1), To: NodeID(v - 1), Weight: w, Transit: t})
 		default:

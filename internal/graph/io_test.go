@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -69,11 +70,50 @@ func TestReadErrors(t *testing.T) {
 		{"negative size", "p mcm -1 0\n"},
 		{"malformed problem", "p mcm 2\n"},
 		{"wrong problem kind", "p sp 2 1\na 1 2 3\n"},
+		{"negative node", "p mcm 2 1\na -1 2 5\n"},
+		{"too many arcs", "p mcm 2 1\na 1 2 5\na 2 1 3\n"},
+		{"huge node count", "p mcm 99999999999 0\n"},
+		{"huge arc count", "p mcm 2 99999999999\n"},
+		{"overflowing node count", "p mcm 99999999999999999999 0\n"},
+		{"bad transit", "p mcm 2 1\na 1 2 5 x\n"},
+		{"extra arc fields", "p mcm 2 1\na 1 2 5 1 9\n"},
 	}
 	for _, c := range cases {
 		if _, err := Read(strings.NewReader(c.src)); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestReadErrorsCarryLineNumbers pins that diagnostics point at the
+// offending line, which is what makes them actionable on large files.
+func TestReadErrorsCarryLineNumbers(t *testing.T) {
+	src := "c header\np mcm 2 2\na 1 2 5\na 1 9 1\n"
+	_, err := Read(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want a line 4 diagnostic", err)
+	}
+}
+
+// TestReadSizeLimit pins the allocation guard: a hostile problem line
+// promising huge dimensions must be rejected before any proportional
+// allocation happens.
+func TestReadSizeLimit(t *testing.T) {
+	over := strconv.Itoa(maxReadDim + 1)
+	for _, src := range []string{
+		// Oversized n with no arcs: would allocate O(n) node arrays.
+		"p mcm " + over + " 0\n",
+		// Oversized m: would reserve O(m) arc capacity.
+		"p mcm 2 " + over + "\n",
+	} {
+		if _, err := Read(strings.NewReader(src)); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+			t.Errorf("Read(%q) err = %v, want size-limit error", src[:20], err)
+		}
+	}
+	// At the limit with a consistent (empty) arc list the header itself is
+	// fine; the arc-count check still fires because no arcs follow.
+	if _, err := Read(strings.NewReader("p mcm 16 1\n")); err == nil {
+		t.Error("promised arcs missing: expected error")
 	}
 }
 

@@ -245,6 +245,90 @@ func sternBrocot(lo, hi float64, maxDen int64) (int64, int64, bool) {
 	return recurse(lo, hi, 0)
 }
 
+// SnapNearest returns the rational p/q with 1 <= q <= maxDen closest to x,
+// preferring the smaller denominator on ties. It walks x's continued
+// fraction, taking convergents while their denominators fit the bound and
+// finishing with the best semiconvergent once they do not — the standard
+// best-rational-approximation construction, so the result is exactly the
+// nearest representable rational even when the admissible window around x is
+// far below one float64 ulp (where the interval-based SnapToDenominator
+// cannot work). It is the recovery step of result certification: a solver's
+// float-converged λ is snapped to the bounded-denominator rational that the
+// exact feasibility check then certifies.
+//
+// The boolean result is false for NaN, ±Inf, maxDen < 1, or |x| beyond the
+// int64 range.
+func SnapNearest(x float64, maxDen int64) (Rat, bool) {
+	if maxDen < 1 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return Rat{}, false
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	if x >= float64(math.MaxInt64)/2 {
+		return Rat{}, false
+	}
+	x0 := x
+	// Convergents h_k/k_k with h_k = a_k·h_{k−1} + h_{k−2}; seeds are the
+	// conventional h_{−2}/k_{−2} = 0/1 and h_{−1}/k_{−1} = 1/0.
+	var p0, q0, p1, q1 int64 = 0, 1, 1, 0
+	var best Rat
+	have := false
+	for iter := 0; iter < 64; iter++ {
+		a := math.Floor(x)
+		ai := int64(a)
+		p2, ok1 := mulAddNonNeg(ai, p1, p0)
+		q2, ok2 := mulAddNonNeg(ai, q1, q0)
+		if !ok1 || !ok2 || q2 > maxDen {
+			// The next convergent is out of range: the best approximation
+			// with denominator <= maxDen is either the previous convergent
+			// (already in best) or the largest semiconvergent that fits.
+			if q1 > 0 {
+				if t := (maxDen - q0) / q1; t > 0 {
+					sp, sq := t*p1+p0, t*q1+q0
+					cand := NewRat(sp, sq)
+					if !have || ratDist(cand, x0) < ratDist(best, x0) {
+						best, have = cand, true
+					}
+				}
+			}
+			break
+		}
+		p0, q0, p1, q1 = p1, q1, p2, q2
+		best, have = NewRat(p1, q1), true
+		frac := x - a
+		if frac <= 0 {
+			break // exact
+		}
+		// Float noise in late terms is harmless: spurious continuations
+		// produce denominators beyond maxDen and fall into the
+		// semiconvergent comparison, which keeps whichever candidate is
+		// actually closest to the original x.
+		x = 1 / frac
+	}
+	if !have {
+		return Rat{}, false
+	}
+	if neg {
+		best = best.Neg()
+	}
+	return best, true
+}
+
+// ratDist returns |r − x| in float64, the tie-break metric for SnapNearest.
+func ratDist(r Rat, x float64) float64 {
+	return math.Abs(r.Float64() - x)
+}
+
+// mulAddNonNeg returns a*b + c for non-negative inputs, reporting overflow.
+func mulAddNonNeg(a, b, c int64) (int64, bool) {
+	if b != 0 && a > (math.MaxInt64-c)/b {
+		return 0, false
+	}
+	return a*b + c, true
+}
+
 // Div returns r / s, panicking if s is zero or on int64 overflow of the
 // reduced result.
 func (r Rat) Div(s Rat) Rat {

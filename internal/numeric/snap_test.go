@@ -1,0 +1,100 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapNearestExact(t *testing.T) {
+	cases := []struct {
+		x      float64
+		maxDen int64
+		want   Rat
+	}{
+		{0, 1, FromInt(0)},
+		{3, 10, FromInt(3)},
+		{-3, 10, FromInt(-3)},
+		{2.5, 2, NewRat(5, 2)},
+		{-2.5, 2, NewRat(-5, 2)},
+		{1.0 / 3.0, 3, NewRat(1, 3)},
+		{-1.0 / 3.0, 3, NewRat(-1, 3)},
+		{22.0 / 7.0, 7, NewRat(22, 7)},
+		{355.0 / 113.0, 113, NewRat(355, 113)},
+		{7.0 / 5.0, 100, NewRat(7, 5)},
+	}
+	for _, tc := range cases {
+		got, ok := SnapNearest(tc.x, tc.maxDen)
+		if !ok {
+			t.Errorf("SnapNearest(%v, %d): not ok", tc.x, tc.maxDen)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("SnapNearest(%v, %d) = %v, want %v", tc.x, tc.maxDen, got, tc.want)
+		}
+	}
+}
+
+// TestSnapNearestRecoversSolverNoise is the use case certification depends
+// on: a rational perturbed by float round-off of solver magnitude must snap
+// back to itself when the denominator bound admits it.
+func TestSnapNearestRecoversSolverNoise(t *testing.T) {
+	for _, r := range []Rat{
+		NewRat(7, 3), NewRat(-22, 7), NewRat(999, 1000), NewRat(-1, 997),
+		NewRat(123456, 789), NewRat(1, 1000000),
+	} {
+		for _, noise := range []float64{0, 1e-12, -1e-12, 3e-11} {
+			x := r.Float64() * (1 + noise)
+			got, ok := SnapNearest(x, r.Den())
+			if !ok || !got.Equal(r) {
+				t.Errorf("SnapNearest(%v±noise, %d) = %v, ok=%v, want %v", x, r.Den(), got, ok, r)
+			}
+		}
+	}
+}
+
+// TestSnapNearestBestUnderBound pins that the result is the closest rational
+// with denominator within the bound, not merely a close one.
+func TestSnapNearestBestUnderBound(t *testing.T) {
+	cases := []struct {
+		x      float64
+		maxDen int64
+		want   Rat
+	}{
+		{math.Pi, 1, FromInt(3)},
+		{math.Pi, 10, NewRat(22, 7)},
+		{math.Pi, 200, NewRat(355, 113)},
+		{0.49, 1, FromInt(0)},
+		{0.51, 1, FromInt(1)},
+	}
+	for _, tc := range cases {
+		got, ok := SnapNearest(tc.x, tc.maxDen)
+		if !ok || !got.Equal(tc.want) {
+			t.Errorf("SnapNearest(%v, %d) = %v, ok=%v, want %v", tc.x, tc.maxDen, got, ok, tc.want)
+		}
+	}
+}
+
+func TestSnapNearestRejects(t *testing.T) {
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300} {
+		if r, ok := SnapNearest(x, 100); ok {
+			t.Errorf("SnapNearest(%v, 100) = %v, want not ok", x, r)
+		}
+	}
+	if r, ok := SnapNearest(0.5, 0); ok {
+		t.Errorf("SnapNearest(0.5, 0) = %v, want not ok", r)
+	}
+}
+
+func TestSnapNearestDenominatorBound(t *testing.T) {
+	for _, maxDen := range []int64{1, 2, 3, 7, 50, 1000} {
+		for _, x := range []float64{math.Pi, -math.E, 0.1234567, 1e-9, 123.456} {
+			r, ok := SnapNearest(x, maxDen)
+			if !ok {
+				t.Fatalf("SnapNearest(%v, %d): not ok", x, maxDen)
+			}
+			if r.Den() < 1 || r.Den() > maxDen {
+				t.Errorf("SnapNearest(%v, %d): denominator %d out of range", x, maxDen, r.Den())
+			}
+		}
+	}
+}

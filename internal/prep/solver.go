@@ -39,9 +39,14 @@ func SolveKernel(g *graph.Graph, counts *counter.Counts) (numeric.Rat, []graph.A
 		return numeric.Rat{}, nil, ErrSolverInput
 	}
 
+	// The bias threshold must scale with the full magnitude of the bias
+	// terms w − ρ·t, which is bounded by the weight scale times the transit
+	// (denominator) range — a weight-only eps is drowned by float round-off
+	// when kernel denominators are large (see ratio's ratioBiasEpsilon).
 	minW, maxW := g.WeightRange()
 	scale := math.Max(1, math.Max(math.Abs(float64(minW)), math.Abs(float64(maxW))))
-	eps := 1e-10 * scale
+	_, maxT := g.TransitRange()
+	eps := 1e-10 * scale * math.Max(1, float64(maxT))
 
 	// Initial policy: cheapest out-arc by weight.
 	policy := make([]graph.ArcID, n)

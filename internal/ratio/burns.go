@@ -127,14 +127,18 @@ func (burnsRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		}
 
 		if len(order) < n {
-			cycle := criticalRatioCycleFrom(g, critical, order, n)
-			counts.CyclesExamined++
-			r, ok := cycleRatio(g, cycle)
-			if ok {
-				if neg, _ := hasNegativeCycleRatio(g, r.Num(), r.Den(), &counts); !neg {
-					return Result{Ratio: r, Cycle: cycle, Exact: true, Counts: counts}, nil
+			cycle, okc := criticalRatioCycleFrom(g, critical, order, n)
+			if okc {
+				counts.CyclesExamined++
+				if r, ok := cycleRatio(g, cycle); ok {
+					if neg, _ := hasNegativeCycleRatio(g, r.Num(), r.Den(), &counts); !neg {
+						return Result{Ratio: r, Cycle: cycle, Exact: true, Counts: counts}, nil
+					}
 				}
 			}
+			// Either the float tolerance admitted a spurious critical subgraph
+			// (extraction failed) or the candidate cycle is not yet optimal;
+			// tighten and retry rather than crash.
 			tol /= 10
 			if tol < minTol {
 				return Result{}, ErrIterationLimit
@@ -169,8 +173,12 @@ func (burnsRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 
 // criticalRatioCycleFrom mirrors core's critical-cycle extraction: every
 // node Kahn could not remove has a critical predecessor among such nodes,
-// so walking predecessors revisits a node and closes a cycle.
-func criticalRatioCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n int) []graph.ArcID {
+// so walking predecessors revisits a node and closes a cycle. Kahn's
+// invariant guarantees the predecessor exists whenever the critical flags
+// are consistent with the order; ok=false reports the inconsistent case
+// (possible only through float-tolerance drift) so the caller can tighten
+// and retry instead of crashing.
+func criticalRatioCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeID, n int) ([]graph.ArcID, bool) {
 	inOrder := make([]bool, n)
 	for _, v := range order {
 		inOrder[v] = true
@@ -181,7 +189,7 @@ func criticalRatioCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeI
 				return id
 			}
 		}
-		panic("ratio: remaining node without remaining critical predecessor")
+		return -1
 	}
 	var start graph.NodeID
 	for v := graph.NodeID(0); int(v) < n; v++ {
@@ -200,10 +208,13 @@ func criticalRatioCycleFrom(g *graph.Graph, critical []bool, order []graph.NodeI
 			for i, id := range seg {
 				cycle[len(seg)-1-i] = id
 			}
-			return cycle
+			return cycle, true
 		}
 		pos[v] = len(rev)
 		id := pred(v)
+		if id < 0 {
+			return nil, false
+		}
 		rev = append(rev, id)
 		v = g.Arc(id).From
 	}

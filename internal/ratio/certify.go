@@ -1,0 +1,142 @@
+package ratio
+
+// Ratio-side result certification and panic-free boundary, mirroring
+// internal/core's certify.go. The optimum cycle ratio of an integer
+// weighted/timed graph is a rational w(C)/t(C) with denominator bounded by
+// the graph's total transit time; a float-converged ρ is snapped to that
+// bounded-denominator rational, the witness cycle's ratio is recomputed
+// exactly, and optimality is proven by checking that the graph reweighted
+// by q·w(e) − p·t(e) admits no negative cycle.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+var (
+	// ErrNumericRange mirrors core.ErrNumericRange for the ratio drivers.
+	ErrNumericRange = errors.New("ratio: input magnitudes exceed the exact int64 arithmetic range")
+	// ErrCertification mirrors core.ErrCertification.
+	ErrCertification = errors.New("ratio: result certification failed")
+)
+
+// transitDenominatorBound returns the denominator bound for ρ* recovery:
+// every simple cycle's total transit time is at most Σ t(e), saturating at
+// MaxInt64 if the sum overflows.
+func transitDenominatorBound(g *graph.Graph) int64 {
+	var sum int64 = 0
+	for _, a := range g.Arcs() {
+		t := a.Transit
+		if t < 0 {
+			t = -t
+		}
+		if sum > (1<<63-1)-t {
+			return 1<<63 - 1
+		}
+		sum += t
+	}
+	if sum < 1 {
+		return 1
+	}
+	return sum
+}
+
+// scaledRatioOverflows reports whether Bellman–Ford on weights q·w − p·t can
+// overflow int64 for this graph (per-arc magnitude times n+1 passes must
+// stay inside 2^62, matching core.scaledOverflows).
+func scaledRatioOverflows(g *graph.Graph, p, q int64) bool {
+	minW, maxW := g.WeightRange()
+	absW := maxW
+	if -minW > absW {
+		absW = -minW
+	}
+	var maxT int64
+	for _, a := range g.Arcs() {
+		t := a.Transit
+		if t < 0 {
+			t = -t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	absP := p
+	if absP < 0 {
+		absP = -absP
+	}
+	if absW != 0 && q > (1<<62)/absW {
+		return true
+	}
+	if maxT != 0 && absP > (1<<62)/maxT {
+		return true
+	}
+	perArc := q*absW + absP*maxT
+	if perArc < 0 {
+		return true
+	}
+	n := int64(g.NumNodes()) + 1
+	const safe = int64(1) << 62
+	return perArc > safe/n
+}
+
+// certifyRatio verifies and, if needed, exactifies a minimization result in
+// place; see core's certifyMean. On success res carries a Certificate with
+// Value = ρ* and a witness cycle whose exact ratio equals it.
+func certifyRatio(g *graph.Graph, res *Result) error {
+	maxDen := transitDenominatorBound(g)
+	value := res.Ratio
+	snapped := false
+	if !res.Exact {
+		snapped = true
+		if len(res.Cycle) > 0 {
+			if r, ok := cycleRatio(g, res.Cycle); ok {
+				value = r
+			} else {
+				return fmt.Errorf("%w: reported cycle has non-positive transit", ErrCertification)
+			}
+		} else if v, ok := numeric.SnapNearest(res.Ratio.Float64(), maxDen); ok {
+			value = v
+		} else {
+			return fmt.Errorf("%w: no rational with denominator <= %d near %v", ErrCertification, maxDen, res.Ratio)
+		}
+	}
+	cycle := res.Cycle
+	if len(cycle) == 0 {
+		c, err := extractCriticalRatioCycle(g, value)
+		if err != nil {
+			return fmt.Errorf("%w: no witness cycle of ratio %v: %v", ErrCertification, value, err)
+		}
+		cycle = c
+	}
+	cycVal, ok := cycleRatio(g, cycle)
+	if !ok || !cycVal.Equal(value) {
+		return fmt.Errorf("%w: witness cycle ratio %v does not equal claimed ρ* = %v", ErrCertification, cycVal, value)
+	}
+	p, q := value.Num(), value.Den()
+	if scaledRatioOverflows(g, p, q) {
+		return fmt.Errorf("%w: feasibility check at ρ = %v would overflow", ErrNumericRange, value)
+	}
+	if neg, _ := hasNegativeCycleRatio(g, p, q, &res.Counts); neg {
+		return fmt.Errorf("%w: a cycle with ratio below %v exists", ErrCertification, value)
+	}
+	res.Ratio = value
+	res.Cycle = cycle
+	res.Exact = true
+	res.Certificate = &core.Certificate{Value: value, Witness: cycle, MaxDen: maxDen, Snapped: snapped}
+	return nil
+}
+
+// guardedAlg wraps every registered ratio Algorithm in the panic-free
+// boundary, exactly like core's registry wrapper.
+type guardedAlg struct {
+	Algorithm
+}
+
+func (a guardedAlg) Solve(g *graph.Graph, opt core.Options) (res Result, err error) {
+	defer core.RecoverNumericRange(&err, ErrNumericRange)
+	return a.Algorithm.Solve(g, opt)
+}

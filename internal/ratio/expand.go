@@ -7,14 +7,15 @@ import (
 	"repro/internal/graph"
 )
 
+// maxExpandArcs bounds the size of the transit-expanded graph expandAlg is
+// willing to build (it allocates one arc per unit of total transit time).
+const maxExpandArcs = 1 << 26
+
 func init() {
-	register("expand", func() Algorithm {
-		inner, err := core.ByName("howard")
-		if err != nil {
-			panic(err)
-		}
-		return expandAlg{inner: inner}
-	})
+	// The inner solver is resolved lazily at Solve time: an init-time
+	// core.ByName failure would panic during package initialization, where no
+	// caller can recover it.
+	register("expand", func() Algorithm { return expandAlg{} })
 }
 
 // NewExpand returns the transit-expansion ratio algorithm running the given
@@ -36,12 +37,26 @@ func NewExpand(inner core.Algorithm) Algorithm { return expandAlg{inner: inner} 
 // Requires every transit time >= 1 (zero-transit arcs have no expanded
 // length; graphs with them need one of the direct ratio algorithms).
 type expandAlg struct {
+	// inner is the minimum-mean solver run on the expanded graph; nil means
+	// resolve Howard's algorithm lazily on first Solve.
 	inner core.Algorithm
 }
 
-func (e expandAlg) Name() string { return "expand-" + e.inner.Name() }
+func (e expandAlg) Name() string {
+	if e.inner == nil {
+		return "expand-howard"
+	}
+	return "expand-" + e.inner.Name()
+}
 
 func (e expandAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	if e.inner == nil {
+		inner, err := core.ByName("howard")
+		if err != nil {
+			return Result{}, fmt.Errorf("ratio: expand inner solver: %w", err)
+		}
+		e.inner = inner
+	}
 	if err := checkInput(g); err != nil {
 		return Result{}, err
 	}
@@ -50,6 +65,12 @@ func (e expandAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 			return Result{}, fmt.Errorf("ratio: expand requires transit times >= 1, arc %d->%d has %d",
 				a.From, a.To, a.Transit)
 		}
+	}
+	// The expanded graph has T = Σt arcs; refuse to materialize an instance
+	// no solver could process rather than exhausting memory. This keeps the
+	// pseudo-polynomial reduction panic- and OOM-free on hostile transits.
+	if t := g.TotalTransit(); t > maxExpandArcs {
+		return Result{}, fmt.Errorf("%w: transit expansion needs %d arcs (limit %d)", ErrNumericRange, t, int64(maxExpandArcs))
 	}
 
 	exp, origin := Expand(g)

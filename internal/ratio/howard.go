@@ -30,6 +30,23 @@ type howardRatio struct{}
 
 func (howardRatio) Name() string { return "howard" }
 
+// ratioBiasEpsilon derives the default bias-comparison threshold from the
+// magnitudes the bias values actually reach. Each bias term is
+// w(e) − ρ·t(e); with transits ≥ 1 on cycles |ρ| is bounded by the weight
+// scale, so the term magnitude is bounded by scaleW·(1 + maxT) — NOT by the
+// weight range alone. An eps derived only from weights is drowned by float
+// round-off once transits dwarf weights (noise ≈ n·2⁻⁵²·scaleW·maxT exceeds
+// 1e-10·scaleW for large maxT), and policy iteration then churns on noise
+// until the iteration limit. Scaling eps by the transit range keeps it
+// proportional to the values being compared.
+func ratioBiasEpsilon(g *graph.Graph) float64 {
+	minW, maxW := g.WeightRange()
+	scaleW := math.Max(1, math.Max(math.Abs(float64(minW)), math.Abs(float64(maxW))))
+	_, maxT := g.TransitRange()
+	scaleT := math.Max(1, float64(maxT))
+	return 1e-10 * scaleW * scaleT
+}
+
 func (howardRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 	if err := checkInput(g); err != nil {
 		return Result{}, err
@@ -39,9 +56,7 @@ func (howardRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 
 	eps := opt.Epsilon
 	if eps <= 0 {
-		minW, maxW := g.WeightRange()
-		scale := math.Max(1, math.Max(math.Abs(float64(minW)), math.Abs(float64(maxW))))
-		eps = 1e-10 * scale
+		eps = ratioBiasEpsilon(g)
 	}
 
 	// Initial policy: cheapest out-arc by weight.

@@ -61,18 +61,24 @@ func TestKernelEquivalenceRatio(t *testing.T) {
 		algos = append(algos, a)
 	}
 	for _, e := range corpus {
-		raw, err := MinimumCycleRatio(e.g, algos[0], core.Options{})
+		raw, err := MinimumCycleRatio(e.g, algos[0], core.Options{Certify: true})
 		if err != nil {
 			t.Fatalf("%s: raw solve: %v", e.name, err)
 		}
+		if raw.Certificate == nil {
+			t.Fatalf("%s: certified solve returned no certificate", e.name)
+		}
 		for _, algo := range algos {
-			kr, err := MinimumCycleRatio(e.g, algo, core.Options{Kernelize: true})
+			kr, err := MinimumCycleRatio(e.g, algo, core.Options{Kernelize: true, Certify: true})
 			if err != nil {
 				t.Fatalf("%s/%s: kernelized solve: %v", e.name, algo.Name(), err)
 			}
 			if !kr.Ratio.Equal(raw.Ratio) {
 				t.Errorf("%s/%s: kernelized ρ* = %v, raw = %v", e.name, algo.Name(), kr.Ratio, raw.Ratio)
 				continue
+			}
+			if kr.Certificate == nil || !kr.Certificate.Value.Equal(kr.Ratio) {
+				t.Errorf("%s/%s: missing or mismatched certificate: %+v", e.name, algo.Name(), kr.Certificate)
 			}
 			if err := e.g.ValidateCycle(kr.Cycle); err != nil {
 				t.Errorf("%s/%s: expanded cycle invalid: %v", e.name, algo.Name(), err)

@@ -187,6 +187,30 @@ func fracLess(a, b core.Frac) bool {
 	return numeric.CmpFrac(a.Num, a.Den, b.Num, b.Den) < 0
 }
 
+// ratioParametricOverflows reports whether the parametric machinery's exact
+// int64 arithmetic can overflow on g: the initial tree is built at
+// λ0 = −(n·|w|max + 1), so reduced path costs accumulate up to
+// n·(|w|max + |λ0|·tmax). The estimate runs in float64 — it only needs to be
+// conservative, not exact.
+func ratioParametricOverflows(g *graph.Graph) bool {
+	minW, maxW := g.WeightRange()
+	absW := maxW
+	if -minW > absW {
+		absW = -minW
+	}
+	if absW < 1 {
+		absW = 1
+	}
+	_, maxT := g.TransitRange()
+	if maxT < 1 {
+		maxT = 1
+	}
+	n := float64(g.NumNodes())
+	lam := n*float64(absW) + 1
+	per := float64(absW) + lam*float64(maxT)
+	return n*per >= float64(int64(1)<<61)
+}
+
 // ratioLambda0 returns an integer strictly below every cycle ratio.
 func ratioLambda0(g *graph.Graph) int64 {
 	minW, maxW := g.WeightRange()
@@ -207,6 +231,9 @@ func (koRatio) Name() string { return "ko" }
 func (koRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 	if err := checkInput(g); err != nil {
 		return Result{}, err
+	}
+	if ratioParametricOverflows(g) {
+		return Result{}, ErrNumericRange
 	}
 	var counts counter.Counts
 	t := newRatioTree(g)
@@ -304,6 +331,9 @@ func (ytoRatio) Name() string { return "yto" }
 func (ytoRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 	if err := checkInput(g); err != nil {
 		return Result{}, err
+	}
+	if ratioParametricOverflows(g) {
+		return Result{}, ErrNumericRange
 	}
 	var counts counter.Counts
 	t := newRatioTree(g)

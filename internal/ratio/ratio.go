@@ -48,6 +48,9 @@ type Result struct {
 	Exact bool
 	// Counts holds operation counts.
 	Counts counter.Counts
+	// Certificate is the exact optimality proof, present if and only if the
+	// run was driven with core.Options.Certify and the proof succeeded.
+	Certificate *core.Certificate
 }
 
 // Algorithm is the uniform solver interface, mirroring core.Algorithm.
@@ -64,7 +67,9 @@ func register(name string, ctor func() Algorithm) {
 	if _, dup := registry[name]; dup {
 		panic("ratio: duplicate algorithm name " + name)
 	}
-	registry[name] = ctor
+	// Mirror core's panic-free boundary: every handed-out instance converts
+	// numeric overflow panics into ErrNumericRange.
+	registry[name] = func() Algorithm { return guardedAlg{ctor()} }
 }
 
 // ByName returns a fresh instance of the named ratio algorithm.
@@ -142,7 +147,20 @@ func checkInput(g *graph.Graph) error {
 // MinimumCycleRatio computes ρ* of an arbitrary graph with the given
 // algorithm, decomposing into strongly connected components exactly like
 // core.MinimumCycleMean.
-func MinimumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (Result, error) {
+func MinimumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (res Result, err error) {
+	defer core.RecoverNumericRange(&err, ErrNumericRange)
+	res, err = minimumCycleRatioAny(g, algo, opt)
+	if err == nil && opt.Certify {
+		if cerr := certifyRatio(g, &res); cerr != nil {
+			return Result{}, cerr
+		}
+	}
+	return res, err
+}
+
+// minimumCycleRatioAny is MinimumCycleRatio without the certification and
+// recovery wrapper.
+func minimumCycleRatioAny(g *graph.Graph, algo Algorithm, opt core.Options) (Result, error) {
 	comps := graph.CyclicComponents(g)
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
@@ -236,6 +254,12 @@ func MaximumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (Result
 		return Result{}, err
 	}
 	r.Ratio = r.Ratio.Neg()
+	if r.Certificate != nil {
+		// The proof ran on the negated instance; report it in the caller's
+		// orientation (arc IDs are shared between g and its negation).
+		r.Certificate.Value = r.Certificate.Value.Neg()
+		r.Certificate.Maximize = true
+	}
 	return r, nil
 }
 
