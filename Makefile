@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel fuzz fuzz-smoke repro repro-quick cover clean
+.PHONY: all build test test-race bench bench-kernel fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke
 
 all: build test
 
@@ -37,6 +37,19 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolveDifferential -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRatioDifferential -fuzztime 30s ./internal/ratio
+
+# Tracing-overhead gate (also run by CI): a disabled tracer must stay
+# invisible — zero allocations on the nil-tracer emit path and the solver
+# alloc pins unchanged — and the obs event plumbing must emit correctly.
+trace-gate:
+	$(GO) test -run 'TestNilTraceZeroAllocs|TestEmptyTraceZeroAllocs' -count=1 ./internal/obs
+	$(GO) test -run 'AllocsPerOpPinned' -count=1 ./internal/core
+	$(GO) test -run 'TestTrace' -count=1 ./internal/core
+
+# Live-serving smoke: mcmbench -serve must expose non-zero solver counters
+# on /debug/vars and mount /debug/pprof/ while a sweep runs.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Full Table 2 + every observation table (tens of minutes).
 repro:

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/ratio"
 	"repro/internal/slack"
 )
@@ -43,6 +44,8 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for solving strongly connected components concurrently (1 = sequential)")
 		kernel   = flag.Bool("kernel", false, "kernelize each strongly connected component (self-loop extraction, chain contraction, tiny closed forms) before solving")
 		certify  = flag.Bool("certify", true, "prove the answer exactly: snap to a bounded-denominator rational and verify optimality with an integer Bellman-Ford feasibility check")
+		trace    = flag.Bool("trace", false, "log solve events (SCC decomposition, per-component solver runs, certification) to stderr")
+		metrics  = flag.Bool("metrics-json", false, "print aggregated solve metrics as JSON to stderr after solving")
 	)
 	flag.Parse()
 	var err error
@@ -52,7 +55,7 @@ func main() {
 	case *slackTop > 0:
 		err = runSlack(*slackTop, flag.Args())
 	default:
-		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, *kernel, *certify, flag.Args())
+		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, *kernel, *certify, *trace, *metrics, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcm:", err)
@@ -136,7 +139,7 @@ func runAll(args []string) error {
 	return nil
 }
 
-func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, kernel, certify bool, args []string) error {
+func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, kernel, certify, trace, metricsJSON bool, args []string) error {
 	var in io.Reader = os.Stdin
 	name := "<stdin>"
 	if len(args) > 0 {
@@ -153,6 +156,22 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 		return err
 	}
 	opt := core.Options{Epsilon: eps, Parallelism: parallel, Kernelize: kernel, Certify: certify}
+
+	// Observability sinks both write to stderr so stdout stays a clean answer
+	// stream; -trace streams events as they happen, -metrics-json aggregates
+	// and prints once after the solve.
+	var agg *obs.Metrics
+	if trace || metricsJSON {
+		var sinks []*obs.Trace
+		if trace {
+			sinks = append(sinks, obs.NewLogTracer(os.Stderr))
+		}
+		if metricsJSON {
+			agg = obs.NewMetrics()
+			sinks = append(sinks, agg.Tracer())
+		}
+		opt.Tracer = obs.Multi(sinks...)
+	}
 
 	var (
 		value  string
@@ -232,6 +251,11 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 			return err
 		}
 		fmt.Println("wrote", dotOut)
+	}
+	if agg != nil {
+		if err := agg.WriteJSON(os.Stderr); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -48,7 +48,7 @@ a 3 1 4
 func TestRunMean(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, true, true, "", 0, 2, false, true, []string{path})
+		return run("howard", false, false, true, true, "", 0, 2, false, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestRunMean(t *testing.T) {
 func TestRunCertifyOff(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, false, false, "", 0, 2, false, false, []string{path})
+		return run("howard", false, false, false, false, "", 0, 2, false, false, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestRunKernelized(t *testing.T) {
 	// come back expanded to the original three arcs.
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, false, true, "", 0, 2, true, true, []string{path})
+		return run("howard", false, false, false, true, "", 0, 2, true, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ a 1 1 9
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("karp", false, true, false, false, "", 0, 2, false, true, []string{path})
+		return run("karp", false, true, false, false, "", 0, 2, false, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ a 2 1 5 2
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("howard", true, false, false, false, "", 0, 2, false, true, []string{path})
+		return run("howard", true, false, false, false, "", 0, 2, false, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestRunDOTOutput(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	if _, err := capture(t, func() error {
-		return run("yto", false, false, false, false, dot, 0, 2, false, true, []string{path})
+		return run("yto", false, false, false, false, dot, 0, 2, false, true, false, false, []string{path})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -153,20 +153,73 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
-	if err := run("bogus", false, false, false, false, "", 0, 2, false, true, []string{path}); err == nil {
+	if err := run("bogus", false, false, false, false, "", 0, 2, false, true, false, false, []string{path}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("howard", false, false, false, false, "", 0, 2, false, true, []string{"/does/not/exist"}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, true, false, false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeGraphFile(t, "not a graph\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, false, true, []string{bad}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, true, false, false, []string{bad}); err == nil {
 		t.Error("malformed file accepted")
 	}
 	// Acyclic graph → solver error surfaces.
 	dag := writeGraphFile(t, "p mcm 2 1\na 1 2 5\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, false, true, []string{dag}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, 2, false, true, false, false, []string{dag}); err == nil {
 		t.Error("acyclic graph accepted")
+	}
+}
+
+// captureStderr redirects stderr around fn and returns what it printed.
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	done := make(chan string, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stderr = old
+	out := <-done
+	r.Close()
+	return out, ferr
+}
+
+// TestRunTraceAndMetrics: -trace streams solve events and -metrics-json
+// prints an aggregated JSON snapshot, both to stderr (stdout stays a clean
+// answer stream).
+func TestRunTraceAndMetrics(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	errOut, err := captureStderr(t, func() error {
+		var runErr error
+		out, _ := capture(t, func() error {
+			runErr = run("howard", false, false, false, false, "", 0, 2, false, true, true, true, []string{path})
+			return runErr
+		})
+		if runErr == nil && !strings.Contains(out, "lambda* = 3") {
+			t.Errorf("stdout lost the answer: %s", out)
+		}
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"scc:",             // decomposition event
+		"solver howard",    // per-component solver events
+		"certify: pass",    // certification outcome
+		`"solver_runs": 1`, // aggregated metrics JSON
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
 	}
 }
 

@@ -24,6 +24,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -serve
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,6 +52,7 @@ func main() {
 		parallel   = flag.Int("parallel", 1, "seed instances solved concurrently per size (negative = NumCPU); results are aggregated deterministically, but per-run timings contend for cores")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep) to this file")
+		serve      = flag.String("serve", "", "serve live metrics (/debug/vars) and profiling (/debug/pprof/) on this address, e.g. :8080, while the sweep runs; keeps serving after the sweep completes until interrupted")
 	)
 	flag.Parse()
 
@@ -85,6 +90,31 @@ func main() {
 		MemLimit:    *memLimit,
 		Verify:      *verify,
 		Parallelism: *parallel,
+	}
+	if *serve != "" {
+		// Aggregate every solver run into expvar-published metrics and expose
+		// them, together with net/http/pprof, for live inspection of a running
+		// sweep. The listener is bound before the sweep starts (so a scraper
+		// never sees a connection refused) and kept open after it completes
+		// (so the final counters remain scrapable until interrupted).
+		agg := obs.NewMetrics()
+		agg.Publish("mcm_solver")
+		cfg.Tracer = agg.Tracer()
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mcmbench: serve:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "mcmbench: serving /debug/vars and /debug/pprof/ on http://%s\n", ln.Addr())
+		defer func() {
+			fmt.Fprintln(os.Stderr, "mcmbench: sweep complete; still serving (interrupt to exit)")
+			select {}
+		}()
 	}
 	if *quick {
 		if cfg.Seeds == 0 {

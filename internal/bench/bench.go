@@ -20,6 +20,7 @@ import (
 	"repro/internal/counter"
 	"repro/internal/gen"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // Table2Algorithms are the paper's Table 2 columns, in the paper's order.
@@ -56,6 +57,13 @@ type Config struct {
 	Parallelism int
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
+	// Tracer, when non-nil, receives an obs solve event for every per-seed
+	// solver run (cmd/mcmbench -serve aggregates these into live expvar
+	// metrics). With Parallelism > 1 the hooks are called concurrently, so
+	// the tracer must be safe for concurrent use (obs.Metrics is). Timings
+	// are unaffected: the solver's nil-tracer fast path is only left when a
+	// tracer is actually installed.
+	Tracer *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -174,7 +182,7 @@ func Run(cfg Config) (*Report, error) {
 			row := make([]outcome, len(algos))
 			for i, algo := range algos {
 				start := time.Now()
-				res, err := algo.Solve(g, core.Options{})
+				res, err := algo.Solve(g, core.Options{Tracer: cfg.Tracer})
 				elapsed := time.Since(start)
 				if err != nil {
 					errs[seed] = fmt.Errorf("bench: %s on n=%d m=%d seed=%d: %w", run[i], n, m, seed, err)

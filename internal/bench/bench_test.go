@@ -3,10 +3,36 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/counter"
 )
+
+// TestScaleCountsExhaustive fails when counter.Counts gains a field that
+// scaleCounts does not divide — a silent aggregation bug where one counter
+// would report seed totals while the rest report per-seed means.
+func TestScaleCountsExhaustive(t *testing.T) {
+	typ := reflect.TypeOf(counter.Counts{})
+	var full counter.Counts
+	v := reflect.ValueOf(&full).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Int {
+			t.Fatalf("Counts field %s is %s; scaleCounts assumes plain ints", typ.Field(i).Name, f.Kind())
+		}
+		f.SetInt(10)
+	}
+	scaled := scaleCounts(full, 2)
+	sv := reflect.ValueOf(scaled)
+	for i := 0; i < typ.NumField(); i++ {
+		if got := sv.Field(i).Int(); got != 5 {
+			t.Errorf("scaleCounts does not handle field %s: %d, want 5", typ.Field(i).Name, got)
+		}
+	}
+}
 
 func tinyConfig() Config {
 	return Config{

@@ -16,14 +16,18 @@ type jsonReport struct {
 }
 
 type jsonCell struct {
-	N         int            `json:"n"`
-	M         int            `json:"m"`
-	Algorithm string         `json:"algorithm"`
-	Seconds   float64        `json:"seconds"`
-	Skipped   bool           `json:"skipped,omitempty"`
-	Reason    string         `json:"reason,omitempty"`
-	Lambda    float64        `json:"lambda,omitempty"`
-	Counts    counter.Counts `json:"counts"`
+	N         int     `json:"n"`
+	M         int     `json:"m"`
+	Algorithm string  `json:"algorithm"`
+	Seconds   float64 `json:"seconds"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Reason    string  `json:"reason,omitempty"`
+	// Lambda is a pointer so that a measured λ* of exactly 0 still serializes
+	// (omitempty on a plain float64 dropped the field, making a zero optimum
+	// indistinguishable from a skipped cell); nil — and hence an absent field
+	// — means the cell was not measured.
+	Lambda *float64       `json:"lambda,omitempty"`
+	Counts counter.Counts `json:"counts"`
 }
 
 // JSON renders the report as indented JSON.
@@ -36,11 +40,16 @@ func (r *Report) JSON() ([]byte, error) {
 	for i, size := range r.Sizes {
 		for _, name := range r.Config.Algorithms {
 			cell := r.Cells[i][name]
-			out.Cells = append(out.Cells, jsonCell{
+			jc := jsonCell{
 				N: size[0], M: size[1], Algorithm: name,
 				Seconds: cell.Seconds, Skipped: cell.Skipped, Reason: cell.Reason,
-				Lambda: cell.Lambda, Counts: cell.Counts,
-			})
+				Counts: cell.Counts,
+			}
+			if !cell.Skipped {
+				lambda := cell.Lambda
+				jc.Lambda = &lambda
+			}
+			out.Cells = append(out.Cells, jc)
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestJSONZeroLambdaRoundTrips is a regression for the omitempty bug: a cell
+// whose measured optimum is exactly λ* = 0 used to serialize with no "lambda"
+// field at all (Go's omitempty drops zero-valued float64s), making a zero
+// optimum indistinguishable from a skipped cell. The field is now a pointer:
+// present — including an explicit 0 — whenever the cell was measured, absent
+// only when it was skipped.
+func TestJSONZeroLambdaRoundTrips(t *testing.T) {
+	rep := &Report{
+		Config: Config{Seeds: 3, Algorithms: []string{"howard", "karp"}},
+		Sizes:  [][2]int{{10, 30}},
+		Cells: []map[string]*Cell{{
+			"howard": {N: 10, M: 30, Algorithm: "howard", Seconds: 0.01, Lambda: 0, Seeds: 3},
+			"karp":   {N: 10, M: 30, Algorithm: "karp", Skipped: true, Reason: "memory"},
+		}},
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got struct {
+		Cells []map[string]json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(got.Cells))
+	}
+	byAlgo := make(map[string]map[string]json.RawMessage)
+	for _, c := range got.Cells {
+		var name string
+		if err := json.Unmarshal(c["algorithm"], &name); err != nil {
+			t.Fatal(err)
+		}
+		byAlgo[name] = c
+	}
+
+	// Measured cell with λ* = 0: the field must be present and zero.
+	lam, ok := byAlgo["howard"]["lambda"]
+	if !ok {
+		t.Fatal("measured cell with λ* = 0 lost its lambda field")
+	}
+	var v float64
+	if err := json.Unmarshal(lam, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("lambda = %g, want 0", v)
+	}
+
+	// Skipped cell: no lambda at all, and the skip marker survives.
+	if _, ok := byAlgo["karp"]["lambda"]; ok {
+		t.Error("skipped cell serialized a lambda field")
+	}
+	var skipped bool
+	if err := json.Unmarshal(byAlgo["karp"]["skipped"], &skipped); err != nil || !skipped {
+		t.Errorf("skipped marker lost: %v %v", skipped, err)
+	}
+}
+
+// TestJSONNonZeroLambda pins the common case alongside the regression.
+func TestJSONNonZeroLambda(t *testing.T) {
+	rep := &Report{
+		Config: Config{Seeds: 1, Algorithms: []string{"howard"}},
+		Sizes:  [][2]int{{5, 10}},
+		Cells: []map[string]*Cell{{
+			"howard": {N: 5, M: 10, Algorithm: "howard", Lambda: 2.5, Seeds: 1},
+		}},
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Cells []struct {
+			Lambda *float64 `json:"lambda"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != 1 || got.Cells[0].Lambda == nil || *got.Cells[0].Lambda != 2.5 {
+		t.Errorf("round-trip lost lambda: %+v", got.Cells)
+	}
+}

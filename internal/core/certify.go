@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 var (
@@ -64,8 +66,31 @@ type Certificate struct {
 // certifyMean verifies and, if needed, exactifies a minimization result in
 // place: res.Mean becomes the certified rational λ*, res.Exact is set, and
 // res.Certificate records the proof. Any failure leaves res untouched and
-// returns an error wrapping ErrCertification or ErrNumericRange.
-func certifyMean(g *graph.Graph, res *Result) error {
+// returns an error wrapping ErrCertification or ErrNumericRange. The outcome
+// (pass/fail, snap denominator, proof duration) is reported to tr.
+func certifyMean(g *graph.Graph, res *Result, tr *obs.Trace) error {
+	if !tr.Enabled() {
+		return certifyMeanProof(g, res)
+	}
+	start := time.Now()
+	err := certifyMeanProof(g, res)
+	tr.Certify(certifyEvent(err, time.Since(start), res.Certificate))
+	return err
+}
+
+// certifyEvent shapes a certification outcome for the tracer.
+func certifyEvent(err error, d time.Duration, cert *Certificate) obs.CertifyEvent {
+	ev := obs.CertifyEvent{OK: err == nil, Duration: d, Err: err}
+	if err == nil && cert != nil {
+		ev.Value = cert.Value.Float64()
+		ev.MaxDen = cert.MaxDen
+		ev.Snapped = cert.Snapped
+	}
+	return ev
+}
+
+// certifyMeanProof is the proof itself, tracer-free.
+func certifyMeanProof(g *graph.Graph, res *Result) error {
 	maxDen := int64(g.NumNodes())
 	if maxDen < 1 {
 		maxDen = 1
@@ -130,11 +155,33 @@ func RecoverNumericRange(err *error, sentinel error) {
 // guardedAlg wraps a registered Algorithm so its Solve never lets a numeric
 // overflow panic escape to the caller; every instance handed out by ByName
 // or All is wrapped, making the whole registry panic-free by construction.
+// The wrapper is also the universal solver-event emission point: since every
+// path — drivers, portfolio racers, bench harness, direct callers — goes
+// through a registry instance, instrumenting Solve here observes them all.
 type guardedAlg struct {
 	Algorithm
 }
 
-func (a guardedAlg) Solve(g *graph.Graph, opt Options) (res Result, err error) {
+func (a guardedAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	tr := opt.Tracer
+	if !tr.Enabled() {
+		return a.solveGuarded(g, opt)
+	}
+	name := a.Algorithm.Name()
+	comp := opt.traceComponent - 1
+	n, m := g.NumNodes(), g.NumArcs()
+	tr.SolverStart(obs.SolverStartEvent{Algorithm: name, Component: comp, Nodes: n, Arcs: m})
+	start := time.Now()
+	res, err := a.solveGuarded(g, opt)
+	tr.SolverDone(obs.SolverDoneEvent{Algorithm: name, Component: comp, Nodes: n, Arcs: m,
+		Duration: time.Since(start), Counts: res.Counts, Value: res.Mean.Float64(), Err: err})
+	return res, err
+}
+
+// solveGuarded runs the wrapped solver inside the panic-free boundary; split
+// out so the tracing wrapper above observes the recovered error, not the
+// panic.
+func (a guardedAlg) solveGuarded(g *graph.Graph, opt Options) (res Result, err error) {
 	defer RecoverNumericRange(&err, ErrNumericRange)
 	return a.Algorithm.Solve(g, opt)
 }

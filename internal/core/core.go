@@ -28,6 +28,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ncd"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/pq"
 	"repro/internal/prep"
 )
@@ -119,10 +120,25 @@ type Options struct {
 	// per-kernel arc-value bounds. Invalid bounds yield undefined results.
 	LambdaLower, LambdaUpper *numeric.Rat
 
+	// Tracer, when non-nil, receives typed observability events from every
+	// solve path: SCC decomposition, kernelization outcomes, per-component
+	// solver start/finish with durations and operation counts, portfolio
+	// race outcomes, Session cache traffic, and certification results. A nil
+	// Tracer costs one pointer comparison per emission site and zero
+	// allocations (see internal/obs). Hooks may be invoked concurrently by
+	// the parallel SCC driver and portfolio races, so they must be safe for
+	// concurrent use.
+	Tracer *obs.Trace
+
 	// cancel, when non-nil, makes the solvers return ErrCanceled soon
 	// after the flag is set; the main loops poll it once per iteration.
 	// Installed by Portfolio to stop losing solvers promptly.
 	cancel *cancelFlag
+
+	// traceComponent carries the 1-based index of the component being
+	// solved, set by the drivers so solver events can report it; zero means
+	// a direct Algorithm.Solve call (reported as component -1).
+	traceComponent int
 }
 
 func (o Options) maxIter(def int) int {
@@ -131,6 +147,20 @@ func (o Options) maxIter(def int) int {
 	}
 	return def
 }
+
+// WithTraceComponent returns a copy of o tagged with the 0-based index of
+// the component about to be solved, so solver events emitted under the
+// returned Options report it. The core drivers tag internally; this exported
+// form exists for sibling drivers (internal/ratio) that run the SCC
+// decomposition outside this package.
+func (o Options) WithTraceComponent(i int) Options {
+	o.traceComponent = i + 1
+	return o
+}
+
+// TraceComponent returns the component index tagged by WithTraceComponent,
+// or -1 for a direct (driver-less) solve.
+func (o Options) TraceComponent() int { return o.traceComponent - 1 }
 
 // workers resolves Options.Parallelism to a worker count (>= 1).
 func (o Options) workers() int {
@@ -268,11 +298,26 @@ func MinimumCycleMean(g *graph.Graph, algo Algorithm, opt Options) (res Result, 
 	defer RecoverNumericRange(&err, ErrNumericRange)
 	res, err = minimumCycleMeanAny(g, algo, opt)
 	if err == nil && opt.Certify {
-		if cerr := certifyMean(g, &res); cerr != nil {
+		if cerr := certifyMean(g, &res, opt.Tracer); cerr != nil {
 			return Result{}, cerr
 		}
 	}
 	return res, err
+}
+
+// emitSCC reports a finished decomposition to the tracer; a no-op (and
+// alloc-free) when tracing is disabled.
+func emitSCC(tr *obs.Trace, comps []graph.Component) {
+	if !tr.Enabled() {
+		return
+	}
+	ev := obs.SCCEvent{Components: len(comps), Sizes: make([]int, len(comps))}
+	for i, c := range comps {
+		ev.Sizes[i] = c.Graph.NumNodes()
+		ev.Nodes += c.Graph.NumNodes()
+		ev.Arcs += c.Graph.NumArcs()
+	}
+	tr.SCC(ev)
 }
 
 // minimumCycleMeanAny is MinimumCycleMean without the certification and
@@ -283,6 +328,7 @@ func minimumCycleMeanAny(g *graph.Graph, algo Algorithm, opt Options) (Result, e
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
 	}
+	emitSCC(opt.Tracer, comps)
 	if workers := opt.workers(); workers > 1 && len(comps) > 1 {
 		return minimumCycleMeanParallel(algo, opt, comps, workers)
 	}
@@ -291,13 +337,16 @@ func minimumCycleMeanAny(g *graph.Graph, algo Algorithm, opt Options) (Result, e
 		total counter.Counts
 		found bool
 	)
-	for _, comp := range comps {
+	for ci, comp := range comps {
 		var (
 			r   Result
 			err error
 		)
+		sub := opt
+		sub.traceComponent = ci + 1
 		if opt.Kernelize {
 			kern := prep.Kernelize(comp.Graph, prep.Mean)
+			opt.Tracer.Kernel(kern.TraceEvent(ci))
 			if found && kern.Err == nil && kern.HasBounds && !kern.Lower.Less(best.Mean) {
 				// Cross-SCC pruning: every cycle of this component has mean
 				// at least kern.Lower ≥ the incumbent, so it cannot win —
@@ -308,9 +357,9 @@ func minimumCycleMeanAny(g *graph.Graph, algo Algorithm, opt Options) (Result, e
 					continue
 				}
 			}
-			r, err = solveComponentKernelized(algo, opt, comp.Graph, kern)
+			r, err = solveComponentKernelized(algo, sub, comp.Graph, kern)
 		} else {
-			r, err = algo.Solve(comp.Graph, opt)
+			r, err = algo.Solve(comp.Graph, sub)
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("core: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)

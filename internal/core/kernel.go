@@ -19,8 +19,11 @@ package core
 // critical cycle whether or not kernelization ran.
 
 import (
+	"time"
+
 	"repro/internal/counter"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/prep"
 )
 
@@ -53,8 +56,21 @@ func solveComponentKernelized(algo Algorithm, opt Options, g *graph.Graph, kern 
 		if kern.Contracted {
 			// The kernel's cycle values are Σw/Σt with t = original arc
 			// count — a ratio instance the mean solvers cannot express.
+			// The closed-form ratio solver reports as algorithm "kernel".
 			var counts counter.Counts
+			tr := opt.Tracer
+			var start time.Time
+			if tr.Enabled() {
+				tr.SolverStart(obs.SolverStartEvent{Algorithm: "kernel",
+					Component: opt.traceComponent - 1, Nodes: kern.G.NumNodes(), Arcs: kern.G.NumArcs()})
+				start = time.Now()
+			}
 			mean, kcyc, serr := prep.SolveKernel(kern.G, &counts)
+			if tr.Enabled() {
+				tr.SolverDone(obs.SolverDoneEvent{Algorithm: "kernel",
+					Component: opt.traceComponent - 1, Nodes: kern.G.NumNodes(), Arcs: kern.G.NumArcs(),
+					Duration: time.Since(start), Counts: counts, Value: mean.Float64(), Err: serr})
+			}
 			if serr != nil {
 				return algo.Solve(g, opt)
 			}

@@ -50,14 +50,20 @@ func minimumCycleMeanParallel(algo Algorithm, opt Options, comps []graph.Compone
 				// this component's error and keep draining the queue.
 				func() {
 					defer RecoverNumericRange(&err, ErrNumericRange)
+					// Tag solver events with the component index; tracer
+					// hooks see concurrent emissions from the pool, which
+					// the obs contract requires them to tolerate.
+					sub := opt
+					sub.traceComponent = i + 1
 					if opt.Kernelize {
 						// Kernelize per component. No cross-SCC pruning here:
 						// the incumbent would depend on completion order and
 						// the driver's merge must stay deterministic.
 						kern := prep.Kernelize(comps[i].Graph, prep.Mean)
-						r, err = solveComponentKernelized(algo, opt, comps[i].Graph, kern)
+						opt.Tracer.Kernel(kern.TraceEvent(i))
+						r, err = solveComponentKernelized(algo, sub, comps[i].Graph, kern)
 					} else {
-						r, err = algo.Solve(comps[i].Graph, opt)
+						r, err = algo.Solve(comps[i].Graph, sub)
 					}
 				}()
 				if err != nil {

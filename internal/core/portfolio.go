@@ -7,8 +7,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // portfolioName is the ByName spelling of the meta-algorithm.
@@ -145,6 +147,22 @@ func (p *Portfolio) SolveContext(ctx context.Context, g *graph.Graph, opt Option
 		}
 	}()
 
+	// Race bookkeeping for the tracer: per-racer wall clock and, for racers
+	// that unwound after the race was decided, the cancellation latency.
+	// Gathered only when tracing is on so the fast path stays time.Now-free.
+	tracing := opt.Tracer.Enabled()
+	var (
+		raceStart time.Time
+		decidedAt time.Time
+		finish    []time.Duration
+		latency   []time.Duration
+	)
+	if tracing {
+		raceStart = time.Now()
+		finish = make([]time.Duration, len(p.algos))
+		latency = make([]time.Duration, len(p.algos))
+	}
+
 	var (
 		winner  *outcome
 		inexact *outcome
@@ -152,12 +170,22 @@ func (p *Portfolio) SolveContext(ctx context.Context, g *graph.Graph, opt Option
 	)
 	for remaining := len(p.algos); remaining > 0; remaining-- {
 		o := <-results
+		if tracing {
+			now := time.Now()
+			finish[o.idx] = now.Sub(raceStart)
+			if !decidedAt.IsZero() {
+				latency[o.idx] = now.Sub(decidedAt)
+			}
+		}
 		switch {
 		case o.err != nil:
 			errs[o.idx] = o.err
 		case o.res.Exact && winner == nil:
 			o := o
 			winner = &o
+			if tracing {
+				decidedAt = time.Now()
+			}
 			cancel() // first exact answer wins; stop the losers
 		case !o.res.Exact && inexact == nil:
 			o := o
@@ -166,6 +194,27 @@ func (p *Portfolio) SolveContext(ctx context.Context, g *graph.Graph, opt Option
 	}
 	cancel()
 	wg.Wait()
+
+	if tracing {
+		returned := winner
+		if returned == nil {
+			returned = inexact
+		}
+		ev := obs.RaceEvent{Duration: time.Since(raceStart), Racers: make([]obs.RacerOutcome, len(p.algos))}
+		for i, a := range p.algos {
+			ev.Racers[i] = obs.RacerOutcome{
+				Algorithm:     a.Name(),
+				Elapsed:       finish[i],
+				CancelLatency: latency[i],
+				Won:           returned != nil && returned.idx == i,
+				Err:           errs[i],
+			}
+		}
+		if returned != nil {
+			ev.Winner = p.algos[returned.idx].Name()
+		}
+		opt.Tracer.Race(ev)
+	}
 
 	if winner != nil {
 		return winner.res, nil
@@ -178,10 +227,18 @@ func (p *Portfolio) SolveContext(ctx context.Context, g *graph.Graph, opt Option
 	if err := ctx.Err(); err != nil && opt.cancel.canceled() {
 		return Result{}, ErrCanceled
 	}
+	// Every racer failed: report them all. Each member error is wrapped with
+	// the member's name and the joined error preserves errors.Is/As on every
+	// one of them, so distinct failures are no longer masked by the
+	// lowest-index racer's.
+	var fails []error
 	for i, err := range errs {
 		if err != nil && !errors.Is(err, ErrCanceled) {
-			return Result{}, fmt.Errorf("core: portfolio member %s: %w", p.algos[i].Name(), err)
+			fails = append(fails, fmt.Errorf("core: portfolio member %s: %w", p.algos[i].Name(), err))
 		}
+	}
+	if len(fails) > 0 {
+		return Result{}, errors.Join(fails...)
 	}
 	return Result{}, ErrCanceled
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -162,6 +163,32 @@ func TestPortfolioAllFail(t *testing.T) {
 	_, err := p.Solve(g, Options{})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// TestPortfolioAllFailReportsEveryError is a regression for the masked-error
+// bug: when every racer failed, SolveContext used to return only the
+// lowest-index racer's error, hiding the others. The failures are now joined,
+// so errors.Is works on every member's sentinel and each failure is
+// attributed to its member by name.
+func TestPortfolioAllFailReportsEveryError(t *testing.T) {
+	g := gen.Cycle(4, 1)
+	errA := errors.New("first racer exploded")
+	errB := errors.New("second racer exploded")
+	p := NewPortfolio(errAlg{errA}, errAlg{errB})
+	_, err := p.Solve(g, Options{})
+	if err == nil {
+		t.Fatal("roster-wide failure returned nil error")
+	}
+	if !errors.Is(err, errA) {
+		t.Errorf("joined error does not match the first racer's sentinel: %v", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("joined error masks the second racer's sentinel: %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, errA.Error()) || !strings.Contains(msg, errB.Error()) {
+		t.Errorf("message omits a member failure: %q", msg)
 	}
 }
 

@@ -22,9 +22,11 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/counter"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // sessionMaxEntries bounds the policy cache. When a session has seen more
@@ -35,8 +37,14 @@ const sessionMaxEntries = 1024
 
 // SessionStats counts cache behavior over a Session's lifetime.
 type SessionStats struct {
-	// Solves is the number of Session.Solve calls.
+	// Solves is the number of Session.Solve calls, successful or not: error
+	// returns (ErrAcyclic, certification failures, numeric-range failures)
+	// count too, so Solves always equals the number of times Solve was
+	// invoked.
 	Solves int
+	// Errors is the number of Session.Solve calls that returned a non-nil
+	// error; Solves − Errors is the number of successful solves.
+	Errors int
 	// Components is the number of cyclic SCCs solved across all calls.
 	Components int
 	// WarmHits counts component solves that started from a cached policy.
@@ -77,24 +85,57 @@ func NewSession(opt Options) *Session {
 // session's policy cache and caching the converged policies for the next
 // call. Returns ErrAcyclic when g has no cycle.
 func (s *Session) Solve(g *graph.Graph) (res Result, err error) {
+	// Every call counts, successful or not (SessionStats.Solves documents
+	// exactly that); failures are tallied separately. The error-counting
+	// defer is installed before the recovery boundary so it observes the
+	// error a recovered numeric panic was converted into.
+	s.mu.Lock()
+	s.stats.Solves++
+	s.mu.Unlock()
+	defer func() {
+		if err != nil {
+			s.mu.Lock()
+			s.stats.Errors++
+			s.mu.Unlock()
+		}
+	}()
 	defer RecoverNumericRange(&err, ErrNumericRange)
 	comps := graph.CyclicComponents(g)
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
 	}
 	opt := s.opt
+	tr := opt.Tracer
+	emitSCC(tr, comps)
 	var (
 		best  Result
 		total counter.Counts
 		found bool
 	)
-	for _, comp := range comps {
+	for ci, comp := range comps {
 		fp := structuralFingerprint(comp.Graph)
 		s.mu.Lock()
 		warm := s.cache[fp]
+		entries := len(s.cache)
 		s.mu.Unlock()
 
+		if warm != nil {
+			tr.Cache(obs.CacheEvent{Op: obs.CacheHit, Entries: entries})
+		} else {
+			tr.Cache(obs.CacheEvent{Op: obs.CacheMiss, Entries: entries})
+		}
+		var start time.Time
+		if tr.Enabled() {
+			tr.SolverStart(obs.SolverStartEvent{Algorithm: "howard", Component: ci,
+				Nodes: comp.Graph.NumNodes(), Arcs: comp.Graph.NumArcs(), WarmStart: warm != nil})
+			start = time.Now()
+		}
 		r, policy, err := howardRun(comp.Graph, opt, warm, true)
+		if tr.Enabled() {
+			tr.SolverDone(obs.SolverDoneEvent{Algorithm: "howard", Component: ci,
+				Nodes: comp.Graph.NumNodes(), Arcs: comp.Graph.NumArcs(),
+				Duration: time.Since(start), Counts: r.Counts, Value: r.Mean.Float64(), Err: err})
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -106,14 +147,20 @@ func (s *Session) Solve(g *graph.Graph) (res Result, err error) {
 			s.stats.WarmMisses++
 		}
 		s.stats.Components++
+		evicted := false
 		if len(s.cache) >= sessionMaxEntries {
 			if _, present := s.cache[fp]; !present {
 				s.cache = make(map[uint64][]graph.ArcID)
 				s.stats.Evictions++
+				evicted = true
 			}
 		}
 		s.cache[fp] = policy
+		entries = len(s.cache)
 		s.mu.Unlock()
+		if evicted {
+			tr.Cache(obs.CacheEvent{Op: obs.CacheEvict, Entries: entries})
+		}
 
 		total.Add(r.Counts)
 		cycle := make([]graph.ArcID, len(r.Cycle))
@@ -128,13 +175,10 @@ func (s *Session) Solve(g *graph.Graph) (res Result, err error) {
 	}
 	best.Counts = total
 	if opt.Certify {
-		if cerr := certifyMean(g, &best); cerr != nil {
+		if cerr := certifyMean(g, &best, tr); cerr != nil {
 			return Result{}, cerr
 		}
 	}
-	s.mu.Lock()
-	s.stats.Solves++
-	s.mu.Unlock()
 	return best, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/gen"
@@ -175,6 +176,41 @@ func TestSessionReset(t *testing.T) {
 	}
 	if hits := s.Stats().WarmHits; hits != 1 {
 		t.Errorf("post-Reset solve must be cold (hits = %d, want 1)", hits)
+	}
+}
+
+func TestSessionStatsCountFailedSolves(t *testing.T) {
+	// Regression: Solves used to be incremented only on the success path, so
+	// a failed call (acyclic input, certification failure, numeric overflow)
+	// left Solves < number of Solve invocations and there was no way to tell
+	// how many calls errored. Every call must count, and failures must be
+	// tallied in Errors.
+	b := graph.NewBuilder(3, 2)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 1)
+	dag := b.Build()
+
+	s := NewSession(Options{})
+	if _, err := s.Solve(dag); !errors.Is(err, ErrAcyclic) {
+		t.Fatalf("Solve(dag) = %v, want ErrAcyclic", err)
+	}
+	st := s.Stats()
+	if st.Solves != 1 {
+		t.Errorf("after one failed call, Solves = %d, want 1", st.Solves)
+	}
+	if st.Errors != 1 {
+		t.Errorf("after one failed call, Errors = %d, want 1", st.Errors)
+	}
+
+	// A successful call after the failure: Solves counts both, Errors only
+	// the failure, and their difference is the success count.
+	if _, err := s.Solve(gen.Cycle(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Solves != 2 || st.Errors != 1 {
+		t.Errorf("stats = {Solves: %d, Errors: %d}, want {2, 1}", st.Solves, st.Errors)
 	}
 }
 

@@ -1,6 +1,8 @@
 package counter
 
 import (
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -22,6 +24,53 @@ func TestHeapOps(t *testing.T) {
 	c := Counts{HeapInserts: 1, HeapExtractMins: 2, HeapDecreaseKeys: 3, HeapDeletes: 4}
 	if c.HeapOps() != 10 {
 		t.Fatalf("HeapOps = %d", c.HeapOps())
+	}
+}
+
+// setField returns a Counts with only field i set to v, via reflection.
+func setField(t *testing.T, i int, v int) Counts {
+	t.Helper()
+	var c Counts
+	f := reflect.ValueOf(&c).Elem().Field(i)
+	if f.Kind() != reflect.Int {
+		t.Fatalf("Counts field %d is %s; the exhaustiveness tests assume plain ints", i, f.Kind())
+	}
+	f.SetInt(int64(v))
+	return c
+}
+
+// TestAddExhaustive fails when Counts gains a field that Add does not
+// accumulate: for every field, adding a one-field Counts must change exactly
+// that field and nothing else.
+func TestAddExhaustive(t *testing.T) {
+	typ := reflect.TypeOf(Counts{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		probe := setField(t, i, 7)
+		var sum Counts
+		sum.Add(probe)
+		if !reflect.DeepEqual(sum, probe) {
+			t.Errorf("Add does not handle field %s: got %+v after adding %+v to zero", name, sum, probe)
+		}
+		sum.Add(probe)
+		if got := reflect.ValueOf(sum).Field(i).Int(); got != 14 {
+			t.Errorf("Add does not accumulate field %s: %d after two adds of 7", name, got)
+		}
+	}
+}
+
+// TestStringExhaustive fails when Counts gains a field that String does not
+// render: setting any single field to a distinctive value must surface that
+// value in the output.
+func TestStringExhaustive(t *testing.T) {
+	typ := reflect.TypeOf(Counts{})
+	const sentinel = 987123
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		probe := setField(t, i, sentinel)
+		if s := probe.String(); !strings.Contains(s, strconv.Itoa(sentinel)) {
+			t.Errorf("String does not render field %s: %q", name, s)
+		}
 	}
 }
 

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two duration buckets: bucket i counts
+// observations with d < 1µs·2^i, the last bucket is unbounded. 1µs·2^29 ≈ 9
+// minutes, far beyond any per-component solve this repo times.
+const histBuckets = 30
+
+// Histogram is a lock-free duration histogram with power-of-two buckets
+// anchored at 1µs. The zero value is ready to use; all methods are safe for
+// concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		cur := h.maxNs.Load()
+		if ns <= cur || h.maxNs.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+}
+
+// bucketFor maps a nanosecond duration onto its bucket index.
+func bucketFor(ns int64) int {
+	us := ns / 1000
+	for i := 0; i < histBuckets-1; i++ {
+		if us < 1<<i {
+			return i
+		}
+	}
+	return histBuckets - 1
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// snapshot renders the histogram as a flat JSON-friendly map. Bucket keys
+// name their upper bound ("le_128us"); empty buckets are omitted.
+func (h *Histogram) snapshot() map[string]any {
+	return map[string]any{
+		"count":   h.count.Load(),
+		"sum_ms":  float64(h.sumNs.Load()) / 1e6,
+		"max_ms":  float64(h.maxNs.Load()) / 1e6,
+		"mean_ms": float64(h.Mean()) / 1e6,
+		"buckets": h.bucketMap(),
+	}
+}
+
+func (h *Histogram) bucketMap() map[string]int64 {
+	out := map[string]int64{}
+	for i := 0; i < histBuckets; i++ {
+		v := h.buckets[i].Load()
+		if v == 0 {
+			continue
+		}
+		if i == histBuckets-1 {
+			out["inf"] = v
+		} else {
+			out[bucketName(i)] = v
+		}
+	}
+	return out
+}
+
+func bucketName(i int) string {
+	us := int64(1) << i
+	switch {
+	case us >= 1_000_000:
+		return "le_" + itoa(us/1_000_000) + "s"
+	case us >= 1000:
+		return "le_" + itoa(us/1000) + "ms"
+	default:
+		return "le_" + itoa(us) + "us"
+	}
+}
+
+// itoa avoids strconv just to keep this file's imports tiny.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// algMetrics aggregates one algorithm's solver runs.
+type algMetrics struct {
+	solves   atomic.Int64
+	errors   atomic.Int64
+	duration Histogram
+}
+
+// Metrics aggregates Trace events into monotonic counters and duration
+// histograms. All updates are atomic, so one Metrics can absorb events from
+// the parallel SCC driver and portfolio racers concurrently. Publish exposes
+// a snapshot through expvar (and thence /debug/vars when an HTTP server with
+// the expvar handler is running — see cmd/mcmbench -serve).
+type Metrics struct {
+	// Driver-level counters.
+	solves      atomic.Int64 // driver solves observed (SCC events)
+	components  atomic.Int64 // cyclic components handed to solvers
+	solverRuns  atomic.Int64 // individual solver runs finished
+	solverErrs  atomic.Int64 // solver runs that returned an error
+	kernelRuns  atomic.Int64 // components kernelized
+	kernelDone  atomic.Int64 // components fully solved by reductions
+	races       atomic.Int64 // portfolio races completed
+	cacheHits   atomic.Int64 // Session warm starts
+	cacheMisses atomic.Int64 // Session cold starts
+	cacheEvicts atomic.Int64 // Session wholesale cache clears
+	certifyOK   atomic.Int64 // certification proofs passed
+	certifyFail atomic.Int64 // certification proofs failed
+
+	solveDuration   Histogram // per-solver-run wall clock
+	certifyDuration Histogram // per-proof wall clock
+	raceDuration    Histogram // per-race wall clock
+
+	mu       sync.Mutex
+	byAlg    map[string]*algMetrics // per-algorithm solver runs
+	raceWins map[string]int64       // portfolio wins by algorithm
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		byAlg:    make(map[string]*algMetrics),
+		raceWins: make(map[string]int64),
+	}
+}
+
+// alg returns (creating if needed) the per-algorithm bucket.
+func (m *Metrics) alg(name string) *algMetrics {
+	m.mu.Lock()
+	a := m.byAlg[name]
+	if a == nil {
+		a = &algMetrics{}
+		m.byAlg[name] = a
+	}
+	m.mu.Unlock()
+	return a
+}
+
+// Tracer returns a Trace that feeds this collector. The same Metrics may back
+// several tracers (e.g. combined with a LogTracer through Multi).
+func (m *Metrics) Tracer() *Trace {
+	return &Trace{
+		OnSCC: func(ev SCCEvent) {
+			m.solves.Add(1)
+			m.components.Add(int64(ev.Components))
+		},
+		OnKernel: func(ev KernelEvent) {
+			m.kernelRuns.Add(1)
+			if ev.Solved {
+				m.kernelDone.Add(1)
+			}
+		},
+		OnSolverDone: func(ev SolverDoneEvent) {
+			m.solverRuns.Add(1)
+			a := m.alg(ev.Algorithm)
+			a.solves.Add(1)
+			a.duration.Observe(ev.Duration)
+			m.solveDuration.Observe(ev.Duration)
+			if ev.Err != nil {
+				m.solverErrs.Add(1)
+				a.errors.Add(1)
+			}
+		},
+		OnRace: func(ev RaceEvent) {
+			m.races.Add(1)
+			m.raceDuration.Observe(ev.Duration)
+			if ev.Winner != "" {
+				m.mu.Lock()
+				m.raceWins[ev.Winner]++
+				m.mu.Unlock()
+			}
+		},
+		OnCache: func(ev CacheEvent) {
+			switch ev.Op {
+			case CacheHit:
+				m.cacheHits.Add(1)
+			case CacheMiss:
+				m.cacheMisses.Add(1)
+			case CacheEvict:
+				m.cacheEvicts.Add(1)
+			}
+		},
+		OnCertify: func(ev CertifyEvent) {
+			m.certifyDuration.Observe(ev.Duration)
+			if ev.OK {
+				m.certifyOK.Add(1)
+			} else {
+				m.certifyFail.Add(1)
+			}
+		},
+	}
+}
+
+// SolverRuns returns the number of individual solver runs observed so far
+// (the counter the CI serve-smoke asserts is non-zero).
+func (m *Metrics) SolverRuns() int64 { return m.solverRuns.Load() }
+
+// Snapshot renders every counter and histogram as a JSON-marshalable tree.
+func (m *Metrics) Snapshot() map[string]any {
+	out := map[string]any{
+		"solves":           m.solves.Load(),
+		"components":       m.components.Load(),
+		"solver_runs":      m.solverRuns.Load(),
+		"solver_errors":    m.solverErrs.Load(),
+		"kernelized":       m.kernelRuns.Load(),
+		"kernel_solved":    m.kernelDone.Load(),
+		"races":            m.races.Load(),
+		"cache_hits":       m.cacheHits.Load(),
+		"cache_misses":     m.cacheMisses.Load(),
+		"cache_evictions":  m.cacheEvicts.Load(),
+		"certify_pass":     m.certifyOK.Load(),
+		"certify_fail":     m.certifyFail.Load(),
+		"solve_duration":   m.solveDuration.snapshot(),
+		"certify_duration": m.certifyDuration.snapshot(),
+		"race_duration":    m.raceDuration.snapshot(),
+	}
+	algs := map[string]any{}
+	wins := map[string]int64{}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.byAlg))
+	for name := range m.byAlg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := m.byAlg[name]
+		algs[name] = map[string]any{
+			"solves":   a.solves.Load(),
+			"errors":   a.errors.Load(),
+			"duration": a.duration.snapshot(),
+		}
+	}
+	for name, n := range m.raceWins {
+		wins[name] = n
+	}
+	m.mu.Unlock()
+	out["algorithms"] = algs
+	if len(wins) > 0 {
+		out["race_wins"] = wins
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Publish registers the collector under name in the process-wide expvar
+// registry, making it visible at /debug/vars on any server that mounts
+// expvar.Handler (cmd/mcmbench -serve does). expvar forbids duplicate names,
+// so Publish must be called at most once per name per process.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

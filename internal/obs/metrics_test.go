@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// expvarString fetches a published var's JSON rendering.
+func expvarString(t *testing.T, name string) string {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	return v.String()
+}
+
+func TestMetricsAggregatesEvents(t *testing.T) {
+	m := NewMetrics()
+	tr := m.Tracer()
+
+	tr.SCC(SCCEvent{Components: 3, Nodes: 30, Arcs: 60, Sizes: []int{10, 10, 10}})
+	tr.Kernel(KernelEvent{Component: 0, Solved: true})
+	tr.Kernel(KernelEvent{Component: 1})
+	for i := 0; i < 3; i++ {
+		tr.SolverDone(SolverDoneEvent{Algorithm: "howard", Component: i,
+			Duration: time.Duration(i+1) * time.Millisecond, Value: 1.5})
+	}
+	tr.SolverDone(SolverDoneEvent{Algorithm: "karp", Component: 0,
+		Duration: 100 * time.Microsecond, Err: errors.New("boom")})
+	tr.Race(RaceEvent{Winner: "howard", Duration: 2 * time.Millisecond})
+	tr.Cache(CacheEvent{Op: CacheMiss, Entries: 1})
+	tr.Cache(CacheEvent{Op: CacheHit, Entries: 1})
+	tr.Cache(CacheEvent{Op: CacheEvict, Entries: 0})
+	tr.Certify(CertifyEvent{OK: true, Duration: time.Millisecond})
+	tr.Certify(CertifyEvent{OK: false, Duration: time.Millisecond, Err: errors.New("bad")})
+
+	snap := m.Snapshot()
+	wantInts := map[string]int64{
+		"solves": 1, "components": 3, "solver_runs": 4, "solver_errors": 1,
+		"kernelized": 2, "kernel_solved": 1, "races": 1,
+		"cache_hits": 1, "cache_misses": 1, "cache_evictions": 1,
+		"certify_pass": 1, "certify_fail": 1,
+	}
+	for key, want := range wantInts {
+		if got := snap[key].(int64); got != want {
+			t.Errorf("snapshot[%q] = %d, want %d", key, got, want)
+		}
+	}
+	if m.SolverRuns() != 4 {
+		t.Errorf("SolverRuns() = %d, want 4", m.SolverRuns())
+	}
+
+	algs := snap["algorithms"].(map[string]any)
+	howard := algs["howard"].(map[string]any)
+	if got := howard["solves"].(int64); got != 3 {
+		t.Errorf("howard solves = %d, want 3", got)
+	}
+	karp := algs["karp"].(map[string]any)
+	if got := karp["errors"].(int64); got != 1 {
+		t.Errorf("karp errors = %d, want 1", got)
+	}
+	wins := snap["race_wins"].(map[string]int64)
+	if wins["howard"] != 1 {
+		t.Errorf("race_wins[howard] = %d, want 1", wins["howard"])
+	}
+}
+
+func TestMetricsWriteJSONRoundTrips(t *testing.T) {
+	m := NewMetrics()
+	tr := m.Tracer()
+	tr.SolverDone(SolverDoneEvent{Algorithm: "howard", Duration: 3 * time.Millisecond})
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded["solver_runs"].(float64) != 1 {
+		t.Errorf("decoded solver_runs = %v, want 1", decoded["solver_runs"])
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(500 * time.Nanosecond) // < 1µs bucket
+	h.Observe(3 * time.Microsecond)  // le_4us
+	h.Observe(3 * time.Millisecond)  // le_4ms (2^12 µs = ~4.1ms)
+	h.Observe(2 * time.Hour)         // unbounded tail
+	h.Observe(-time.Second)          // clamped to zero, not a crash
+
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Max() != 2*time.Hour {
+		t.Errorf("Max = %v, want 2h", h.Max())
+	}
+	if h.Mean() <= 0 {
+		t.Errorf("Mean = %v, want > 0", h.Mean())
+	}
+	buckets := h.bucketMap()
+	var total int64
+	for _, v := range buckets {
+		total += v
+	}
+	if total != 5 {
+		t.Errorf("bucket totals %d, want 5 (%v)", total, buckets)
+	}
+	if buckets["inf"] != 1 {
+		t.Errorf("unbounded bucket = %d, want 1 (%v)", buckets["inf"], buckets)
+	}
+}
+
+func TestHistogramBucketNames(t *testing.T) {
+	for _, tc := range []struct {
+		i    int
+		want string
+	}{{0, "le_1us"}, {10, "le_1ms"}, {12, "le_4ms"}, {20, "le_1s"}} {
+		if got := bucketName(tc.i); got != tc.want {
+			t.Errorf("bucketName(%d) = %q, want %q", tc.i, got, tc.want)
+		}
+	}
+}
+
+// Concurrent emission must be race-clean (run under -race in CI).
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	tr := m.Tracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.SolverDone(SolverDoneEvent{Algorithm: "howard", Duration: time.Microsecond})
+				tr.Cache(CacheEvent{Op: CacheHit})
+				tr.Race(RaceEvent{Winner: "karp"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.SolverRuns() != 800 {
+		t.Errorf("SolverRuns = %d, want 800", m.SolverRuns())
+	}
+	snap := m.Snapshot()
+	if snap["cache_hits"].(int64) != 800 {
+		t.Errorf("cache_hits = %v, want 800", snap["cache_hits"])
+	}
+	if snap["race_wins"].(map[string]int64)["karp"] != 800 {
+		t.Errorf("race_wins = %v, want karp:800", snap["race_wins"])
+	}
+}
+
+func TestMetricsPublish(t *testing.T) {
+	m := NewMetrics()
+	m.Tracer().SolverDone(SolverDoneEvent{Algorithm: "howard", Duration: time.Microsecond})
+	// expvar forbids duplicate names process-wide; use a test-unique name.
+	m.Publish("obs_test_metrics")
+	// The published Func must render valid JSON (expvar serves it verbatim).
+	var decoded map[string]any
+	data := expvarString(t, "obs_test_metrics")
+	if err := json.Unmarshal([]byte(data), &decoded); err != nil {
+		t.Fatalf("published var is not valid JSON: %v\n%s", err, data)
+	}
+	if decoded["solver_runs"].(float64) != 1 {
+		t.Errorf("published solver_runs = %v, want 1", decoded["solver_runs"])
+	}
+}

@@ -1,0 +1,297 @@
+// Package obs is the solve-path observability layer: a zero-overhead-when-
+// disabled tracing hook threaded through every driver in internal/core and
+// internal/ratio, plus an aggregating metrics collector (metrics.go) and a
+// human-readable event logger (log.go) built on top of it.
+//
+// The design follows net/http/httptrace: Trace is a struct of nil-able hook
+// functions, one per event kind, and the drivers emit through nil-tolerant
+// methods (t.SolverDone(ev) is safe on a nil *Trace). With a nil tracer the
+// entire layer costs one pointer comparison per emission site and zero
+// allocations — pinned by TestNilTraceZeroAllocs — so production solves pay
+// nothing unless observability is switched on. With a tracer installed, the
+// drivers additionally gather the event payloads (timestamps, component
+// sizes, operation counts), so enabling tracing is where the cost lives.
+//
+// Hooks must be safe for concurrent use: the parallel SCC driver and the
+// portfolio racer emit solver events from multiple goroutines. Metrics uses
+// atomics throughout; LogTracer serializes writes with a mutex.
+package obs
+
+import (
+	"time"
+
+	"repro/internal/counter"
+)
+
+// SCCEvent reports a completed strongly-connected-component decomposition at
+// the start of a driver solve (core.MinimumCycleMean, ratio.MinimumCycleRatio,
+// Session.Solve).
+type SCCEvent struct {
+	// Components is the number of cyclic components that will be solved.
+	Components int
+	// Nodes and Arcs total the cyclic components' sizes (acyclic remainder
+	// excluded — it cannot carry a cycle and is never handed to a solver).
+	Nodes, Arcs int
+	// Sizes holds the node count of each cyclic component, in decomposition
+	// order. The slice is only valid during the hook call; copy to retain.
+	Sizes []int
+}
+
+// KernelEvent reports one component's kernelization outcome (the
+// internal/prep reduction pipeline), emitted before the component is solved.
+type KernelEvent struct {
+	// Component is the component's index in decomposition order.
+	Component int
+	// OrigNodes/OrigArcs and Nodes/Arcs are the component's size before and
+	// after reduction.
+	OrigNodes, OrigArcs int
+	Nodes, Arcs         int
+	// Contracted reports that chain contraction replaced some arcs.
+	Contracted bool
+	// Solved reports that the reductions solved the component outright (no
+	// solver run needed).
+	Solved bool
+	// HasCandidate reports that a closed-form candidate cycle was found.
+	HasCandidate bool
+	// HasBounds reports that per-kernel λ*/ρ* bounds were derived.
+	HasBounds bool
+	// Unsupported reports that the input fell outside the exact reductions
+	// (Kernel.Err != nil) and the raw component will be solved instead.
+	Unsupported bool
+}
+
+// SolverStartEvent reports one solver run starting on one (component) graph.
+type SolverStartEvent struct {
+	// Algorithm is the solver's registered name ("howard", "karp", ...; the
+	// contracted-kernel closed-form solver reports "kernel").
+	Algorithm string
+	// Component is the component index in decomposition order, or -1 when
+	// the solver was invoked directly rather than through a driver.
+	Component int
+	// Nodes and Arcs are the size of the graph actually handed to the solver
+	// (the kernel's size when kernelization ran).
+	Nodes, Arcs int
+	// WarmStart reports that the run was warm-started from a Session's
+	// cached policy.
+	WarmStart bool
+}
+
+// SolverDoneEvent reports one solver run finishing.
+type SolverDoneEvent struct {
+	// Algorithm, Component, Nodes, Arcs mirror the SolverStartEvent.
+	Algorithm   string
+	Component   int
+	Nodes, Arcs int
+	// Duration is the run's wall-clock time.
+	Duration time.Duration
+	// Counts holds the run's representative operation counts.
+	Counts counter.Counts
+	// Value is the component's λ*/ρ* as a float64 (the exact rational stays
+	// on the driver's Result); meaningless when Err != nil.
+	Value float64
+	// Err is the run's error, nil on success.
+	Err error
+}
+
+// RacerOutcome is one roster member's result within a portfolio race.
+type RacerOutcome struct {
+	// Algorithm is the racer's name.
+	Algorithm string
+	// Elapsed is the racer's wall-clock time from race start to its return.
+	Elapsed time.Duration
+	// CancelLatency is how long after the race was decided this racer took
+	// to unwind (zero for the winner and for racers that returned before the
+	// decision) — the cooperative-cancellation lag, one checkpoint interval.
+	CancelLatency time.Duration
+	// Won marks the racer whose result the portfolio returned.
+	Won bool
+	// Err is the racer's error; canceled losers report core.ErrCanceled.
+	Err error
+}
+
+// RaceEvent reports a completed portfolio race.
+type RaceEvent struct {
+	// Winner is the winning algorithm's name, or "" when every racer failed.
+	Winner string
+	// Duration is the whole race's wall-clock time (first start to last join).
+	Duration time.Duration
+	// Racers holds one outcome per roster member, in roster order. The slice
+	// is only valid during the hook call; copy to retain.
+	Racers []RacerOutcome
+}
+
+// CacheOp enumerates Session policy-cache events.
+type CacheOp int
+
+const (
+	// CacheHit: a component solve warm-started from a cached policy.
+	CacheHit CacheOp = iota
+	// CacheMiss: a component solve started cold.
+	CacheMiss
+	// CacheEvict: the cache was cleared wholesale (capacity bound).
+	CacheEvict
+)
+
+// String returns "hit", "miss", or "evict".
+func (op CacheOp) String() string {
+	switch op {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheEvict:
+		return "evict"
+	}
+	return "unknown"
+}
+
+// CacheEvent reports one Session policy-cache operation.
+type CacheEvent struct {
+	Op CacheOp
+	// Entries is the number of cached policies after the operation.
+	Entries int
+}
+
+// CertifyEvent reports an exact-certification attempt (Options.Certify).
+type CertifyEvent struct {
+	// OK reports that the optimality proof succeeded.
+	OK bool
+	// Value is the certified optimum as a float64 (λ* or ρ*).
+	Value float64
+	// MaxDen is the denominator bound used for rational recovery (n for
+	// means, total transit for ratios).
+	MaxDen int64
+	// Snapped reports that the solver's float value had to be recovered by
+	// continued-fraction snapping before verification.
+	Snapped bool
+	// Duration is the proof's wall-clock time.
+	Duration time.Duration
+	// Err is the proof failure, nil when OK.
+	Err error
+}
+
+// Trace is a set of hooks invoked by the solve drivers as typed events occur.
+// Any hook may be nil; a nil *Trace disables the layer entirely (the emission
+// methods below tolerate nil receivers, so callers never branch themselves).
+//
+// Hooks are called synchronously on the solving goroutine and — under the
+// parallel SCC driver or a portfolio race — concurrently from several
+// goroutines, so they must be safe for concurrent use and should return
+// quickly.
+type Trace struct {
+	OnSCC         func(SCCEvent)
+	OnKernel      func(KernelEvent)
+	OnSolverStart func(SolverStartEvent)
+	OnSolverDone  func(SolverDoneEvent)
+	OnRace        func(RaceEvent)
+	OnCache       func(CacheEvent)
+	OnCertify     func(CertifyEvent)
+}
+
+// Enabled reports whether any events can possibly be observed; drivers gate
+// payload gathering (time.Now, size slices) behind it.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// SCC emits an SCCEvent; safe on a nil receiver.
+func (t *Trace) SCC(ev SCCEvent) {
+	if t != nil && t.OnSCC != nil {
+		t.OnSCC(ev)
+	}
+}
+
+// Kernel emits a KernelEvent; safe on a nil receiver.
+func (t *Trace) Kernel(ev KernelEvent) {
+	if t != nil && t.OnKernel != nil {
+		t.OnKernel(ev)
+	}
+}
+
+// SolverStart emits a SolverStartEvent; safe on a nil receiver.
+func (t *Trace) SolverStart(ev SolverStartEvent) {
+	if t != nil && t.OnSolverStart != nil {
+		t.OnSolverStart(ev)
+	}
+}
+
+// SolverDone emits a SolverDoneEvent; safe on a nil receiver.
+func (t *Trace) SolverDone(ev SolverDoneEvent) {
+	if t != nil && t.OnSolverDone != nil {
+		t.OnSolverDone(ev)
+	}
+}
+
+// Race emits a RaceEvent; safe on a nil receiver.
+func (t *Trace) Race(ev RaceEvent) {
+	if t != nil && t.OnRace != nil {
+		t.OnRace(ev)
+	}
+}
+
+// Cache emits a CacheEvent; safe on a nil receiver.
+func (t *Trace) Cache(ev CacheEvent) {
+	if t != nil && t.OnCache != nil {
+		t.OnCache(ev)
+	}
+}
+
+// Certify emits a CertifyEvent; safe on a nil receiver.
+func (t *Trace) Certify(ev CertifyEvent) {
+	if t != nil && t.OnCertify != nil {
+		t.OnCertify(ev)
+	}
+}
+
+// Multi fans every event out to each non-nil trace in order, so a log tracer
+// and a metrics collector can observe the same solve. Nil members are
+// skipped; Multi() and Multi(nil, nil) return nil (the disabled tracer).
+func Multi(traces ...*Trace) *Trace {
+	live := make([]*Trace, 0, len(traces))
+	for _, t := range traces {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := &Trace{}
+	out.OnSCC = func(ev SCCEvent) {
+		for _, t := range live {
+			t.SCC(ev)
+		}
+	}
+	out.OnKernel = func(ev KernelEvent) {
+		for _, t := range live {
+			t.Kernel(ev)
+		}
+	}
+	out.OnSolverStart = func(ev SolverStartEvent) {
+		for _, t := range live {
+			t.SolverStart(ev)
+		}
+	}
+	out.OnSolverDone = func(ev SolverDoneEvent) {
+		for _, t := range live {
+			t.SolverDone(ev)
+		}
+	}
+	out.OnRace = func(ev RaceEvent) {
+		for _, t := range live {
+			t.Race(ev)
+		}
+	}
+	out.OnCache = func(ev CacheEvent) {
+		for _, t := range live {
+			t.Cache(ev)
+		}
+	}
+	out.OnCertify = func(ev CertifyEvent) {
+		for _, t := range live {
+			t.Certify(ev)
+		}
+	}
+	return out
+}

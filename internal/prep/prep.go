@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 // Mode selects which objective the kernel must preserve.
@@ -147,6 +148,54 @@ func (k *Kernel) ExpandCycle(cycle []graph.ArcID) []graph.ArcID {
 		out = append(out, k.ArcPaths[id]...)
 	}
 	return out
+}
+
+// Stats is a flat, copyable summary of one kernelization outcome, shaped for
+// observability reporting (internal/obs KernelEvent) and for tests that
+// assert on reduction behavior without poking at Kernel internals.
+type Stats struct {
+	// OrigNodes/OrigArcs and Nodes/Arcs are the component's size before and
+	// after reduction; Nodes and Arcs are zero when Solved or Unsupported.
+	OrigNodes, OrigArcs int
+	Nodes, Arcs         int
+	// Contracted, Solved, HasCandidate, HasBounds mirror the Kernel fields.
+	Contracted, Solved, HasCandidate, HasBounds bool
+	// Unsupported reports Kernel.Err != nil (the caller solves the raw
+	// component instead).
+	Unsupported bool
+}
+
+// TraceEvent shapes the kernelization outcome as an observability event for
+// the given component index; the mean and ratio drivers emit it through
+// Options.Tracer right after Kernelize.
+func (k *Kernel) TraceEvent(comp int) obs.KernelEvent {
+	st := k.Stats()
+	return obs.KernelEvent{
+		Component: comp,
+		OrigNodes: st.OrigNodes, OrigArcs: st.OrigArcs,
+		Nodes: st.Nodes, Arcs: st.Arcs,
+		Contracted: st.Contracted, Solved: st.Solved,
+		HasCandidate: st.HasCandidate, HasBounds: st.HasBounds,
+		Unsupported: st.Unsupported,
+	}
+}
+
+// Stats summarizes the kernelization outcome.
+func (k *Kernel) Stats() Stats {
+	st := Stats{
+		OrigNodes:    k.OrigNodes,
+		OrigArcs:     k.OrigArcs,
+		Contracted:   k.Contracted,
+		Solved:       k.Solved,
+		HasCandidate: k.HasCandidate,
+		HasBounds:    k.HasBounds,
+		Unsupported:  k.Err != nil,
+	}
+	if k.G != nil && k.Err == nil {
+		st.Nodes = k.G.NumNodes()
+		st.Arcs = k.G.NumArcs()
+	}
+	return st
 }
 
 // NodeReduction returns the fraction of nodes removed by kernelization

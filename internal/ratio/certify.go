@@ -11,10 +11,12 @@ package ratio
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 )
 
 var (
@@ -85,8 +87,26 @@ func scaledRatioOverflows(g *graph.Graph, p, q int64) bool {
 
 // certifyRatio verifies and, if needed, exactifies a minimization result in
 // place; see core's certifyMean. On success res carries a Certificate with
-// Value = ρ* and a witness cycle whose exact ratio equals it.
-func certifyRatio(g *graph.Graph, res *Result) error {
+// Value = ρ* and a witness cycle whose exact ratio equals it. The outcome is
+// reported to tr.
+func certifyRatio(g *graph.Graph, res *Result, tr *obs.Trace) error {
+	if !tr.Enabled() {
+		return certifyRatioProof(g, res)
+	}
+	start := time.Now()
+	err := certifyRatioProof(g, res)
+	ev := obs.CertifyEvent{OK: err == nil, Duration: time.Since(start), Err: err}
+	if err == nil && res.Certificate != nil {
+		ev.Value = res.Certificate.Value.Float64()
+		ev.MaxDen = res.Certificate.MaxDen
+		ev.Snapped = res.Certificate.Snapped
+	}
+	tr.Certify(ev)
+	return err
+}
+
+// certifyRatioProof is the proof itself, tracer-free.
+func certifyRatioProof(g *graph.Graph, res *Result) error {
 	maxDen := transitDenominatorBound(g)
 	value := res.Ratio
 	snapped := false
@@ -131,12 +151,31 @@ func certifyRatio(g *graph.Graph, res *Result) error {
 }
 
 // guardedAlg wraps every registered ratio Algorithm in the panic-free
-// boundary, exactly like core's registry wrapper.
+// boundary, exactly like core's registry wrapper — and, like core's, it is
+// the solver-event emission point for every ratio solve path.
 type guardedAlg struct {
 	Algorithm
 }
 
-func (a guardedAlg) Solve(g *graph.Graph, opt core.Options) (res Result, err error) {
+func (a guardedAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	tr := opt.Tracer
+	if !tr.Enabled() {
+		return a.solveGuarded(g, opt)
+	}
+	name := a.Algorithm.Name()
+	comp := opt.TraceComponent()
+	n, m := g.NumNodes(), g.NumArcs()
+	tr.SolverStart(obs.SolverStartEvent{Algorithm: name, Component: comp, Nodes: n, Arcs: m})
+	start := time.Now()
+	res, err := a.solveGuarded(g, opt)
+	tr.SolverDone(obs.SolverDoneEvent{Algorithm: name, Component: comp, Nodes: n, Arcs: m,
+		Duration: time.Since(start), Counts: res.Counts, Value: res.Ratio.Float64(), Err: err})
+	return res, err
+}
+
+// solveGuarded runs the wrapped solver inside the panic-free boundary; split
+// out so the tracing wrapper observes the recovered error, not the panic.
+func (a guardedAlg) solveGuarded(g *graph.Graph, opt core.Options) (res Result, err error) {
 	defer core.RecoverNumericRange(&err, ErrNumericRange)
 	return a.Algorithm.Solve(g, opt)
 }

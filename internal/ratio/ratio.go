@@ -20,6 +20,7 @@ import (
 	"repro/internal/counter"
 	"repro/internal/graph"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/prep"
 )
 
@@ -151,11 +152,25 @@ func MinimumCycleRatio(g *graph.Graph, algo Algorithm, opt core.Options) (res Re
 	defer core.RecoverNumericRange(&err, ErrNumericRange)
 	res, err = minimumCycleRatioAny(g, algo, opt)
 	if err == nil && opt.Certify {
-		if cerr := certifyRatio(g, &res); cerr != nil {
+		if cerr := certifyRatio(g, &res, opt.Tracer); cerr != nil {
 			return Result{}, cerr
 		}
 	}
 	return res, err
+}
+
+// emitSCC mirrors core's decomposition event for the ratio driver.
+func emitSCC(tr *obs.Trace, comps []graph.Component) {
+	if !tr.Enabled() {
+		return
+	}
+	ev := obs.SCCEvent{Components: len(comps), Sizes: make([]int, len(comps))}
+	for i, c := range comps {
+		ev.Sizes[i] = c.Graph.NumNodes()
+		ev.Nodes += c.Graph.NumNodes()
+		ev.Arcs += c.Graph.NumArcs()
+	}
+	tr.SCC(ev)
 }
 
 // minimumCycleRatioAny is MinimumCycleRatio without the certification and
@@ -165,25 +180,28 @@ func minimumCycleRatioAny(g *graph.Graph, algo Algorithm, opt core.Options) (Res
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
 	}
+	emitSCC(opt.Tracer, comps)
 	var (
 		best  Result
 		found bool
 	)
-	for _, comp := range comps {
+	for ci, comp := range comps {
 		var (
 			r   Result
 			err error
 		)
+		sub := opt.WithTraceComponent(ci)
 		if opt.Kernelize {
 			kern := prep.Kernelize(comp.Graph, prep.Ratio)
+			opt.Tracer.Kernel(kern.TraceEvent(ci))
 			if found && kern.Err == nil && kern.HasBounds && !kern.Lower.Less(best.Ratio) {
 				// Cross-SCC pruning: every cycle of this component has ratio
 				// at least kern.Lower ≥ the incumbent, so it cannot win.
 				continue
 			}
-			r, err = solveComponentKernelized(algo, opt, comp.Graph, kern)
+			r, err = solveComponentKernelized(algo, sub, comp.Graph, kern)
 		} else {
-			r, err = algo.Solve(comp.Graph, opt)
+			r, err = algo.Solve(comp.Graph, sub)
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("ratio: %s on component of %d nodes: %w", algo.Name(), comp.Graph.NumNodes(), err)

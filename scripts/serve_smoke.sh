@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — CI smoke test for `mcmbench -serve`: start a small sweep
+# with the metrics endpoint enabled, poll /debug/vars until the published
+# solver counters are live, assert they are non-zero, and shut down. Fails
+# (exit 1) if the endpoint never comes up or the counters stay zero.
+set -eu
+
+ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:18573}"
+OUT="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT INT TERM
+
+go build -o "$OUT/mcmbench" ./cmd/mcmbench
+
+"$OUT/mcmbench" -serve "$ADDR" -maxn 512 -seeds 1 -algos howard,karp \
+    >"$OUT/sweep.out" 2>"$OUT/sweep.err" &
+PID=$!
+
+# Poll until the expvar endpoint reports completed solver runs. The sweep
+# above takes well under a second; 30 seconds is a generous ceiling for a
+# loaded CI worker.
+i=0
+while [ "$i" -lt 60 ]; do
+    if VARS=$(curl -fs "http://$ADDR/debug/vars" 2>/dev/null); then
+        RUNS=$(printf '%s' "$VARS" | grep -o '"solver_runs":[0-9]*' | head -1 | cut -d: -f2)
+        RUNS="${RUNS:-0}"
+        if [ "$RUNS" -gt 0 ]; then
+            echo "serve_smoke: OK — $RUNS solver runs visible at /debug/vars"
+            # pprof must be mounted alongside the metrics.
+            curl -fs -o /dev/null "http://$ADDR/debug/pprof/" || {
+                echo "serve_smoke: FAIL — /debug/pprof/ not served" >&2
+                exit 1
+            }
+            exit 0
+        fi
+    fi
+    i=$((i + 1))
+    sleep 0.5
+done
+
+echo "serve_smoke: FAIL — no live solver counters at http://$ADDR/debug/vars after 30s" >&2
+echo "--- sweep stderr ---" >&2
+cat "$OUT/sweep.err" >&2 || true
+exit 1
