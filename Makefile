@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke
+.PHONY: all build test test-race bench bench-kernel fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
 
 all: build test
 
@@ -50,6 +50,15 @@ trace-gate:
 # on /debug/vars and mount /debug/pprof/ while a sweep runs.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Batch-service e2e gate (also run by CI): the race-enabled service and
+# daemon test suites (oracle answers, typed errors, 429 backpressure,
+# deadline expiry, graceful drain, session stress), then the process-level
+# load smoke against a real mcmd under SIGTERM.
+serve-e2e:
+	$(GO) test -race -count=1 ./internal/serve/ ./cmd/mcmd/
+	$(GO) test -race -count=1 -run 'TestSessionConcurrentStress|TestSessionSolveContextCancel' ./internal/core/
+	./scripts/load_smoke.sh
 
 # Full Table 2 + every observation table (tens of minutes).
 repro:

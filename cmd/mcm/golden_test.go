@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// checkGolden compares got against testdata/golden/<name>.txt, or rewrites
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./cmd/mcm -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutputs pins the exact CLI output of cmd/mcm for every
+// deterministic mode: answer lines, certificates, critical cycles, counts,
+// and slack reports. Timing modes (-all) are exercised elsewhere — their
+// output is wall-clock dependent and has no golden.
+func TestGoldenOutputs(t *testing.T) {
+	triangle := filepath.Join("testdata", "triangle.txt")
+	ring := filepath.Join("testdata", "ring.txt")
+	ratioFile := filepath.Join("testdata", "ratio.txt")
+
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"mean-howard-certified", func() error {
+			return run("howard", false, false, true, true, "", 0, 2, false, true, false, false, []string{triangle})
+		}},
+		{"mean-karp-kernel", func() error {
+			return run("karp", false, false, true, true, "", 0, 2, true, false, false, false, []string{ring})
+		}},
+		{"mean-max-lawler", func() error {
+			return run("lawler", false, true, false, true, "", 0, 2, false, false, false, false, []string{ring})
+		}},
+		{"ratio-howard", func() error {
+			return run("howard", true, false, true, true, "", 0, 2, false, true, false, false, []string{ratioFile})
+		}},
+		{"ratio-max-burns", func() error {
+			return run("burns", true, true, false, false, "", 0, 2, false, false, false, false, []string{ratioFile})
+		}},
+		{"slack-report", func() error {
+			return runSlack(4, []string{ring})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := capture(t, tc.fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, out)
+		})
+	}
+}

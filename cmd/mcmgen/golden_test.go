@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+// captureText runs fn with stdout redirected and returns the raw bytes
+// (unlike captureGraph, which parses them).
+func captureText(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte, 1)
+	go func() {
+		out, _ := io.ReadAll(r)
+		done <- out
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return string(out)
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run: go test ./cmd/mcmgen -run Golden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s.\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutputs pins the exact emitted graph text per family and seed:
+// the generators are seeded PRNG walks, so any drift in generator code or
+// the writer shows up as a byte-level diff here.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"sprand-n8-m20-seed3", func() error {
+			return run("sprand", 8, 20, -9, 9, 3, 4, 64, 24, "", "", false)
+		}},
+		{"cycle-n6", func() error {
+			return run("cycle", 6, 0, 1, 7, 1, 4, 64, 24, "", "", false)
+		}},
+		{"torus-n9-seed2", func() error {
+			return run("torus", 9, 0, 1, 50, 2, 4, 64, 24, "", "", false)
+		}},
+		{"multiscc-b2-n8-seed5", func() error {
+			return run("multiscc", 8, 24, 1, 30, 5, 2, 64, 24, "", "", false)
+		}},
+		{"circuit-ffs4-gates3-seed1", func() error {
+			return run("circuit", 0, 0, 1, 10, 1, 4, 4, 3, "", "", false)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkGolden(t, tc.name, captureText(t, tc.fn))
+		})
+	}
+}

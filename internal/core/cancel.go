@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // cancelFlag is a lock-free cancellation token polled by the solvers' main
 // loops. Flags chain through parent so a Portfolio race nested inside an
@@ -37,4 +40,28 @@ func (o Options) checkpoint() error {
 		return ErrCanceled
 	}
 	return nil
+}
+
+// WithCancelContext returns a copy of o whose solvers observe ctx: once ctx
+// is done (deadline expired or canceled), every solver running under the
+// returned Options unwinds with ErrCanceled at its next main-loop
+// checkpoint. The bridge chains onto any cancellation already installed in
+// o, so a Portfolio race nested under a deadline observes both.
+//
+// The returned stop function releases the context watcher; callers must
+// invoke it when the solve completes (a deferred call is fine). This is the
+// building block of the serving layer's per-request deadlines — see
+// internal/serve.
+func (o Options) WithCancelContext(ctx context.Context) (Options, func()) {
+	flag := &cancelFlag{parent: o.cancel}
+	o.cancel = flag
+	// An already-dead context cancels synchronously: AfterFunc fires its
+	// callback on a separate goroutine, and a fast solve could otherwise
+	// finish before the flag lands.
+	if ctx.Err() != nil {
+		flag.set()
+		return o, func() {}
+	}
+	stop := context.AfterFunc(ctx, flag.set)
+	return o, func() { stop() }
 }

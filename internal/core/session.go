@@ -21,6 +21,7 @@ package core
 // arc into the solver.
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -84,7 +85,23 @@ func NewSession(opt Options) *Session {
 // MinimumCycleMean(g, howard, opt), warm-starting each component from the
 // session's policy cache and caching the converged policies for the next
 // call. Returns ErrAcyclic when g has no cycle.
-func (s *Session) Solve(g *graph.Graph) (res Result, err error) {
+func (s *Session) Solve(g *graph.Graph) (Result, error) {
+	return s.solve(g, s.opt)
+}
+
+// SolveContext is Solve under a context: when ctx is done (deadline expired
+// or canceled) the run unwinds with ErrCanceled at Howard's next main-loop
+// checkpoint instead of running to convergence. A canceled component solve
+// caches nothing, so an interrupted request never poisons the policy cache.
+// This is the serving layer's hot path (see internal/serve).
+func (s *Session) SolveContext(ctx context.Context, g *graph.Graph) (Result, error) {
+	opt, stop := s.opt.WithCancelContext(ctx)
+	defer stop()
+	return s.solve(g, opt)
+}
+
+// solve is the shared implementation behind Solve and SolveContext.
+func (s *Session) solve(g *graph.Graph, opt Options) (res Result, err error) {
 	// Every call counts, successful or not (SessionStats.Solves documents
 	// exactly that); failures are tallied separately. The error-counting
 	// defer is installed before the recovery boundary so it observes the
@@ -104,7 +121,6 @@ func (s *Session) Solve(g *graph.Graph) (res Result, err error) {
 	if len(comps) == 0 {
 		return Result{}, ErrAcyclic
 	}
-	opt := s.opt
 	tr := opt.Tracer
 	emitSCC(tr, comps)
 	var (

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// stressVariant builds the round-th weight perturbation of base: same
+// topology (so the session fingerprints collide and warm starts engage),
+// deterministic weight shifts keyed off arc index and round.
+func stressVariant(base *graph.Graph, round int) *graph.Graph {
+	arcs := append([]graph.Arc(nil), base.Arcs()...)
+	for i := range arcs {
+		arcs[i].Weight += int64((round*7+i)%11) - 5
+	}
+	return graph.FromArcs(base.NumNodes(), arcs)
+}
+
+// TestSessionConcurrentStress hammers one shared Session from many
+// goroutines with a mix of structural fingerprints and weight
+// perturbations, and asserts every concurrent answer is bit-identical
+// (num/den) to a fresh sequential solve of the same graph. Run under -race
+// in CI, this is the proof that the warm-start cache never leaks a policy
+// slice into a concurrent solve.
+func TestSessionConcurrentStress(t *testing.T) {
+	howard, err := ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three distinct topologies → three cache entries under concurrent
+	// insert/hit traffic; rounds perturb weights within each topology.
+	bases := make([]*graph.Graph, 0, 3)
+	sp, err := gen.Sprand(gen.SprandConfig{N: 40, M: 160, MinWeight: -200, MaxWeight: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases = append(bases, sp)
+	ms, err := gen.MultiSCC(3, 12, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases = append(bases, ms)
+	ch, err := gen.Chain(gen.ChainConfig{CoreN: 8, Chains: 5, ChainLen: 6, MinWeight: -80, MaxWeight: 80, SelfLoops: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases = append(bases, ch)
+
+	const rounds = 8
+	// Sequential ground truth: a cold solver run per (base, round).
+	type key struct{ base, round int }
+	want := make(map[key]Result)
+	for b, base := range bases {
+		for r := 0; r < rounds; r++ {
+			g := stressVariant(base, r)
+			res, err := MinimumCycleMean(g, howard, Options{})
+			if err != nil {
+				t.Fatalf("sequential base %d round %d: %v", b, r, err)
+			}
+			want[key{b, r}] = res
+		}
+	}
+
+	sess := NewSession(Options{})
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 3*rounds; iter++ {
+				b := (w + iter) % len(bases)
+				r := (w * iter) % rounds
+				g := stressVariant(bases[b], r)
+				res, err := sess.Solve(g)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d base %d round %d: %v", w, b, r, err)
+					return
+				}
+				exp := want[key{b, r}]
+				if !res.Mean.Equal(exp.Mean) || res.Mean.Num() != exp.Mean.Num() || res.Mean.Den() != exp.Mean.Den() {
+					errs <- fmt.Errorf("worker %d base %d round %d: session %v, sequential %v", w, b, r, res.Mean, exp.Mean)
+					return
+				}
+				// The critical cycle may differ between warm and cold runs
+				// (several cycles can attain λ*), but it must be a real cycle
+				// of g attaining exactly the reported mean.
+				if err := g.ValidateCycle(res.Cycle); err != nil {
+					errs <- fmt.Errorf("worker %d base %d round %d: bad cycle: %v", w, b, r, err)
+					return
+				}
+				wSum := g.CycleWeight(res.Cycle)
+				if int64(len(res.Cycle))*res.Mean.Num() != wSum*res.Mean.Den() {
+					errs <- fmt.Errorf("worker %d base %d round %d: cycle mean %d/%d != reported %v", w, b, r, wSum, len(res.Cycle), res.Mean)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	stats := sess.Stats()
+	wantSolves := goroutines * 3 * rounds
+	if stats.Solves != wantSolves {
+		t.Fatalf("stats.Solves = %d, want %d", stats.Solves, wantSolves)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("stats.Errors = %d, want 0", stats.Errors)
+	}
+	if stats.WarmHits == 0 {
+		t.Fatal("no warm hits across repeat topologies — cache never engaged")
+	}
+}
+
+// TestSessionSolveContextCancel pins SolveContext's bridge: an expired
+// context fails immediately with ErrCanceled, a live one solves normally,
+// and a cancellation mid-stream never corrupts the cache for later solves.
+func TestSessionSolveContextCancel(t *testing.T) {
+	g, err := gen.Sprand(gen.SprandConfig{N: 30, M: 120, MinWeight: -100, MaxWeight: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(Options{})
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.SolveContext(dead, g); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("expired context: got %v, want ErrCanceled", err)
+	}
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	res, err := sess.SolveContext(ctx, g)
+	if err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	howard, err := ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := MinimumCycleMean(g, howard, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Mean.Equal(fresh.Mean) {
+		t.Fatalf("post-cancel solve %v, fresh %v", res.Mean, fresh.Mean)
+	}
+}

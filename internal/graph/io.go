@@ -39,6 +39,12 @@ func Write(w io.Writer, g *Graph) error {
 // allocation modest.
 const maxReadDim = 1 << 26
 
+// MaxDim is the exported form of the Read size limit, for front ends (the
+// batch solve service, decoders of other wire formats) that must reject
+// oversized node or arc counts before allocating anything, with the same
+// threshold the text reader enforces.
+const MaxDim = maxReadDim
+
 // maxArcPrealloc caps the arc-slice capacity reserved on the problem line's
 // say-so; beyond it, growth is paid only as arcs actually arrive.
 const maxArcPrealloc = 1 << 16

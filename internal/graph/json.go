@@ -44,6 +44,11 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if in.Nodes < 0 {
 		return fmt.Errorf("graph: negative node count %d", in.Nodes)
 	}
+	// Same dimension cap as the text reader: a hostile node count must not
+	// drive a multi-GB index allocation in FromArcs before validation.
+	if in.Nodes > maxReadDim || len(in.Arcs) > maxReadDim {
+		return fmt.Errorf("graph: size %dx%d exceeds limit %d", in.Nodes, len(in.Arcs), maxReadDim)
+	}
 	arcs := make([]Arc, len(in.Arcs))
 	for i, ja := range in.Arcs {
 		if ja.From < 0 || int(ja.From) >= in.Nodes || ja.To < 0 || int(ja.To) >= in.Nodes {

@@ -71,6 +71,12 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sumNs.Load() / n)
 }
 
+// Snapshot renders the histogram as a flat JSON-marshalable map (count,
+// sum/max/mean in milliseconds, and the non-empty buckets), the same shape
+// Metrics.Snapshot embeds. Exported so sibling collectors (e.g. the serve
+// layer's request metrics) can publish histograms in a consistent format.
+func (h *Histogram) Snapshot() map[string]any { return h.snapshot() }
+
 // snapshot renders the histogram as a flat JSON-friendly map. Bucket keys
 // name their upper bound ("le_128us"); empty buckets are omitted.
 func (h *Histogram) snapshot() map[string]any {

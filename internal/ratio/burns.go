@@ -85,6 +85,9 @@ func (burnsRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		maxIter = 4*n*n + 100
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if opt.Canceled() {
+			return Result{}, core.ErrCanceled
+		}
 		counts.Iterations++
 
 		for id := 0; id < m; id++ {

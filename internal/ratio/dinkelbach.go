@@ -62,6 +62,9 @@ func (dinkelbachAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		maxIter = g.NumNodes()*g.NumArcs() + 64
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if opt.Canceled() {
+			return Result{}, core.ErrCanceled
+		}
 		counts.Iterations++
 		neg, cyc := hasNegativeCycleRatio(g, best.Num(), best.Den(), &counts)
 		if !neg {

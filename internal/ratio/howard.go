@@ -90,6 +90,9 @@ func (howardRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		maxIter = 100*n + 1000
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if opt.Canceled() {
+			return Result{}, core.ErrCanceled
+		}
 		counts.Iterations++
 
 		// Value determination: per-basin gain and bias.

@@ -110,6 +110,9 @@ func (lawlerRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		maxIter = g.NumNodes()*g.NumArcs() + 64
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if opt.Canceled() {
+			return Result{}, core.ErrCanceled
+		}
 		counts.Iterations++
 		neg, cyc := hasNegativeCycleRatio(g, bestRatio.Num(), bestRatio.Den(), &counts)
 		if !neg {

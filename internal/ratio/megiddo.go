@@ -66,6 +66,9 @@ func (megiddoAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		finalCycle []graph.ArcID
 	)
 	probe := func(lambda numeric.Rat) (probeResult, error) {
+		if opt.Canceled() {
+			return probeContinue, core.ErrCanceled
+		}
 		counts.Iterations++
 		neg, _ := hasNegativeCycleRatio(g, lambda.Num(), lambda.Den(), &counts)
 		if neg {

@@ -281,6 +281,9 @@ func (koRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		maxIter = g.NumNodes()*g.NumNodes() + int(g.TotalTransit()) + 16
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if opt.Canceled() {
+			return Result{}, core.ErrCanceled
+		}
 		top := h.ExtractMin()
 		if top == nil {
 			return Result{}, ErrAcyclic
@@ -403,6 +406,9 @@ func (ytoRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		maxIter = n*n + int(g.TotalTransit()) + 16
 	}
 	for iter := 0; iter < maxIter; iter++ {
+		if opt.Canceled() {
+			return Result{}, core.ErrCanceled
+		}
 		top := h.ExtractMin()
 		if top == nil {
 			return Result{}, ErrAcyclic

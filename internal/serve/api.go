@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+)
+
+// The HTTP/JSON wire schema of the batch solve service. One POST /v1/solve
+// request carries a batch of independent graphs; the response carries one
+// result per graph in the same order. Request-level failures (malformed
+// body, oversized body, full queue, draining) answer with a non-200 status
+// and a single ErrorBody; per-graph failures never fail the batch — each
+// result entry is either ok with a value or an ErrorBody with a typed code.
+// docs/SERVING.md documents the schema and every error code.
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Requests is the batch, solved independently and concurrently. At most
+	// Config.MaxBatch entries.
+	Requests []GraphRequest `json:"requests"`
+	// DeadlineMillis is the default per-graph solve budget in milliseconds
+	// for entries that do not set their own; 0 means Config.DefaultTimeout.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// GraphRequest is one graph plus its solve options. Exactly one of Text and
+// Graph must be set.
+type GraphRequest struct {
+	// ID is an opaque client tag echoed back on the matching result.
+	ID string `json:"id,omitempty"`
+	// Text is the graph in the line format of docs/FORMATS.md
+	// ("p mcm <n> <m>" + "a <from> <to> <weight> [transit]" records).
+	Text string `json:"text,omitempty"`
+	// Graph is the inline JSON arc-list form {"nodes": n, "arcs":
+	// [{"from","to","weight","transit"}...]} with 0-based node ids. Kept
+	// raw so one bad graph degrades to a per-graph error instead of
+	// failing the whole batch.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Problem selects "mean" (default) or "ratio".
+	Problem string `json:"problem,omitempty"`
+	// Maximize flips to the maximum cycle mean/ratio.
+	Maximize bool `json:"maximize,omitempty"`
+	// Algorithm names the solver ("howard" default; any name accepted by
+	// core.ByName for means — including "portfolio[:a+b]" — or
+	// ratio.ByName for ratios).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Kernelize runs the internal/prep reductions before solving.
+	Kernelize bool `json:"kernelize,omitempty"`
+	// Certify attaches an exact optimality proof to the answer.
+	Certify bool `json:"certify,omitempty"`
+	// DeadlineMillis overrides the batch-level solve budget for this graph.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// SolveResponse is the 200 body of POST /v1/solve.
+type SolveResponse struct {
+	Results []GraphResult `json:"results"`
+}
+
+// RatValue carries an exact rational plus its float rendering.
+type RatValue struct {
+	Num   int64   `json:"num"`
+	Den   int64   `json:"den"`
+	Rat   string  `json:"rat"`
+	Float float64 `json:"float"`
+}
+
+func ratValue(r numeric.Rat) *RatValue {
+	return &RatValue{Num: r.Num(), Den: r.Den(), Rat: r.String(), Float: r.Float64()}
+}
+
+// GraphResult is the outcome for one GraphRequest.
+type GraphResult struct {
+	ID string `json:"id,omitempty"`
+	OK bool   `json:"ok"`
+	// Value is λ* (mean) or ρ* (ratio) when OK.
+	Value *RatValue `json:"value,omitempty"`
+	// Cycle is a critical cycle as arc IDs: indices into the request's arc
+	// list (inline form) or the file order of its "a" records (text form).
+	Cycle []graph.ArcID `json:"cycle,omitempty"`
+	// Exact is false only for epsilon-mode approximate runs.
+	Exact bool `json:"exact,omitempty"`
+	// Certified reports that the answer carries a verified exact optimality
+	// proof (request had "certify": true and the proof passed).
+	Certified bool `json:"certified,omitempty"`
+	// Algorithm echoes the solver that produced the answer.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Counts holds the solver's representative operation counts.
+	Counts *counter.Counts `json:"counts,omitempty"`
+	// ElapsedMillis is the server-side solve wall clock.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	// Error is set instead of Value when OK is false.
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// ErrorBody is the structured error shape used both per graph and at the
+// request level.
+type ErrorBody struct {
+	// Code is a stable machine-readable identifier; see docs/SERVING.md for
+	// the full table.
+	Code string `json:"code"`
+	// Message is the human-readable detail.
+	Message string `json:"message"`
+}
+
+// errorResponse is the non-200 request-level body.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Request-level error codes (non-200 responses).
+const (
+	CodeBadRequest       = "bad_request"        // 400: malformed JSON, empty batch, bad options
+	CodeBodyTooLarge     = "body_too_large"     // 413: body exceeds Config.MaxBodyBytes
+	CodeBatchTooLarge    = "batch_too_large"    // 400: more graphs than Config.MaxBatch
+	CodeQueueFull        = "queue_full"         // 429: admission queue saturated; Retry-After set
+	CodeDraining         = "draining"           // 503: server is shutting down
+	CodeMethodNotAllowed = "method_not_allowed" // 405
+)
+
+// Per-graph error codes (inside a 200 batch response).
+const (
+	CodeBadGraph             = "bad_graph"              // unparsable or oversized graph
+	CodeUnknownAlgorithm     = "unknown_algorithm"      // name not in the registries
+	CodeAcyclic              = "acyclic"                // no cycle exists
+	CodeWeightRange          = "weight_range"           // weights beyond ±(2^31−1)
+	CodeNumericRange         = "numeric_range"          // exact arithmetic would overflow
+	CodeIterationLimit       = "iteration_limit"        // solver safety cap hit
+	CodeCertificationFailed  = "certification_failed"   // optimality proof failed
+	CodeNonPositiveTransit   = "non_positive_transit"   // ratio undefined: t(C) <= 0 cycle
+	CodeNotStronglyConnected = "not_strongly_connected" // direct solver precondition
+	CodeDeadlineExceeded     = "deadline_exceeded"      // solve budget expired mid-run
+	CodeInternal             = "internal"               // anything unclassified
+)
+
+// solveErrorBody maps a typed solver error onto its wire code. The drivers
+// wrap sentinel errors with context (component sizes, algorithm names), so
+// classification goes through errors.Is; the full chain text is kept as the
+// message. Cancellation always classifies as deadline_exceeded — the only
+// canceler on the serve path is the per-request context.
+func solveErrorBody(err error) *ErrorBody {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, core.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		code = CodeDeadlineExceeded
+	case errors.Is(err, core.ErrAcyclic), errors.Is(err, ratio.ErrAcyclic):
+		code = CodeAcyclic
+	case errors.Is(err, core.ErrWeightRange):
+		code = CodeWeightRange
+	case errors.Is(err, core.ErrNumericRange), errors.Is(err, ratio.ErrNumericRange):
+		code = CodeNumericRange
+	case errors.Is(err, core.ErrCertification), errors.Is(err, ratio.ErrCertification):
+		code = CodeCertificationFailed
+	case errors.Is(err, core.ErrIterationLimit), errors.Is(err, ratio.ErrIterationLimit):
+		code = CodeIterationLimit
+	case errors.Is(err, ratio.ErrNonPositiveTransit):
+		code = CodeNonPositiveTransit
+	case errors.Is(err, core.ErrNotStronglyConnected), errors.Is(err, ratio.ErrNotStronglyConnected):
+		code = CodeNotStronglyConnected
+	}
+	return &ErrorBody{Code: code, Message: err.Error()}
+}
+
+// httpStatusFor maps request-level codes to their HTTP status.
+func httpStatusFor(code string) int {
+	switch code {
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeDraining:
+		return http.StatusServiceUnavailable
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	default:
+		return http.StatusBadRequest
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ratio"
+)
+
+// serveCorpus builds the serving slice of the equivalence corpus: the
+// Torus, MultiSCC, and Chain shapes of the DAC'99 workloads, plus
+// transit-perturbed variants so the ratio path is distinct from the mean
+// path. Sizes are kept small enough that the whole corpus round-trips over
+// HTTP in a few seconds even under -race.
+func serveCorpus(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	corpus := make(map[string]*graph.Graph)
+	for seed := uint64(0); seed < 3; seed++ {
+		corpus[fmt.Sprintf("torus-%d", seed)] = gen.Torus(5, 6, -100, 100, seed)
+
+		ms, err := gen.MultiSCC(4, 8, 20, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[fmt.Sprintf("multiscc-%d", seed)] = ms
+
+		ch, err := gen.Chain(gen.ChainConfig{
+			CoreN: 6, Chains: 4, ChainLen: 10,
+			MinWeight: -50, MaxWeight: 50, SelfLoops: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[fmt.Sprintf("chain-%d", seed)] = ch
+	}
+	// Transit-perturbed variants: transit 1..4 by arc index makes the
+	// cost-to-time ratio genuinely different from the cycle mean. Collect
+	// the base names first — inserting while ranging would double-perturb.
+	base := make(map[string]*graph.Graph, len(corpus))
+	for name, g := range corpus {
+		base[name] = g
+	}
+	for name, g := range base {
+		arcs := append([]graph.Arc(nil), g.Arcs()...)
+		for i := range arcs {
+			arcs[i].Transit = 1 + int64(i%4)
+		}
+		corpus["transit-"+name] = graph.FromArcs(g.NumNodes(), arcs)
+	}
+	return corpus
+}
+
+// TestServeEquivalenceCorpus drives the corpus through the HTTP boundary
+// (mean via the warm-started session path, mean via a direct driver, and
+// ratio) and asserts each answer is bit-identical (same num/den) to the
+// direct in-process solver call. This is the serving extension of the
+// kernel equivalence gate: the name carries "Equivalence" so the CI
+// kernel-gate job (-run Equivalence) includes it.
+func TestServeEquivalenceCorpus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	corpus := serveCorpus(t)
+
+	howard, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	karp, err := core.ByName("karp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	howardRatio, err := ratio.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, g := range corpus {
+		t.Run(name, func(t *testing.T) {
+			wantMean, err := core.MinimumCycleMean(g, howard, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKarp, err := core.MinimumCycleMean(g, karp, core.Options{Kernelize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !wantKarp.Mean.Equal(wantMean.Mean) {
+				t.Fatalf("direct solvers disagree: howard %v, karp+kernel %v", wantMean.Mean, wantKarp.Mean)
+			}
+			wantRatio, err := ratio.MinimumCycleRatio(g, howardRatio, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			status, body := post(t, ts, SolveRequest{Requests: []GraphRequest{
+				{ID: "session", Text: graphText(t, g)},
+				{ID: "karp-kernel", Graph: graphJSON(t, g), Algorithm: "karp", Kernelize: true},
+				{ID: "ratio", Text: graphText(t, g), Problem: "ratio"},
+			}})
+			if status != http.StatusOK {
+				t.Fatalf("status %d: %s", status, body)
+			}
+			for _, res := range decodeResults(t, body) {
+				if !res.OK || res.Error != nil || res.Value == nil {
+					t.Fatalf("%s: %+v", res.ID, res.Error)
+				}
+				want := wantMean.Mean
+				if res.ID == "ratio" {
+					want = wantRatio.Ratio
+				}
+				if res.Value.Num != want.Num() || res.Value.Den != want.Den() {
+					t.Fatalf("%s: served %d/%d, direct %d/%d", res.ID, res.Value.Num, res.Value.Den, want.Num(), want.Den())
+				}
+				if res.ID == "ratio" {
+					checkCycleValue(t, g, res, true)
+				} else {
+					checkCycleValue(t, g, res, false)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics counts request-level traffic, one layer above the solver
+// metrics obs.Metrics aggregates. All fields are atomics so the handler
+// updates them without locking; Snapshot renders the whole set for the
+// /debug/vars handler.
+type serverMetrics struct {
+	requests     atomic.Int64 // POST /v1/solve requests accepted for decoding
+	ok           atomic.Int64 // requests answered 200
+	badRequest   atomic.Int64 // 400-class rejections (malformed, batch too large)
+	bodyTooLarge atomic.Int64 // 413 rejections
+	queueFull    atomic.Int64 // 429 rejections (backpressure)
+	draining     atomic.Int64 // 503 rejections during shutdown
+	graphs       atomic.Int64 // graphs admitted to the solve pool
+	graphOK      atomic.Int64 // graphs answered with a value
+	graphErrors  atomic.Int64 // graphs answered with a typed error
+	deadlines    atomic.Int64 // graphs that died on deadline_exceeded
+
+	requestDuration obs.Histogram // whole-batch wall clock
+	solveDuration   obs.Histogram // per-graph wall clock (queue + solve)
+}
+
+// Snapshot renders the counters as a JSON-marshalable tree.
+func (m *serverMetrics) Snapshot() map[string]any {
+	return map[string]any{
+		"requests":          m.requests.Load(),
+		"requests_ok":       m.ok.Load(),
+		"rejected_bad":      m.badRequest.Load(),
+		"rejected_too_big":  m.bodyTooLarge.Load(),
+		"rejected_queue":    m.queueFull.Load(),
+		"rejected_draining": m.draining.Load(),
+		"graphs":            m.graphs.Load(),
+		"graphs_ok":         m.graphOK.Load(),
+		"graph_errors":      m.graphErrors.Load(),
+		"deadlines":         m.deadlines.Load(),
+		"request_duration":  m.requestDuration.Snapshot(),
+		"solve_duration":    m.solveDuration.Snapshot(),
+	}
+}

@@ -1,0 +1,503 @@
+// Package serve implements the batch solve service behind cmd/mcmd: an
+// HTTP/JSON front end that routes graphs through the internal/core and
+// internal/ratio drivers with per-request deadlines, cooperative
+// cancellation, warm-started Session reuse for repeat topologies, and a
+// bounded worker pool with explicit backpressure.
+//
+// Concurrency model. Admission and execution are two separate token pools:
+// a request's graphs are admitted all-or-nothing against Workers+QueueDepth
+// admission tokens (a full queue answers 429 with Retry-After, before any
+// solve work starts), and each admitted graph then occupies one of Workers
+// execution tokens while it actually solves. Goroutines are therefore
+// bounded by Workers+QueueDepth regardless of offered load. Shutdown is a
+// drain: new requests answer 503 while every in-flight batch runs to
+// completion (see Drain), which is what lets cmd/mcmd exit cleanly on
+// SIGTERM without dropping accepted work.
+//
+// docs/SERVING.md documents the wire schema, the error-code table, and the
+// backpressure and drain semantics.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/ratio"
+)
+
+// Config tunes a Server. The zero value of every field selects a sensible
+// default (see withDefaults).
+type Config struct {
+	// Workers bounds concurrently executing solves; default runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds admitted-but-not-yet-executing graphs beyond
+	// Workers; default 4×Workers. Admission beyond Workers+QueueDepth
+	// answers 429.
+	QueueDepth int
+	// MaxBatch bounds graphs per request; default 64.
+	MaxBatch int
+	// MaxBodyBytes bounds the request body; default 8 MiB. Larger bodies
+	// answer 413 without being read further.
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-graph solve budget when the request does not
+	// set one; default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested budgets; default 2m.
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses; default 1s.
+	RetryAfter time.Duration
+	// Metrics aggregates solver-level events (per-algorithm counters,
+	// duration histograms); created internally when nil and exposed on
+	// /debug/vars either way.
+	Metrics *obs.Metrics
+	// Tracer, when non-nil, additionally receives every solver event (e.g.
+	// a log tracer); fanned in alongside Metrics.
+	Tracer *obs.Trace
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// Server is the batch solve service. Create with NewServer; it implements
+// http.Handler and mounts /v1/solve, /healthz, /debug/vars, and
+// /debug/pprof/ on its internal mux.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	baseOpt core.Options // tracer wired once; per-request fields copied in
+
+	// sessions are the warm-start caches for the Howard mean hot path, one
+	// per certify flavor so cached policies and certificates never mix.
+	sessionPlain     *core.Session
+	sessionCertified *core.Session
+
+	admit   chan struct{} // admission tokens: Workers+QueueDepth
+	workers chan struct{} // execution tokens: Workers
+
+	metrics serverMetrics
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// testHookSolving, when non-nil, runs inside the worker slot just before
+	// the solver starts; tests use it to hold workers busy deterministically
+	// (queue saturation, drain ordering, deadline expiry mid-solve).
+	testHookSolving func(ctx context.Context)
+}
+
+// NewServer builds a ready-to-serve Server from cfg.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers: make(chan struct{}, cfg.Workers),
+	}
+	tracer := cfg.Metrics.Tracer()
+	if cfg.Tracer != nil {
+		tracer = obs.Multi(tracer, cfg.Tracer)
+	}
+	s.baseOpt = core.Options{Tracer: tracer}
+	sessOpt := s.baseOpt
+	s.sessionPlain = core.NewSession(sessOpt)
+	sessOpt.Certify = true
+	s.sessionCertified = core.NewSession(sessOpt)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the solver-level collector (also on /debug/vars).
+func (s *Server) Metrics() *obs.Metrics { return s.cfg.Metrics }
+
+// SessionStats returns the warm-start cache counters of the plain and
+// certified Howard sessions.
+func (s *Server) SessionStats() (plain, certified core.SessionStats) {
+	return s.sessionPlain.Stats(), s.sessionCertified.Stats()
+}
+
+// enter registers one in-flight request unless the server is draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Drain stops admitting new requests (they answer 503) and waits for every
+// in-flight request to complete, or for ctx to expire. Safe to call more
+// than once. cmd/mcmd calls it on SIGTERM/SIGINT before exiting.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with requests in flight: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// tryAdmit acquires n admission tokens without blocking; all or nothing.
+func (s *Server) tryAdmit(n int) bool {
+	for i := 0; i < n; i++ {
+		select {
+		case s.admit <- struct{}{}:
+		default:
+			for j := 0; j < i; j++ {
+				<-s.admit
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a request-level error body with its mapped status.
+func writeError(w http.ResponseWriter, code, message string) {
+	writeJSON(w, httpStatusFor(code), errorResponse{Error: ErrorBody{Code: code, Message: message}})
+}
+
+// handleHealth answers readiness: 200 while serving, 503 while draining.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleVars exposes the serve- and solver-level metrics as one JSON tree.
+// The server deliberately keeps its own /debug/vars handler instead of the
+// process-global expvar registry so several Servers (tests, embedded use)
+// never fight over expvar's forbid-duplicate-names rule.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"serve":  s.metrics.Snapshot(),
+		"solver": s.cfg.Metrics.Snapshot(),
+	})
+}
+
+// handleSolve is POST /v1/solve: decode, admit, fan out, join, answer.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, CodeMethodNotAllowed, "use POST")
+		return
+	}
+	if !s.enter() {
+		s.metrics.draining.Add(1)
+		writeError(w, CodeDraining, "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+	s.metrics.requests.Add(1)
+	start := time.Now()
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.bodyTooLarge.Add(1)
+			writeError(w, CodeBodyTooLarge, fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.metrics.badRequest.Add(1)
+		writeError(w, CodeBadRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if len(req.Requests) == 0 {
+		s.metrics.badRequest.Add(1)
+		writeError(w, CodeBadRequest, `empty batch: "requests" must carry at least one graph`)
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		s.metrics.badRequest.Add(1)
+		writeError(w, CodeBatchTooLarge, fmt.Sprintf("batch of %d exceeds the %d-graph limit", len(req.Requests), s.cfg.MaxBatch))
+		return
+	}
+
+	// Backpressure: the whole batch is admitted atomically or not at all, so
+	// a half-admitted batch can never wedge the queue.
+	if !s.tryAdmit(len(req.Requests)) {
+		s.metrics.queueFull.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, CodeQueueFull, "solve queue is full; retry later")
+		return
+	}
+
+	results := make([]GraphResult, len(req.Requests))
+	var wg sync.WaitGroup
+	for i := range req.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-s.admit }() // release this graph's admission token
+			results[i] = s.solveOne(r.Context(), &req, &req.Requests[i])
+		}(i)
+	}
+	wg.Wait()
+
+	s.metrics.ok.Add(1)
+	s.metrics.requestDuration.Observe(time.Since(start))
+	writeJSON(w, http.StatusOK, SolveResponse{Results: results})
+}
+
+// decodeGraph materializes one request entry's graph, rejecting oversized
+// dimensions before any index allocation (graph.Read and the JSON decoder
+// both enforce graph.MaxDim).
+func decodeGraph(gr *GraphRequest) (*graph.Graph, *ErrorBody) {
+	switch {
+	case gr.Text != "" && len(gr.Graph) > 0:
+		return nil, &ErrorBody{Code: CodeBadGraph, Message: `exactly one of "text" and "graph" may be set`}
+	case gr.Text != "":
+		g, err := graph.Read(strings.NewReader(gr.Text))
+		if err != nil {
+			return nil, &ErrorBody{Code: CodeBadGraph, Message: err.Error()}
+		}
+		return g, nil
+	case len(gr.Graph) > 0:
+		g := new(graph.Graph)
+		if err := json.Unmarshal(gr.Graph, g); err != nil {
+			return nil, &ErrorBody{Code: CodeBadGraph, Message: err.Error()}
+		}
+		return g, nil
+	default:
+		return nil, &ErrorBody{Code: CodeBadGraph, Message: `one of "text" and "graph" must be set`}
+	}
+}
+
+// budget resolves the per-graph solve budget.
+func (s *Server) budget(batch *SolveRequest, gr *GraphRequest) time.Duration {
+	ms := gr.DeadlineMillis
+	if ms <= 0 {
+		ms = batch.DeadlineMillis
+	}
+	if ms <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// solveOne runs one graph through decode, queue, and solver, and shapes the
+// outcome. It never panics (the drivers' panic-free boundary converts
+// numeric overflow into typed errors) and never returns an empty success.
+func (s *Server) solveOne(ctx context.Context, batch *SolveRequest, gr *GraphRequest) (res GraphResult) {
+	res.ID = gr.ID
+	s.metrics.graphs.Add(1)
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		res.ElapsedMillis = float64(elapsed) / 1e6
+		s.metrics.solveDuration.Observe(elapsed)
+		if res.Error != nil {
+			s.metrics.graphErrors.Add(1)
+			if res.Error.Code == CodeDeadlineExceeded {
+				s.metrics.deadlines.Add(1)
+			}
+		} else {
+			s.metrics.graphOK.Add(1)
+		}
+	}()
+
+	g, errBody := decodeGraph(gr)
+	if errBody != nil {
+		res.Error = errBody
+		return res
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, s.budget(batch, gr))
+	defer cancel()
+
+	// Execution slot: waiting here is the queue; an expired budget while
+	// queued is the same typed failure as one mid-solve.
+	select {
+	case s.workers <- struct{}{}:
+		defer func() { <-s.workers }()
+	case <-ctx.Done():
+		res.Error = &ErrorBody{Code: CodeDeadlineExceeded, Message: "solve budget expired while queued"}
+		return res
+	}
+	// The select above picks at random when both the worker slot and the
+	// expired budget are ready; never start a solve on a dead budget.
+	if ctx.Err() != nil {
+		res.Error = &ErrorBody{Code: CodeDeadlineExceeded, Message: "solve budget expired while queued"}
+		return res
+	}
+	if hook := s.testHookSolving; hook != nil {
+		hook(ctx)
+	}
+
+	s.dispatch(ctx, gr, g, &res)
+	return res
+}
+
+// dispatch routes to the mean or ratio driver and fills res.
+func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph, res *GraphResult) {
+	algoName := gr.Algorithm
+	if algoName == "" {
+		algoName = "howard"
+	}
+	res.Algorithm = algoName
+
+	opt := s.baseOpt
+	opt.Kernelize = gr.Kernelize
+	opt.Certify = gr.Certify
+
+	switch gr.Problem {
+	case "", "mean":
+		// Hot path: minimizing with plain Howard reuses the session cache,
+		// so repeat topologies warm-start instead of solving cold.
+		if algoName == "howard" && !gr.Maximize && !gr.Kernelize {
+			sess := s.sessionPlain
+			if gr.Certify {
+				sess = s.sessionCertified
+			}
+			r, err := sess.SolveContext(ctx, g)
+			if err != nil {
+				res.Error = solveErrorBody(err)
+				return
+			}
+			fillMean(res, r)
+			return
+		}
+		algo, err := core.ByName(algoName)
+		if err != nil {
+			res.Error = &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
+			return
+		}
+		opt, stop := opt.WithCancelContext(ctx)
+		defer stop()
+		var r core.Result
+		if gr.Maximize {
+			r, err = core.MaximumCycleMean(g, algo, opt)
+		} else {
+			r, err = core.MinimumCycleMean(g, algo, opt)
+		}
+		if err != nil {
+			res.Error = solveErrorBody(err)
+			return
+		}
+		fillMean(res, r)
+	case "ratio":
+		algo, err := ratio.ByName(algoName)
+		if err != nil {
+			res.Error = &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
+			return
+		}
+		opt, stop := opt.WithCancelContext(ctx)
+		defer stop()
+		var r ratio.Result
+		if gr.Maximize {
+			r, err = ratio.MaximumCycleRatio(g, algo, opt)
+		} else {
+			r, err = ratio.MinimumCycleRatio(g, algo, opt)
+		}
+		if err != nil {
+			res.Error = solveErrorBody(err)
+			return
+		}
+		res.OK = true
+		res.Value = ratValue(r.Ratio)
+		res.Cycle = r.Cycle
+		res.Exact = r.Exact
+		res.Certified = r.Certificate != nil
+		counts := r.Counts
+		res.Counts = &counts
+	default:
+		res.Error = &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("unknown problem %q (want \"mean\" or \"ratio\")", gr.Problem)}
+	}
+}
+
+// fillMean shapes a core.Result into the wire form.
+func fillMean(res *GraphResult, r core.Result) {
+	res.OK = true
+	res.Value = ratValue(r.Mean)
+	res.Cycle = r.Cycle
+	res.Exact = r.Exact
+	res.Certified = r.Certificate != nil
+	counts := r.Counts
+	res.Counts = &counts
+}
