@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
+.PHONY: all build test test-race bench bench-kernel bench-serve fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
 
 all: build test
 
@@ -26,6 +26,14 @@ bench: bench-kernel
 bench-kernel:
 	$(GO) run ./cmd/mcmbench -table kernel -progress -json > BENCH_kernel.json
 	@echo "wrote BENCH_kernel.json"
+
+# Sustained-load serving suite: cache-on vs cache-off throughput on a
+# 90%-repeated workload plus the streaming bounded-memory probe; records
+# BENCH_serve.json, then the process-level smoke asserts a conservative
+# speedup and live /debug/vars hit counters against two real mcmd daemons.
+bench-serve:
+	$(GO) run ./cmd/mcmbench -serve-load -load-duration 5s -load-out BENCH_serve.json
+	./scripts/serve_bench.sh
 
 # Differential soak test: every algorithm vs the oracle on random graphs.
 fuzz:

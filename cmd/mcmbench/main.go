@@ -53,8 +53,33 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile (post-sweep) to this file")
 		serve      = flag.String("serve", "", "serve live metrics (/debug/vars) and profiling (/debug/pprof/) on this address, e.g. :8080, while the sweep runs; keeps serving after the sweep completes until interrupted")
+
+		serveLoad   = flag.Bool("serve-load", false, "run the sustained-load serving suite (cache on/off throughput + streaming memory probe) and emit BENCH_serve.json-shaped JSON")
+		loadAddr    = flag.String("load-addr", "", "with -serve-load: target an already-running mcmd at host:port instead of self-hosting")
+		loadConc    = flag.Int("load-concurrency", 8, "with -serve-load: concurrent client workers")
+		loadDur     = flag.Duration("load-duration", 3*time.Second, "with -serve-load: measured wall clock per scenario")
+		loadHit     = flag.Float64("load-hit-ratio", 0.9, "with -serve-load: fraction of graphs drawn from the repeated hot pool")
+		loadBatch   = flag.Int("load-batch", 8, "with -serve-load: graphs per request")
+		loadN       = flag.Int("load-n", 0, "with -serve-load: nodes per generated graph (default 384)")
+		loadAlgo    = flag.String("load-algo", "", "with -serve-load: solver the load mix requests (default lawler; howard's warm-start would mask the cache)")
+		loadOut     = flag.String("load-out", "", "with -serve-load: write the JSON report to this file instead of stdout")
+		loadNoProbe = flag.Bool("load-no-stream-probe", false, "with -serve-load: skip the streaming memory probe")
 	)
 	flag.Parse()
+
+	if *serveLoad {
+		runServeLoad(bench.ServeLoadConfig{
+			Addr:            *loadAddr,
+			Concurrency:     *loadConc,
+			Duration:        *loadDur,
+			HitRatio:        *loadHit,
+			BatchSize:       *loadBatch,
+			N:               *loadN,
+			Algorithm:       *loadAlgo,
+			SkipStreamProbe: *loadNoProbe || *loadAddr != "",
+		}, *loadOut)
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -226,6 +251,35 @@ func main() {
 	}
 	if *verify && len(rep.Mismatches) > 0 {
 		os.Exit(2)
+	}
+}
+
+// runServeLoad runs the sustained-load serving suite and writes the report.
+func runServeLoad(cfg bench.ServeLoadConfig, outPath string) {
+	rep, err := bench.RunServeLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(1)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(1)
+	}
+	for _, sc := range rep.Scenarios {
+		fmt.Fprintf(os.Stderr, "mcmbench: %-10s %8.0f graphs/s (%d requests, %d errors)\n", sc.Name, sc.GraphsSec, sc.Requests, sc.Errors)
+	}
+	if rep.Speedup > 0 {
+		fmt.Fprintf(os.Stderr, "mcmbench: cache speedup %.2fx; report written to %s\n", rep.Speedup, outPath)
 	}
 }
 

@@ -36,7 +36,9 @@ func main() {
 		addr         = flag.String("addr", ":8355", "listen address")
 		workers      = flag.Int("workers", 0, "concurrent solves (0 = number of CPUs)")
 		queue        = flag.Int("queue", 0, "admission queue beyond the workers (0 = 4x workers); overflow answers 429")
-		maxBatch     = flag.Int("max-batch", 64, "graphs per request")
+		maxBatch     = flag.Int("max-batch", 64, "graphs per buffered request")
+		maxStream    = flag.Int("max-stream-batch", 1<<20, "graphs per NDJSON streaming request")
+		cacheEntries = flag.Int("cache", 4096, "result cache capacity in stored results (0 disables the cache)")
 		maxBody      = flag.Int64("max-body", 8<<20, "request body byte limit")
 		timeout      = flag.Duration("timeout", 30*time.Second, "default per-graph solve budget")
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested budgets")
@@ -54,6 +56,9 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		MaxBatch:       *maxBatch,
+		MaxStreamBatch: *maxStream,
+		CacheEntries:   *cacheEntries,
+		NoCache:        *cacheEntries <= 0,
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunServeLoadQuick drives a miniature sustained-load run end to end
+// (self-hosted servers, real HTTP) and sanity-checks the report shape. The
+// full-size suite behind `make bench-serve` asserts the actual speedup; this
+// keeps the harness itself under tier-1 test coverage.
+func TestRunServeLoadQuick(t *testing.T) {
+	rep, err := RunServeLoad(ServeLoadConfig{
+		Concurrency:     2,
+		Duration:        300 * time.Millisecond,
+		BatchSize:       4,
+		HotGraphs:       4,
+		N:               32,
+		M:               96,
+		Workers:         2,
+		Seed:            7,
+		SkipStreamProbe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("%d scenarios, want cache-off + cache-on", len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Errors != 0 {
+			t.Fatalf("%s: %d errors", sc.Name, sc.Errors)
+		}
+		if sc.Requests == 0 || sc.Graphs == 0 || sc.GraphsSec <= 0 {
+			t.Fatalf("%s: empty measurement: %+v", sc.Name, sc)
+		}
+		if sc.Latency["count"].(int64) != sc.Requests+sc.Errors {
+			t.Fatalf("%s: latency count %v for %d requests", sc.Name, sc.Latency["count"], sc.Requests)
+		}
+	}
+	off, on := rep.Scenarios[0], rep.Scenarios[1]
+	if off.Name != "cache-off" || off.Cache != nil {
+		t.Fatalf("first scenario %q cache=%+v, want cache-off with no stats", off.Name, off.Cache)
+	}
+	if on.Name != "cache-on" || on.Cache == nil {
+		t.Fatalf("second scenario %q, want cache-on with stats", on.Name)
+	}
+	if on.Cache.Hits == 0 || on.Cache.Misses == 0 {
+		t.Fatalf("cache-on run never exercised the cache: %+v", on.Cache)
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup %v not computed", rep.Speedup)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeStreamProbe runs the bounded-memory probe at full batch size and
+// asserts streaming answered every line while holding peak heap at or below
+// the buffered path's — the boundedness claim in miniature.
+func TestServeStreamProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe solves 2×1280 graphs; skipped in -short")
+	}
+	probe, err := streamProbe(ServeLoadConfig{Workers: 2, Seed: 7}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.StreamResults != probe.Batch {
+		t.Fatalf("stream emitted %d of %d results", probe.StreamResults, probe.Batch)
+	}
+	if probe.Batch < 10*probe.BufferedLimit {
+		t.Fatalf("probe batch %d below 10× the buffered limit %d", probe.Batch, probe.BufferedLimit)
+	}
+	// Allow generous slack for GC timing noise; the claim is that streaming
+	// does not pay the buffered path's O(batch) response footprint.
+	if probe.HeapRatio > 1.5 {
+		t.Fatalf("streaming peak heap %.2fx the buffered path's (buffered %d, stream %d bytes)",
+			probe.HeapRatio, probe.BufferedPeakHeap, probe.StreamPeakHeap)
+	}
+}

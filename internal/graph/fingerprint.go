@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint is a content address for a graph: a SHA-256 digest over a
+// canonical binary encoding of the node count and the arc list in insertion
+// order. Two graphs carry the same fingerprint exactly when they are
+// identical as arc lists — same node count, same arcs in the same order with
+// the same weights and transit times — regardless of how they entered the
+// process (text format, inline JSON, a Builder, a generator). This is the
+// key of the serve-layer result cache (internal/servecache) and the routing
+// key for the planned shard-by-fingerprint proxy mode.
+//
+// Arc order is deliberately significant: arc IDs are insertion indices, and
+// every Result references its critical cycle by arc ID, so two graphs that
+// differ only in arc order are *not* interchangeable for a cached result.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short renders the first 12 hex digits, enough for logs and metrics labels.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:6]) }
+
+// fingerprintMagic versions the canonical encoding; bump it if the encoding
+// below ever changes so stale external caches can never alias.
+const fingerprintMagic = "mcm-graph-v1\x00"
+
+// Fingerprint computes the canonical content address of g. It walks the arc
+// slice once and allocates only the hasher's fixed state; safe for
+// concurrent use like every Graph reader.
+func (g *Graph) Fingerprint() Fingerprint {
+	h := sha256.New()
+	var buf [32]byte
+	copy(buf[:], fingerprintMagic)
+	binary.LittleEndian.PutUint64(buf[13:], uint64(g.NumNodes()))
+	binary.LittleEndian.PutUint64(buf[21:], uint64(g.NumArcs()))
+	h.Write(buf[:29])
+	for _, a := range g.arcs {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(a.From))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(a.To))
+		binary.LittleEndian.PutUint64(buf[16:], uint64(a.Weight))
+		binary.LittleEndian.PutUint64(buf[24:], uint64(a.Transit))
+		h.Write(buf[:])
+	}
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFingerprintEncodingAgnostic pins the cache-key contract: the same
+// graph read from the text format, parsed from JSON, or built directly must
+// fingerprint identically, including when transit times are left implicit
+// (text/JSON default transit 1 must equal an explicit transit 1).
+func TestFingerprintEncodingAgnostic(t *testing.T) {
+	built := FromArcs(3, []Arc{
+		{From: 0, To: 1, Weight: 3, Transit: 1},
+		{From: 1, To: 2, Weight: -5, Transit: 2},
+		{From: 2, To: 0, Weight: 7, Transit: 1},
+	})
+
+	text := "p mcm 3 3\na 1 2 3\na 2 3 -5 2\na 3 1 7 1\n"
+	fromText, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON := new(Graph)
+	if err := json.Unmarshal(data, fromJSON); err != nil {
+		t.Fatal(err)
+	}
+
+	want := built.Fingerprint()
+	if got := fromText.Fingerprint(); got != want {
+		t.Errorf("text fingerprint %s != built %s", got, want)
+	}
+	if got := fromJSON.Fingerprint(); got != want {
+		t.Errorf("json fingerprint %s != built %s", got, want)
+	}
+	// Round-tripping through the text writer must also agree.
+	var buf bytes.Buffer
+	if err := Write(&buf, built); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Fingerprint(); got != want {
+		t.Errorf("text round-trip fingerprint %s != built %s", got, want)
+	}
+}
+
+// TestFingerprintSensitivity asserts every solve-relevant mutation moves the
+// fingerprint: node count, arc endpoints, weight, transit, arc order, and
+// the empty-vs-nonempty boundary.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := FromArcs(3, []Arc{
+		{From: 0, To: 1, Weight: 3, Transit: 1},
+		{From: 1, To: 0, Weight: 5, Transit: 1},
+	})
+	fp := base.Fingerprint()
+
+	variants := map[string]*Graph{
+		"extra-node": FromArcs(4, []Arc{
+			{From: 0, To: 1, Weight: 3, Transit: 1},
+			{From: 1, To: 0, Weight: 5, Transit: 1},
+		}),
+		"weight": FromArcs(3, []Arc{
+			{From: 0, To: 1, Weight: 4, Transit: 1},
+			{From: 1, To: 0, Weight: 5, Transit: 1},
+		}),
+		"transit": FromArcs(3, []Arc{
+			{From: 0, To: 1, Weight: 3, Transit: 2},
+			{From: 1, To: 0, Weight: 5, Transit: 1},
+		}),
+		"endpoint": FromArcs(3, []Arc{
+			{From: 0, To: 2, Weight: 3, Transit: 1},
+			{From: 1, To: 0, Weight: 5, Transit: 1},
+		}),
+		// Arc IDs are insertion indices and results cite cycles by arc ID,
+		// so order matters to the cache key.
+		"arc-order": FromArcs(3, []Arc{
+			{From: 1, To: 0, Weight: 5, Transit: 1},
+			{From: 0, To: 1, Weight: 3, Transit: 1},
+		}),
+		"empty": FromArcs(3, nil),
+	}
+	seen := map[Fingerprint]string{fp: "base"}
+	for name, g := range variants {
+		got := g.Fingerprint()
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, got)
+		}
+		seen[got] = name
+	}
+
+	// Weight/transit bytes must not alias across fields (3,5) vs (5,3).
+	a := FromArcs(2, []Arc{{From: 0, To: 1, Weight: 3, Transit: 5}})
+	b := FromArcs(2, []Arc{{From: 0, To: 1, Weight: 5, Transit: 3}})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("weight/transit swap did not change the fingerprint")
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	g := FromArcs(1, []Arc{{From: 0, To: 0, Weight: 1, Transit: 1}})
+	fp := g.Fingerprint()
+	if len(fp.String()) != 64 {
+		t.Errorf("hex length %d, want 64", len(fp.String()))
+	}
+	if len(fp.Short()) != 12 || !strings.HasPrefix(fp.String(), fp.Short()) {
+		t.Errorf("Short %q is not a prefix of %q", fp.Short(), fp.String())
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	arcs := make([]Arc, 4096)
+	for i := range arcs {
+		arcs[i] = Arc{From: int32(i % 64), To: int32((i + 1) % 64), Weight: int64(i), Transit: 1 + int64(i%3)}
+	}
+	g := FromArcs(64, arcs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.Fingerprint()
+	}
+}

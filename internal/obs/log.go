@@ -22,6 +22,7 @@ func NewLogTracer(w io.Writer) *Trace {
 		OnSolverDone:  l.solverDone,
 		OnRace:        l.race,
 		OnCache:       l.cache,
+		OnServeCache:  l.serveCache,
 		OnCertify:     l.certify,
 	}
 }
@@ -113,6 +114,10 @@ func (l *logTracer) race(ev RaceEvent) {
 
 func (l *logTracer) cache(ev CacheEvent) {
 	l.printf("cache: %s (%d entries)", ev.Op, ev.Entries)
+}
+
+func (l *logTracer) serveCache(ev ServeCacheEvent) {
+	l.printf("result-cache: %s (%d entries)", ev.Op, ev.Entries)
 }
 
 func (l *logTracer) certify(ev CertifyEvent) {

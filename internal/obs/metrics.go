@@ -156,8 +156,15 @@ type Metrics struct {
 	cacheHits   atomic.Int64 // Session warm starts
 	cacheMisses atomic.Int64 // Session cold starts
 	cacheEvicts atomic.Int64 // Session wholesale cache clears
-	certifyOK   atomic.Int64 // certification proofs passed
-	certifyFail atomic.Int64 // certification proofs failed
+
+	// Serve-layer result cache (internal/servecache); distinct from the
+	// Session policy cache above.
+	serveCacheHits   atomic.Int64 // stored results served without a solve
+	serveCacheMisses atomic.Int64 // lookups that fell through to a solve
+	serveCacheEvicts atomic.Int64 // LRU evictions
+	serveCacheMerges atomic.Int64 // singleflight duplicate-request merges
+	certifyOK        atomic.Int64 // certification proofs passed
+	certifyFail      atomic.Int64 // certification proofs failed
 
 	solveDuration   Histogram // per-solver-run wall clock
 	certifyDuration Histogram // per-proof wall clock
@@ -232,6 +239,18 @@ func (m *Metrics) Tracer() *Trace {
 				m.cacheEvicts.Add(1)
 			}
 		},
+		OnServeCache: func(ev ServeCacheEvent) {
+			switch ev.Op {
+			case CacheHit:
+				m.serveCacheHits.Add(1)
+			case CacheMiss:
+				m.serveCacheMisses.Add(1)
+			case CacheEvict:
+				m.serveCacheEvicts.Add(1)
+			case CacheMerge:
+				m.serveCacheMerges.Add(1)
+			}
+		},
 		OnCertify: func(ev CertifyEvent) {
 			m.certifyDuration.Observe(ev.Duration)
 			if ev.OK {
@@ -250,21 +269,25 @@ func (m *Metrics) SolverRuns() int64 { return m.solverRuns.Load() }
 // Snapshot renders every counter and histogram as a JSON-marshalable tree.
 func (m *Metrics) Snapshot() map[string]any {
 	out := map[string]any{
-		"solves":           m.solves.Load(),
-		"components":       m.components.Load(),
-		"solver_runs":      m.solverRuns.Load(),
-		"solver_errors":    m.solverErrs.Load(),
-		"kernelized":       m.kernelRuns.Load(),
-		"kernel_solved":    m.kernelDone.Load(),
-		"races":            m.races.Load(),
-		"cache_hits":       m.cacheHits.Load(),
-		"cache_misses":     m.cacheMisses.Load(),
-		"cache_evictions":  m.cacheEvicts.Load(),
-		"certify_pass":     m.certifyOK.Load(),
-		"certify_fail":     m.certifyFail.Load(),
-		"solve_duration":   m.solveDuration.snapshot(),
-		"certify_duration": m.certifyDuration.snapshot(),
-		"race_duration":    m.raceDuration.snapshot(),
+		"solves":                   m.solves.Load(),
+		"components":               m.components.Load(),
+		"solver_runs":              m.solverRuns.Load(),
+		"solver_errors":            m.solverErrs.Load(),
+		"kernelized":               m.kernelRuns.Load(),
+		"kernel_solved":            m.kernelDone.Load(),
+		"races":                    m.races.Load(),
+		"cache_hits":               m.cacheHits.Load(),
+		"cache_misses":             m.cacheMisses.Load(),
+		"cache_evictions":          m.cacheEvicts.Load(),
+		"serve_cache_hits":         m.serveCacheHits.Load(),
+		"serve_cache_misses":       m.serveCacheMisses.Load(),
+		"serve_cache_evictions":    m.serveCacheEvicts.Load(),
+		"serve_cache_singleflight": m.serveCacheMerges.Load(),
+		"certify_pass":             m.certifyOK.Load(),
+		"certify_fail":             m.certifyFail.Load(),
+		"solve_duration":           m.solveDuration.snapshot(),
+		"certify_duration":         m.certifyDuration.snapshot(),
+		"race_duration":            m.raceDuration.snapshot(),
 	}
 	algs := map[string]any{}
 	wins := map[string]int64{}

@@ -130,9 +130,13 @@ const (
 	CacheMiss
 	// CacheEvict: the cache was cleared wholesale (capacity bound).
 	CacheEvict
+	// CacheMerge: a request was deduplicated onto another in-flight solve of
+	// the same key (singleflight) instead of solving itself. Emitted only by
+	// the serve-layer result cache.
+	CacheMerge
 )
 
-// String returns "hit", "miss", or "evict".
+// String returns "hit", "miss", "evict", or "merge".
 func (op CacheOp) String() string {
 	switch op {
 	case CacheHit:
@@ -141,6 +145,8 @@ func (op CacheOp) String() string {
 		return "miss"
 	case CacheEvict:
 		return "evict"
+	case CacheMerge:
+		return "merge"
 	}
 	return "unknown"
 }
@@ -149,6 +155,17 @@ func (op CacheOp) String() string {
 type CacheEvent struct {
 	Op CacheOp
 	// Entries is the number of cached policies after the operation.
+	Entries int
+}
+
+// ServeCacheEvent reports one operation of the serve-layer content-addressed
+// result cache (internal/servecache): a stored-result hit, a miss that will
+// run a solve, an LRU eviction, or a singleflight merge of a duplicate
+// request onto an in-flight solve. Kept distinct from CacheEvent so the
+// Session policy cache and the result cache never share counters.
+type ServeCacheEvent struct {
+	Op CacheOp
+	// Entries is the number of cached results after the operation.
 	Entries int
 }
 
@@ -185,6 +202,7 @@ type Trace struct {
 	OnSolverDone  func(SolverDoneEvent)
 	OnRace        func(RaceEvent)
 	OnCache       func(CacheEvent)
+	OnServeCache  func(ServeCacheEvent)
 	OnCertify     func(CertifyEvent)
 }
 
@@ -231,6 +249,13 @@ func (t *Trace) Race(ev RaceEvent) {
 func (t *Trace) Cache(ev CacheEvent) {
 	if t != nil && t.OnCache != nil {
 		t.OnCache(ev)
+	}
+}
+
+// ServeCache emits a ServeCacheEvent; safe on a nil receiver.
+func (t *Trace) ServeCache(ev ServeCacheEvent) {
+	if t != nil && t.OnServeCache != nil {
+		t.OnServeCache(ev)
 	}
 }
 
@@ -286,6 +311,11 @@ func Multi(traces ...*Trace) *Trace {
 	out.OnCache = func(ev CacheEvent) {
 		for _, t := range live {
 			t.Cache(ev)
+		}
+	}
+	out.OnServeCache = func(ev ServeCacheEvent) {
+		for _, t := range live {
+			t.ServeCache(ev)
 		}
 	}
 	out.OnCertify = func(ev CertifyEvent) {

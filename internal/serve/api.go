@@ -80,7 +80,11 @@ func ratValue(r numeric.Rat) *RatValue {
 // GraphResult is the outcome for one GraphRequest.
 type GraphResult struct {
 	ID string `json:"id,omitempty"`
-	OK bool   `json:"ok"`
+	// Index is the entry's position in the request batch. Buffered responses
+	// are already in request order; on the NDJSON streaming path lines arrive
+	// in completion order and Index (plus ID) is how clients correlate.
+	Index int  `json:"index"`
+	OK    bool `json:"ok"`
 	// Value is λ* (mean) or ρ* (ratio) when OK.
 	Value *RatValue `json:"value,omitempty"`
 	// Cycle is a critical cycle as arc IDs: indices into the request's arc
@@ -91,6 +95,11 @@ type GraphResult struct {
 	// Certified reports that the answer carries a verified exact optimality
 	// proof (request had "certify": true and the proof passed).
 	Certified bool `json:"certified,omitempty"`
+	// Cached reports that the answer was served from the content-addressed
+	// result cache without any solve work. False for the request that
+	// actually solved (including singleflight leaders and their merged
+	// waiters).
+	Cached bool `json:"cached,omitempty"`
 	// Algorithm echoes the solver that produced the answer.
 	Algorithm string `json:"algorithm,omitempty"`
 	// Counts holds the solver's representative operation counts.
@@ -114,6 +123,24 @@ type ErrorBody struct {
 // errorResponse is the non-200 request-level body.
 type errorResponse struct {
 	Error ErrorBody `json:"error"`
+}
+
+// StreamTrailer is the final line of an NDJSON streaming response: after one
+// GraphResult line per graph (in completion order), the server emits exactly
+// one trailer so clients can distinguish a complete stream from a truncated
+// connection. docs/SERVING.md documents the framing.
+type StreamTrailer struct {
+	// Done is always true; its presence marks the line as the trailer (no
+	// GraphResult line carries a "done" key).
+	Done bool `json:"done"`
+	// Results is the number of result lines emitted before the trailer. A
+	// client-canceled stream may have fewer lines than request entries.
+	Results int `json:"results"`
+	// OK and Errors partition the emitted results.
+	OK     int `json:"ok"`
+	Errors int `json:"errors"`
+	// ElapsedMillis is the whole stream's server-side wall clock.
+	ElapsedMillis float64 `json:"elapsed_ms"`
 }
 
 // Request-level error codes (non-200 responses).

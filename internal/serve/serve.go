@@ -36,6 +36,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/ratio"
+	"repro/internal/servecache"
 )
 
 // Config tunes a Server. The zero value of every field selects a sensible
@@ -47,8 +48,18 @@ type Config struct {
 	// Workers; default 4×Workers. Admission beyond Workers+QueueDepth
 	// answers 429.
 	QueueDepth int
-	// MaxBatch bounds graphs per request; default 64.
+	// MaxBatch bounds graphs per buffered request; default 64.
 	MaxBatch int
+	// MaxStreamBatch bounds graphs per NDJSON streaming request; default
+	// 1<<20. Streaming requests pipeline through a bounded admission window
+	// instead of being admitted all-or-nothing, so the limit can be far
+	// larger than MaxBatch without unbounded memory.
+	MaxStreamBatch int
+	// CacheEntries bounds the content-addressed result cache (stored
+	// results, LRU-evicted); default 4096. See NoCache to disable.
+	CacheEntries int
+	// NoCache disables the result cache entirely: every request solves.
+	NoCache bool
 	// MaxBodyBytes bounds the request body; default 8 MiB. Larger bodies
 	// answer 413 without being read further.
 	MaxBodyBytes int64
@@ -78,6 +89,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.MaxStreamBatch <= 0 {
+		c.MaxStreamBatch = 1 << 20
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -110,6 +127,12 @@ type Server struct {
 	sessionPlain     *core.Session
 	sessionCertified *core.Session
 
+	// cache is the content-addressed result cache (fingerprint + options →
+	// stored outcome, with singleflight dedup); nil when Config.NoCache.
+	// Consulted after decode and before any worker slot, so hits and merged
+	// duplicates never occupy a worker.
+	cache *servecache.Cache
+
 	admit   chan struct{} // admission tokens: Workers+QueueDepth
 	workers chan struct{} // execution tokens: Workers
 
@@ -138,6 +161,9 @@ func NewServer(cfg Config) *Server {
 		tracer = obs.Multi(tracer, cfg.Tracer)
 	}
 	s.baseOpt = core.Options{Tracer: tracer}
+	if !cfg.NoCache {
+		s.cache = servecache.New(cfg.CacheEntries, tracer)
+	}
 	sessOpt := s.baseOpt
 	s.sessionPlain = core.NewSession(sessOpt)
 	sessOpt.Certify = true
@@ -250,10 +276,38 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // process-global expvar registry so several Servers (tests, embedded use)
 // never fight over expvar's forbid-duplicate-names rule.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"serve":  s.metrics.Snapshot(),
-		"solver": s.cfg.Metrics.Snapshot(),
-	})
+	vars := map[string]any{
+		"serve":   s.metrics.Snapshot(),
+		"solver":  s.cfg.Metrics.Snapshot(),
+		"runtime": runtimeVars(),
+	}
+	if s.cache != nil {
+		vars["cache"] = s.cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, vars)
+}
+
+// runtimeVars reports process memory and scheduler gauges; the sustained-
+// load harness polls these to verify the streaming path's bounded-RSS claim.
+func runtimeVars() map[string]any {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"heap_alloc_bytes":  ms.HeapAlloc,
+		"heap_sys_bytes":    ms.HeapSys,
+		"total_alloc_bytes": ms.TotalAlloc,
+		"num_gc":            ms.NumGC,
+		"goroutines":        runtime.NumGoroutine(),
+	}
+}
+
+// CacheStats returns the result-cache counters and whether the cache is
+// enabled at all.
+func (s *Server) CacheStats() (servecache.Stats, bool) {
+	if s.cache == nil {
+		return servecache.Stats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // handleSolve is POST /v1/solve: decode, admit, fan out, join, answer.
@@ -289,9 +343,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, CodeBadRequest, `empty batch: "requests" must carry at least one graph`)
 		return
 	}
-	if len(req.Requests) > s.cfg.MaxBatch {
+	stream := wantsStream(r)
+	limit := s.cfg.MaxBatch
+	if stream {
+		limit = s.cfg.MaxStreamBatch
+	}
+	if len(req.Requests) > limit {
 		s.metrics.badRequest.Add(1)
-		writeError(w, CodeBatchTooLarge, fmt.Sprintf("batch of %d exceeds the %d-graph limit", len(req.Requests), s.cfg.MaxBatch))
+		writeError(w, CodeBatchTooLarge, fmt.Sprintf("batch of %d exceeds the %d-graph limit", len(req.Requests), limit))
+		return
+	}
+	if stream {
+		s.streamSolve(w, r, &req, start)
 		return
 	}
 
@@ -312,6 +375,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			defer func() { <-s.admit }() // release this graph's admission token
 			results[i] = s.solveOne(r.Context(), &req, &req.Requests[i])
+			results[i].Index = i
 		}(i)
 	}
 	wg.Wait()
@@ -319,6 +383,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ok.Add(1)
 	s.metrics.requestDuration.Observe(time.Since(start))
 	writeJSON(w, http.StatusOK, SolveResponse{Results: results})
+}
+
+// wantsStream reports whether the client asked for the NDJSON streaming
+// response variant (Accept: application/x-ndjson or ?stream=1).
+func wantsStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 }
 
 // decodeGraph materializes one request entry's graph, rejecting oversized
@@ -361,9 +434,10 @@ func (s *Server) budget(batch *SolveRequest, gr *GraphRequest) time.Duration {
 	return d
 }
 
-// solveOne runs one graph through decode, queue, and solver, and shapes the
-// outcome. It never panics (the drivers' panic-free boundary converts
-// numeric overflow into typed errors) and never returns an empty success.
+// solveOne runs one graph through decode, cache, queue, and solver, and
+// shapes the outcome. It never panics (the drivers' panic-free boundary
+// converts numeric overflow into typed errors) and never returns an empty
+// success.
 func (s *Server) solveOne(ctx context.Context, batch *SolveRequest, gr *GraphRequest) (res GraphResult) {
 	res.ID = gr.ID
 	s.metrics.graphs.Add(1)
@@ -387,47 +461,97 @@ func (s *Server) solveOne(ctx context.Context, batch *SolveRequest, gr *GraphReq
 		res.Error = errBody
 		return res
 	}
+	problem, algoName, errBody := resolveRequest(gr)
+	if errBody != nil {
+		res.Error = errBody
+		return res
+	}
+	res.Algorithm = algoName
 
 	ctx, cancel := context.WithTimeout(ctx, s.budget(batch, gr))
 	defer cancel()
 
+	if s.cache == nil {
+		out, err := s.solveWorker(ctx, gr, g, problem, algoName)
+		fillOutcome(&res, out, err)
+		return res
+	}
+
+	// Cache lookup happens before any worker slot: a hit costs no solve
+	// capacity, and N concurrent identical requests merge onto one solve
+	// (singleflight). Failed or canceled solves are never stored, so a
+	// mid-solve deadline expiry cannot poison the key for later requests.
+	key := servecache.Key{Graph: g.Fingerprint(), Opt: servecache.Options{
+		Problem:   problem,
+		Maximize:  gr.Maximize,
+		Algorithm: algoName,
+		Kernelize: gr.Kernelize,
+		Certify:   gr.Certify,
+	}}
+	out, src, err := s.cache.Do(ctx, key, func(ctx context.Context) (*servecache.Result, error) {
+		return s.solveWorker(ctx, gr, g, problem, algoName)
+	})
+	res.Cached = src == servecache.SourceHit
+	fillOutcome(&res, out, err)
+	return res
+}
+
+// resolveRequest validates the problem/algorithm pair and resolves the
+// defaults, before any admission, cache, or solve work.
+func resolveRequest(gr *GraphRequest) (problem, algoName string, errBody *ErrorBody) {
+	algoName = gr.Algorithm
+	if algoName == "" {
+		algoName = "howard"
+	}
+	switch gr.Problem {
+	case "", "mean":
+		if _, err := core.ByName(algoName); err != nil {
+			return "", "", &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
+		}
+		return "mean", algoName, nil
+	case "ratio":
+		if _, err := ratio.ByName(algoName); err != nil {
+			return "", "", &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
+		}
+		return "ratio", algoName, nil
+	default:
+		return "", "", &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("unknown problem %q (want \"mean\" or \"ratio\")", gr.Problem)}
+	}
+}
+
+// solveWorker occupies an execution slot and runs the solve; this is the
+// singleflight leader's path (and the only path with the cache disabled).
+func (s *Server) solveWorker(ctx context.Context, gr *GraphRequest, g *graph.Graph, problem, algoName string) (*servecache.Result, error) {
 	// Execution slot: waiting here is the queue; an expired budget while
 	// queued is the same typed failure as one mid-solve.
 	select {
 	case s.workers <- struct{}{}:
 		defer func() { <-s.workers }()
 	case <-ctx.Done():
-		res.Error = &ErrorBody{Code: CodeDeadlineExceeded, Message: "solve budget expired while queued"}
-		return res
+		return nil, fmt.Errorf("solve budget expired while queued: %w", ctx.Err())
 	}
 	// The select above picks at random when both the worker slot and the
 	// expired budget are ready; never start a solve on a dead budget.
-	if ctx.Err() != nil {
-		res.Error = &ErrorBody{Code: CodeDeadlineExceeded, Message: "solve budget expired while queued"}
-		return res
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("solve budget expired while queued: %w", err)
 	}
 	if hook := s.testHookSolving; hook != nil {
 		hook(ctx)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
-
-	s.dispatch(ctx, gr, g, &res)
-	return res
+	return s.dispatch(ctx, gr, g, problem, algoName)
 }
 
-// dispatch routes to the mean or ratio driver and fills res.
-func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph, res *GraphResult) {
-	algoName := gr.Algorithm
-	if algoName == "" {
-		algoName = "howard"
-	}
-	res.Algorithm = algoName
-
+// dispatch routes to the mean or ratio driver and shapes the outcome into
+// the request-independent form the cache stores.
+func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph, problem, algoName string) (*servecache.Result, error) {
 	opt := s.baseOpt
 	opt.Kernelize = gr.Kernelize
 	opt.Certify = gr.Certify
 
-	switch gr.Problem {
-	case "", "mean":
+	if problem == "mean" {
 		// Hot path: minimizing with plain Howard reuses the session cache,
 		// so repeat topologies warm-start instead of solving cold.
 		if algoName == "howard" && !gr.Maximize && !gr.Kernelize {
@@ -437,16 +561,13 @@ func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph,
 			}
 			r, err := sess.SolveContext(ctx, g)
 			if err != nil {
-				res.Error = solveErrorBody(err)
-				return
+				return nil, err
 			}
-			fillMean(res, r)
-			return
+			return meanOutcome(r), nil
 		}
 		algo, err := core.ByName(algoName)
 		if err != nil {
-			res.Error = &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
-			return
+			return nil, err
 		}
 		opt, stop := opt.WithCancelContext(ctx)
 		defer stop()
@@ -457,47 +578,56 @@ func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph,
 			r, err = core.MinimumCycleMean(g, algo, opt)
 		}
 		if err != nil {
-			res.Error = solveErrorBody(err)
-			return
+			return nil, err
 		}
-		fillMean(res, r)
-	case "ratio":
-		algo, err := ratio.ByName(algoName)
-		if err != nil {
-			res.Error = &ErrorBody{Code: CodeUnknownAlgorithm, Message: err.Error()}
-			return
-		}
-		opt, stop := opt.WithCancelContext(ctx)
-		defer stop()
-		var r ratio.Result
-		if gr.Maximize {
-			r, err = ratio.MaximumCycleRatio(g, algo, opt)
-		} else {
-			r, err = ratio.MinimumCycleRatio(g, algo, opt)
-		}
-		if err != nil {
-			res.Error = solveErrorBody(err)
-			return
-		}
-		res.OK = true
-		res.Value = ratValue(r.Ratio)
-		res.Cycle = r.Cycle
-		res.Exact = r.Exact
-		res.Certified = r.Certificate != nil
-		counts := r.Counts
-		res.Counts = &counts
-	default:
-		res.Error = &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("unknown problem %q (want \"mean\" or \"ratio\")", gr.Problem)}
+		return meanOutcome(r), nil
+	}
+	algo, err := ratio.ByName(algoName)
+	if err != nil {
+		return nil, err
+	}
+	opt, stop := opt.WithCancelContext(ctx)
+	defer stop()
+	var r ratio.Result
+	if gr.Maximize {
+		r, err = ratio.MaximumCycleRatio(g, algo, opt)
+	} else {
+		r, err = ratio.MinimumCycleRatio(g, algo, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &servecache.Result{
+		Value:     r.Ratio,
+		Cycle:     r.Cycle,
+		Exact:     r.Exact,
+		Certified: r.Certificate != nil,
+		Counts:    r.Counts,
+	}, nil
+}
+
+// meanOutcome shapes a core.Result into the cacheable form.
+func meanOutcome(r core.Result) *servecache.Result {
+	return &servecache.Result{
+		Value:     r.Mean,
+		Cycle:     r.Cycle,
+		Exact:     r.Exact,
+		Certified: r.Certificate != nil,
+		Counts:    r.Counts,
 	}
 }
 
-// fillMean shapes a core.Result into the wire form.
-func fillMean(res *GraphResult, r core.Result) {
+// fillOutcome shapes a solve outcome (or its error) into the wire form.
+func fillOutcome(res *GraphResult, out *servecache.Result, err error) {
+	if err != nil {
+		res.Error = solveErrorBody(err)
+		return
+	}
 	res.OK = true
-	res.Value = ratValue(r.Mean)
-	res.Cycle = r.Cycle
-	res.Exact = r.Exact
-	res.Certified = r.Certificate != nil
-	counts := r.Counts
+	res.Value = ratValue(out.Value)
+	res.Cycle = out.Cycle
+	res.Exact = out.Exact
+	res.Certified = out.Certified
+	counts := out.Counts
 	res.Counts = &counts
 }

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// The NDJSON streaming variant of /v1/solve. A client that sends
+// "Accept: application/x-ndjson" (or ?stream=1) receives one GraphResult
+// JSON object per line as each graph completes — completion order, not
+// request order; Index and ID correlate — followed by exactly one
+// StreamTrailer line. Results are written and flushed as they arrive, so a
+// million-graph batch holds only the in-flight window in memory instead of
+// the whole response slice.
+//
+// Admission differs from the buffered path: instead of the all-or-nothing
+// grab (which answers 429 when the batch exceeds free queue slots), the
+// feeder acquires one admission token per graph, blocking between entries.
+// Backpressure therefore shows up as pacing — the stream slows to solver
+// throughput — while goroutines stay bounded by Workers+QueueDepth exactly
+// like the buffered path. Deadlines, typed per-graph errors, the result
+// cache, and drain semantics are shared with the buffered path (both run
+// solveOne; Drain waits for in-flight streams via the same WaitGroup).
+
+// streamSolve answers one streaming request. Decode and batch-limit checks
+// already happened in handleSolve.
+func (s *Server) streamSolve(w http.ResponseWriter, r *http.Request, req *SolveRequest, start time.Time) {
+	ctx := r.Context()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	results := make(chan GraphResult, s.cfg.Workers)
+
+	// Feeder: one admission token per graph, blocking. Stops feeding the
+	// moment the client goes away so a canceled stream releases its window
+	// instead of spawning the rest of the batch.
+	var wg sync.WaitGroup
+	go func() {
+		defer func() {
+			wg.Wait()
+			close(results)
+		}()
+		for i := range req.Requests {
+			select {
+			case s.admit <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-s.admit }()
+				res := s.solveOne(ctx, req, &req.Requests[i])
+				res.Index = i
+				select {
+				case results <- res:
+				case <-ctx.Done():
+				}
+			}(i)
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	var emitted, okCount, errCount int
+	for res := range results {
+		if err := enc.Encode(res); err != nil {
+			// The connection is gone; cancellation via ctx unwinds the
+			// feeder and workers. Keep draining so close(results) frees them.
+			drainResults(ctx, results)
+			break
+		}
+		emitted++
+		if res.Error != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	elapsed := time.Since(start)
+	_ = enc.Encode(StreamTrailer{
+		Done:          true,
+		Results:       emitted,
+		OK:            okCount,
+		Errors:        errCount,
+		ElapsedMillis: float64(elapsed) / 1e6,
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.metrics.ok.Add(1)
+	s.metrics.requestDuration.Observe(elapsed)
+}
+
+// drainResults discards remaining results after a write failure so the
+// producer goroutines can finish and release their tokens.
+func drainResults(ctx context.Context, results <-chan GraphResult) {
+	for {
+		select {
+		case _, ok := <-results:
+			if !ok {
+				return
+			}
+		case <-ctx.Done():
+			// Producers may be blocked sending; they also select on
+			// ctx.Done, so once it fires they unwind without our help.
+			return
+		}
+	}
+}

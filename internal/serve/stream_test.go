@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/verify"
+)
+
+// tryPostStream sends req with ?stream=1 and parses the NDJSON response:
+// one GraphResult per line, then exactly one trailer line. Safe from any
+// goroutine (no t.Fatal).
+func tryPostStream(ts *httptest.Server, req SolveRequest) ([]GraphResult, StreamTrailer, error) {
+	var trailer StreamTrailer
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, trailer, err
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve?stream=1", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, trailer, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var out bytes.Buffer
+		_, _ = out.ReadFrom(resp.Body)
+		return nil, trailer, fmt.Errorf("status %d: %s", resp.StatusCode, out.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return nil, trailer, fmt.Errorf("content type %q, want application/x-ndjson", ct)
+	}
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var results []GraphResult
+	sawTrailer := false
+	for scanner.Scan() {
+		line := bytes.TrimSpace(scanner.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawTrailer {
+			return nil, trailer, fmt.Errorf("line after trailer: %s", line)
+		}
+		var probe struct {
+			Done *bool `json:"done"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, trailer, fmt.Errorf("unparsable stream line: %v\n%s", err, line)
+		}
+		if probe.Done != nil {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				return nil, trailer, err
+			}
+			sawTrailer = true
+			continue
+		}
+		var res GraphResult
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, trailer, fmt.Errorf("unparsable result line: %v\n%s", err, line)
+		}
+		results = append(results, res)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, trailer, err
+	}
+	if !sawTrailer {
+		return nil, trailer, fmt.Errorf("stream ended without a trailer (%d result lines)", len(results))
+	}
+	return results, trailer, nil
+}
+
+// postStream is tryPostStream for the test goroutine.
+func postStream(t testing.TB, ts *httptest.Server, req SolveRequest) ([]GraphResult, StreamTrailer) {
+	t.Helper()
+	results, trailer, err := tryPostStream(ts, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, trailer
+}
+
+// TestStreamBasic pins the NDJSON framing: one result line per graph in some
+// completion order with Index correlating back to the batch, per-graph typed
+// errors inline, and exactly one trailer with consistent counts.
+func TestStreamBasic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	g, err := gen.Sprand(gen.SprandConfig{N: 8, M: 20, MinWeight: -50, MaxWeight: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := verify.BruteForceMinMean(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, trailer := postStream(t, ts, SolveRequest{Requests: []GraphRequest{
+		{ID: "good-0", Text: graphText(t, g)},
+		{ID: "bad", Text: "p mcm 2 1\na 1 5 3\n"},
+		{ID: "good-2", Graph: graphJSON(t, g)},
+	}})
+	if len(results) != 3 {
+		t.Fatalf("%d result lines, want 3", len(results))
+	}
+	if !trailer.Done || trailer.Results != 3 || trailer.OK != 2 || trailer.Errors != 1 {
+		t.Fatalf("trailer %+v, want done with 3 results (2 ok, 1 error)", trailer)
+	}
+	seen := map[int]bool{}
+	for _, res := range results {
+		if seen[res.Index] {
+			t.Fatalf("index %d emitted twice", res.Index)
+		}
+		seen[res.Index] = true
+		switch res.Index {
+		case 0, 2:
+			if !res.OK || res.Value == nil || res.Value.Num != want.Num() || res.Value.Den != want.Den() {
+				t.Fatalf("index %d (%s): %+v, oracle %v", res.Index, res.ID, res.Value, want)
+			}
+		case 1:
+			if res.OK || res.Error == nil || res.Error.Code != CodeBadGraph {
+				t.Fatalf("index 1: want %s, got %+v", CodeBadGraph, res)
+			}
+		default:
+			t.Fatalf("unexpected index %d", res.Index)
+		}
+	}
+}
+
+// TestStreamAcceptHeader asserts the Accept: application/x-ndjson spelling
+// selects streaming, without the query parameter.
+func TestStreamAcceptHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := []byte(`{"requests":[{"text":"p mcm 2 2\na 1 2 3\na 2 1 5\n"}]}`)
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(out.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want result + trailer:\n%s", len(lines), out.String())
+	}
+	if !bytes.Contains(lines[1], []byte(`"done":true`)) {
+		t.Fatalf("last line is not the trailer: %s", lines[1])
+	}
+}
+
+// TestStreamBeyondBufferedLimit is the bounded-memory claim's functional
+// half: a batch far over both MaxBatch and the admission window
+// (Workers+QueueDepth = 3) streams to completion, because the feeder
+// pipelines entries through the window instead of admitting all-or-nothing.
+// The buffered path must keep rejecting the same batch.
+func TestStreamBeyondBufferedLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 1, MaxBatch: 4})
+
+	g, err := gen.Sprand(gen.SprandConfig{N: 6, M: 15, MinWeight: -20, MaxWeight: 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := verify.BruteForceMinMean(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	req := SolveRequest{Requests: make([]GraphRequest, n)}
+	for i := range req.Requests {
+		req.Requests[i] = GraphRequest{ID: fmt.Sprintf("g%d", i), Text: graphText(t, g)}
+	}
+
+	status, body := post(t, ts, req)
+	if status != http.StatusBadRequest || !bytes.Contains(body, []byte(CodeBatchTooLarge)) {
+		t.Fatalf("buffered path accepted %d graphs: %d %s", n, status, body)
+	}
+
+	results, trailer := postStream(t, ts, req)
+	if len(results) != n || trailer.Results != n || trailer.OK != n || trailer.Errors != 0 {
+		t.Fatalf("streamed %d lines, trailer %+v, want %d ok", len(results), trailer, n)
+	}
+	for _, res := range results {
+		if !res.OK || res.Value == nil || res.Value.Num != want.Num() || res.Value.Den != want.Den() {
+			t.Fatalf("%s: %+v, oracle %v", res.ID, res.Value, want)
+		}
+	}
+}
+
+// TestStreamBatchTooLarge pins the streaming-specific batch cap.
+func TestStreamBatchTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxStreamBatch: 8})
+	req := SolveRequest{Requests: make([]GraphRequest, 9)}
+	for i := range req.Requests {
+		req.Requests[i] = GraphRequest{Text: "p mcm 1 1\na 1 1 1\n"}
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve?stream=1", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || !bytes.Contains(out.Bytes(), []byte(CodeBatchTooLarge)) {
+		t.Fatalf("status %d: %s", resp.StatusCode, out.String())
+	}
+}
+
+// TestStreamDeadline asserts per-graph deadlines behave identically on the
+// streaming path: each expired graph gets its typed error line, the stream
+// still ends with a complete trailer.
+func TestStreamDeadline(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4, NoCache: true})
+	s.testHookSolving = func(ctx context.Context) { <-ctx.Done() }
+
+	results, trailer := postStream(t, ts, SolveRequest{
+		DeadlineMillis: 60,
+		Requests: []GraphRequest{
+			{ID: "a", Text: "p mcm 2 2\na 1 2 3\na 2 1 5\n"},
+			{ID: "b", Text: "p mcm 2 2\na 1 2 3\na 2 1 5\n"},
+		},
+	})
+	if len(results) != 2 || trailer.Errors != 2 || trailer.OK != 0 {
+		t.Fatalf("results %d, trailer %+v; want 2 deadline errors", len(results), trailer)
+	}
+	for _, res := range results {
+		if res.OK || res.Error == nil || res.Error.Code != CodeDeadlineExceeded {
+			t.Fatalf("%s: want %s, got %+v", res.ID, CodeDeadlineExceeded, res)
+		}
+	}
+}
+
+// TestStreamClientCancel asserts a canceled streaming request unwinds
+// cleanly: the feeder stops spawning, every admission token returns, and a
+// subsequent drain completes — no leaked goroutines holding the pool.
+func TestStreamClientCancel(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 2, NoCache: true})
+	s.testHookSolving = func(ctx context.Context) { <-ctx.Done() }
+
+	req := SolveRequest{Requests: make([]GraphRequest, 32)}
+	for i := range req.Requests {
+		req.Requests[i] = GraphRequest{Text: "p mcm 2 2\na 1 2 3\na 2 1 5\n"}
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve?stream=1", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := ts.Client().Do(httpReq)
+		if err != nil {
+			return // canceled before headers: fine
+		}
+		var sink [256]byte
+		for {
+			if _, err := resp.Body.Read(sink[:]); err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+	}()
+
+	// Wait until the feeder holds the whole admission window, so the cancel
+	// provably lands mid-stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.admit) != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never saturated the window: admit=%d", len(s.admit))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	for len(s.admit) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission tokens leaked after cancel: admit=%d", len(s.admit))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	drainCtx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+	defer stop()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("drain after canceled stream: %v", err)
+	}
+}
+
+// TestStreamDraining asserts streaming requests respect the drain gate like
+// buffered ones.
+func TestStreamDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte(`{"requests":[{"text":"p mcm 1 1\na 1 1 1\n"}]}`)
+	resp, err := ts.Client().Post(ts.URL+"/v1/solve?stream=1", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(out.String(), CodeDraining) {
+		t.Fatalf("status %d: %s", resp.StatusCode, out.String())
+	}
+}
+
+// TestStreamEquivalenceAgainstBuffered drives identical batches through both
+// response variants and asserts the per-graph outcomes are bit-identical
+// (same num/den, same cycle value) — streaming only changes framing, never
+// answers. Enrolled in the CI equivalence gate by name.
+func TestStreamEquivalenceAgainstBuffered(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	corpus := serveCorpus(t)
+	for name, g := range corpus {
+		t.Run(name, func(t *testing.T) {
+			req := SolveRequest{Requests: []GraphRequest{
+				{ID: "mean", Text: graphText(t, g)},
+				{ID: "karp-kernel", Graph: graphJSON(t, g), Algorithm: "karp", Kernelize: true},
+				{ID: "ratio", Text: graphText(t, g), Problem: "ratio"},
+			}}
+			status, body := post(t, ts, req)
+			if status != http.StatusOK {
+				t.Fatalf("buffered: %d %s", status, body)
+			}
+			buffered := decodeResults(t, body)
+			streamed, trailer := postStream(t, ts, req)
+			if trailer.Results != len(req.Requests) || trailer.Errors != 0 {
+				t.Fatalf("trailer %+v", trailer)
+			}
+			byIndex := make(map[int]GraphResult, len(streamed))
+			for _, res := range streamed {
+				byIndex[res.Index] = res
+			}
+			for _, want := range buffered {
+				got, ok := byIndex[want.Index]
+				if !ok {
+					t.Fatalf("stream missing index %d", want.Index)
+				}
+				if !want.OK || !got.OK || want.Value == nil || got.Value == nil {
+					t.Fatalf("index %d: buffered %+v, streamed %+v", want.Index, want.Error, got.Error)
+				}
+				if got.Value.Num != want.Value.Num || got.Value.Den != want.Value.Den {
+					t.Fatalf("index %d: streamed %d/%d, buffered %d/%d",
+						want.Index, got.Value.Num, got.Value.Den, want.Value.Num, want.Value.Den)
+				}
+				checkCycleValue(t, g, got, want.ID == "ratio")
+			}
+		})
+	}
+}

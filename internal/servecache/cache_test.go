@@ -1,0 +1,362 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+func testGraph(weight int64) *graph.Graph {
+	return graph.FromArcs(2, []graph.Arc{
+		{From: 0, To: 1, Weight: weight, Transit: 1},
+		{From: 1, To: 0, Weight: weight + 1, Transit: 1},
+	})
+}
+
+func meanKey(g *graph.Graph, opt Options) Key {
+	if opt.Problem == "" {
+		opt.Problem = "mean"
+	}
+	if opt.Algorithm == "" {
+		opt.Algorithm = "howard"
+	}
+	return Key{Graph: g.Fingerprint(), Opt: opt}
+}
+
+func fixedResult(v int64, certified bool) *Result {
+	return &Result{Value: numeric.NewRat(v, 1), Exact: true, Certified: certified}
+}
+
+// solveConst returns a solve func that counts invocations.
+func solveConst(res *Result, calls *atomic.Int64) func(context.Context) (*Result, error) {
+	return func(context.Context) (*Result, error) {
+		calls.Add(1)
+		return res, nil
+	}
+}
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	c := New(2, nil)
+	ctx := context.Background()
+	var calls atomic.Int64
+
+	k1 := meanKey(testGraph(1), Options{})
+	k2 := meanKey(testGraph(2), Options{})
+	k3 := meanKey(testGraph(3), Options{})
+
+	for i, k := range []Key{k1, k2} {
+		res, src, err := c.Do(ctx, k, solveConst(fixedResult(int64(i), false), &calls))
+		if err != nil || src != SourceSolve || res == nil {
+			t.Fatalf("first solve %d: res=%v src=%v err=%v", i, res, src, err)
+		}
+	}
+	// k1 hit refreshes its recency.
+	if _, src, _ := c.Do(ctx, k1, solveConst(nil, &calls)); src != SourceHit {
+		t.Fatalf("k1 not a hit: %v", src)
+	}
+	// k3 evicts k2 (least recently used), not k1.
+	if _, src, _ := c.Do(ctx, k3, solveConst(fixedResult(3, false), &calls)); src != SourceSolve {
+		t.Fatalf("k3 not a solve: %v", src)
+	}
+	if _, src, _ := c.Do(ctx, k1, solveConst(nil, &calls)); src != SourceHit {
+		t.Fatalf("k1 evicted despite recency: %v", src)
+	}
+	if _, src, _ := c.Do(ctx, k2, solveConst(fixedResult(2, false), &calls)); src != SourceSolve {
+		t.Fatalf("k2 not evicted: %v", src)
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("entries=%d capacity=%d, want 2/2", st.Entries, st.Capacity)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions=%d, want 2", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 2/4", st.Hits, st.Misses)
+	}
+	if calls.Load() != 4 {
+		t.Errorf("solve calls=%d, want 4", calls.Load())
+	}
+}
+
+// TestOptionKeyingNearMisses is the regression for the full-option-set key:
+// every solve-relevant option flip — most critically certify — must miss
+// rather than reuse a near-miss entry. A cached uncertified result answering
+// a certified request would be a correctness bug, not a perf bug.
+func TestOptionKeyingNearMisses(t *testing.T) {
+	g := testGraph(5)
+	base := Options{Problem: "mean", Algorithm: "howard"}
+	variants := []Options{
+		{Problem: "mean", Algorithm: "howard", Certify: true},
+		{Problem: "mean", Algorithm: "howard", Kernelize: true},
+		{Problem: "mean", Algorithm: "howard", Maximize: true},
+		{Problem: "mean", Algorithm: "karp"},
+		{Problem: "ratio", Algorithm: "howard"},
+		{Problem: "mean", Algorithm: "howard", Certify: true, Kernelize: true},
+	}
+
+	c := New(64, nil)
+	ctx := context.Background()
+	var calls atomic.Int64
+	if _, src, err := c.Do(ctx, meanKey(g, base), solveConst(fixedResult(1, false), &calls)); src != SourceSolve || err != nil {
+		t.Fatalf("base: src=%v err=%v", src, err)
+	}
+	for i, opt := range variants {
+		res, src, err := c.Do(ctx, meanKey(g, opt), solveConst(fixedResult(1, opt.Certify), &calls))
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if src != SourceSolve {
+			t.Errorf("variant %+v reused a near-miss entry (src=%v)", opt, src)
+		}
+		if res.Certified != opt.Certify {
+			t.Errorf("variant %+v: certified=%v, want %v", opt, res.Certified, opt.Certify)
+		}
+	}
+	// And each exact repeat is a hit.
+	for _, opt := range variants {
+		if _, src, _ := c.Do(ctx, meanKey(g, opt), solveConst(nil, &calls)); src != SourceHit {
+			t.Errorf("repeat of %+v not a hit: %v", opt, src)
+		}
+	}
+	if got, want := calls.Load(), int64(1+len(variants)); got != want {
+		t.Errorf("solve calls=%d, want %d", got, want)
+	}
+
+	// Same options, different graph content: distinct entries.
+	if _, src, _ := c.Do(ctx, meanKey(testGraph(6), base), solveConst(fixedResult(2, false), &calls)); src != SourceSolve {
+		t.Errorf("different graph hit the wrong entry: %v", src)
+	}
+}
+
+// TestCanceledSolveNeverStored pins the poisoning regression: a canceled or
+// failed solve must leave no entry, waiters must observe the error, and the
+// next request for the same key must re-solve successfully.
+func TestCanceledSolveNeverStored(t *testing.T) {
+	c := New(8, nil)
+	key := meanKey(testGraph(9), Options{})
+
+	// Leader whose ctx expires mid-solve, with waiters merged onto it.
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, key, func(ctx context.Context) (*Result, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, fmt.Errorf("solver unwound: %w", ctx.Err())
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	waiters := 4
+	waiterErrs := make(chan error, waiters)
+	waiterSrcs := make(chan Source, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, src, err := c.Do(context.Background(), key, func(context.Context) (*Result, error) {
+				t.Error("waiter ran its own solve while the leader was in flight")
+				return fixedResult(0, false), nil
+			})
+			if res != nil {
+				t.Error("waiter got a result from a canceled solve")
+			}
+			waiterSrcs <- src
+			waiterErrs <- err
+		}()
+	}
+	// Let the waiters reach the merge path, then kill the leader.
+	for c.Stats().Singleflight < int64(waiters) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error %v, want context.Canceled", err)
+	}
+	for i := 0; i < waiters; i++ {
+		if err := <-waiterErrs; !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter error %v, want context.Canceled", err)
+		}
+		if src := <-waiterSrcs; src != SourceMerged {
+			t.Errorf("waiter source %v, want merged", src)
+		}
+	}
+
+	// Nothing stored; the key re-solves cleanly.
+	if c.Len() != 0 {
+		t.Fatalf("canceled solve left %d entries in the cache", c.Len())
+	}
+	var calls atomic.Int64
+	res, src, err := c.Do(context.Background(), key, solveConst(fixedResult(7, false), &calls))
+	if err != nil || src != SourceSolve || res.Value.Num() != 7 {
+		t.Fatalf("re-solve after cancellation: res=%+v src=%v err=%v", res, src, err)
+	}
+	if _, src, _ = c.Do(context.Background(), key, solveConst(nil, &calls)); src != SourceHit {
+		t.Fatalf("entry missing after clean re-solve: %v", src)
+	}
+}
+
+// TestWaiterOwnDeadline: a merged waiter whose own ctx expires before the
+// leader finishes gets its own ctx error and does not wedge.
+func TestWaiterOwnDeadline(t *testing.T) {
+	c := New(8, nil)
+	key := meanKey(testGraph(11), Options{})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), key, func(context.Context) (*Result, error) {
+		close(started)
+		<-release
+		return fixedResult(1, false), nil
+	})
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, src, err := c.Do(ctx, key, nil)
+	if src != SourceMerged || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("src=%v err=%v, want merged + deadline", src, err)
+	}
+	close(release)
+}
+
+// TestSingleflightExactlyOnce hammers one key from many goroutines and
+// requires exactly one solve, with everyone sharing the identical *Result.
+func TestSingleflightExactlyOnce(t *testing.T) {
+	c := New(8, nil)
+	key := meanKey(testGraph(20), Options{})
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	res := fixedResult(42, false)
+
+	const goroutines = 32
+	results := make(chan *Result, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			r, _, err := c.Do(context.Background(), key, func(context.Context) (*Result, error) {
+				calls.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the merge window
+				return res, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results <- r
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	close(results)
+	if calls.Load() != 1 {
+		t.Fatalf("solve ran %d times, want exactly once", calls.Load())
+	}
+	for r := range results {
+		if r != res {
+			t.Fatal("a caller got a different result pointer than the single solve produced")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Singleflight+st.Hits != goroutines-1 {
+		t.Fatalf("stats %+v: want 1 miss and %d merges+hits", st, goroutines-1)
+	}
+}
+
+// TestTracerEvents wires a Metrics-backed tracer and checks every op lands
+// on the obs counters the serve layer exports.
+func TestTracerEvents(t *testing.T) {
+	m := obs.NewMetrics()
+	c := New(1, m.Tracer())
+	ctx := context.Background()
+	var calls atomic.Int64
+
+	k1 := meanKey(testGraph(1), Options{})
+	k2 := meanKey(testGraph(2), Options{})
+	c.Do(ctx, k1, solveConst(fixedResult(1, false), &calls)) // miss
+	c.Do(ctx, k1, solveConst(nil, &calls))                   // hit
+	c.Do(ctx, k2, solveConst(fixedResult(2, false), &calls)) // miss + evict
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(ctx, k1, func(context.Context) (*Result, error) {
+		close(started)
+		<-release
+		return fixedResult(1, false), nil
+	})
+	<-started
+	waited := make(chan struct{})
+	go func() {
+		c.Do(ctx, k1, nil) // merge
+		close(waited)
+	}()
+	for c.Stats().Singleflight == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-waited
+
+	snap := m.Snapshot()
+	want := map[string]int64{
+		"serve_cache_hits":   1,
+		"serve_cache_misses": 3,
+		// k2 evicts k1, then the re-solved k1 evicts k2 (capacity 1).
+		"serve_cache_evictions":    2,
+		"serve_cache_singleflight": 1,
+	}
+	for k, v := range want {
+		if got := snap[k].(int64); got != v {
+			t.Errorf("%s = %d, want %d", k, got, v)
+		}
+	}
+}
+
+// TestConcurrentMixedKeys is the race-detector workout: many goroutines,
+// many keys, a tiny capacity forcing constant eviction.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New(4, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				v := int64(i % 8)
+				key := meanKey(testGraph(v), Options{Certify: i%2 == 0})
+				key.Opt.Certify = i%2 == 0
+				res, _, err := c.Do(context.Background(), key, func(context.Context) (*Result, error) {
+					return fixedResult(v, key.Opt.Certify), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Value.Num() != v || res.Certified != key.Opt.Certify {
+					t.Errorf("wrong result for key %v: %+v", key.Opt, res)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 4 {
+		t.Fatalf("capacity 4 exceeded: %d entries", n)
+	}
+}

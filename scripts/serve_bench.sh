@@ -1,0 +1,114 @@
+#!/usr/bin/env sh
+# serve_bench.sh — CI smoke for the content-addressed result cache against a
+# real mcmd process: boot one daemon with the cache disabled (-cache 0) and
+# one with it on, drive the identical 90%-repeated sustained load at each
+# with mcmbench -serve-load -load-addr, and require (a) a minimum cache-on
+# throughput speedup and (b) non-zero hit counters on the cache-on daemon's
+# /debug/vars. The bound here is deliberately conservative (shared CI boxes
+# are noisy); the checked-in BENCH_serve.json records the full-suite numbers
+# (`make bench-serve`). Both daemons must still drain clean on SIGTERM.
+# docs/SERVING.md documents the workflow.
+set -eu
+
+ADDR_OFF="${SERVE_BENCH_ADDR_OFF:-127.0.0.1:18584}"
+ADDR_ON="${SERVE_BENCH_ADDR_ON:-127.0.0.1:18585}"
+DURATION="${SERVE_BENCH_DURATION:-3s}"
+MIN_SPEEDUP="${SERVE_BENCH_MIN_SPEEDUP:-1.5}"
+OUT="$(mktemp -d)"
+trap 'kill "$PID_OFF" "$PID_ON" 2>/dev/null || true; rm -rf "$OUT"' EXIT INT TERM
+
+go build -o "$OUT/mcmd" ./cmd/mcmd
+go build -o "$OUT/mcmbench" ./cmd/mcmbench
+
+# -queue must cover Concurrency×BatchSize of in-flight graphs or the
+# all-or-nothing buffered admission answers 429 to every batch.
+"$OUT/mcmd" -addr "$ADDR_OFF" -cache 0 -queue 256 -stats=false \
+    >"$OUT/off.out" 2>"$OUT/off.err" &
+PID_OFF=$!
+"$OUT/mcmd" -addr "$ADDR_ON" -queue 256 -stats=false \
+    >"$OUT/on.out" 2>"$OUT/on.err" &
+PID_ON=$!
+
+wait_healthy() {
+    i=0
+    until curl -fs "http://$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "serve_bench: FAIL — daemon at $1 never became healthy" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+wait_healthy "$ADDR_OFF"
+wait_healthy "$ADDR_ON"
+
+# Identical workload against each daemon (same seed, same mix). The
+# cache-off daemon must not report a cache branch at all.
+"$OUT/mcmbench" -serve-load -load-addr "$ADDR_OFF" -load-duration "$DURATION" \
+    >"$OUT/off.json"
+"$OUT/mcmbench" -serve-load -load-addr "$ADDR_ON" -load-duration "$DURATION" \
+    >"$OUT/on.json"
+
+throughput() {
+    grep -o '"graphs_per_sec": [0-9.]*' "$1" | head -1 | grep -o '[0-9.]*$'
+}
+errors_of() {
+    grep -o '"errors": [0-9]*' "$1" | head -1 | grep -o '[0-9]*$'
+}
+for leg in off on; do
+    ERRS=$(errors_of "$OUT/$leg.json")
+    [ "${ERRS:-1}" -eq 0 ] || {
+        echo "serve_bench: FAIL — cache-$leg leg reported $ERRS request errors" >&2
+        cat "$OUT/$leg.json" >&2
+        exit 1
+    }
+done
+TPUT_OFF=$(throughput "$OUT/off.json")
+TPUT_ON=$(throughput "$OUT/on.json")
+[ -n "$TPUT_OFF" ] && [ -n "$TPUT_ON" ] || {
+    echo "serve_bench: FAIL — could not read throughput from the reports" >&2
+    cat "$OUT/off.json" "$OUT/on.json" >&2
+    exit 1
+}
+
+# awk does the float compare; the shell only sees its exit code.
+awk -v on="$TPUT_ON" -v off="$TPUT_OFF" -v min="$MIN_SPEEDUP" \
+    'BEGIN { exit !(off > 0 && on / off >= min) }' || {
+    echo "serve_bench: FAIL — cache-on $TPUT_ON graphs/s vs cache-off $TPUT_OFF (need ${MIN_SPEEDUP}x)" >&2
+    exit 1
+}
+
+# The cache-on daemon's /debug/vars must show non-zero hit counters in both
+# the cache branch and the solver metrics (serve_cache_hits); the cache-off
+# daemon must expose neither a cache branch nor any serve-cache traffic.
+VARS_ON=$(curl -fs "http://$ADDR_ON/debug/vars")
+count() { printf '%s' "$1" | grep -o "\"$2\": [0-9]*" | head -1 | grep -o '[0-9]*$'; }
+HITS=$(count "$VARS_ON" hits)
+SOLVER_HITS=$(count "$VARS_ON" serve_cache_hits)
+[ "${HITS:-0}" -gt 0 ] || { echo "serve_bench: FAIL — cache branch shows no hits" >&2; exit 1; }
+[ "${SOLVER_HITS:-0}" -gt 0 ] || { echo "serve_bench: FAIL — serve_cache_hits is zero on /debug/vars" >&2; exit 1; }
+
+VARS_OFF=$(curl -fs "http://$ADDR_OFF/debug/vars")
+printf '%s' "$VARS_OFF" | grep -q '"cache":' && {
+    echo "serve_bench: FAIL — cache-off daemon advertises a cache branch" >&2
+    exit 1
+}
+OFF_HITS=$(count "$VARS_OFF" serve_cache_hits)
+[ "${OFF_HITS:-0}" -eq 0 ] || { echo "serve_bench: FAIL — cache-off daemon counted cache hits" >&2; exit 1; }
+
+# The streaming variant answers NDJSON against a real daemon: one result
+# line per graph plus a trailer, flushed as they complete.
+STREAM=$(curl -fs -X POST "http://$ADDR_ON/v1/solve?stream=1" \
+    -d '{"requests":[{"text":"p mcm 2 2\na 1 2 3\na 2 1 5\n"},{"text":"p mcm 1 1\na 1 1 7\n"}]}')
+LINES=$(printf '%s\n' "$STREAM" | grep -c '^{') || LINES=0
+[ "$LINES" -eq 3 ] || { echo "serve_bench: FAIL — streaming answered $LINES lines, want 2 results + trailer" >&2; printf '%s\n' "$STREAM" >&2; exit 1; }
+printf '%s' "$STREAM" | grep -q '"done":true' || {
+    echo "serve_bench: FAIL — streaming response missing the trailer" >&2
+    exit 1
+}
+
+# Both daemons drain clean on SIGTERM.
+kill -TERM "$PID_OFF" "$PID_ON"
+wait "$PID_OFF" || { echo "serve_bench: FAIL — cache-off mcmd exited non-zero" >&2; cat "$OUT/off.err" >&2; exit 1; }
+wait "$PID_ON" || { echo "serve_bench: FAIL — cache-on mcmd exited non-zero" >&2; cat "$OUT/on.err" >&2; exit 1; }
+
+SPEEDUP=$(awk -v on="$TPUT_ON" -v off="$TPUT_OFF" 'BEGIN { printf "%.2f", on / off }')
+echo "serve_bench: OK — cache-on $TPUT_ON vs cache-off $TPUT_OFF graphs/s (${SPEEDUP}x), $HITS cache hits, streaming + drain clean"
