@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel bench-serve fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
+.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
 
 all: build test
 
@@ -27,6 +27,24 @@ bench-kernel:
 	$(GO) run ./cmd/mcmbench -table kernel -progress -json > BENCH_kernel.json
 	@echo "wrote BENCH_kernel.json"
 
+# Kernelization floor gate (also run by CI): a fresh quick sweep must keep
+# the chain-family and warm-start speedups above the conservative 1.2x floor.
+bench-kernel-check:
+	./scripts/kernel_bench_check.sh
+
+# Streaming approximation-tier sweep: generator-backed solves on graphs up
+# to 4.19M arcs under a measured 64 MiB peak-heap cap, with exact-vs-approx
+# time/memory/error comparison; records BENCH_approx.json. Exit 2 on a
+# violated cap or error bound.
+bench-approx:
+	$(GO) run ./cmd/mcmbench -table approx -progress -json > BENCH_approx.json
+	@echo "wrote BENCH_approx.json"
+
+# CI smoke variant (also run by CI): one 10^6-arc generated graph streamed
+# under the 32 MiB cap with an exact cross-check of the certified bound.
+bench-approx-smoke:
+	$(GO) run ./cmd/mcmbench -table approx -quick -progress
+
 # Sustained-load serving suite: cache-on vs cache-off throughput on a
 # 90%-repeated workload plus the streaming bounded-memory probe; records
 # BENCH_serve.json, then the process-level smoke asserts a conservative
@@ -43,6 +61,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzGraphRead -fuzztime 30s ./internal/graph
 	$(GO) test -run '^$$' -fuzz FuzzSolveDifferential -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzApproxDifferential -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRatioDifferential -fuzztime 30s ./internal/ratio
 

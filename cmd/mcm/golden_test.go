@@ -43,19 +43,19 @@ func TestGoldenOutputs(t *testing.T) {
 		fn   func() error
 	}{
 		{"mean-howard-certified", func() error {
-			return run("howard", false, false, true, true, "", 0, 2, false, true, false, false, []string{triangle})
+			return run("howard", false, false, true, true, "", 0, "", false, 2, false, true, false, false, []string{triangle})
 		}},
 		{"mean-karp-kernel", func() error {
-			return run("karp", false, false, true, true, "", 0, 2, true, false, false, false, []string{ring})
+			return run("karp", false, false, true, true, "", 0, "", false, 2, true, false, false, false, []string{ring})
 		}},
 		{"mean-max-lawler", func() error {
-			return run("lawler", false, true, false, true, "", 0, 2, false, false, false, false, []string{ring})
+			return run("lawler", false, true, false, true, "", 0, "", false, 2, false, false, false, false, []string{ring})
 		}},
 		{"ratio-howard", func() error {
-			return run("howard", true, false, true, true, "", 0, 2, false, true, false, false, []string{ratioFile})
+			return run("howard", true, false, true, true, "", 0, "", false, 2, false, true, false, false, []string{ratioFile})
 		}},
 		{"ratio-max-burns", func() error {
-			return run("burns", true, true, false, false, "", 0, 2, false, false, false, false, []string{ratioFile})
+			return run("burns", true, true, false, false, "", 0, "", false, 2, false, false, false, false, []string{ratioFile})
 		}},
 		{"slack-report", func() error {
 			return runSlack(4, []string{ring})

@@ -11,6 +11,8 @@
 //	mcm -algo karp -max graph.txt
 //	mcm -ratio -algo burns -critical graph.txt
 //	mcmgen -n 1024 -m 3072 | mcm -algo yto -counts
+//	mcm -algo approx -epsilon 0.01 -certify=false graph.txt
+//	mcm -stream -epsilon 0.01 huge.txt
 package main
 
 import (
@@ -44,6 +46,9 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "worker goroutines for solving strongly connected components concurrently (1 = sequential)")
 		kernel   = flag.Bool("kernel", false, "kernelize each strongly connected component (self-loop extraction, chain contraction, tiny closed forms) before solving")
 		certify  = flag.Bool("certify", true, "prove the answer exactly: snap to a bounded-denominator rational and verify optimality with an integer Bellman-Ford feasibility check")
+		approxMd = flag.String("approx-mode", "", `approximation scheme for -algo approx: "chkl" (relative, default) or "ap" (additive entropic)`)
+		sharpen  = flag.Bool("sharpen", false, "with -algo approx: follow the epsilon run with an exact Lawler pass seeded from the certified interval")
+		stream   = flag.Bool("stream", false, "solve approximately from a seekable file without materializing the graph (O(n) memory; needs -epsilon > 0, implies -algo approx)")
 		trace    = flag.Bool("trace", false, "log solve events (SCC decomposition, per-component solver runs, certification) to stderr")
 		metrics  = flag.Bool("metrics-json", false, "print aggregated solve metrics as JSON to stderr after solving")
 	)
@@ -54,8 +59,10 @@ func main() {
 		err = runAll(flag.Args())
 	case *slackTop > 0:
 		err = runSlack(*slackTop, flag.Args())
+	case *stream:
+		err = runStream(*eps, *approxMd, *counts, flag.Args())
 	default:
-		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *parallel, *kernel, *certify, *trace, *metrics, flag.Args())
+		err = run(*algoName, *useRatio, *maximize, *counts, *critical, *dotOut, *eps, *approxMd, *sharpen, *parallel, *kernel, *certify, *trace, *metrics, flag.Args())
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcm:", err)
@@ -139,7 +146,40 @@ func runAll(args []string) error {
 	return nil
 }
 
-func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, parallel int, kernel, certify, trace, metricsJSON bool, args []string) error {
+// runStream solves approximately from a seekable text file through the
+// streaming tier: the file is the graph — it is re-scanned per value-
+// iteration pass and never materialized into CSR, so working memory is O(n).
+func runStream(eps float64, mode string, counts bool, args []string) error {
+	var rs io.ReadSeeker = os.Stdin
+	name := "<stdin>"
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rs = f
+		name = args[0]
+	}
+	src, err := graph.ReadStream(rs)
+	if err != nil {
+		return err
+	}
+	res, err := core.MinimumCycleMeanStream(src, core.Options{Approx: core.ApproxOptions{Epsilon: eps, Mode: mode}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: n=%d m=%d algo=approx (streaming)\n", name, src.NumNodes(), src.NumArcs())
+	fmt.Printf("lambda* = %v (%.6f)\n", res.Mean, res.Mean.Float64())
+	upper := res.Mean.Float64()
+	fmt.Printf("certified: lambda* in [%.6f, %.6f] (error bound %.3g)\n", upper-res.ErrorBound, upper, res.ErrorBound)
+	if counts {
+		fmt.Println("counts:", res.Counts.String())
+	}
+	return nil
+}
+
+func run(algoName string, useRatio, maximize, counts, critical bool, dotOut string, eps float64, approxMode string, sharpen bool, parallel int, kernel, certify, trace, metricsJSON bool, args []string) error {
 	var in io.Reader = os.Stdin
 	name := "<stdin>"
 	if len(args) > 0 {
@@ -156,6 +196,14 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 		return err
 	}
 	opt := core.Options{Epsilon: eps, Parallelism: parallel, Kernelize: kernel, Certify: certify}
+	if algoName == "approx" {
+		// The approximation tier reads its tolerance from Options.Approx; the
+		// shared -epsilon flag feeds it (note -certify, on by default, makes
+		// the run sharpen to exact — pass -certify=false for a raw ε answer).
+		opt.Approx = core.ApproxOptions{Epsilon: eps, Mode: approxMode}
+		opt.ApproxSharpen = sharpen
+		opt.Epsilon = 0
+	}
 
 	// Observability sinks both write to stderr so stdout stays a clean answer
 	// stream; -trace streams events as they happen, -metrics-json aggregates
@@ -178,6 +226,7 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 		cycle  []graph.ArcID
 		cts    string
 		approx bool
+		bound  float64
 		cert   *core.Certificate
 	)
 	if useRatio {
@@ -212,12 +261,17 @@ func run(algoName string, useRatio, maximize, counts, critical bool, dotOut stri
 		}
 		value = fmt.Sprintf("lambda* = %v (%.6f)", res.Mean, res.Mean.Float64())
 		cycle, cts, approx, cert = res.Cycle, res.Counts.String(), !res.Exact, res.Certificate
+		bound = res.ErrorBound
 	}
 
 	fmt.Printf("%s: n=%d m=%d algo=%s\n", name, g.NumNodes(), g.NumArcs(), algoName)
 	fmt.Println(value)
 	if approx {
-		fmt.Println("(approximate: epsilon mode)")
+		if bound > 0 {
+			fmt.Printf("(approximate: certified error bound %.3g)\n", bound)
+		} else {
+			fmt.Println("(approximate: epsilon mode)")
+		}
 	}
 	if cert != nil {
 		snapped := ""

@@ -48,7 +48,7 @@ a 3 1 4
 func TestRunMean(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, true, true, "", 0, 2, false, true, false, false, []string{path})
+		return run("howard", false, false, true, true, "", 0, "", false, 2, false, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +71,7 @@ func TestRunMean(t *testing.T) {
 func TestRunCertifyOff(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, false, false, "", 0, 2, false, false, false, false, []string{path})
+		return run("howard", false, false, false, false, "", 0, "", false, 2, false, false, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestRunKernelized(t *testing.T) {
 	// come back expanded to the original three arcs.
 	path := writeGraphFile(t, triangleSrc)
 	out, err := capture(t, func() error {
-		return run("howard", false, false, false, true, "", 0, 2, true, true, false, false, []string{path})
+		return run("howard", false, false, false, true, "", 0, "", false, 2, true, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +107,7 @@ a 1 1 9
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("karp", false, true, false, false, "", 0, 2, false, true, false, false, []string{path})
+		return run("karp", false, true, false, false, "", 0, "", false, 2, false, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ a 2 1 5 2
 `
 	path := writeGraphFile(t, src)
 	out, err := capture(t, func() error {
-		return run("howard", true, false, false, false, "", 0, 2, false, true, false, false, []string{path})
+		return run("howard", true, false, false, false, "", 0, "", false, 2, false, true, false, false, []string{path})
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +138,7 @@ func TestRunDOTOutput(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
 	dot := filepath.Join(t.TempDir(), "out.dot")
 	if _, err := capture(t, func() error {
-		return run("yto", false, false, false, false, dot, 0, 2, false, true, false, false, []string{path})
+		return run("yto", false, false, false, false, dot, 0, "", false, 2, false, true, false, false, []string{path})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -153,19 +153,19 @@ func TestRunDOTOutput(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	path := writeGraphFile(t, triangleSrc)
-	if err := run("bogus", false, false, false, false, "", 0, 2, false, true, false, false, []string{path}); err == nil {
+	if err := run("bogus", false, false, false, false, "", 0, "", false, 2, false, true, false, false, []string{path}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run("howard", false, false, false, false, "", 0, 2, false, true, false, false, []string{"/does/not/exist"}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, "", false, 2, false, true, false, false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeGraphFile(t, "not a graph\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, false, true, false, false, []string{bad}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, "", false, 2, false, true, false, false, []string{bad}); err == nil {
 		t.Error("malformed file accepted")
 	}
 	// Acyclic graph → solver error surfaces.
 	dag := writeGraphFile(t, "p mcm 2 1\na 1 2 5\n")
-	if err := run("howard", false, false, false, false, "", 0, 2, false, true, false, false, []string{dag}); err == nil {
+	if err := run("howard", false, false, false, false, "", 0, "", false, 2, false, true, false, false, []string{dag}); err == nil {
 		t.Error("acyclic graph accepted")
 	}
 }
@@ -200,7 +200,7 @@ func TestRunTraceAndMetrics(t *testing.T) {
 	errOut, err := captureStderr(t, func() error {
 		var runErr error
 		out, _ := capture(t, func() error {
-			runErr = run("howard", false, false, false, false, "", 0, 2, false, true, true, true, []string{path})
+			runErr = run("howard", false, false, false, false, "", 0, "", false, 2, false, true, true, true, []string{path})
 			return runErr
 		})
 		if runErr == nil && !strings.Contains(out, "lambda* = 3") {
@@ -248,5 +248,58 @@ func TestRunSlack(t *testing.T) {
 	}
 	if err := runSlack(2, []string{"/no/such/file"}); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRunApprox pins the approximation tier's CLI surface: a raw ε run
+// prints the certified bound, and -sharpen (or the default -certify) comes
+// back exact.
+func TestRunApprox(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error {
+		return run("approx", false, false, false, false, "", 0.25, "", false, 2, false, false, false, false, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(approximate: certified error bound") {
+		t.Fatalf("epsilon run missing bound line: %s", out)
+	}
+	out, err = capture(t, func() error {
+		return run("approx", false, false, false, false, "", 0.25, "", true, 2, false, true, false, false, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lambda* = 3 (3.000000)") {
+		t.Fatalf("sharpened run not exact: %s", out)
+	}
+	if strings.Contains(out, "approximate") {
+		t.Fatalf("sharpened run still marked approximate: %s", out)
+	}
+}
+
+// TestRunStream pins the -stream path: file-backed, approximate-only, with
+// the certified interval printed.
+func TestRunStream(t *testing.T) {
+	path := writeGraphFile(t, triangleSrc)
+	out, err := capture(t, func() error {
+		return runStream(0.25, "", true, []string{path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "algo=approx (streaming)") {
+		t.Fatalf("missing streaming banner: %s", out)
+	}
+	if !strings.Contains(out, "certified: lambda* in [") {
+		t.Fatalf("missing interval line: %s", out)
+	}
+	if !strings.Contains(out, "counts:") {
+		t.Fatalf("missing counts: %s", out)
+	}
+	// ε = 0 is exact-only territory; the streaming tier must refuse.
+	if err := runStream(0, "", false, []string{path}); err == nil {
+		t.Fatal("streaming accepted epsilon 0")
 	}
 }

@@ -9,6 +9,7 @@
 //	mcmbench -table ranking           # E-45: overall speed ranking
 //	mcmbench -table circuits          # E-C : benchmark-circuit family
 //	mcmbench -table kernel            # kernelization + warm-start sweep
+//	mcmbench -table approx            # streaming approximation tier under an RSS cap
 //	mcmbench -table all               # everything from one sweep
 //
 // -cpuprofile/-memprofile write pprof profiles of any sweep, so wins (e.g.
@@ -24,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -serve
@@ -39,7 +41,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, kernel, all")
+		table      = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, kernel, approx, all")
 		quick      = flag.Bool("quick", false, "reduced grid (n <= 2048) and 3 seeds")
 		seeds      = flag.Int("seeds", 0, "instances per size (default 10, or 3 with -quick)")
 		maxN       = flag.Int("maxn", 0, "limit the grid to sizes with n <= maxn")
@@ -64,8 +66,19 @@ func main() {
 		loadAlgo    = flag.String("load-algo", "", "with -serve-load: solver the load mix requests (default lawler; howard's warm-start would mask the cache)")
 		loadOut     = flag.String("load-out", "", "with -serve-load: write the JSON report to this file instead of stdout")
 		loadNoProbe = flag.Bool("load-no-stream-probe", false, "with -serve-load: skip the streaming memory probe")
+
+		approxEps = flag.Float64("approx-epsilon", 0, "with -table approx: tolerance (default 0.02)")
+		rssCap    = flag.Uint64("rss-cap", 0, "with -table approx: peak-heap cap in bytes (default 64 MiB, 32 MiB with -quick); violations exit 2")
+
+		checkKernel    = flag.String("check-kernel", "", `assert the conservative kernel-speedup floors over a BENCH_kernel.json file ("-" = stdin), then exit (2 on violation)`)
+		minKernSpeedup = flag.Float64("min-kernel-speedup", 1.2, "with -check-kernel: the speedup floor")
 	)
 	flag.Parse()
+
+	if *checkKernel != "" {
+		runCheckKernel(*checkKernel, *minKernSpeedup)
+		return
+	}
 
 	if *serveLoad {
 		runServeLoad(bench.ServeLoadConfig{
@@ -217,6 +230,34 @@ func main() {
 		}
 		bench.WriteKernel(os.Stdout, rep)
 		return
+	case "approx":
+		acfg := bench.ApproxConfig{Smoke: *quick, Epsilon: *approxEps, RSSCapBytes: *rssCap}
+		if *progress {
+			acfg.Progress = os.Stderr
+		}
+		rep, err := bench.RunApproxSweep(acfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcmbench:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+		} else {
+			bench.WriteApprox(os.Stdout, rep)
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "mcmbench: VIOLATION:", v)
+		}
+		if len(rep.Violations) > 0 {
+			os.Exit(2)
+		}
+		return
 	}
 
 	rep, err := bench.Run(cfg)
@@ -252,6 +293,27 @@ func main() {
 	if *verify && len(rep.Mismatches) > 0 {
 		os.Exit(2)
 	}
+}
+
+// runCheckKernel asserts the conservative kernel-speedup floors over a
+// recorded (or freshly piped) BENCH_kernel.json.
+func runCheckKernel(path string, minSpeedup float64) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(1)
+	}
+	if err := bench.CheckKernel(data, minSpeedup); err != nil {
+		fmt.Fprintln(os.Stderr, "mcmbench:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("kernel bench floors hold (speedup >= %.2fx)\n", minSpeedup)
 }
 
 // runServeLoad runs the sustained-load serving suite and writes the report.

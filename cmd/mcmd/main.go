@@ -9,6 +9,7 @@
 //	mcmd -addr :8355
 //	mcmd -addr :8355 -workers 8 -queue 64 -timeout 10s
 //	curl -s localhost:8355/v1/solve -d '{"requests":[{"text":"p mcm 2 2\na 1 2 3\na 2 1 5\n"}]}'
+//	curl -s localhost:8355/v1/solve -d '{"requests":[{"text":"...","algorithm":"approx","approx_epsilon":0.01}]}'
 //
 // SIGTERM or SIGINT drains: new requests answer 503 while every accepted
 // batch runs to completion (bounded by -drain-timeout), then the process

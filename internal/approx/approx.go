@@ -1,0 +1,542 @@
+// Package approx implements the approximation tier for the minimum
+// cycle-mean problem: solvers that trade the exact algorithms' O(nm) time
+// and materialized-CSR memory for near-linear passes over a streaming
+// graph.ArcSource, never holding more than O(n) working state. Two schemes
+// are provided behind one engine:
+//
+//   - ModeCHKL: a (1+ε)-style relative scheme in the spirit of
+//     Chatterjee–Henzinger–Krinninger–Loitzenbauer ("Approximating the
+//     minimum cycle mean"): hard-min value iteration inside a λ-bisection,
+//     stopping when the certified interval is within ε·max(1, |λ*|).
+//   - ModeAP: an additive-ε scheme in the spirit of Altschuler–Parrilo
+//     ("Approximating Min-Mean-Cycle for low-diameter graphs in
+//     near-optimal time and memory"): the same bisection driven by entropic
+//     (softmin) smoothed iterations with β annealing, stopping at
+//     ε·max(1, W) where W is the largest weight magnitude.
+//
+// Everything the engine reports is certified independently of the iteration
+// dynamics, so the smoothed mode cannot compromise soundness:
+//
+//   - Lower bounds come from arc slacks. For ANY potential vector x, every
+//     cycle C satisfies mean(C) = (Σ_{a∈C} w(a) + x[from]−x[to]) / |C| ≥
+//     min_a (w(a) + x[from] − x[to]) by telescoping, so the minimum slack
+//     observed over a consistent snapshot of x (the engine double-buffers
+//     exactly for this) minus a floating-point safety margin is a valid
+//     bound λ* ≥ Lower no matter how x was produced.
+//   - Upper bounds come from actual cycles harvested out of the parent
+//     pointers, with their means evaluated in exact int64/rational
+//     arithmetic (|w| ≤ 2³¹−1 and |C| ≤ n ≤ 2²⁶ keep Σw within int64).
+//
+// The package deliberately depends only on graph and numeric —
+// internal/core adapts it into the algorithm registry as "approx" and adds
+// the optional Lawler exact-sharpening pass on top of the ε-interval.
+package approx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// Modes of the approximation engine.
+const (
+	// ModeCHKL is relative-error: the result interval satisfies
+	// Upper−Lower ≤ ε·max(1, |Upper|).
+	ModeCHKL = "chkl"
+	// ModeAP is additive-error with entropic smoothing: the interval
+	// satisfies Upper−Lower ≤ ε·max(1, W), W = max |weight|.
+	ModeAP = "ap"
+)
+
+var (
+	// ErrAcyclic reports that the presented graph has no cycle at all, so
+	// no cycle mean exists.
+	ErrAcyclic = errors.New("approx: graph is acyclic")
+	// ErrPassLimit reports that the pass budget (or float resolution) ran
+	// out before the requested tolerance was certified. The Result
+	// returned alongside it still carries valid partial bounds whenever a
+	// cycle was found.
+	ErrPassLimit = errors.New("approx: pass budget exhausted before reaching the requested tolerance")
+	// ErrWeightRange reports an arc weight outside ±(2³¹−1), the same
+	// range the exact solvers enforce; beyond it the engine's float64
+	// bookkeeping and int64 cycle sums lose their safety margins.
+	ErrWeightRange = errors.New("approx: arc weight outside ±(2^31-1)")
+)
+
+// maxWeight mirrors the exact solvers' weight-range contract.
+const maxWeight = 1<<31 - 1
+
+// DefaultMaxPasses bounds the total number of arc-stream passes across all
+// bisection rounds when Config.MaxPasses is zero. Value iteration needs
+// roughly graph-diameter passes per round, so the default comfortably
+// covers the low-diameter families the approximation tier targets while
+// keeping adversarial inputs from running forever.
+const DefaultMaxPasses = 1 << 14
+
+// Config parameterizes one approximate solve.
+type Config struct {
+	// Epsilon is the requested tolerance; must be > 0 (exact answers are
+	// the adapter's job, via sharpening). Interpretation depends on Mode.
+	Epsilon float64
+	// Mode is ModeCHKL (default when empty) or ModeAP.
+	Mode string
+	// MaxPasses caps total arc-stream passes; 0 means DefaultMaxPasses.
+	MaxPasses int
+	// Checkpoint, when non-nil, is called once per pass; a non-nil return
+	// aborts the solve and is propagated verbatim (cancellation hook).
+	Checkpoint func() error
+}
+
+// Result is the certified outcome of an approximate solve: the true
+// minimum cycle mean λ* lies in [Lower, Mean] (Mean is the exact rational
+// mean of the witness Cycle), and ErrorBound ≥ Mean−λ* bounds how far the
+// reported value can sit above the truth.
+type Result struct {
+	// Mean is the exact mean of Cycle, a real cycle of the input: a
+	// certified upper bound on λ* and the reported approximate value.
+	Mean numeric.Rat
+	// Cycle is the witness cycle, as stream arc IDs in forward order.
+	Cycle []graph.ArcID
+	// Lower is the certified lower bound: λ* ≥ Lower.
+	Lower float64
+	// ErrorBound bounds the reported value's distance above λ*.
+	ErrorBound float64
+	// Passes counts full arc-stream sweeps, Rounds bisection probes, and
+	// Improvements node-potential decreases, for counter mapping.
+	Passes, Rounds int
+	Improvements   int
+}
+
+// MinCycleMean approximates the minimum cycle mean of src to cfg's
+// tolerance. Working memory is O(n) — the source is scanned, never stored.
+// On ErrPassLimit the returned Result still holds the best certified
+// bounds reached (Cycle is nil if no cycle was ever harvested); on any
+// other error the Result is zero.
+func MinCycleMean(src graph.ArcSource, cfg Config) (Result, error) {
+	if cfg.Epsilon <= 0 {
+		return Result{}, fmt.Errorf("approx: epsilon must be > 0, got %v", cfg.Epsilon)
+	}
+	switch cfg.Mode {
+	case "", ModeCHKL, ModeAP:
+	default:
+		return Result{}, fmt.Errorf("approx: unknown mode %q", cfg.Mode)
+	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = DefaultMaxPasses
+	}
+	e := &engine{src: src, cfg: cfg, soft: cfg.Mode == ModeAP}
+	if err := e.prescan(); err != nil {
+		return Result{}, err
+	}
+	if e.n == 0 || e.m == 0 {
+		return Result{}, ErrAcyclic
+	}
+	e.alloc()
+
+	// Certified trivially: every cycle mean is at least the minimum weight.
+	e.lower = float64(e.minW)
+	e.upperF = math.Inf(1)
+	if e.soft {
+		// β sized so the smoothing gap ln(indegree)/β stays ≤ tol/4 and
+		// bisection keeps making progress without annealing in the common
+		// case.
+		e.beta = 4 * math.Log(float64(e.n)+2) / e.tolerance()
+		if e.beta < 1e-9 {
+			e.beta = 1e-9
+		}
+	}
+
+	// First probe strictly above every weight: all modified arc weights are
+	// negative, so a fixed point certifies λ* > maxW — impossible for a
+	// graph with any cycle — and otherwise the diverging potentials hand us
+	// a first witness cycle.
+	lambda := float64(e.maxW) + 1
+	for {
+		e.rounds++
+		err := e.round(lambda)
+		if err != nil {
+			if errors.Is(err, ErrPassLimit) {
+				return e.result(), err
+			}
+			return Result{}, err
+		}
+		if !e.haveUpper {
+			return Result{}, ErrAcyclic
+		}
+		if e.upperF-e.lower <= e.tolerance() {
+			return e.result(), nil
+		}
+		mid := e.lower + (e.upperF-e.lower)/2
+		if !(mid > e.lower && mid < e.upperF) {
+			// Float resolution exhausted short of the tolerance (can only
+			// happen for extreme ε on extreme magnitudes).
+			return e.result(), ErrPassLimit
+		}
+		lambda = mid
+	}
+}
+
+// engine holds the O(n) working state of one solve.
+type engine struct {
+	src graph.ArcSource
+	cfg Config
+
+	n, m       int
+	minW, maxW int64
+	absWMax    float64
+
+	xOld, xNew []float64
+	parent     []graph.NodeID
+	parentArc  []graph.ArcID
+	parentW    []int64
+	stamp      []int32
+	stampGen   int32
+	cycleBuf   []graph.ArcID
+
+	soft           bool
+	beta           float64
+	accM, accS     []float64
+	accCnt         []int32
+	maxIndeg       int32
+	lower, upperF  float64
+	haveUpper      bool
+	bestMean       numeric.Rat
+	bestCycle      []graph.ArcID
+	passes, rounds int
+	improvements   int
+	maxAbsX        float64
+	argImp         graph.NodeID // biggest-improvement node of the last pass, -1 if none
+}
+
+// prescan validates the source (endpoint ranges, weight range, arc count)
+// and records the weight extremes; one full pass, O(1) memory.
+func (e *engine) prescan() error {
+	e.n = e.src.NumNodes()
+	e.m = e.src.NumArcs()
+	if e.n < 0 || e.m < 0 {
+		return fmt.Errorf("approx: source reports negative dimensions %dx%d", e.n, e.m)
+	}
+	e.minW, e.maxW = math.MaxInt64, math.MinInt64
+	seen := 0
+	var scanErr error
+	err := e.src.Scan(func(id graph.ArcID, a graph.Arc) bool {
+		if a.From < 0 || int(a.From) >= e.n || a.To < 0 || int(a.To) >= e.n {
+			scanErr = fmt.Errorf("approx: arc %d endpoint (%d,%d) out of range for n=%d", id, a.From, a.To, e.n)
+			return false
+		}
+		if a.Weight > maxWeight || a.Weight < -maxWeight {
+			scanErr = ErrWeightRange
+			return false
+		}
+		if a.Weight < e.minW {
+			e.minW = a.Weight
+		}
+		if a.Weight > e.maxW {
+			e.maxW = a.Weight
+		}
+		seen++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	if seen != e.m {
+		return fmt.Errorf("approx: source promised %d arcs, scanned %d", e.m, seen)
+	}
+	if e.m > 0 {
+		a := math.Abs(float64(e.minW))
+		if b := math.Abs(float64(e.maxW)); b > a {
+			a = b
+		}
+		e.absWMax = a
+	}
+	return nil
+}
+
+func (e *engine) alloc() {
+	e.xOld = make([]float64, e.n)
+	e.xNew = make([]float64, e.n)
+	e.parent = make([]graph.NodeID, e.n)
+	e.parentArc = make([]graph.ArcID, e.n)
+	e.parentW = make([]int64, e.n)
+	e.stamp = make([]int32, e.n)
+	for i := range e.parent {
+		e.parent[i] = -1
+	}
+	if e.soft {
+		e.accM = make([]float64, e.n)
+		e.accS = make([]float64, e.n)
+		e.accCnt = make([]int32, e.n)
+	}
+}
+
+// tolerance returns the mode's target interval width for the current state.
+func (e *engine) tolerance() float64 {
+	switch {
+	case e.soft:
+		ref := e.absWMax
+		if ref < 1 {
+			ref = 1
+		}
+		return e.cfg.Epsilon * ref
+	default:
+		ref := 1.0
+		if e.haveUpper {
+			if u := math.Abs(e.upperF); u > ref {
+				ref = u
+			}
+		}
+		return e.cfg.Epsilon * ref
+	}
+}
+
+// delta is the floating-point safety margin subtracted from slack-derived
+// lower bounds: a handful of roundings each bounded by the magnitudes that
+// entered the arithmetic.
+func (e *engine) delta() float64 {
+	const eps = 2.220446049250313e-16
+	return 8 * eps * (e.absWMax + 2*e.maxAbsX + 1)
+}
+
+// round probes one trial λ, running passes until the probe is resolved:
+// either the slack bound certifies λ* ≳ λ (lower side) or a harvested cycle
+// certifies λ* < λ (upper side). Warm-started: potentials persist across
+// rounds, which is sound because every bound is snapshot-certified.
+func (e *engine) round(lambda float64) error {
+	for {
+		improved, minSlack, maxCnt, err := e.pass(lambda)
+		if err != nil {
+			return err
+		}
+		if lb := minSlack - e.delta(); lb > e.lower {
+			e.lower = lb
+		}
+		if e.haveUpper && e.upperF < lambda {
+			return nil
+		}
+		margin := e.delta()
+		if e.soft && maxCnt > 0 && e.haveUpper {
+			// The smoothing gap may only relax the resolution criterion once
+			// a witness cycle exists: resolving the first probe (λ > every
+			// weight) on a soft margin would misread a cyclic graph as
+			// acyclic. Before an upper bound exists the probe must reach a
+			// hard fixed point (minSlack ≥ λ−δ) or improve and harvest.
+			margin += math.Log(float64(maxCnt)) / e.beta
+		}
+		if minSlack >= lambda-margin {
+			return nil
+		}
+		if improved == 0 {
+			if e.soft {
+				// Smoothing gap blocked a hard improvement: sharpen the
+				// softmin and retry (each doubling halves the gap; the
+				// pass budget backstops the loop).
+				e.beta *= 2
+				continue
+			}
+			// Hard mode: no improvement means every arc already satisfies
+			// x[v] ≤ x[u]+w−λ, i.e. minSlack ≥ λ up to rounding; the slack
+			// update above has the bound, the probe is resolved.
+			return nil
+		}
+		if e.extractCycle() && e.haveUpper && e.upperF < lambda {
+			return nil
+		}
+	}
+}
+
+// pass runs one Jacobi sweep at trial λ: reads a consistent snapshot xOld,
+// writes improvements into xNew, and measures the snapshot's minimum slack
+// for the certified lower bound. Returns the number of improved nodes and
+// the largest in-candidate count (soft mode's smoothing-gap input).
+func (e *engine) pass(lambda float64) (improved int, minSlack float64, maxCnt int32, err error) {
+	if e.cfg.Checkpoint != nil {
+		if cerr := e.cfg.Checkpoint(); cerr != nil {
+			return 0, 0, 0, cerr
+		}
+	}
+	if e.passes >= e.cfg.MaxPasses {
+		return 0, 0, 0, ErrPassLimit
+	}
+	e.passes++
+	copy(e.xNew, e.xOld)
+	if e.soft {
+		for i := range e.accM {
+			e.accM[i] = math.Inf(1)
+			e.accS[i] = 0
+			e.accCnt[i] = 0
+		}
+	}
+	minSlack = math.Inf(1)
+	scanErr := e.src.Scan(func(id graph.ArcID, a graph.Arc) bool {
+		xu := e.xOld[a.From]
+		w := float64(a.Weight)
+		if s := w + xu - e.xOld[a.To]; s < minSlack {
+			minSlack = s
+		}
+		cand := xu + (w - lambda)
+		v := a.To
+		if e.soft {
+			m, s := e.accM[v], e.accS[v]
+			if cand < m {
+				if math.IsInf(m, 1) {
+					s = 0
+				} else {
+					s *= math.Exp(-e.beta * (m - cand))
+				}
+				e.accM[v] = cand
+				e.accS[v] = s + 1
+				e.parent[v] = a.From
+				e.parentArc[v] = id
+				e.parentW[v] = a.Weight
+			} else {
+				e.accS[v] = s + math.Exp(-e.beta*(cand-m))
+			}
+			e.accCnt[v]++
+		} else if cand < e.xNew[v] {
+			e.xNew[v] = cand
+			e.parent[v] = a.From
+			e.parentArc[v] = id
+			e.parentW[v] = a.Weight
+		}
+		return true
+	})
+	if scanErr != nil {
+		return 0, 0, 0, scanErr
+	}
+	if e.soft {
+		for v := range e.accCnt {
+			cnt := e.accCnt[v]
+			if cnt == 0 {
+				continue
+			}
+			if cnt > maxCnt {
+				maxCnt = cnt
+			}
+			// Corrected softmin M + ln(cnt/S)/β ∈ [min, min + ln(cnt)/β]:
+			// an optimistic smoothing of the hard min (S ∈ [1, cnt]), so
+			// potentials cannot drift below what true relaxation allows.
+			corrected := e.accM[v] + math.Log(float64(cnt)/e.accS[v])/e.beta
+			if corrected < e.xNew[v] {
+				e.xNew[v] = corrected
+			}
+		}
+	}
+	e.argImp = -1
+	bestImp := 0.0
+	for v := range e.xNew {
+		if e.xNew[v] < e.xOld[v] {
+			improved++
+			if d := e.xOld[v] - e.xNew[v]; d > bestImp {
+				bestImp = d
+				e.argImp = graph.NodeID(v)
+			}
+		}
+		if -e.xNew[v] > e.maxAbsX {
+			e.maxAbsX = -e.xNew[v]
+		}
+	}
+	e.xOld, e.xNew = e.xNew, e.xOld
+	e.improvements += improved
+	return improved, minSlack, maxCnt, nil
+}
+
+// extractCycle hunts for a parent-pointer cycle from two starts — the
+// most-negative potential and the node whose potential just improved the
+// most — and adopts any cycle found whose exact rational mean beats the
+// incumbent upper bound. The second start matters when a stale deep
+// potential from an earlier probe's plunge masks the node a better cycle is
+// currently driving down. Returns whether the bound improved.
+func (e *engine) extractCycle() bool {
+	start := graph.NodeID(-1)
+	best := math.Inf(1)
+	for v, x := range e.xOld {
+		if x < best {
+			best = x
+			start = graph.NodeID(v)
+		}
+	}
+	improved := e.extractCycleFrom(start)
+	if e.argImp >= 0 && e.argImp != start && e.extractCycleFrom(e.argImp) {
+		improved = true
+	}
+	return improved
+}
+
+// extractCycleFrom walks the parent pointers from start; any cycle reached
+// is a real cycle of the input.
+func (e *engine) extractCycleFrom(start graph.NodeID) bool {
+	if start < 0 || e.parent[start] < 0 {
+		return false
+	}
+	e.stampGen++
+	v := start
+	steps := 0
+	for {
+		if e.stamp[v] == e.stampGen {
+			break // v is on a parent cycle
+		}
+		e.stamp[v] = e.stampGen
+		if e.parent[v] < 0 {
+			return false
+		}
+		v = e.parent[v]
+		if steps++; steps > e.n {
+			return false
+		}
+	}
+	// Collect the cycle's arcs. Walking u ← parent[u] from v yields the
+	// arcs in reverse traversal order; reversing gives a forward cycle.
+	e.cycleBuf = e.cycleBuf[:0]
+	var sum int64
+	u := v
+	for {
+		e.cycleBuf = append(e.cycleBuf, e.parentArc[u])
+		sum += e.parentW[u] // |Σw| ≤ n·2³¹ ≤ 2⁵⁷: no overflow
+		u = e.parent[u]
+		if u == v {
+			break
+		}
+		if len(e.cycleBuf) > e.n {
+			return false
+		}
+	}
+	for i, j := 0, len(e.cycleBuf)-1; i < j; i, j = i+1, j-1 {
+		e.cycleBuf[i], e.cycleBuf[j] = e.cycleBuf[j], e.cycleBuf[i]
+	}
+	mean := numeric.NewRat(sum, int64(len(e.cycleBuf)))
+	if e.haveUpper && !mean.Less(e.bestMean) {
+		return false
+	}
+	e.haveUpper = true
+	e.bestMean = mean
+	// Round the rational up one ULP so the float interval always contains it.
+	e.upperF = math.Nextafter(mean.Float64(), math.Inf(1))
+	e.bestCycle = append(e.bestCycle[:0], e.cycleBuf...)
+	return true
+}
+
+func (e *engine) result() Result {
+	r := Result{
+		Lower:        e.lower,
+		Passes:       e.passes,
+		Rounds:       e.rounds,
+		Improvements: e.improvements,
+	}
+	if e.haveUpper {
+		r.Mean = e.bestMean
+		r.Cycle = append([]graph.ArcID(nil), e.bestCycle...)
+		eb := e.upperF - e.lower
+		if eb < 0 {
+			eb = 0
+		}
+		r.ErrorBound = eb
+	}
+	return r
+}

@@ -1,0 +1,326 @@
+package approx
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// ring builds an n-cycle with the given weights (len(weights) == n).
+func ring(t *testing.T, weights ...int64) *graph.Graph {
+	t.Helper()
+	n := len(weights)
+	b := graph.NewBuilder(n, n)
+	b.AddNodes(n)
+	for i, w := range weights {
+		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%n), w)
+	}
+	return b.Build()
+}
+
+// checkResult asserts the certified interval brackets the known λ* and the
+// witness cycle is a real, closed cycle whose mean matches Result.Mean.
+func checkResult(t *testing.T, g *graph.Graph, res Result, exact float64, eps float64) {
+	t.Helper()
+	mean := res.Mean.Float64()
+	if res.Lower > exact+1e-9 {
+		t.Fatalf("certified lower %v above true λ* %v", res.Lower, exact)
+	}
+	if mean < exact-1e-9 {
+		t.Fatalf("reported mean %v below true λ* %v", mean, exact)
+	}
+	if math.Abs(mean-exact) > res.ErrorBound+1e-9 {
+		t.Fatalf("|mean−λ*| = %v exceeds ErrorBound %v", math.Abs(mean-exact), res.ErrorBound)
+	}
+	if len(res.Cycle) == 0 {
+		t.Fatal("no witness cycle")
+	}
+	var sum int64
+	for i, id := range res.Cycle {
+		a := g.Arc(id)
+		next := g.Arc(res.Cycle[(i+1)%len(res.Cycle)])
+		if a.To != next.From {
+			t.Fatalf("witness arcs %d,%d do not chain: %+v then %+v", i, (i+1)%len(res.Cycle), a, next)
+		}
+		sum += a.Weight
+	}
+	if got := float64(sum) / float64(len(res.Cycle)); math.Abs(got-mean) > 1e-9 {
+		t.Fatalf("witness cycle mean %v != reported %v", got, mean)
+	}
+	_ = eps
+}
+
+func TestRingExact(t *testing.T) {
+	// Single cycle: λ* is its mean regardless of tolerance, and the witness
+	// must be that cycle.
+	g := ring(t, 3, -1, 4, 2) // mean 2
+	for _, mode := range []string{ModeCHKL, ModeAP} {
+		res, err := MinCycleMean(g, Config{Epsilon: 0.25, Mode: mode})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		checkResult(t, g, res, 2, 0.25)
+		if res.Mean.Num() != 2 || res.Mean.Den() != 1 {
+			t.Fatalf("%s: mean = %v, want exactly 2", mode, res.Mean)
+		}
+	}
+}
+
+func TestTwoCyclesPicksBetter(t *testing.T) {
+	// Two disjoint rings: means 5 and -3; λ* = -3.
+	b := graph.NewBuilder(5, 5)
+	b.AddNodes(5)
+	b.AddArc(0, 1, 5)
+	b.AddArc(1, 0, 5)
+	b.AddArc(2, 3, -4)
+	b.AddArc(3, 4, -4)
+	b.AddArc(4, 2, -1)
+	g := b.Build()
+	for _, mode := range []string{ModeCHKL, ModeAP} {
+		res, err := MinCycleMean(g, Config{Epsilon: 0.05, Mode: mode})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		checkResult(t, g, res, -3, 0.05)
+		// Tolerance 0.05·max(1,...) is far below the 8 gap between the two
+		// cycle means, so the witness must be the -3 cycle.
+		if res.Mean.Float64() > -2 {
+			t.Fatalf("%s: converged to the wrong cycle: %v", mode, res.Mean)
+		}
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	b := graph.NewBuilder(2, 3)
+	b.AddNodes(2)
+	b.AddArc(0, 1, 10)
+	b.AddArc(1, 0, 10)
+	b.AddArc(1, 1, -7)
+	g := b.Build()
+	res, err := MinCycleMean(g, Config{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, g, res, -7, 0.1)
+}
+
+func TestAcyclic(t *testing.T) {
+	b := graph.NewBuilder(3, 2)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 1)
+	g := b.Build()
+	for _, mode := range []string{ModeCHKL, ModeAP} {
+		if _, err := MinCycleMean(g, Config{Epsilon: 0.1, Mode: mode}); !errors.Is(err, ErrAcyclic) {
+			t.Fatalf("%s: err = %v, want ErrAcyclic", mode, err)
+		}
+	}
+	empty := graph.NewBuilder(0, 0).Build()
+	if _, err := MinCycleMean(empty, Config{Epsilon: 0.1}); !errors.Is(err, ErrAcyclic) {
+		t.Fatalf("empty: want ErrAcyclic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := ring(t, 1, 2)
+	if _, err := MinCycleMean(g, Config{Epsilon: 0}); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := MinCycleMean(g, Config{Epsilon: -1}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := MinCycleMean(g, Config{Epsilon: 0.1, Mode: "bogus"}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestWeightRange(t *testing.T) {
+	g := ring(t, 1<<31, 0)
+	if _, err := MinCycleMean(g, Config{Epsilon: 0.1}); !errors.Is(err, ErrWeightRange) {
+		t.Fatalf("err = %v, want ErrWeightRange", err)
+	}
+}
+
+func TestPassLimitPartialResult(t *testing.T) {
+	// A long chain hanging off a ring forces many passes; a tiny budget must
+	// fail typed, and any partial bounds returned must still be valid.
+	const n = 64
+	b := graph.NewBuilder(n, n)
+	b.AddNodes(n)
+	for i := 0; i < n; i++ {
+		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%n), int64(i%7)-3)
+	}
+	g := b.Build()
+	res, err := MinCycleMean(g, Config{Epsilon: 1e-9, MaxPasses: 2})
+	if !errors.Is(err, ErrPassLimit) {
+		t.Fatalf("err = %v, want ErrPassLimit", err)
+	}
+	if len(res.Cycle) > 0 {
+		// Whatever partial interval exists must bracket the single cycle's
+		// true mean.
+		var sum int64
+		for _, w := range []int64{} {
+			sum += w
+		}
+		for i := 0; i < n; i++ {
+			sum += int64(i%7) - 3
+		}
+		exact := float64(sum) / float64(n)
+		if res.Lower > exact+1e-9 || res.Mean.Float64() < exact-1e-9 {
+			t.Fatalf("partial bounds [%v, %v] miss λ* = %v", res.Lower, res.Mean.Float64(), exact)
+		}
+	}
+}
+
+func TestCheckpointAbort(t *testing.T) {
+	g := ring(t, 5, 1, 3)
+	sentinel := errors.New("canceled")
+	calls := 0
+	_, err := MinCycleMean(g, Config{Epsilon: 0.1, Checkpoint: func() error {
+		calls++
+		if calls > 1 {
+			return sentinel
+		}
+		return nil
+	}})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the checkpoint's error verbatim", err)
+	}
+}
+
+func TestStreamedEqualsMaterialized(t *testing.T) {
+	// The same graph presented via TextSource must produce the identical
+	// certified result as the materialized *Graph.
+	b := graph.NewBuilder(8, 14)
+	b.AddNodes(8)
+	arcs := [][3]int64{
+		{0, 1, 4}, {1, 2, -2}, {2, 3, 7}, {3, 0, 1}, {2, 0, 3},
+		{3, 4, -5}, {4, 5, 2}, {5, 6, 2}, {6, 7, 2}, {7, 3, -6},
+		{5, 3, 0}, {1, 4, 9}, {6, 2, -1}, {0, 0, 8},
+	}
+	for _, a := range arcs {
+		b.AddArc(graph.NodeID(a[0]), graph.NodeID(a[1]), a[2])
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	src, err := graph.ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{ModeCHKL, ModeAP} {
+		want, err := MinCycleMean(g, Config{Epsilon: 0.02, Mode: mode})
+		if err != nil {
+			t.Fatalf("%s materialized: %v", mode, err)
+		}
+		got, err := MinCycleMean(src, Config{Epsilon: 0.02, Mode: mode})
+		if err != nil {
+			t.Fatalf("%s streamed: %v", mode, err)
+		}
+		if !got.Mean.Equal(want.Mean) || got.Lower != want.Lower || got.Passes != want.Passes {
+			t.Fatalf("%s: streamed (%v,%v,%d) != materialized (%v,%v,%d)",
+				mode, got.Mean, got.Lower, got.Passes, want.Mean, want.Lower, want.Passes)
+		}
+	}
+}
+
+// TestRandomDifferential cross-checks the certified interval against a
+// brute-force λ* on many small random graphs, both modes.
+func TestRandomDifferential(t *testing.T) {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := int(next()%6) + 2
+		m := int(next()%12) + n
+		b := graph.NewBuilder(n, m)
+		b.AddNodes(n)
+		// Hamiltonian ring guarantees a cycle, then random chords.
+		for i := 0; i < n; i++ {
+			b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%n), int64(next()%41)-20)
+		}
+		for i := n; i < m; i++ {
+			b.AddArc(graph.NodeID(next()%uint64(n)), graph.NodeID(next()%uint64(n)), int64(next()%41)-20)
+		}
+		g := b.Build()
+		exact := bruteForceMinMean(g)
+		for _, mode := range []string{ModeCHKL, ModeAP} {
+			res, err := MinCycleMean(g, Config{Epsilon: 0.05, Mode: mode})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, mode, err)
+			}
+			checkResult(t, g, res, exact, 0.05)
+		}
+	}
+}
+
+// bruteForceMinMean enumerates simple cycles by DFS (tiny n only).
+func bruteForceMinMean(g *graph.Graph) float64 {
+	n := g.NumNodes()
+	best := math.Inf(1)
+	var path []graph.ArcID
+	onPath := make([]bool, n)
+	var dfs func(start, v graph.NodeID)
+	dfs = func(start, v graph.NodeID) {
+		for _, id := range g.OutArcs(v) {
+			a := g.Arc(id)
+			if a.To == start {
+				var sum int64
+				for _, pid := range path {
+					sum += g.Arc(pid).Weight
+				}
+				sum += a.Weight
+				if mean := float64(sum) / float64(len(path)+1); mean < best {
+					best = mean
+				}
+				continue
+			}
+			if a.To < start || onPath[a.To] {
+				continue
+			}
+			onPath[a.To] = true
+			path = append(path, id)
+			dfs(start, a.To)
+			path = path[:len(path)-1]
+			onPath[a.To] = false
+		}
+	}
+	for s := graph.NodeID(0); int(s) < n; s++ {
+		onPath[s] = true
+		dfs(s, s)
+		onPath[s] = false
+	}
+	return best
+}
+
+// TestStaleArgminWitness pins the two-start cycle extraction: after an early
+// probe's potential plunge leaves a stale global minimum on the 33-mean
+// cycle, the 32-mean self-loop is only discoverable from the node currently
+// improving. With single-start extraction this case burned the entire pass
+// budget crawling under the softmin smoothing gap.
+func TestStaleArgminWitness(t *testing.T) {
+	g := graph.FromArcs(3, []graph.Arc{
+		{From: 2, To: 1, Weight: 116},
+		{From: 1, To: 2, Weight: 48},
+		{From: 0, To: 2, Weight: 18},
+		{From: 1, To: 1, Weight: 32},
+		{From: 2, To: 0, Weight: 48},
+	})
+	res, err := MinCycleMean(g, Config{Epsilon: 0.005, Mode: ModeAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResult(t, g, res, 32, 0.005)
+	if res.Passes > 100 {
+		t.Fatalf("took %d passes, expected prompt witness harvest", res.Passes)
+	}
+}

@@ -1,0 +1,270 @@
+package bench
+
+// This file is the approximation-tier experiment harness: generator-backed
+// streaming solves on graphs far beyond the exact sweeps' sizes, run under a
+// measured peak-heap cap, with an exact-vs-approx time/memory/error
+// comparison on the sizes where the exact path is still feasible.
+// `mcmbench -table approx -json > BENCH_approx.json` records the sweep;
+// `mcmbench -table approx -quick` is the CI smoke variant (one 10⁶-arc
+// graph, tighter cap). Cap or bound violations are reported in the JSON and
+// make mcmbench exit 2.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// ApproxConfig parameterizes RunApproxSweep.
+type ApproxConfig struct {
+	// Smoke runs the reduced CI variant: one 10⁶-arc SPRAND stream with an
+	// exact cross-check, under the tighter smoke cap.
+	Smoke bool
+	// Epsilon is the requested tolerance (default 0.02).
+	Epsilon float64
+	// RSSCapBytes bounds the peak in-process heap measured during each
+	// streaming solve (default 64 MiB full sweep, 32 MiB smoke). Exceeding it
+	// is a violation, not an error — the sweep completes and reports it.
+	RSSCapBytes uint64
+	// Progress, when non-nil, receives one line per completed case.
+	Progress io.Writer
+}
+
+func (c ApproxConfig) withDefaults() ApproxConfig {
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.02
+	}
+	if c.RSSCapBytes == 0 {
+		if c.Smoke {
+			c.RSSCapBytes = 32 << 20
+		} else {
+			c.RSSCapBytes = 64 << 20
+		}
+	}
+	return c
+}
+
+// ApproxRow is one streaming-solve measurement.
+type ApproxRow struct {
+	Name  string `json:"name"`
+	Mode  string `json:"mode"`
+	Nodes int    `json:"nodes"`
+	Arcs  int    `json:"arcs"`
+	// Value is the witness cycle's mean (an upper bound on λ*); ErrorBound
+	// the certified interval width: λ* ∈ [Value−ErrorBound, Value].
+	Value      float64 `json:"value"`
+	ErrorBound float64 `json:"error_bound"`
+	// Passes/Rounds are the engine's work measures (arc-stream scans and
+	// λ-probe rounds).
+	Passes int `json:"passes"`
+	Rounds int `json:"rounds"`
+	// ApproxMs and PeakHeapBytes describe the streaming solve; the peak is
+	// sampled in-process (like the serving suite's streaming probe) and is
+	// what the RSS cap is asserted against.
+	ApproxMs      float64 `json:"approx_ms"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	// ExactMs/ExactPeakHeapBytes/ExactValue describe the exact comparison leg
+	// (materialize + Howard) on the cases small enough to run it; zero when
+	// the case is stream-only.
+	ExactMs            float64 `json:"exact_ms,omitempty"`
+	ExactPeakHeapBytes uint64  `json:"exact_peak_heap_bytes,omitempty"`
+	ExactValue         float64 `json:"exact_value,omitempty"`
+	// BoundHolds reports λ* ∈ [Value−ErrorBound, Value] when the exact value
+	// is known, and ErrorBound ≤ the mode's promised tolerance always.
+	BoundHolds bool `json:"bound_holds"`
+}
+
+// ApproxReport is a completed approximation sweep.
+type ApproxReport struct {
+	Epsilon     float64     `json:"epsilon"`
+	RSSCapBytes uint64      `json:"rss_cap_bytes"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Rows        []ApproxRow `json:"rows"`
+	// Violations lists every broken invariant (cap exceeded, bound not met);
+	// mcmbench exits 2 when it is non-empty.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// JSON renders the report for BENCH_approx.json.
+func (r *ApproxReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// approxCase is one entry of the sweep: a streaming source plus whether the
+// exact path is feasible at this size.
+type approxCase struct {
+	name  string
+	mode  string
+	exact bool
+	src   graph.ArcSource
+}
+
+func approxCases(smoke bool) ([]approxCase, error) {
+	sprand := func(n, m int, seed uint64) (graph.ArcSource, error) {
+		return gen.NewSprandSource(gen.SprandConfig{N: n, M: m, MinWeight: 1, MaxWeight: 10000, Seed: seed})
+	}
+	if smoke {
+		src, err := sprand(1<<14, 1<<20, 7)
+		if err != nil {
+			return nil, err
+		}
+		return []approxCase{{name: "sprand-stream-1m", mode: "chkl", exact: true, src: src}}, nil
+	}
+	cmp, err := sprand(1<<14, 1<<19, 7)
+	if err != nil {
+		return nil, err
+	}
+	cmpAP, err := sprand(1<<14, 1<<19, 7)
+	if err != nil {
+		return nil, err
+	}
+	torus, err := gen.NewTorusSource(512, 512, 1, 10000, 11)
+	if err != nil {
+		return nil, err
+	}
+	// The flagship: 4.19M arcs, 162× the largest graph of the exact sweeps
+	// (chain-large's 25840 arcs), solved without ever materializing.
+	flag, err := sprand(1<<17, 1<<22, 7)
+	if err != nil {
+		return nil, err
+	}
+	return []approxCase{
+		{name: "sprand-exact-compare", mode: "chkl", exact: true, src: cmp},
+		{name: "sprand-exact-compare-ap", mode: "ap", exact: true, src: cmpAP},
+		{name: "torus-stream", mode: "chkl", src: torus},
+		{name: "sprand-stream-4m", mode: "chkl", src: flag},
+	}, nil
+}
+
+// promisedTolerance is the mode's a-priori bound on the certified interval
+// width (what the engine guarantees for a clean return).
+func promisedTolerance(mode string, eps, value, absWMax float64) float64 {
+	if mode == "ap" {
+		return eps * math.Max(1, absWMax)
+	}
+	return eps * math.Max(1, math.Abs(value))
+}
+
+// RunApproxSweep measures the streaming approximation tier over the
+// generator families, asserting the peak-heap cap and the certified bounds.
+func RunApproxSweep(cfg ApproxConfig) (*ApproxReport, error) {
+	cfg = cfg.withDefaults()
+	cases, err := approxCases(cfg.Smoke)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ApproxReport{
+		Epsilon:     cfg.Epsilon,
+		RSSCapBytes: cfg.RSSCapBytes,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	howard, err := core.ByName("howard")
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ac := range cases {
+		row := ApproxRow{Name: ac.name, Mode: ac.mode, Nodes: ac.src.NumNodes(), Arcs: ac.src.NumArcs()}
+
+		// Streaming leg, under the heap watcher. The GC beforehand gives every
+		// case the same baseline so the peak measures this solve, not the
+		// previous case's garbage.
+		runtime.GC()
+		w := watchHeap()
+		start := time.Now()
+		res, err := core.MinimumCycleMeanStream(ac.src, core.Options{
+			Approx: core.ApproxOptions{Epsilon: cfg.Epsilon, Mode: ac.mode},
+		})
+		row.ApproxMs = time.Since(start).Seconds() * 1000
+		row.PeakHeapBytes = w.Peak()
+		if err != nil {
+			return nil, fmt.Errorf("bench: approx %s: %w", ac.name, err)
+		}
+		row.Value = res.Mean.Float64()
+		row.ErrorBound = res.ErrorBound
+		row.Rounds = res.Counts.Iterations
+		if row.Arcs > 0 {
+			row.Passes = res.Counts.ArcsVisited / row.Arcs
+		}
+
+		row.BoundHolds = true
+		if tol := promisedTolerance(ac.mode, cfg.Epsilon, row.Value, 10000); row.ErrorBound > tol*(1+1e-9) {
+			row.BoundHolds = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: error bound %g exceeds the promised tolerance %g", ac.name, row.ErrorBound, tol))
+		}
+		if row.PeakHeapBytes > cfg.RSSCapBytes {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: peak heap %d bytes exceeds the %d-byte cap", ac.name, row.PeakHeapBytes, cfg.RSSCapBytes))
+		}
+
+		// Exact comparison leg: materialize + Howard, its own heap watch. The
+		// memory ratio (ExactPeakHeapBytes / PeakHeapBytes) is the streaming
+		// tier's headline.
+		if ac.exact {
+			runtime.GC()
+			we := watchHeap()
+			start = time.Now()
+			g, err := graph.Materialize(ac.src)
+			if err != nil {
+				return nil, fmt.Errorf("bench: materialize %s: %w", ac.name, err)
+			}
+			exact, err := core.MinimumCycleMean(g, howard, core.Options{})
+			row.ExactMs = time.Since(start).Seconds() * 1000
+			row.ExactPeakHeapBytes = we.Peak()
+			if err != nil {
+				return nil, fmt.Errorf("bench: exact %s: %w", ac.name, err)
+			}
+			row.ExactValue = exact.Mean.Float64()
+			const slack = 1e-9
+			if row.ExactValue > row.Value+slack || row.ExactValue < row.Value-row.ErrorBound-slack {
+				row.BoundHolds = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s: exact λ* %g outside the certified interval [%g, %g]",
+						ac.name, row.ExactValue, row.Value-row.ErrorBound, row.Value))
+			}
+			g = nil
+			runtime.GC()
+		}
+
+		rep.Rows = append(rep.Rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%-24s n=%-8d m=%-8d %8.0fms peak %5.1fMiB value %.3f ±%.3g\n",
+				ac.name, row.Nodes, row.Arcs, row.ApproxMs, float64(row.PeakHeapBytes)/(1<<20), row.Value, row.ErrorBound)
+		}
+	}
+	return rep, nil
+}
+
+// WriteApprox renders the sweep as a text table in the paper's style.
+func WriteApprox(w io.Writer, rep *ApproxReport) {
+	fmt.Fprintf(w, "Approximation-tier sweep (epsilon %g, RSS cap %d MiB, %d CPUs, GOMAXPROCS %d)\n\n",
+		rep.Epsilon, rep.RSSCapBytes>>20, rep.NumCPU, rep.GOMAXPROCS)
+	fmt.Fprintf(w, "%-24s %5s %8s %9s %7s %7s %11s %9s %11s %9s %12s\n",
+		"case", "mode", "nodes", "arcs", "passes", "rounds", "approx-ms", "peak-MiB", "exact-ms", "x-MiB", "error-bound")
+	for _, r := range rep.Rows {
+		exactMs, exactMiB := "-", "-"
+		if r.ExactMs > 0 {
+			exactMs = fmt.Sprintf("%.0f", r.ExactMs)
+			exactMiB = fmt.Sprintf("%.1f", float64(r.ExactPeakHeapBytes)/(1<<20))
+		}
+		fmt.Fprintf(w, "%-24s %5s %8d %9d %7d %7d %11.0f %9.1f %11s %9s %12.3g\n",
+			r.Name, r.Mode, r.Nodes, r.Arcs, r.Passes, r.Rounds,
+			r.ApproxMs, float64(r.PeakHeapBytes)/(1<<20), exactMs, exactMiB, r.ErrorBound)
+	}
+	if len(rep.Violations) > 0 {
+		fmt.Fprintf(w, "\nVIOLATIONS:\n")
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestApproxSweepSmoke runs the CI smoke variant end-to-end: one 10⁶-arc
+// SPRAND stream under the 32 MiB cap with the exact cross-check. It is the
+// same configuration `mcmbench -table approx -quick` runs, so a failure here
+// is a failure of the bench-approx-smoke gate.
+func TestApproxSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streaming sweep takes a few seconds")
+	}
+	rep, err := RunApproxSweep(ApproxConfig{Smoke: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("smoke rows %d, want 1", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row.Arcs < 1_000_000 {
+		t.Errorf("smoke graph has %d arcs, want >= 10^6", row.Arcs)
+	}
+	if !row.BoundHolds || row.ExactValue == 0 {
+		t.Errorf("smoke row missing the exact cross-check: %+v", row)
+	}
+	if row.PeakHeapBytes > rep.RSSCapBytes {
+		t.Errorf("peak heap %d over the %d cap", row.PeakHeapBytes, rep.RSSCapBytes)
+	}
+	// The streaming leg must be far below the exact leg's footprint — the
+	// whole point of the tier. 10× is an extremely loose floor (measured
+	// ~150×).
+	if row.ExactPeakHeapBytes < 10*row.PeakHeapBytes {
+		t.Errorf("streaming peak %d not clearly below exact peak %d", row.PeakHeapBytes, row.ExactPeakHeapBytes)
+	}
+
+	var sb strings.Builder
+	WriteApprox(&sb, rep)
+	if !strings.Contains(sb.String(), "sprand-stream-1m") {
+		t.Errorf("table rendering missing the row:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,45 @@
+package bench
+
+// Conservative-bound assertions over recorded benchmark reports: CI re-runs
+// a quick sweep and feeds it through these checks, so a regression that
+// erases a claimed win (kernelization speedup, warm-start speedup) fails the
+// build instead of silently rotting the checked-in numbers. The floors are
+// deliberately far below the recorded values — they gate "the win still
+// exists", not "the machine is as fast as last time".
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// CheckKernel parses a BENCH_kernel.json blob and asserts the conservative
+// floors: every chain-family row (the family kernelization exists for) keeps
+// a speedup of at least minSpeedup, and the Session warm-start does too.
+// SPRAND rows are not gated — kernelization never claimed a win there.
+func CheckKernel(data []byte, minSpeedup float64) error {
+	var rep KernelReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("bench: parsing kernel report: %w", err)
+	}
+	var errs []error
+	chains := 0
+	for _, row := range rep.Rows {
+		if row.Family != "chain" {
+			continue
+		}
+		chains++
+		if row.Speedup < minSpeedup {
+			errs = append(errs, fmt.Errorf("bench: %s kernelization speedup %.2fx below the %.2fx floor", row.Name, row.Speedup, minSpeedup))
+		}
+	}
+	if chains == 0 {
+		errs = append(errs, errors.New("bench: kernel report has no chain-family rows"))
+	}
+	if rep.Session == nil {
+		errs = append(errs, errors.New("bench: kernel report has no session row"))
+	} else if rep.Session.Speedup < minSpeedup {
+		errs = append(errs, fmt.Errorf("bench: session warm-start speedup %.2fx below the %.2fx floor", rep.Session.Speedup, minSpeedup))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func kernelReportJSON(t *testing.T, chainSpeedup, sessionSpeedup float64) []byte {
+	t.Helper()
+	rep := KernelReport{
+		Algorithm: "howard",
+		Rows: []KernelRow{
+			{Family: "chain", Name: "chain-small", Speedup: chainSpeedup},
+			{Family: "sprand", Name: "sprand-1024-2048", Speedup: 0.5}, // never gated
+		},
+		Session: &SessionRow{Speedup: sessionSpeedup},
+	}
+	data, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCheckKernel(t *testing.T) {
+	if err := CheckKernel(kernelReportJSON(t, 1.9, 2.4), 1.2); err != nil {
+		t.Errorf("healthy report failed: %v", err)
+	}
+	err := CheckKernel(kernelReportJSON(t, 1.1, 2.4), 1.2)
+	if err == nil || !strings.Contains(err.Error(), "chain-small") {
+		t.Errorf("regressed chain row not flagged: %v", err)
+	}
+	err = CheckKernel(kernelReportJSON(t, 1.9, 1.0), 1.2)
+	if err == nil || !strings.Contains(err.Error(), "warm-start") {
+		t.Errorf("regressed session row not flagged: %v", err)
+	}
+	if err := CheckKernel([]byte(`{"rows":[]}`), 1.2); err == nil {
+		t.Error("empty report accepted")
+	}
+	if err := CheckKernel([]byte("not json"), 1.2); err == nil {
+		t.Error("malformed report accepted")
+	}
+}

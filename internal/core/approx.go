@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/approx"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/obs"
+)
+
+func init() {
+	register("approx", func() Algorithm { return approxAlg{} })
+}
+
+// ApproxOptions parameterizes the "approx" algorithm (internal/approx): the
+// streaming ε-approximation tier layered under the same Algorithm interface
+// as the exact solvers.
+type ApproxOptions struct {
+	// Epsilon is the requested tolerance. Under ModeCHKL ("chkl", the
+	// default) the certified interval width is at most ε·max(1, |λ̂|), a
+	// relative guarantee in the style of Chatterjee–Henzinger–Krinninger–
+	// Loitzenbauer; under ModeAP ("ap") it is at most ε·max(1, W) with W the
+	// largest weight magnitude, the additive guarantee of the Altschuler–
+	// Parrilo entropic scheme. Epsilon <= 0 requests an exact answer: the
+	// engine brackets λ* coarsely and an exact Lawler pass seeded from the
+	// interval finishes the job (same path ApproxSharpen takes).
+	Epsilon float64
+	// Mode selects the scheme: "" or "chkl" for the relative-error hard
+	// bisection, "ap" for the additive entropic (softmin) variant. Any other
+	// value fails with ErrApproxMode.
+	Mode string
+}
+
+// bracketEpsilon is the engine tolerance used when the caller asked for an
+// exact answer (Epsilon <= 0, ApproxSharpen, or Certify): tight enough that
+// the Lawler pass seeded from the interval probes only a handful of grid
+// points, loose enough that the engine converges in few rounds.
+const bracketEpsilon = 0.01
+
+// CanonicalApproxMode resolves an ApproxOptions.Mode spelling to its
+// canonical form ("" defaults to the CHKL relative-error scheme) or returns
+// ErrApproxMode. Callers that key caches on the mode should store the
+// canonical spelling so the default and the explicit form coincide.
+func CanonicalApproxMode(mode string) (string, error) { return approxMode(mode) }
+
+func approxMode(mode string) (string, error) {
+	switch mode {
+	case "", approx.ModeCHKL:
+		return approx.ModeCHKL, nil
+	case approx.ModeAP:
+		return approx.ModeAP, nil
+	}
+	return "", fmt.Errorf("%w: %q", ErrApproxMode, mode)
+}
+
+// approxConfig translates driver Options into an engine Config.
+func approxConfig(opt Options, mode string, eps float64) approx.Config {
+	cfg := approx.Config{
+		Epsilon:    eps,
+		Mode:       mode,
+		Checkpoint: opt.checkpoint,
+	}
+	if opt.MaxIterations > 0 {
+		cfg.MaxPasses = opt.MaxIterations
+	}
+	return cfg
+}
+
+// approxCounts maps the engine's work measures onto the shared counter
+// vocabulary: rounds are main-loop iterations, improvements are relaxations,
+// and every pass touches all m arcs.
+func approxCounts(res approx.Result, arcs int) (c struct {
+	iters, relax, visited int
+}) {
+	c.iters = res.Rounds
+	c.relax = res.Improvements
+	c.visited = res.Passes * arcs
+	return c
+}
+
+// emitApprox reports one engine run through the tracer; nil-safe.
+func emitApprox(t *obs.Trace, mode string, eps float64, nodes, arcs int, res approx.Result, sharpened bool, err error) {
+	if !t.Enabled() {
+		return
+	}
+	upper := math.NaN()
+	if len(res.Cycle) > 0 {
+		upper = res.Mean.Float64()
+	}
+	t.Approx(obs.ApproxEvent{
+		Mode:      mode,
+		Epsilon:   eps,
+		Nodes:     nodes,
+		Arcs:      arcs,
+		Passes:    res.Passes,
+		Rounds:    res.Rounds,
+		Lower:     res.Lower,
+		Upper:     upper,
+		Sharpened: sharpened,
+		Err:       err,
+	})
+}
+
+// approxAlg adapts internal/approx to the Algorithm interface under the name
+// "approx". With Epsilon > 0 it returns an ε-certified interval (Exact false,
+// ErrorBound set); with Epsilon <= 0, ApproxSharpen, or Certify it follows
+// the interval with an exact Lawler pass whose bisection is seeded from the
+// certified bounds, so the default configuration is bit-identical to the
+// exact solvers.
+type approxAlg struct{}
+
+func (approxAlg) Name() string { return "approx" }
+
+func (approxAlg) Solve(g *graph.Graph, opt Options) (Result, error) {
+	mode, err := approxMode(opt.Approx.Mode)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := checkSolveInput(g); err != nil {
+		return Result{}, err
+	}
+	eps := opt.Approx.Epsilon
+	sharpen := opt.ApproxSharpen || opt.Certify || eps <= 0
+	runEps := eps
+	if runEps <= 0 {
+		runEps = bracketEpsilon
+	}
+	res, engErr := approx.MinCycleMean(g, approxConfig(opt, mode, runEps))
+	if engErr != nil {
+		switch {
+		case errors.Is(engErr, approx.ErrAcyclic):
+			// checkSolveInput admitted the graph, so it has a cycle; an
+			// acyclic verdict here would be an engine bug, but map it to the
+			// shared sentinel rather than leak the internal one.
+			emitApprox(opt.Tracer, mode, runEps, g.NumNodes(), g.NumArcs(), res, false, engErr)
+			return Result{}, ErrAcyclic
+		case errors.Is(engErr, approx.ErrWeightRange):
+			emitApprox(opt.Tracer, mode, runEps, g.NumNodes(), g.NumArcs(), res, false, engErr)
+			return Result{}, ErrWeightRange
+		case errors.Is(engErr, approx.ErrPassLimit):
+			if !sharpen {
+				emitApprox(opt.Tracer, mode, runEps, g.NumNodes(), g.NumArcs(), res, false, engErr)
+				return Result{}, fmt.Errorf("%w: approximation stalled at [%g, %g]", ErrIterationLimit, res.Lower, res.Mean.Float64())
+			}
+			// The partial interval is still certified; Lawler below can
+			// absorb whatever narrowing was achieved.
+		default:
+			// Checkpoint/cancellation errors propagate verbatim.
+			emitApprox(opt.Tracer, mode, runEps, g.NumNodes(), g.NumArcs(), res, false, engErr)
+			return Result{}, engErr
+		}
+	}
+
+	if !sharpen {
+		emitApprox(opt.Tracer, mode, runEps, g.NumNodes(), g.NumArcs(), res, false, nil)
+		c := approxCounts(res, g.NumArcs())
+		out := Result{
+			Mean:       res.Mean,
+			Cycle:      res.Cycle,
+			Exact:      res.ErrorBound == 0,
+			ErrorBound: res.ErrorBound,
+		}
+		out.Counts.Iterations = c.iters
+		out.Counts.Relaxations = c.relax
+		out.Counts.ArcsVisited = c.visited
+		return out, nil
+	}
+
+	out, err := sharpenWithLawler(g, opt, res)
+	emitApprox(opt.Tracer, mode, runEps, g.NumNodes(), g.NumArcs(), res, err == nil, engErr)
+	if err != nil {
+		return Result{}, err
+	}
+	c := approxCounts(res, g.NumArcs())
+	out.Counts.Iterations += c.iters
+	out.Counts.Relaxations += c.relax
+	out.Counts.ArcsVisited += c.visited
+	return out, nil
+}
+
+// sharpenWithLawler runs the exact Lawler bisection with its λ bracket
+// narrowed to the engine's certified interval. res.Lower ≤ λ* always; the
+// witness cycle's exact mean, when one was harvested, is an upper bound.
+func sharpenWithLawler(g *graph.Graph, opt Options, res approx.Result) (Result, error) {
+	sub := opt
+	sub.Epsilon = 0 // exact grid; opt.Epsilon belongs to the legacy solvers
+	sub.Approx = ApproxOptions{}
+	sub.ApproxSharpen = false
+	// Round the float lower bound down onto a dyadic grid so the rational
+	// stays small: floor(Lower·2^20)/2^20 ≤ Lower ≤ λ*.
+	if !math.IsInf(res.Lower, -1) {
+		lo := numeric.NewRat(int64(math.Floor(res.Lower*(1<<20))), 1<<20)
+		sub.LambdaLower = &lo
+	}
+	if len(res.Cycle) > 0 {
+		up := res.Mean // exact rational mean of a real cycle
+		sub.LambdaUpper = &up
+	} else {
+		sub.LambdaUpper = nil
+	}
+	return lawlerAlg{}.Solve(g, sub)
+}
+
+// MinimumCycleMeanStream computes an ε-certified λ* over a streaming arc
+// source using the "approx" engine, without ever materializing the graph:
+// working memory is O(n) regardless of the arc count. The source must be
+// re-scannable (each pass re-reads the stream).
+//
+// The streaming path is approximate-only: Approx.Epsilon must be positive,
+// and ApproxSharpen/Certify are rejected because the exact Lawler pass needs
+// a materialized graph. Unlike MinimumCycleMean it does not decompose into
+// strongly connected components — the engine's value iteration is sound on
+// arbitrary graphs — so it accepts any source, returning ErrAcyclic when no
+// cycle exists.
+func MinimumCycleMeanStream(src graph.ArcSource, opt Options) (Result, error) {
+	mode, err := approxMode(opt.Approx.Mode)
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.ApproxSharpen || opt.Certify {
+		return Result{}, errors.New("core: streaming solve is approximate-only; sharpening and certification require a materialized graph")
+	}
+	if opt.Approx.Epsilon <= 0 {
+		return Result{}, errors.New("core: streaming solve requires Approx.Epsilon > 0")
+	}
+	res, engErr := approx.MinCycleMean(src, approxConfig(opt, mode, opt.Approx.Epsilon))
+	emitApprox(opt.Tracer, mode, opt.Approx.Epsilon, src.NumNodes(), src.NumArcs(), res, false, engErr)
+	if engErr != nil {
+		switch {
+		case errors.Is(engErr, approx.ErrAcyclic):
+			return Result{}, ErrAcyclic
+		case errors.Is(engErr, approx.ErrWeightRange):
+			return Result{}, ErrWeightRange
+		case errors.Is(engErr, approx.ErrPassLimit):
+			return Result{}, fmt.Errorf("%w: approximation stalled at [%g, %g]", ErrIterationLimit, res.Lower, res.Mean.Float64())
+		}
+		return Result{}, engErr
+	}
+	c := approxCounts(res, src.NumArcs())
+	out := Result{
+		Mean:       res.Mean,
+		Cycle:      res.Cycle,
+		Exact:      res.ErrorBound == 0,
+		ErrorBound: res.ErrorBound,
+	}
+	out.Counts.Iterations = c.iters
+	out.Counts.Relaxations = c.relax
+	out.Counts.ArcsVisited = c.visited
+	return out, nil
+}

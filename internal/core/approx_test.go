@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// TestApproxEquivalence is the satellite-3 guarantee, run over the full
+// equivalence corpus: the sharpened approx path is bit-identical to an exact
+// certified solve, and every unsharpened ε run stays within its own declared
+// error bound of the true λ*.
+func TestApproxEquivalence(t *testing.T) {
+	corpus := equivalenceCorpus(t)
+	approx := mustAlgo(t, "approx")
+	exactAlgo := mustAlgo(t, "howard")
+	for name, g := range corpus {
+		exact, err := MinimumCycleMean(g, exactAlgo, Options{Certify: true})
+		if err != nil {
+			t.Fatalf("%s: exact solve: %v", name, err)
+		}
+
+		// Sharpened: default options request an exact answer.
+		sharp, err := MinimumCycleMean(g, approx, Options{Certify: true})
+		if err != nil {
+			t.Fatalf("%s: sharpened approx solve: %v", name, err)
+		}
+		if !sharp.Mean.Equal(exact.Mean) {
+			t.Errorf("%s: sharpened λ* = %v, exact = %v", name, sharp.Mean, exact.Mean)
+			continue
+		}
+		if !sharp.Exact || sharp.ErrorBound != 0 {
+			t.Errorf("%s: sharpened result must be exact with zero bound, got exact=%v bound=%v",
+				name, sharp.Exact, sharp.ErrorBound)
+		}
+		if sharp.Certificate == nil || !sharp.Certificate.Value.Equal(sharp.Mean) {
+			t.Errorf("%s: missing or mismatched certificate: %+v", name, sharp.Certificate)
+		}
+		if err := g.ValidateCycle(sharp.Cycle); err != nil {
+			t.Errorf("%s: sharpened cycle invalid: %v", name, err)
+		}
+
+		// Unsharpened ε run: λ* must lie in [Mean−ErrorBound, Mean], and the
+		// witness must be a real cycle of the original graph whose exact
+		// rational mean is the reported Mean.
+		for _, mode := range []string{"chkl", "ap"} {
+			res, err := MinimumCycleMean(g, approx, Options{Approx: ApproxOptions{Epsilon: 0.05, Mode: mode}})
+			if err != nil {
+				t.Fatalf("%s/%s: approx solve: %v", name, mode, err)
+			}
+			lam := exact.Mean.Float64()
+			if res.Mean.Float64() < lam-1e-9 {
+				t.Errorf("%s/%s: reported mean %v below true λ* %v", name, mode, res.Mean, lam)
+			}
+			if res.Mean.Float64()-res.ErrorBound > lam+1e-9 {
+				t.Errorf("%s/%s: certified interval [%v, %v] misses λ* = %v",
+					name, mode, res.Mean.Float64()-res.ErrorBound, res.Mean.Float64(), lam)
+			}
+			if res.Exact != (res.ErrorBound == 0) {
+				t.Errorf("%s/%s: Exact=%v inconsistent with ErrorBound=%v", name, mode, res.Exact, res.ErrorBound)
+			}
+			if err := g.ValidateCycle(res.Cycle); err != nil {
+				t.Errorf("%s/%s: witness cycle invalid: %v", name, mode, err)
+				continue
+			}
+			mean := numeric.NewRat(g.CycleWeight(res.Cycle), int64(len(res.Cycle)))
+			if !mean.Equal(res.Mean) {
+				t.Errorf("%s/%s: witness mean %v != reported %v", name, mode, mean, res.Mean)
+			}
+		}
+	}
+}
+
+func TestApproxModeValidation(t *testing.T) {
+	g := graph.FromArcs(2, []graph.Arc{{From: 0, To: 1, Weight: 1}, {From: 1, To: 0, Weight: 1}})
+	algo := mustAlgo(t, "approx")
+	if _, err := algo.Solve(g, Options{Approx: ApproxOptions{Mode: "bogus"}}); !errors.Is(err, ErrApproxMode) {
+		t.Errorf("Solve: err = %v, want ErrApproxMode", err)
+	}
+	if _, err := MinimumCycleMeanStream(g, Options{Approx: ApproxOptions{Epsilon: 0.1, Mode: "bogus"}}); !errors.Is(err, ErrApproxMode) {
+		t.Errorf("Stream: err = %v, want ErrApproxMode", err)
+	}
+}
+
+func TestApproxSharpenFlag(t *testing.T) {
+	// ApproxSharpen with a loose ε must still return the exact answer.
+	g := graph.FromArcs(3, []graph.Arc{
+		{From: 0, To: 1, Weight: 7},
+		{From: 1, To: 2, Weight: -2},
+		{From: 2, To: 0, Weight: 4},
+		{From: 1, To: 0, Weight: 9},
+	})
+	algo := mustAlgo(t, "approx")
+	res, err := algo.Solve(g, Options{Approx: ApproxOptions{Epsilon: 0.5}, ApproxSharpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := numeric.NewRat(3, 1) // cycle 0→1→2→0: (7−2+4)/3 = 3; 0→1→0: 8
+	if !res.Mean.Equal(want) || !res.Exact || res.ErrorBound != 0 {
+		t.Fatalf("sharpened = (%v, exact=%v, bound=%v), want (3, true, 0)", res.Mean, res.Exact, res.ErrorBound)
+	}
+	if res.Counts.Iterations == 0 || res.Counts.ArcsVisited == 0 {
+		t.Errorf("engine work not folded into counts: %+v", res.Counts)
+	}
+}
+
+func TestApproxStream(t *testing.T) {
+	g := graph.FromArcs(4, []graph.Arc{
+		{From: 0, To: 1, Weight: 2},
+		{From: 1, To: 2, Weight: -3},
+		{From: 2, To: 0, Weight: 4},
+		{From: 2, To: 3, Weight: 1},
+		{From: 3, To: 2, Weight: 1},
+	})
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	src, err := graph.ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinimumCycleMeanStream(src, Options{Approx: ApproxOptions{Epsilon: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lam = 1.0 // min(1 via 0→1→2→0, 1 via 2↔3)
+	if res.Mean.Float64() < lam-1e-9 || res.Mean.Float64()-res.ErrorBound > lam+1e-9 {
+		t.Fatalf("streamed interval [%v, %v] misses λ* = %v",
+			res.Mean.Float64()-res.ErrorBound, res.Mean.Float64(), lam)
+	}
+
+	// The streaming driver is approximate-only.
+	if _, err := MinimumCycleMeanStream(src, Options{}); err == nil {
+		t.Error("epsilon 0 accepted on the streaming path")
+	}
+	if _, err := MinimumCycleMeanStream(src, Options{Approx: ApproxOptions{Epsilon: 0.1}, ApproxSharpen: true}); err == nil {
+		t.Error("sharpening accepted on the streaming path")
+	}
+	if _, err := MinimumCycleMeanStream(src, Options{Approx: ApproxOptions{Epsilon: 0.1}, Certify: true}); err == nil {
+		t.Error("certification accepted on the streaming path")
+	}
+
+	// Acyclic stream.
+	dag := graph.FromArcs(2, []graph.Arc{{From: 0, To: 1, Weight: 1}})
+	if _, err := MinimumCycleMeanStream(dag, Options{Approx: ApproxOptions{Epsilon: 0.1}}); !errors.Is(err, ErrAcyclic) {
+		t.Errorf("acyclic stream: err = %v, want ErrAcyclic", err)
+	}
+}
+
+// TestApproxMultiSCCBoundMerge pins the driver's interval widening: when the
+// winning component carries an error bound, the merged bound must still
+// bracket the global λ* even though other components' lower bounds differ.
+func TestApproxMultiSCCBoundMerge(t *testing.T) {
+	// Two components with close means (10/3 vs 7/2) so a loose ε makes the
+	// winner ambiguous; the merged interval must contain min(10/3, 7/2).
+	g := graph.FromArcs(5, []graph.Arc{
+		{From: 0, To: 1, Weight: 3},
+		{From: 1, To: 2, Weight: 3},
+		{From: 2, To: 0, Weight: 4},
+		{From: 3, To: 4, Weight: 3},
+		{From: 4, To: 3, Weight: 4},
+	})
+	algo := mustAlgo(t, "approx")
+	lam := 10.0 / 3.0
+	for _, par := range []int{1, 4} {
+		res, err := MinimumCycleMean(g, algo, Options{Approx: ApproxOptions{Epsilon: 0.4}, Parallelism: par})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if res.Mean.Float64() < lam-1e-9 {
+			t.Errorf("parallelism %d: mean %v below λ* %v", par, res.Mean, lam)
+		}
+		if res.Mean.Float64()-res.ErrorBound > lam+1e-9 {
+			t.Errorf("parallelism %d: interval [%v, %v] misses λ* = %v",
+				par, res.Mean.Float64()-res.ErrorBound, res.Mean.Float64(), lam)
+		}
+		if res.ErrorBound > 0 && res.Exact {
+			t.Errorf("parallelism %d: Exact with nonzero bound %v", par, res.ErrorBound)
+		}
+	}
+}
+
+// TestApproxIterationLimit maps the engine's pass-budget exhaustion onto the
+// shared ErrIterationLimit sentinel on the unsharpened path.
+func TestApproxIterationLimit(t *testing.T) {
+	const n = 64
+	arcs := make([]graph.Arc, n)
+	for i := range arcs {
+		arcs[i] = graph.Arc{From: graph.NodeID(i), To: graph.NodeID((i + 1) % n), Weight: int64(i%7) - 3}
+	}
+	g := graph.FromArcs(n, arcs)
+	algo := mustAlgo(t, "approx")
+	_, err := algo.Solve(g, Options{Approx: ApproxOptions{Epsilon: 1e-9}, MaxIterations: 2})
+	if !errors.Is(err, ErrIterationLimit) {
+		t.Fatalf("err = %v, want ErrIterationLimit", err)
+	}
+}

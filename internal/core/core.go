@@ -52,6 +52,9 @@ var (
 	// Portfolio race that another solver won, or by a caller-installed
 	// cancellation); see Options.Canceled.
 	ErrCanceled = errors.New("core: solve canceled")
+	// ErrApproxMode is returned by the "approx" algorithm (and by front ends
+	// validating requests) for an unrecognized Options.Approx.Mode.
+	ErrApproxMode = errors.New("core: unknown approximation mode")
 )
 
 // MaxWeightMagnitude is the largest |weight| the exact scaled arithmetic
@@ -112,6 +115,19 @@ type Options struct {
 	// failed proof returns ErrCertification instead of an unverified
 	// answer. Costs one O(nm) integer Bellman–Ford pass per solve.
 	Certify bool
+
+	// Approx parameterizes the "approx" algorithm (the streaming
+	// approximation tier in internal/approx): the requested tolerance and
+	// scheme. Ignored by the exact algorithms. The zero value (Epsilon 0)
+	// makes "approx" run its ε-interval bracketing and then sharpen to an
+	// exact certified answer via Lawler, exactly as ApproxSharpen would.
+	Approx ApproxOptions
+
+	// ApproxSharpen makes the "approx" algorithm follow its ε-interval with
+	// an exact Lawler pass seeded from the certified bounds (LambdaLower/
+	// LambdaUpper clamping), buying back a bit-identical exact answer when
+	// the graph is materialized and fits. No effect on other algorithms.
+	ApproxSharpen bool
 
 	// LambdaLower and LambdaUpper, when non-nil, narrow the initial
 	// bracket of bound-driven algorithms (currently Lawler's binary
@@ -184,6 +200,12 @@ type Result struct {
 	// Exact records whether Mean is exact; only epsilon-mode runs of the
 	// approximate algorithms report false.
 	Exact bool
+	// ErrorBound, when Exact is false and the run came from the "approx"
+	// tier, certifies |Mean − λ*| ≤ ErrorBound (λ* lies in
+	// [Mean−ErrorBound, Mean]: the reported value is a real cycle's mean,
+	// hence an upper bound). Zero for exact runs and for the legacy
+	// epsilon-mode solvers, which declare no bound.
+	ErrorBound float64
 	// Counts holds the representative operation counts of the run.
 	Counts counter.Counts
 	// Certificate is the exact optimality proof, present if and only if the
@@ -333,9 +355,11 @@ func minimumCycleMeanAny(g *graph.Graph, algo Algorithm, opt Options) (Result, e
 		return minimumCycleMeanParallel(algo, opt, comps, workers)
 	}
 	var (
-		best  Result
-		total counter.Counts
-		found bool
+		best     Result
+		total    counter.Counts
+		found    bool
+		minLower float64
+		anyBound bool
 	)
 	for ci, comp := range comps {
 		var (
@@ -371,13 +395,49 @@ func minimumCycleMeanAny(g *graph.Graph, algo Algorithm, opt Options) (Result, e
 			cycle[i] = comp.ArcMap[id]
 		}
 		r.Cycle = cycle
+		// The winner is chosen by smallest reported mean (an upper bound for
+		// inexact components), but the global λ* can sit below the winner's
+		// own interval when another component's certified lower bound is
+		// smaller — track the weakest lower bound across all components.
+		lower := r.Mean.Float64() - r.ErrorBound
+		if r.ErrorBound > 0 {
+			anyBound = true
+		}
+		if !found || lower < minLower {
+			minLower = lower
+		}
 		if !found || r.Mean.Less(best.Mean) {
 			best = r
 			found = true
 		}
 	}
 	best.Counts = total
+	mergeErrorBound(&best, minLower, anyBound)
 	return best, nil
+}
+
+// mergeErrorBound widens the winning component's certified interval to
+// cover every component's lower bound: λ* = min over components can lie
+// anywhere in [minLower, best.Mean]. No-op unless some component declared a
+// bound (legacy epsilon-mode results declare none and keep their historical
+// semantics).
+func mergeErrorBound(best *Result, minLower float64, anyBound bool) {
+	if !anyBound {
+		return
+	}
+	eb := best.Mean.Float64() - minLower
+	if eb < best.ErrorBound {
+		// Float cancellation (Mean − (Mean − bound)) can round a tiny bound
+		// away; the winner's own certified bound is always a valid floor.
+		eb = best.ErrorBound
+	}
+	if eb < 0 {
+		eb = 0
+	}
+	best.ErrorBound = eb
+	if eb > 0 {
+		best.Exact = false
+	}
 }
 
 // MaximumCycleMean computes the maximum cycle mean by negation

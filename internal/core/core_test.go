@@ -25,7 +25,7 @@ func mustAlgo(t *testing.T, name string) Algorithm {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"burns", "dg", "dg2", "ho", "ho2", "howard", "karp", "karp2", "ko", "lawler", "oa1", "oa2", "yto"}
+	want := []string{"approx", "burns", "dg", "dg2", "ho", "ho2", "howard", "karp", "karp2", "ko", "lawler", "oa1", "oa2", "yto"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v, want %v", names, want)
 	}

@@ -118,6 +118,74 @@ func FuzzSolveDifferential(f *testing.F) {
 	})
 }
 
+// FuzzApproxDifferential cross-checks the approximation tier against the
+// exact Howard solve: the sharpened path must be bit-identical, and every
+// unsharpened ε run's certified interval [Mean−ErrorBound, Mean] must
+// contain the true λ*. The trailing fuzz bytes steer ε and the scheme so
+// both modes and a spread of tolerances get explored.
+func FuzzApproxDifferential(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 5, 1, 2, 250, 2, 0, 3}, byte(0), byte(0))
+	f.Add([]byte{0, 0, 0, 200, 1, 1, 10}, byte(3), byte(1))
+	f.Add([]byte{5, 0, 1, 1, 1, 0, 255}, byte(9), byte(0))
+	f.Add([]byte{2, 0, 1, 7, 1, 2, 7, 2, 3, 7, 3, 0, 7}, byte(1), byte(1))
+	f.Add([]byte{4, 1, 1, 128, 2, 2, 127, 1, 2, 0, 2, 1, 0}, byte(7), byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, epsSel, modeSel byte) {
+		g := decodeFuzzGraph(data, 6, 14)
+		if g == nil {
+			return
+		}
+		approx, err := ByName("approx")
+		if err != nil {
+			t.Fatal(err)
+		}
+		howard, err := ByName("howard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, exactErr := MinimumCycleMean(g, howard, Options{})
+
+		mode := "chkl"
+		if modeSel%2 == 1 {
+			mode = "ap"
+		}
+		// ε in {0.001, 0.01, ..., 0.5}: coarse enough to exercise the
+		// interval logic, fine enough to hit exact convergence sometimes.
+		epsTable := []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+		eps := epsTable[int(epsSel)%len(epsTable)]
+
+		res, err := MinimumCycleMean(g, approx, Options{Approx: ApproxOptions{Epsilon: eps, Mode: mode}})
+		if (exactErr == nil) != (err == nil) {
+			t.Fatalf("eps=%g mode=%s: error disagreement: exact=%v approx=%v", eps, mode, exactErr, err)
+		}
+		if exactErr == nil {
+			lam := exact.Mean.Float64()
+			if res.Mean.Float64() < lam-1e-9 {
+				t.Fatalf("eps=%g mode=%s: mean %v below λ* %v", eps, mode, res.Mean, exact.Mean)
+			}
+			if res.Mean.Float64()-res.ErrorBound > lam+1e-9 {
+				t.Fatalf("eps=%g mode=%s: interval [%v, %v] misses λ* %v",
+					eps, mode, res.Mean.Float64()-res.ErrorBound, res.Mean.Float64(), exact.Mean)
+			}
+			if err := g.ValidateCycle(res.Cycle); err != nil {
+				t.Fatalf("eps=%g mode=%s: witness invalid: %v", eps, mode, err)
+			}
+		}
+
+		sharp, err := MinimumCycleMean(g, approx, Options{Approx: ApproxOptions{Mode: mode}, ApproxSharpen: true})
+		if (exactErr == nil) != (err == nil) {
+			t.Fatalf("sharpened mode=%s: error disagreement: exact=%v approx=%v", mode, exactErr, err)
+		}
+		if exactErr == nil {
+			if !sharp.Mean.Equal(exact.Mean) {
+				t.Fatalf("sharpened mode=%s: λ* = %v, exact %v", mode, sharp.Mean, exact.Mean)
+			}
+			if !sharp.Exact || sharp.ErrorBound != 0 {
+				t.Fatalf("sharpened mode=%s: exact=%v bound=%v", mode, sharp.Exact, sharp.ErrorBound)
+			}
+		}
+	})
+}
+
 // FuzzKernelEquivalence pins the kernelization pipeline against raw solves
 // on slightly larger graphs than the differential target (kernels only get
 // interesting with chains and self-loops to contract).

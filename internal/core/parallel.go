@@ -88,8 +88,10 @@ func minimumCycleMeanParallel(algo Algorithm, opt Options, comps []graph.Compone
 		total.Add(partial[w])
 	}
 	var (
-		best  Result
-		found bool
+		best     Result
+		found    bool
+		minLower float64
+		anyBound bool
 	)
 	for i := range outs {
 		if err := outs[i].err; err != nil {
@@ -97,11 +99,22 @@ func minimumCycleMeanParallel(algo Algorithm, opt Options, comps []graph.Compone
 			// the earliest component in decomposition order.
 			return Result{}, fmt.Errorf("core: %s on component of %d nodes: %w", algo.Name(), comps[i].Graph.NumNodes(), err)
 		}
+		// Same interval widening as the sequential driver: the global λ*
+		// can lie below the winner when another component's certified lower
+		// bound is smaller.
+		lower := outs[i].res.Mean.Float64() - outs[i].res.ErrorBound
+		if outs[i].res.ErrorBound > 0 {
+			anyBound = true
+		}
+		if !found || lower < minLower {
+			minLower = lower
+		}
 		if !found || outs[i].res.Mean.Less(best.Mean) {
 			best = outs[i].res
 			found = true
 		}
 	}
 	best.Counts = total
+	mergeErrorBound(&best, minLower, anyBound)
 	return best, nil
 }

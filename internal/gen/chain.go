@@ -1,8 +1,6 @@
 package gen
 
 import (
-	"fmt"
-
 	"repro/internal/graph"
 )
 
@@ -35,55 +33,9 @@ type ChainConfig struct {
 // node count is CoreN + Chains·ChainLen and the arc count is
 // CoreN + CoreN/2 + Chains·(ChainLen+1) + SelfLoops.
 func Chain(cfg ChainConfig) (*graph.Graph, error) {
-	if cfg.CoreN < 2 {
-		return nil, fmt.Errorf("gen: Chain needs CoreN >= 2, got %d", cfg.CoreN)
+	src, err := NewChainSource(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Chains < 0 || cfg.ChainLen < 0 || cfg.SelfLoops < 0 {
-		return nil, fmt.Errorf("gen: Chain counts must be non-negative")
-	}
-	if cfg.MaxWeight < cfg.MinWeight {
-		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", cfg.MinWeight, cfg.MaxWeight)
-	}
-	r := newRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
-	n := cfg.CoreN + cfg.Chains*cfg.ChainLen
-	m := cfg.CoreN + cfg.CoreN/2 + cfg.Chains*(cfg.ChainLen+1) + cfg.SelfLoops
-	b := graph.NewBuilder(n, m)
-	b.AddNodes(n)
-	w := func() int64 { return r.rangeInt(cfg.MinWeight, cfg.MaxWeight) }
-
-	// Core ring plus chords.
-	for i := 0; i < cfg.CoreN; i++ {
-		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%cfg.CoreN), w())
-	}
-	for i := 0; i < cfg.CoreN/2; i++ {
-		u := graph.NodeID(r.intn(int64(cfg.CoreN)))
-		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
-		for v == u {
-			v = graph.NodeID(r.intn(int64(cfg.CoreN)))
-		}
-		b.AddArc(u, v, w())
-	}
-
-	// Chains: core -> interior -> ... -> interior -> core. Every interior
-	// node has in-degree = out-degree = 1, so chain contraction removes all
-	// of them.
-	next := graph.NodeID(cfg.CoreN)
-	for c := 0; c < cfg.Chains; c++ {
-		u := graph.NodeID(r.intn(int64(cfg.CoreN)))
-		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
-		prev := u
-		for i := 0; i < cfg.ChainLen; i++ {
-			b.AddArc(prev, next, w())
-			prev = next
-			next++
-		}
-		b.AddArc(prev, v, w())
-	}
-
-	// Self-loops on core nodes.
-	for i := 0; i < cfg.SelfLoops; i++ {
-		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
-		b.AddArc(v, v, w())
-	}
-	return b.Build(), nil
+	return graph.Materialize(src)
 }

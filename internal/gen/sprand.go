@@ -29,32 +29,11 @@ func (c SprandConfig) DefaultWeights() SprandConfig {
 // SPRAND); parallel arcs may occur, as in the original generator. All arc
 // weights, including the cycle's, are uniform in the configured interval.
 func Sprand(cfg SprandConfig) (*graph.Graph, error) {
-	if cfg.N < 1 {
-		return nil, fmt.Errorf("gen: SPRAND needs n >= 1, got %d", cfg.N)
+	src, err := NewSprandSource(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.M < cfg.N {
-		return nil, fmt.Errorf("gen: SPRAND needs m >= n (got n=%d m=%d); the Hamiltonian cycle alone has n arcs", cfg.N, cfg.M)
-	}
-	if cfg.MaxWeight < cfg.MinWeight {
-		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", cfg.MinWeight, cfg.MaxWeight)
-	}
-	r := newRNG(cfg.Seed)
-	b := graph.NewBuilder(cfg.N, cfg.M)
-	b.AddNodes(cfg.N)
-	// Hamiltonian cycle 0 -> 1 -> ... -> n-1 -> 0.
-	for i := 0; i < cfg.N; i++ {
-		b.AddArc(graph.NodeID(i), graph.NodeID((i+1)%cfg.N), r.rangeInt(cfg.MinWeight, cfg.MaxWeight))
-	}
-	// m - n random arcs.
-	for i := cfg.N; i < cfg.M; i++ {
-		u := graph.NodeID(r.intn(int64(cfg.N)))
-		v := graph.NodeID(r.intn(int64(cfg.N)))
-		for cfg.N > 1 && v == u {
-			v = graph.NodeID(r.intn(int64(cfg.N)))
-		}
-		b.AddArc(u, v, r.rangeInt(cfg.MinWeight, cfg.MaxWeight))
-	}
-	return b.Build(), nil
+	return graph.Materialize(src)
 }
 
 // Cycle builds the n-cycle with the given uniform arc weight. The minimum
@@ -89,18 +68,15 @@ func Complete(n int, minW, maxW int64, seed uint64) *graph.Graph {
 // with random weights; strongly connected, sparse and highly structured —
 // the opposite texture of SPRAND for robustness tests.
 func Torus(rows, cols int, minW, maxW int64, seed uint64) *graph.Graph {
-	r := newRNG(seed)
-	n := rows * cols
-	b := graph.NewBuilder(n, 2*n)
-	b.AddNodes(n)
-	id := func(i, j int) graph.NodeID { return graph.NodeID(i*cols + j) }
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			b.AddArc(id(i, j), id(i, (j+1)%cols), r.rangeInt(minW, maxW))
-			b.AddArc(id(i, j), id((i+1)%rows, j), r.rangeInt(minW, maxW))
-		}
+	src, err := NewTorusSource(rows, cols, minW, maxW, seed)
+	if err != nil {
+		panic(err) // historical signature has no error; inputs are literals in practice
 	}
-	return b.Build()
+	g, err := graph.Materialize(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // MultiSCC builds a graph with k strongly connected blocks (each a SPRAND

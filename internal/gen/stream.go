@@ -1,0 +1,193 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file hosts the streaming face of the generator families: each Source
+// satisfies graph.ArcSource by re-deriving its rng from the seed on every
+// Scan, so a pass over billions of arcs costs O(1) memory and the stream is
+// bit-identical to the materialized graph (the Build functions are thin
+// graph.Materialize wrappers over the same emitters, so there is exactly one
+// arc-generation code path and the rng draw order can never diverge).
+
+// SprandSource streams a SPRAND instance without materializing it.
+type SprandSource struct{ cfg SprandConfig }
+
+// NewSprandSource validates cfg and returns the streaming source.
+func NewSprandSource(cfg SprandConfig) (*SprandSource, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("gen: SPRAND needs n >= 1, got %d", cfg.N)
+	}
+	if cfg.M < cfg.N {
+		return nil, fmt.Errorf("gen: SPRAND needs m >= n (got n=%d m=%d); the Hamiltonian cycle alone has n arcs", cfg.N, cfg.M)
+	}
+	if cfg.MaxWeight < cfg.MinWeight {
+		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", cfg.MinWeight, cfg.MaxWeight)
+	}
+	return &SprandSource{cfg: cfg}, nil
+}
+
+// NumNodes returns n.
+func (s *SprandSource) NumNodes() int { return s.cfg.N }
+
+// NumArcs returns m.
+func (s *SprandSource) NumArcs() int { return s.cfg.M }
+
+// Scan emits the instance's arcs in generation order: the Hamiltonian cycle
+// first, then the m−n random arcs. Draw order matches the historical Sprand
+// builder exactly, so seeds keep producing the same graphs.
+func (s *SprandSource) Scan(yield func(graph.ArcID, graph.Arc) bool) error {
+	cfg := s.cfg
+	r := newRNG(cfg.Seed)
+	id := graph.ArcID(0)
+	emit := func(u, v graph.NodeID, w int64) bool {
+		ok := yield(id, graph.Arc{From: u, To: v, Weight: w, Transit: 1})
+		id++
+		return ok
+	}
+	for i := 0; i < cfg.N; i++ {
+		if !emit(graph.NodeID(i), graph.NodeID((i+1)%cfg.N), r.rangeInt(cfg.MinWeight, cfg.MaxWeight)) {
+			return nil
+		}
+	}
+	for i := cfg.N; i < cfg.M; i++ {
+		u := graph.NodeID(r.intn(int64(cfg.N)))
+		v := graph.NodeID(r.intn(int64(cfg.N)))
+		for cfg.N > 1 && v == u {
+			v = graph.NodeID(r.intn(int64(cfg.N)))
+		}
+		if !emit(u, v, r.rangeInt(cfg.MinWeight, cfg.MaxWeight)) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ChainSource streams a chain-heavy circuit instance without materializing it.
+type ChainSource struct{ cfg ChainConfig }
+
+// NewChainSource validates cfg and returns the streaming source.
+func NewChainSource(cfg ChainConfig) (*ChainSource, error) {
+	if cfg.CoreN < 2 {
+		return nil, fmt.Errorf("gen: Chain needs CoreN >= 2, got %d", cfg.CoreN)
+	}
+	if cfg.Chains < 0 || cfg.ChainLen < 0 || cfg.SelfLoops < 0 {
+		return nil, fmt.Errorf("gen: Chain counts must be non-negative")
+	}
+	if cfg.MaxWeight < cfg.MinWeight {
+		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", cfg.MinWeight, cfg.MaxWeight)
+	}
+	return &ChainSource{cfg: cfg}, nil
+}
+
+// NumNodes returns CoreN + Chains·ChainLen.
+func (s *ChainSource) NumNodes() int { return s.cfg.CoreN + s.cfg.Chains*s.cfg.ChainLen }
+
+// NumArcs returns CoreN + CoreN/2 + Chains·(ChainLen+1) + SelfLoops.
+func (s *ChainSource) NumArcs() int {
+	return s.cfg.CoreN + s.cfg.CoreN/2 + s.cfg.Chains*(s.cfg.ChainLen+1) + s.cfg.SelfLoops
+}
+
+// Scan emits core ring, chords, chains, then self-loops — the historical
+// Chain builder's generation order, bit-identical per seed.
+func (s *ChainSource) Scan(yield func(graph.ArcID, graph.Arc) bool) error {
+	cfg := s.cfg
+	r := newRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	w := func() int64 { return r.rangeInt(cfg.MinWeight, cfg.MaxWeight) }
+	id := graph.ArcID(0)
+	emit := func(u, v graph.NodeID, wt int64) bool {
+		ok := yield(id, graph.Arc{From: u, To: v, Weight: wt, Transit: 1})
+		id++
+		return ok
+	}
+
+	for i := 0; i < cfg.CoreN; i++ {
+		if !emit(graph.NodeID(i), graph.NodeID((i+1)%cfg.CoreN), w()) {
+			return nil
+		}
+	}
+	for i := 0; i < cfg.CoreN/2; i++ {
+		u := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		for v == u {
+			v = graph.NodeID(r.intn(int64(cfg.CoreN)))
+		}
+		if !emit(u, v, w()) {
+			return nil
+		}
+	}
+	next := graph.NodeID(cfg.CoreN)
+	for c := 0; c < cfg.Chains; c++ {
+		u := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		prev := u
+		for i := 0; i < cfg.ChainLen; i++ {
+			if !emit(prev, next, w()) {
+				return nil
+			}
+			prev = next
+			next++
+		}
+		if !emit(prev, v, w()) {
+			return nil
+		}
+	}
+	for i := 0; i < cfg.SelfLoops; i++ {
+		v := graph.NodeID(r.intn(int64(cfg.CoreN)))
+		if !emit(v, v, w()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// TorusSource streams a rows×cols directed torus without materializing it.
+type TorusSource struct {
+	rows, cols int
+	minW, maxW int64
+	seed       uint64
+}
+
+// NewTorusSource returns the streaming source for Torus(rows, cols, ...).
+func NewTorusSource(rows, cols int, minW, maxW int64, seed uint64) (*TorusSource, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("gen: torus needs positive dimensions, got %dx%d", rows, cols)
+	}
+	if maxW < minW {
+		return nil, fmt.Errorf("gen: empty weight interval [%d,%d]", minW, maxW)
+	}
+	return &TorusSource{rows: rows, cols: cols, minW: minW, maxW: maxW, seed: seed}, nil
+}
+
+// NumNodes returns rows·cols.
+func (s *TorusSource) NumNodes() int { return s.rows * s.cols }
+
+// NumArcs returns 2·rows·cols.
+func (s *TorusSource) NumArcs() int { return 2 * s.rows * s.cols }
+
+// Scan emits right then down per cell, row-major — the historical Torus
+// builder's order.
+func (s *TorusSource) Scan(yield func(graph.ArcID, graph.Arc) bool) error {
+	r := newRNG(s.seed)
+	id := graph.ArcID(0)
+	cell := func(i, j int) graph.NodeID { return graph.NodeID(i*s.cols + j) }
+	emit := func(u, v graph.NodeID, w int64) bool {
+		ok := yield(id, graph.Arc{From: u, To: v, Weight: w, Transit: 1})
+		id++
+		return ok
+	}
+	for i := 0; i < s.rows; i++ {
+		for j := 0; j < s.cols; j++ {
+			if !emit(cell(i, j), cell(i, (j+1)%s.cols), r.rangeInt(s.minW, s.maxW)) {
+				return nil
+			}
+			if !emit(cell(i, j), cell((i+1)%s.rows, j), r.rangeInt(s.minW, s.maxW)) {
+				return nil
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSourcesMatchBuilders pins the single-code-path guarantee: every
+// streaming source materializes to exactly the graph the historical builder
+// returns, and two scans of one source are identical (re-scannable).
+func TestSourcesMatchBuilders(t *testing.T) {
+	sprandCfg := SprandConfig{N: 50, M: 200, MinWeight: -100, MaxWeight: 100, Seed: 7}
+	chainCfg := ChainConfig{CoreN: 8, Chains: 5, ChainLen: 12, MinWeight: -9, MaxWeight: 9, SelfLoops: 2, Seed: 3}
+
+	sprandSrc, err := NewSprandSource(sprandCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chainSrc, err := NewChainSource(chainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torusSrc, err := NewTorusSource(6, 9, -50, 50, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name  string
+		src   graph.ArcSource
+		build func() (*graph.Graph, error)
+	}{
+		{"sprand", sprandSrc, func() (*graph.Graph, error) { return Sprand(sprandCfg) }},
+		{"chain", chainSrc, func() (*graph.Graph, error) { return Chain(chainCfg) }},
+		{"torus", torusSrc, func() (*graph.Graph, error) { return Torus(6, 9, -50, 50, 11), nil }},
+	}
+	for _, tc := range cases {
+		want, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", tc.name, err)
+		}
+		got, err := graph.Materialize(tc.src)
+		if err != nil {
+			t.Fatalf("%s: materialize: %v", tc.name, err)
+		}
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Errorf("%s: materialized source differs from builder output", tc.name)
+		}
+		again, err := graph.Materialize(tc.src)
+		if err != nil {
+			t.Fatalf("%s: second scan: %v", tc.name, err)
+		}
+		if again.Fingerprint() != want.Fingerprint() {
+			t.Errorf("%s: second scan differs (source not re-scannable)", tc.name)
+		}
+		if tc.src.NumNodes() != want.NumNodes() || tc.src.NumArcs() != want.NumArcs() {
+			t.Errorf("%s: source dims %dx%d, graph %dx%d",
+				tc.name, tc.src.NumNodes(), tc.src.NumArcs(), want.NumNodes(), want.NumArcs())
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewSprandSource(SprandConfig{N: 5, M: 3}); err == nil {
+		t.Error("m < n accepted")
+	}
+	if _, err := NewChainSource(ChainConfig{CoreN: 1}); err == nil {
+		t.Error("CoreN 1 accepted")
+	}
+	if _, err := NewTorusSource(0, 5, 0, 1, 0); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := NewTorusSource(2, 2, 5, 1, 0); err == nil {
+		t.Error("empty weight interval accepted")
+	}
+}

@@ -54,95 +54,238 @@ const maxArcPrealloc = 1 << 16
 // that disagree with the problem line, duplicate headers, and oversized
 // dimensions all produce line-numbered errors, never panics or unbounded
 // allocations.
+//
+// Read is a thin collector over the streaming scanText parser that also
+// backs ReadStream: parsing works in O(1) buffers, and the only
+// size-proportional allocation is the arc slice itself, grown at most once
+// (capped prealloc, then a single jump to the promised count) and handed to
+// FromArcs without copying.
 func Read(r io.Reader) (*Graph, error) {
+	var (
+		n, m int
+		arcs []Arc
+	)
+	err := scanText(r, func(hn, hm int) bool {
+		n, m = hn, hm
+		prealloc := m
+		if prealloc > maxArcPrealloc {
+			prealloc = maxArcPrealloc
+		}
+		arcs = make([]Arc, 0, prealloc)
+		return true
+	}, func(id ArcID, a Arc) bool {
+		if len(arcs) == cap(arcs) && cap(arcs) < m {
+			// The capped prealloc is full and the header promised more:
+			// grow straight to the final size instead of letting append
+			// double its way there (~2x the final footprint in transient
+			// garbage on large files). scanText never yields more than m
+			// arcs, so this single growth is also the last.
+			grown := make([]Arc, len(arcs), m)
+			copy(grown, arcs)
+			arcs = grown
+		}
+		arcs = append(arcs, a)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return FromArcs(n, arcs), nil
+}
+
+// scanText is the streaming core of the text-format parser, shared by Read,
+// ReadStream, and TextSource.Scan. It never retains arcs: each parsed record
+// is handed to yield and forgotten, so working memory is O(1) regardless of
+// file size. onHeader is called once with the validated problem-line
+// dimensions; returning false stops the scan immediately (header-only
+// probes). yield returning false (or being nil) likewise stops the scan
+// early; both early stops return nil. A complete pass additionally enforces
+// that the number of arc records matches the problem line.
+func scanText(r io.Reader, onHeader func(n, m int) bool, yield func(id ArcID, a Arc) bool) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var (
 		n, m    int
-		arcs    []Arc
+		arcSeen int
 		sawProb bool
 		lineNo  int
+		fields  [][]byte
 	)
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "c") {
+		line := trimSpaceASCII(sc.Bytes())
+		if len(line) == 0 || line[0] == 'c' {
 			continue
 		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "p":
+		fields = splitFieldsASCII(fields[:0], line)
+		f0 := fields[0]
+		switch {
+		case len(f0) == 1 && f0[0] == 'p':
 			if sawProb {
-				return nil, fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
+				return fmt.Errorf("graph: line %d: duplicate problem line", lineNo)
 			}
-			if len(fields) != 4 || fields[1] != "mcm" {
-				return nil, fmt.Errorf("graph: line %d: want %q, got %q", lineNo, "p mcm <n> <m>", line)
+			if len(fields) != 4 || string(fields[1]) != "mcm" {
+				return fmt.Errorf("graph: line %d: want %q, got %q", lineNo, "p mcm <n> <m>", line)
 			}
 			var err error
-			if n, err = strconv.Atoi(fields[2]); err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad node count: %v", lineNo, err)
+			if n, err = atoiField(fields[2]); err != nil {
+				return fmt.Errorf("graph: line %d: bad node count: %v", lineNo, err)
 			}
-			if m, err = strconv.Atoi(fields[3]); err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad arc count: %v", lineNo, err)
+			if m, err = atoiField(fields[3]); err != nil {
+				return fmt.Errorf("graph: line %d: bad arc count: %v", lineNo, err)
 			}
 			if n < 0 || m < 0 {
-				return nil, fmt.Errorf("graph: line %d: negative size", lineNo)
+				return fmt.Errorf("graph: line %d: negative size", lineNo)
 			}
 			if n > maxReadDim || m > maxReadDim {
-				return nil, fmt.Errorf("graph: line %d: size %dx%d exceeds limit %d", lineNo, n, m, maxReadDim)
+				return fmt.Errorf("graph: line %d: size %dx%d exceeds limit %d", lineNo, n, m, maxReadDim)
 			}
 			sawProb = true
-			prealloc := m
-			if prealloc > maxArcPrealloc {
-				prealloc = maxArcPrealloc
+			if !onHeader(n, m) {
+				return nil
 			}
-			arcs = make([]Arc, 0, prealloc)
-		case "a":
+		case len(f0) == 1 && f0[0] == 'a':
 			if !sawProb {
-				return nil, fmt.Errorf("graph: line %d: arc before problem line", lineNo)
+				return fmt.Errorf("graph: line %d: arc before problem line", lineNo)
 			}
 			if len(fields) != 4 && len(fields) != 5 {
-				return nil, fmt.Errorf("graph: line %d: want %q, got %q", lineNo, "a <from> <to> <weight> [transit]", line)
+				return fmt.Errorf("graph: line %d: want %q, got %q", lineNo, "a <from> <to> <weight> [transit]", line)
 			}
-			u, err := strconv.Atoi(fields[1])
+			u, err := atoiField(fields[1])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad from node: %v", lineNo, err)
+				return fmt.Errorf("graph: line %d: bad from node: %v", lineNo, err)
 			}
-			v, err := strconv.Atoi(fields[2])
+			v, err := atoiField(fields[2])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad to node: %v", lineNo, err)
+				return fmt.Errorf("graph: line %d: bad to node: %v", lineNo, err)
 			}
-			w, err := strconv.ParseInt(fields[3], 10, 64)
+			w, err := int64Field(fields[3])
 			if err != nil {
-				return nil, fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
+				return fmt.Errorf("graph: line %d: bad weight: %v", lineNo, err)
 			}
 			t := int64(1)
 			if len(fields) == 5 {
-				if t, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
-					return nil, fmt.Errorf("graph: line %d: bad transit: %v", lineNo, err)
+				if t, err = int64Field(fields[4]); err != nil {
+					return fmt.Errorf("graph: line %d: bad transit: %v", lineNo, err)
 				}
 			}
 			if u < 1 || u > n || v < 1 || v > n {
-				return nil, fmt.Errorf("graph: line %d: node out of range [1,%d]", lineNo, n)
+				return fmt.Errorf("graph: line %d: node out of range [1,%d]", lineNo, n)
 			}
-			if len(arcs) == m {
-				return nil, fmt.Errorf("graph: line %d: more arcs than the %d promised by the problem line", lineNo, m)
+			if arcSeen == m {
+				return fmt.Errorf("graph: line %d: more arcs than the %d promised by the problem line", lineNo, m)
 			}
-			arcs = append(arcs, Arc{From: NodeID(u - 1), To: NodeID(v - 1), Weight: w, Transit: t})
+			a := Arc{From: NodeID(u - 1), To: NodeID(v - 1), Weight: w, Transit: t}
+			id := ArcID(arcSeen)
+			arcSeen++
+			if yield == nil || !yield(id, a) {
+				return nil
+			}
 		default:
-			return nil, fmt.Errorf("graph: line %d: unknown record %q", lineNo, fields[0])
+			return fmt.Errorf("graph: line %d: unknown record %q", lineNo, f0)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	if !sawProb {
-		return nil, fmt.Errorf("graph: missing problem line")
+		return fmt.Errorf("graph: missing problem line")
 	}
-	if len(arcs) != m {
-		return nil, fmt.Errorf("graph: problem line promises %d arcs, found %d", m, len(arcs))
+	if arcSeen != m {
+		return fmt.Errorf("graph: problem line promises %d arcs, found %d", m, arcSeen)
 	}
-	return FromArcs(n, arcs), nil
+	return nil
+}
+
+// isSpaceASCII matches the whitespace the text format uses as a field
+// separator. (Exotic Unicode spaces end up inside a field and fail its
+// numeric parse with a normal line-numbered error.)
+func isSpaceASCII(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// trimSpaceASCII returns b without leading/trailing ASCII whitespace; a
+// subslice, never a copy.
+func trimSpaceASCII(b []byte) []byte {
+	for len(b) > 0 && isSpaceASCII(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpaceASCII(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// splitFieldsASCII appends the whitespace-separated fields of line to dst
+// (subslices of line, no copies) and returns it; reusing dst across lines
+// keeps the per-line parse allocation-free.
+func splitFieldsASCII(dst [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && isSpaceASCII(line[i]) {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		start := i
+		for i < len(line) && !isSpaceASCII(line[i]) {
+			i++
+		}
+		dst = append(dst, line[start:i])
+	}
+	return dst
+}
+
+// parseIntBytes is the allocation-free fast path for base-10 signed
+// integers. ok is false on any syntax or range trouble; callers then fall
+// back to strconv on a copied string so error values stay byte-identical to
+// the pre-streaming parser.
+func parseIntBytes(b []byte) (int64, bool) {
+	i := 0
+	neg := false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i = 1
+	}
+	if i == len(b) {
+		return 0, false
+	}
+	var v uint64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if v > (1<<63-9)/10 {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	if neg {
+		if v > 1<<63 {
+			return 0, false
+		}
+		return -int64(v), true
+	}
+	if v >= 1<<63 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+func atoiField(b []byte) (int, error) {
+	if v, ok := parseIntBytes(b); ok {
+		return int(v), nil
+	}
+	return strconv.Atoi(string(b))
+}
+
+func int64Field(b []byte) (int64, error) {
+	if v, ok := parseIntBytes(b); ok {
+		return v, nil
+	}
+	return strconv.ParseInt(string(b), 10, 64)
 }
 
 // WriteDOT emits g in Graphviz DOT syntax. highlight, if non-nil, is a set

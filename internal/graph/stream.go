@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+)
+
+// ArcSource is a sequential, re-scannable stream of arcs: the implicit graph
+// representation consumed by the approximation tier (internal/approx), the
+// streaming strong-connectivity pass below, and graph.Materialize. It is the
+// o(m)-memory counterpart of the materialized CSR *Graph — a source never has
+// to hold its arc list; it only has to be able to replay it, in the same
+// order, as many times as asked.
+//
+// Contract:
+//
+//   - NumNodes and NumArcs report the dimensions of the presented graph.
+//     NumArcs is the count Scan will yield on a complete pass.
+//   - Scan replays the arc stream from the beginning, calling yield once per
+//     arc with its ArcID (0-based, in stream order: the i-th yielded arc has
+//     id i) and the arc itself. If yield returns false, Scan stops early and
+//     returns nil. A non-nil error means the underlying source failed
+//     (I/O error, malformed record) and the pass is incomplete.
+//   - Scan must be restartable: after any call returns, a new call replays
+//     the identical sequence. Sources need not be safe for concurrent Scans.
+//
+// *Graph satisfies ArcSource (over its materialized arc slice), as do the
+// text-backed TextSource below and the generator-backed sources in
+// internal/gen, which emit arcs on the fly and never store them.
+type ArcSource interface {
+	NumNodes() int
+	NumArcs() int
+	Scan(yield func(id ArcID, a Arc) bool) error
+}
+
+// Scan presents the materialized graph as an ArcSource: arcs are yielded in
+// arc-ID order. It never returns an error.
+func (g *Graph) Scan(yield func(id ArcID, a Arc) bool) error {
+	for i, a := range g.arcs {
+		if !yield(ArcID(i), a) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Materialize builds a CSR Graph from one complete pass over src. The result
+// is identical to building the same arc sequence through a Builder, so
+// generator families produce bit-identical graphs whether materialized or
+// streamed. Use it when an exact solver (which needs random access) has been
+// chosen for a source-backed input and the graph fits in memory.
+func Materialize(src ArcSource) (*Graph, error) {
+	n := src.NumNodes()
+	if n < 0 || n > maxReadDim {
+		return nil, fmt.Errorf("graph: source node count %d outside [0,%d]", n, maxReadDim)
+	}
+	m := src.NumArcs()
+	if m < 0 || m > maxReadDim {
+		return nil, fmt.Errorf("graph: source arc count %d outside [0,%d]", m, maxReadDim)
+	}
+	arcs := make([]Arc, 0, m)
+	var rangeErr error
+	err := src.Scan(func(id ArcID, a Arc) bool {
+		if a.From < 0 || int(a.From) >= n || a.To < 0 || int(a.To) >= n {
+			rangeErr = fmt.Errorf("graph: source arc %d endpoint (%d,%d) out of range for n=%d", id, a.From, a.To, n)
+			return false
+		}
+		arcs = append(arcs, a)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if rangeErr != nil {
+		return nil, rangeErr
+	}
+	return FromArcs(n, arcs), nil
+}
+
+// StreamStronglyConnected reports whether the graph presented by src is
+// strongly connected, using O(n) working memory and repeated sequential
+// scans: forward label propagation from node 0 until a fixed point (at most
+// diameter+1 passes), then the same backward. It is the SCC pass of the
+// streaming tier — it answers the one question the approximate solvers and
+// their benchmarks need ("is this one cyclic component?") without ever
+// building CSR adjacency. Graphs with zero nodes report false, single-node
+// graphs true (strong connectivity says nothing about cyclicity; a
+// self-loop-free single node is strongly connected but acyclic).
+func StreamStronglyConnected(src ArcSource) (bool, error) {
+	n := src.NumNodes()
+	if n == 0 {
+		return false, nil
+	}
+	if n == 1 {
+		return true, nil
+	}
+	reach := make([]bool, n)
+	// dir false: forward reachability from node 0 (propagate From -> To);
+	// dir true: backward (can node reach 0?), propagating To -> From.
+	for _, backward := range []bool{false, true} {
+		for i := range reach {
+			reach[i] = false
+		}
+		reach[0] = true
+		covered := 1
+		for covered < n {
+			changed := false
+			err := src.Scan(func(id ArcID, a Arc) bool {
+				u, v := a.From, a.To
+				if backward {
+					u, v = v, u
+				}
+				if int(u) < len(reach) && int(v) < len(reach) && u >= 0 && v >= 0 && reach[u] && !reach[v] {
+					reach[v] = true
+					covered++
+					changed = true
+				}
+				return true
+			})
+			if err != nil {
+				return false, err
+			}
+			if !changed {
+				break
+			}
+		}
+		if covered < n {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// TextSource is an ArcSource backed by a seekable reader holding the text
+// format of this package (docs/FORMATS.md): the header is parsed once at
+// construction, and every Scan seeks back to the start and re-parses the arc
+// records with O(1) buffers — the file is the graph, nothing is retained
+// between passes. Construct with ReadStream.
+type TextSource struct {
+	rs   io.ReadSeeker
+	n, m int
+}
+
+// ReadStream wraps a seekable reader over the text format as a streaming
+// ArcSource. Only the problem line is parsed (and validated against the same
+// dimension limits as Read) up front; arc records are validated lazily on
+// each Scan. The reader must not be mutated between Scans.
+func ReadStream(rs io.ReadSeeker) (*TextSource, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	t := &TextSource{rs: rs, n: -1}
+	err := scanText(rs, func(n, m int) bool {
+		t.n, t.m = n, m
+		return false // header only; stop before any arcs
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	if t.n < 0 {
+		return nil, fmt.Errorf("graph: missing problem line")
+	}
+	return t, nil
+}
+
+// NumNodes returns the node count from the problem line.
+func (t *TextSource) NumNodes() int { return t.n }
+
+// NumArcs returns the arc count promised by the problem line; a Scan that
+// finds a different number of arc records returns an error.
+func (t *TextSource) NumArcs() int { return t.m }
+
+// Scan seeks to the start and replays every arc record through yield,
+// validating as it goes exactly like Read (same line-numbered errors).
+func (t *TextSource) Scan(yield func(id ArcID, a Arc) bool) error {
+	if _, err := t.rs.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	// The file may have been swapped under us between Scans; the arcs about
+	// to be yielded must match the dimensions handed out at ReadStream time
+	// or every consumer invariant breaks.
+	var gotN, gotM int
+	mismatch := false
+	err := scanText(t.rs, func(n, m int) bool {
+		if n != t.n || m != t.m {
+			gotN, gotM, mismatch = n, m, true
+			return false
+		}
+		return true
+	}, yield)
+	if err != nil {
+		return err
+	}
+	if mismatch {
+		return fmt.Errorf("graph: stream header changed underfoot (now %dx%d, was %dx%d)", gotN, gotM, t.n, t.m)
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// sliceSource is a minimal ArcSource over an in-memory arc slice with
+// independently controllable dimensions, for exercising Materialize's
+// validation paths.
+type sliceSource struct {
+	n, m int
+	arcs []Arc
+}
+
+func (s *sliceSource) NumNodes() int { return s.n }
+func (s *sliceSource) NumArcs() int  { return s.m }
+func (s *sliceSource) Scan(yield func(id ArcID, a Arc) bool) error {
+	for i, a := range s.arcs {
+		if !yield(ArcID(i), a) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func buildTestGraph() *Graph {
+	b := NewBuilder(4, 6)
+	b.AddNodes(4)
+	b.AddArc(0, 1, 3)
+	b.AddArcTransit(1, 2, -5, 2)
+	b.AddArc(2, 3, 7)
+	b.AddArc(3, 0, 1)
+	b.AddArc(1, 0, 9)
+	b.AddArc(2, 2, 0)
+	return b.Build()
+}
+
+func TestGraphScanOrderAndEarlyStop(t *testing.T) {
+	g := buildTestGraph()
+	var ids []ArcID
+	err := g.Scan(func(id ArcID, a Arc) bool {
+		if a != g.Arc(id) {
+			t.Fatalf("arc %d: scanned %+v, stored %+v", id, a, g.Arc(id))
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != g.NumArcs() {
+		t.Fatalf("scanned %d arcs, want %d", len(ids), g.NumArcs())
+	}
+	for i, id := range ids {
+		if id != ArcID(i) {
+			t.Fatalf("ids not in stream order: %v", ids)
+		}
+	}
+	// Early stop: yield false after two arcs must end the scan with nil.
+	count := 0
+	err = g.Scan(func(ArcID, Arc) bool {
+		count++
+		return count < 2
+	})
+	if err != nil || count != 2 {
+		t.Fatalf("early stop: count=%d err=%v", count, err)
+	}
+}
+
+func TestMaterializeEquivalence(t *testing.T) {
+	g := buildTestGraph()
+	got, err := Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumArcs() != g.NumArcs() {
+		t.Fatalf("size %d/%d, want %d/%d", got.NumNodes(), got.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+	for i := 0; i < g.NumArcs(); i++ {
+		if got.Arc(ArcID(i)) != g.Arc(ArcID(i)) {
+			t.Fatalf("arc %d: %+v vs %+v", i, got.Arc(ArcID(i)), g.Arc(ArcID(i)))
+		}
+	}
+	if got.Fingerprint() != g.Fingerprint() {
+		t.Fatal("materialized fingerprint differs")
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  ArcSource
+	}{
+		{"negative nodes", &sliceSource{n: -1}},
+		{"oversized nodes", &sliceSource{n: maxReadDim + 1}},
+		{"negative arcs", &sliceSource{n: 2, m: -1}},
+		{"oversized arcs", &sliceSource{n: 2, m: maxReadDim + 1}},
+		{"endpoint out of range", &sliceSource{n: 2, m: 1, arcs: []Arc{{From: 0, To: 2, Weight: 1, Transit: 1}}}},
+		{"negative endpoint", &sliceSource{n: 2, m: 1, arcs: []Arc{{From: -1, To: 0, Weight: 1, Transit: 1}}}},
+	}
+	for _, c := range cases {
+		if _, err := Materialize(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestStreamStronglyConnectedMatchesExact(t *testing.T) {
+	ring := func(n int) *Builder {
+		b := NewBuilder(n, n)
+		b.AddNodes(n)
+		for i := 0; i < n; i++ {
+			b.AddArc(NodeID(i), NodeID((i+1)%n), 1)
+		}
+		return b
+	}
+	graphs := map[string]*Graph{}
+	graphs["ring8"] = ring(8).Build()
+	graphs["single"] = func() *Graph { b := NewBuilder(1, 0); b.AddNodes(1); return b.Build() }()
+	graphs["selfloop"] = func() *Graph {
+		b := NewBuilder(1, 1)
+		b.AddNodes(1)
+		b.AddArc(0, 0, 1)
+		return b.Build()
+	}()
+	graphs["line"] = func() *Graph {
+		b := NewBuilder(4, 3)
+		b.AddNodes(4)
+		b.AddArc(0, 1, 1)
+		b.AddArc(1, 2, 1)
+		b.AddArc(2, 3, 1)
+		return b.Build()
+	}()
+	graphs["two rings"] = func() *Graph {
+		b := NewBuilder(6, 7)
+		b.AddNodes(6)
+		b.AddArc(0, 1, 1)
+		b.AddArc(1, 2, 1)
+		b.AddArc(2, 0, 1)
+		b.AddArc(3, 4, 1)
+		b.AddArc(4, 5, 1)
+		b.AddArc(5, 3, 1)
+		b.AddArc(0, 3, 1) // bridge one way only: not strongly connected
+		return b.Build()
+	}()
+	graphs["ring plus chords"] = func() *Graph {
+		b := ring(16)
+		b.AddArc(3, 11, 2)
+		b.AddArc(9, 1, -4)
+		return b.Build()
+	}()
+	graphs["isolated node"] = func() *Graph {
+		b := ring(5)
+		b.AddNode()
+		return b.Build()
+	}()
+	graphs["no arcs"] = func() *Graph { b := NewBuilder(3, 0); b.AddNodes(3); return b.Build() }()
+
+	for name, g := range graphs {
+		want := IsStronglyConnected(g)
+		got, err := StreamStronglyConnected(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: streaming says %v, exact says %v", name, got, want)
+		}
+	}
+
+	// Empty graph: both report false.
+	empty := NewBuilder(0, 0).Build()
+	if got, err := StreamStronglyConnected(empty); err != nil || got {
+		t.Errorf("empty graph: got %v, %v", got, err)
+	}
+}
+
+func TestReadStreamRoundTrip(t *testing.T) {
+	g := buildTestGraph()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	src, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumNodes() != g.NumNodes() || src.NumArcs() != g.NumArcs() {
+		t.Fatalf("header %d/%d, want %d/%d", src.NumNodes(), src.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+	// Two full scans must replay the identical sequence (re-scannable).
+	for pass := 0; pass < 2; pass++ {
+		i := 0
+		err := src.Scan(func(id ArcID, a Arc) bool {
+			if id != ArcID(i) || a != g.Arc(id) {
+				t.Fatalf("pass %d arc %d: got id=%d %+v", pass, i, id, a)
+			}
+			i++
+			return true
+		})
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if i != g.NumArcs() {
+			t.Fatalf("pass %d: scanned %d arcs", pass, i)
+		}
+	}
+	// Early stop then full scan again: the stop must not poison the source.
+	if err := src.Scan(func(ArcID, Arc) bool { return false }); err != nil {
+		t.Fatal(err)
+	}
+	mat, err := Materialize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Fingerprint() != g.Fingerprint() {
+		t.Fatal("materialized stream differs from original graph")
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	if _, err := ReadStream(strings.NewReader("c nothing here\n")); err == nil {
+		t.Error("missing problem line accepted")
+	}
+	if _, err := ReadStream(strings.NewReader("p mcm -1 0\n")); err == nil {
+		t.Error("negative size accepted")
+	}
+	// Arc errors are lazy: header parses, the scan reports them.
+	src, err := ReadStream(strings.NewReader("p mcm 2 2\na 1 2 5\na 9 1 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Scan(func(ArcID, Arc) bool { return true }); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("scan err = %v, want line 3 range error", err)
+	}
+	// Promised-count mismatch is also caught per scan.
+	src, err = ReadStream(strings.NewReader("p mcm 2 2\na 1 2 5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Scan(func(ArcID, Arc) bool { return true }); err == nil || !strings.Contains(err.Error(), "promises 2 arcs") {
+		t.Errorf("scan err = %v, want arc-count mismatch", err)
+	}
+}
+
+// TestReadAllocRegression pins the streaming rewrite of Read: parsing a
+// large file must cost O(1) buffers plus the retained graph itself — no
+// per-line strings, no doubling arc slice. The bound is ~1.5x the retained
+// CSR footprint; the pre-streaming parser sat at ~5x (per-line Text() +
+// Fields() garbage plus append doubling) and trips it immediately.
+func TestReadAllocRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const n, m = 50_000, 200_000
+	var sb strings.Builder
+	sb.Grow(m * 16)
+	fmt.Fprintf(&sb, "p mcm %d %d\n", n, m)
+	for i := 0; i < m; i++ {
+		u := i%n + 1
+		v := (i*7+3)%n + 1
+		if i%5 == 0 {
+			fmt.Fprintf(&sb, "a %d %d %d %d\n", u, v, i%1000-500, i%9+1)
+		} else {
+			fmt.Fprintf(&sb, "a %d %d %d\n", u, v, i%1000-500)
+		}
+	}
+	input := sb.String()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	g, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	if g.NumNodes() != n || g.NumArcs() != m {
+		t.Fatalf("parsed %d/%d", g.NumNodes(), g.NumArcs())
+	}
+
+	// Retained: arcs (24m) + two CSR indexes (8m + 16n + O(1)). Transient:
+	// scanner buffer + capped prealloc (~1.7 MB). Allow 1.5x retained plus a
+	// 4 MB fixed allowance for the runtime's own noise.
+	retained := uint64(24*m + 8*m + 16*n)
+	limit := retained + retained/2 + 4<<20
+	delta := after.TotalAlloc - before.TotalAlloc
+	if delta > limit {
+		t.Fatalf("Read allocated %d bytes for a %d-arc file (limit %d): streaming parser regressed", delta, m, limit)
+	}
+}

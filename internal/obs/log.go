@@ -23,6 +23,7 @@ func NewLogTracer(w io.Writer) *Trace {
 		OnRace:        l.race,
 		OnCache:       l.cache,
 		OnServeCache:  l.serveCache,
+		OnApprox:      l.approx,
 		OnCertify:     l.certify,
 	}
 }
@@ -118,6 +119,20 @@ func (l *logTracer) cache(ev CacheEvent) {
 
 func (l *logTracer) serveCache(ev ServeCacheEvent) {
 	l.printf("result-cache: %s (%d entries)", ev.Op, ev.Entries)
+}
+
+func (l *logTracer) approx(ev ApproxEvent) {
+	if ev.Err != nil {
+		l.printf("approx %s: eps=%g (n=%d m=%d) FAILED after %d passes/%d rounds at [%g, %g]: %v",
+			ev.Mode, ev.Epsilon, ev.Nodes, ev.Arcs, ev.Passes, ev.Rounds, ev.Lower, ev.Upper, ev.Err)
+		return
+	}
+	sharpened := ""
+	if ev.Sharpened {
+		sharpened = ", sharpened exact"
+	}
+	l.printf("approx %s: eps=%g (n=%d m=%d) certified [%g, %g] in %d passes/%d rounds%s",
+		ev.Mode, ev.Epsilon, ev.Nodes, ev.Arcs, ev.Lower, ev.Upper, ev.Passes, ev.Rounds, sharpened)
 }
 
 func (l *logTracer) certify(ev CertifyEvent) {

@@ -166,6 +166,12 @@ type Metrics struct {
 	certifyOK        atomic.Int64 // certification proofs passed
 	certifyFail      atomic.Int64 // certification proofs failed
 
+	// Approximation tier (internal/approx via the "approx" algorithm).
+	approxSolves    atomic.Int64 // engine runs observed
+	approxSharpened atomic.Int64 // runs followed by an exact Lawler pass
+	approxErrs      atomic.Int64 // engine runs that returned an error
+	approxPasses    atomic.Int64 // total arc-stream sweeps across all runs
+
 	solveDuration   Histogram // per-solver-run wall clock
 	certifyDuration Histogram // per-proof wall clock
 	raceDuration    Histogram // per-race wall clock
@@ -251,6 +257,16 @@ func (m *Metrics) Tracer() *Trace {
 				m.serveCacheMerges.Add(1)
 			}
 		},
+		OnApprox: func(ev ApproxEvent) {
+			m.approxSolves.Add(1)
+			m.approxPasses.Add(int64(ev.Passes))
+			if ev.Sharpened {
+				m.approxSharpened.Add(1)
+			}
+			if ev.Err != nil {
+				m.approxErrs.Add(1)
+			}
+		},
 		OnCertify: func(ev CertifyEvent) {
 			m.certifyDuration.Observe(ev.Duration)
 			if ev.OK {
@@ -285,6 +301,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"serve_cache_singleflight": m.serveCacheMerges.Load(),
 		"certify_pass":             m.certifyOK.Load(),
 		"certify_fail":             m.certifyFail.Load(),
+		"approx_solves":            m.approxSolves.Load(),
+		"approx_sharpened":         m.approxSharpened.Load(),
+		"approx_errors":            m.approxErrs.Load(),
+		"approx_passes":            m.approxPasses.Load(),
 		"solve_duration":           m.solveDuration.snapshot(),
 		"certify_duration":         m.certifyDuration.snapshot(),
 		"race_duration":            m.raceDuration.snapshot(),

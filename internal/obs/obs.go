@@ -169,6 +169,30 @@ type ServeCacheEvent struct {
 	Entries int
 }
 
+// ApproxEvent reports one run of the streaming approximation tier
+// (internal/approx via the "approx" algorithm): the requested scheme, the
+// certified interval reached, and whether an exact Lawler sharpening pass
+// followed.
+type ApproxEvent struct {
+	// Mode is the scheme actually run ("chkl" or "ap").
+	Mode string
+	// Epsilon is the requested tolerance (the engine's bracketing epsilon
+	// when the run was a sharpening prelude to an exact answer).
+	Epsilon float64
+	// Nodes and Arcs are the presented graph's dimensions.
+	Nodes, Arcs int
+	// Passes counts full arc-stream sweeps; Rounds bisection probes.
+	Passes, Rounds int
+	// Lower and Upper are the certified interval bracketing λ*; Upper is
+	// NaN when no witness cycle was harvested before an error.
+	Lower, Upper float64
+	// Sharpened reports that an exact Lawler pass seeded from the interval
+	// followed (and its answer is what the caller received).
+	Sharpened bool
+	// Err is the engine's error, nil on success.
+	Err error
+}
+
 // CertifyEvent reports an exact-certification attempt (Options.Certify).
 type CertifyEvent struct {
 	// OK reports that the optimality proof succeeded.
@@ -203,6 +227,7 @@ type Trace struct {
 	OnRace        func(RaceEvent)
 	OnCache       func(CacheEvent)
 	OnServeCache  func(ServeCacheEvent)
+	OnApprox      func(ApproxEvent)
 	OnCertify     func(CertifyEvent)
 }
 
@@ -256,6 +281,13 @@ func (t *Trace) Cache(ev CacheEvent) {
 func (t *Trace) ServeCache(ev ServeCacheEvent) {
 	if t != nil && t.OnServeCache != nil {
 		t.OnServeCache(ev)
+	}
+}
+
+// Approx emits an ApproxEvent; safe on a nil receiver.
+func (t *Trace) Approx(ev ApproxEvent) {
+	if t != nil && t.OnApprox != nil {
+		t.OnApprox(ev)
 	}
 }
 
@@ -316,6 +348,11 @@ func Multi(traces ...*Trace) *Trace {
 	out.OnServeCache = func(ev ServeCacheEvent) {
 		for _, t := range live {
 			t.ServeCache(ev)
+		}
+	}
+	out.OnApprox = func(ev ApproxEvent) {
+		for _, t := range live {
+			t.Approx(ev)
 		}
 	}
 	out.OnCertify = func(ev CertifyEvent) {

@@ -56,6 +56,17 @@ type GraphRequest struct {
 	Kernelize bool `json:"kernelize,omitempty"`
 	// Certify attaches an exact optimality proof to the answer.
 	Certify bool `json:"certify,omitempty"`
+	// ApproxEpsilon is the approximation tolerance for the "approx"
+	// algorithm; <= 0 requests an exact (sharpened) answer. Only valid with
+	// "algorithm": "approx" (which is assumed when any approx_* field is set
+	// and the algorithm is left empty) and "problem": "mean".
+	ApproxEpsilon float64 `json:"approx_epsilon,omitempty"`
+	// ApproxMode selects the approximation scheme: "chkl" (default,
+	// relative error) or "ap" (additive entropic).
+	ApproxMode string `json:"approx_mode,omitempty"`
+	// ApproxSharpen follows the ε run with an exact Lawler pass seeded from
+	// the certified interval, returning an exact answer.
+	ApproxSharpen bool `json:"approx_sharpen,omitempty"`
 	// DeadlineMillis overrides the batch-level solve budget for this graph.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
@@ -92,6 +103,13 @@ type GraphResult struct {
 	Cycle []graph.ArcID `json:"cycle,omitempty"`
 	// Exact is false only for epsilon-mode approximate runs.
 	Exact bool `json:"exact,omitempty"`
+	// Approx marks a value that is not exact (approximation-tier or legacy
+	// epsilon-mode run); when the run came from the "approx" algorithm,
+	// ErrorBound certifies λ* ∈ [Value−ErrorBound, Value].
+	Approx bool `json:"approx,omitempty"`
+	// ErrorBound is the certified width of the approximation interval; zero
+	// for exact answers.
+	ErrorBound float64 `json:"error_bound,omitempty"`
 	// Certified reports that the answer carries a verified exact optimality
 	// proof (request had "certify": true and the proof passed).
 	Certified bool `json:"certified,omitempty"`
@@ -194,6 +212,10 @@ func solveErrorBody(err error) *ErrorBody {
 		code = CodeNonPositiveTransit
 	case errors.Is(err, core.ErrNotStronglyConnected), errors.Is(err, ratio.ErrNotStronglyConnected):
 		code = CodeNotStronglyConnected
+	case errors.Is(err, core.ErrApproxMode):
+		// Normally caught by resolveRequest before any solve work; kept for
+		// callers that reach the drivers directly.
+		code = CodeBadRequest
 	}
 	return &ErrorBody{Code: code, Message: err.Error()}
 }

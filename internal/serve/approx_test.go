@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// Serve-path tests for the approximation tier: the "approx" algorithm over
+// the HTTP boundary, the approx/error_bound response marking, the exact
+// sharpened variant, and the upfront validation of the approx_* knobs.
+
+// TestApproxSolveOverHTTP pins the wire semantics: an ε run answers with
+// approx=true and a certified error_bound containing the exact λ*, while a
+// sharpened run answers bit-identically to the exact solver with
+// approx=false and error_bound absent.
+func TestApproxSolveOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	g, err := gen.Sprand(gen.SprandConfig{N: 40, M: 160, MinWeight: -80, MaxWeight: 80, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	howard, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.MinimumCycleMean(g, howard, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := graphText(t, g)
+
+	run := func(gr GraphRequest) GraphResult {
+		status, body := post(t, ts, SolveRequest{Requests: []GraphRequest{gr}})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", gr.ID, status, body)
+		}
+		res := decodeResults(t, body)[0]
+		if !res.OK {
+			t.Fatalf("%s: %+v", gr.ID, res.Error)
+		}
+		return res
+	}
+
+	// ε run: value is a real cycle's mean ≥ λ*, and λ* ≥ value − bound.
+	res := run(GraphRequest{ID: "eps", Text: text, Algorithm: "approx", ApproxEpsilon: 0.05})
+	if res.Algorithm != "approx" {
+		t.Errorf("algorithm echo %q, want approx", res.Algorithm)
+	}
+	lambda := exact.Mean.Float64()
+	const slack = 1e-9
+	if res.Value.Float < lambda-slack {
+		t.Errorf("approx value %g below exact λ* %g", res.Value.Float, lambda)
+	}
+	if res.Value.Float-res.ErrorBound > lambda+slack {
+		t.Errorf("certified lower %g above exact λ* %g", res.Value.Float-res.ErrorBound, lambda)
+	}
+	if res.Exact != (res.ErrorBound == 0) {
+		t.Errorf("exact=%v inconsistent with error_bound=%g", res.Exact, res.ErrorBound)
+	}
+	if res.Approx == res.Exact {
+		t.Errorf("approx=%v must be the negation of exact=%v", res.Approx, res.Exact)
+	}
+
+	// Omitting the algorithm with an approx_* knob set selects "approx".
+	if res := run(GraphRequest{ID: "defaulted", Text: text, ApproxEpsilon: 0.05}); res.Algorithm != "approx" {
+		t.Errorf("defaulted algorithm %q, want approx", res.Algorithm)
+	}
+
+	// Sharpened: bit-identical to the exact solver, marked exact.
+	sh := run(GraphRequest{ID: "sharpen", Text: text, Algorithm: "approx", ApproxEpsilon: 0.05, ApproxSharpen: true})
+	if !sh.Exact || sh.Approx || sh.ErrorBound != 0 {
+		t.Errorf("sharpened: exact=%v approx=%v bound=%g, want exact", sh.Exact, sh.Approx, sh.ErrorBound)
+	}
+	if sh.Value.Num != exact.Mean.Num() || sh.Value.Den != exact.Mean.Den() {
+		t.Errorf("sharpened value %d/%d, exact %v", sh.Value.Num, sh.Value.Den, exact.Mean)
+	}
+}
+
+// TestApproxRequestValidation pins the upfront rejections: a bad mode, the
+// approx knobs on a non-approx algorithm, and the ratio problem all answer
+// with a per-graph bad_request before any solve work.
+func TestApproxRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	text := "p mcm 2 2\na 1 2 3\na 2 1 5\n"
+
+	cases := []struct {
+		name string
+		gr   GraphRequest
+	}{
+		{"bad mode", GraphRequest{Text: text, Algorithm: "approx", ApproxMode: "bogus"}},
+		{"knobs on karp", GraphRequest{Text: text, Algorithm: "karp", ApproxEpsilon: 0.05}},
+		{"sharpen on howard", GraphRequest{Text: text, Algorithm: "howard", ApproxSharpen: true}},
+		{"ratio problem", GraphRequest{Text: text, Problem: "ratio", Algorithm: "approx", ApproxEpsilon: 0.05}},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, SolveRequest{Requests: []GraphRequest{tc.gr}})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.name, status, body)
+		}
+		res := decodeResults(t, body)[0]
+		if res.OK || res.Error == nil || res.Error.Code != CodeBadRequest {
+			t.Errorf("%s: %+v, want per-graph %s", tc.name, res, CodeBadRequest)
+		}
+	}
+}

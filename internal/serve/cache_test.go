@@ -116,6 +116,10 @@ func TestCacheOptionNearMisses(t *testing.T) {
 		{ID: "karp", Text: text, Algorithm: "karp"},
 		{ID: "ratio", Text: text, Problem: "ratio"},
 		{ID: "ratio-certify", Text: text, Problem: "ratio", Certify: true},
+		{ID: "approx", Text: text, Algorithm: "approx", ApproxEpsilon: 0.05},
+		{ID: "approx-tight", Text: text, Algorithm: "approx", ApproxEpsilon: 0.01},
+		{ID: "approx-ap", Text: text, Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "ap"},
+		{ID: "approx-sharpen", Text: text, Algorithm: "approx", ApproxEpsilon: 0.05, ApproxSharpen: true},
 	}
 	run := func(gr GraphRequest) GraphResult {
 		status, body := post(t, ts, SolveRequest{Requests: []GraphRequest{gr}})
@@ -155,6 +159,13 @@ func TestCacheOptionNearMisses(t *testing.T) {
 	stats, _ = s.CacheStats()
 	if stats.Hits != int64(len(variants)) {
 		t.Fatalf("after second pass: %+v, want %d hits", stats, len(variants))
+	}
+
+	// The default approx mode spelling and the explicit "chkl" canonicalize
+	// to one key: spelling the mode out must hit the default-mode entry.
+	res := run(GraphRequest{ID: "approx-canonical", Text: text, Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "chkl"})
+	if !res.Cached {
+		t.Fatalf("explicit chkl mode missed the default-mode entry — mode not canonicalized in the key")
 	}
 }
 

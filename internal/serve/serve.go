@@ -482,11 +482,14 @@ func (s *Server) solveOne(ctx context.Context, batch *SolveRequest, gr *GraphReq
 	// (singleflight). Failed or canceled solves are never stored, so a
 	// mid-solve deadline expiry cannot poison the key for later requests.
 	key := servecache.Key{Graph: g.Fingerprint(), Opt: servecache.Options{
-		Problem:   problem,
-		Maximize:  gr.Maximize,
-		Algorithm: algoName,
-		Kernelize: gr.Kernelize,
-		Certify:   gr.Certify,
+		Problem:       problem,
+		Maximize:      gr.Maximize,
+		Algorithm:     algoName,
+		Kernelize:     gr.Kernelize,
+		Certify:       gr.Certify,
+		ApproxEpsilon: gr.ApproxEpsilon,
+		ApproxMode:    gr.ApproxMode, // canonicalized by resolveRequest
+		ApproxSharpen: gr.ApproxSharpen,
 	}}
 	out, src, err := s.cache.Do(ctx, key, func(ctx context.Context) (*servecache.Result, error) {
 		return s.solveWorker(ctx, gr, g, problem, algoName)
@@ -500,8 +503,27 @@ func (s *Server) solveOne(ctx context.Context, batch *SolveRequest, gr *GraphReq
 // defaults, before any admission, cache, or solve work.
 func resolveRequest(gr *GraphRequest) (problem, algoName string, errBody *ErrorBody) {
 	algoName = gr.Algorithm
+	hasApprox := gr.ApproxEpsilon != 0 || gr.ApproxMode != "" || gr.ApproxSharpen
 	if algoName == "" {
-		algoName = "howard"
+		if hasApprox {
+			algoName = "approx"
+		} else {
+			algoName = "howard"
+		}
+	}
+	if algoName == "approx" {
+		if gr.Problem == "ratio" {
+			return "", "", &ErrorBody{Code: CodeBadRequest, Message: `the "approx" algorithm solves "problem": "mean" only`}
+		}
+		mode, err := core.CanonicalApproxMode(gr.ApproxMode)
+		if err != nil {
+			return "", "", &ErrorBody{Code: CodeBadRequest, Message: err.Error()}
+		}
+		// Canonicalize in place so the cache key (and the dispatch options)
+		// see one spelling for the default mode.
+		gr.ApproxMode = mode
+	} else if hasApprox {
+		return "", "", &ErrorBody{Code: CodeBadRequest, Message: fmt.Sprintf("approx_* options require \"algorithm\": \"approx\", got %q", algoName)}
 	}
 	switch gr.Problem {
 	case "", "mean":
@@ -550,6 +572,8 @@ func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph,
 	opt := s.baseOpt
 	opt.Kernelize = gr.Kernelize
 	opt.Certify = gr.Certify
+	opt.Approx = core.ApproxOptions{Epsilon: gr.ApproxEpsilon, Mode: gr.ApproxMode}
+	opt.ApproxSharpen = gr.ApproxSharpen
 
 	if problem == "mean" {
 		// Hot path: minimizing with plain Howard reuses the session cache,
@@ -601,6 +625,7 @@ func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph,
 		Value:     r.Ratio,
 		Cycle:     r.Cycle,
 		Exact:     r.Exact,
+		Approx:    !r.Exact,
 		Certified: r.Certificate != nil,
 		Counts:    r.Counts,
 	}, nil
@@ -609,11 +634,13 @@ func (s *Server) dispatch(ctx context.Context, gr *GraphRequest, g *graph.Graph,
 // meanOutcome shapes a core.Result into the cacheable form.
 func meanOutcome(r core.Result) *servecache.Result {
 	return &servecache.Result{
-		Value:     r.Mean,
-		Cycle:     r.Cycle,
-		Exact:     r.Exact,
-		Certified: r.Certificate != nil,
-		Counts:    r.Counts,
+		Value:      r.Mean,
+		Cycle:      r.Cycle,
+		Exact:      r.Exact,
+		Approx:     !r.Exact,
+		ErrorBound: r.ErrorBound,
+		Certified:  r.Certificate != nil,
+		Counts:     r.Counts,
 	}
 }
 
@@ -627,6 +654,8 @@ func fillOutcome(res *GraphResult, out *servecache.Result, err error) {
 	res.Value = ratValue(out.Value)
 	res.Cycle = out.Cycle
 	res.Exact = out.Exact
+	res.Approx = out.Approx
+	res.ErrorBound = out.ErrorBound
 	res.Certified = out.Certified
 	counts := out.Counts
 	res.Counts = &counts

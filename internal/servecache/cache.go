@@ -10,8 +10,9 @@
 // over — become O(1) lookups instead of O(nm) solver runs. Keys are exact:
 // the graph fingerprint (graph.Fingerprint, identical across text and JSON
 // encodings of the same arc list) combined with every solve-relevant option
-// (problem, direction, algorithm, kernelize, certify), so a cached
-// uncertified answer can never satisfy a certified request.
+// (problem, direction, algorithm, kernelize, certify, approximation knobs),
+// so a cached uncertified answer can never satisfy a certified request and a
+// loose-ε approximation can never answer a tight-ε one.
 //
 // Failed solves are never stored. In particular a canceled or
 // deadline-expired solve leaves no entry behind: its singleflight waiters
@@ -52,6 +53,14 @@ type Options struct {
 	// Certify records whether the stored result carries a verified proof. A
 	// cached uncertified result must never answer a certified request.
 	Certify bool
+	// ApproxEpsilon, ApproxMode, and ApproxSharpen are the approximation-tier
+	// knobs (algorithm "approx" only; zero values otherwise). They change the
+	// answer or its error bound, so near-miss requests never share an entry.
+	// ApproxMode is stored canonicalized ("chkl" or "ap", never empty) so the
+	// default spelling and the explicit one hit the same key.
+	ApproxEpsilon float64
+	ApproxMode    string
+	ApproxSharpen bool
 }
 
 // Key is the full cache key: what graph, solved how.
@@ -70,7 +79,11 @@ type Result struct {
 	Cycle     []graph.ArcID
 	Exact     bool
 	Certified bool
-	Counts    counter.Counts
+	// Approx marks a non-exact value; ErrorBound is the certified interval
+	// width when the approximation tier produced it (zero for exact answers).
+	Approx     bool
+	ErrorBound float64
+	Counts     counter.Counts
 }
 
 // Source reports how Do obtained its result.

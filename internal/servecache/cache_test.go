@@ -102,6 +102,10 @@ func TestOptionKeyingNearMisses(t *testing.T) {
 		{Problem: "mean", Algorithm: "karp"},
 		{Problem: "ratio", Algorithm: "howard"},
 		{Problem: "mean", Algorithm: "howard", Certify: true, Kernelize: true},
+		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "chkl"},
+		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.01, ApproxMode: "chkl"},
+		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "ap"},
+		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "chkl", ApproxSharpen: true},
 	}
 
 	c := New(64, nil)

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# kernel_bench_check.sh — CI gate for the kernelization win: re-run the
+# kernel sweep on the current machine and assert the conservative speedup
+# floors (chain-family kernelization and the Session warm-start must both
+# keep >= the floor, 1.2x by default). The floors gate "the win still
+# exists", not "the machine matches the checked-in BENCH_kernel.json".
+# Exit 2 on a violated floor, 1 on harness failure.
+set -eu
+
+FLOOR="${KERNEL_BENCH_FLOOR:-1.2}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT INT TERM
+
+go build -o "$OUT/mcmbench" ./cmd/mcmbench
+
+# A fresh quick sweep, piped straight into the checker: the recorded
+# BENCH_kernel.json documents a past machine; CI gates the present one.
+"$OUT/mcmbench" -table kernel -json 2>"$OUT/sweep.err" >"$OUT/kernel.json" || {
+    echo "kernel_bench_check: FAIL — sweep did not complete" >&2
+    cat "$OUT/sweep.err" >&2 || true
+    exit 1
+}
+
+"$OUT/mcmbench" -check-kernel "$OUT/kernel.json" -min-kernel-speedup "$FLOOR"
+echo "kernel_bench_check: OK"
