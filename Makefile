@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
+.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke bench-session bench-session-smoke fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
 
 all: build test
 
@@ -45,6 +45,18 @@ bench-approx:
 bench-approx-smoke:
 	$(GO) run ./cmd/mcmbench -table approx -quick -progress
 
+# Incremental-engine sweep: a 2000-node perturbation stream through one
+# DynSession, every answer verified bit-identical to a fresh certified
+# solve; records BENCH_session.json. Exit 2 on a λ* mismatch or a total
+# speedup below the 2x gate.
+bench-session:
+	$(GO) run ./cmd/mcmbench -table session-delta -progress -json > BENCH_session.json
+	@echo "wrote BENCH_session.json"
+
+# CI smoke variant: reduced graph and stream, same correctness oracle.
+bench-session-smoke:
+	$(GO) run ./cmd/mcmbench -table session-delta -quick -progress
+
 # Sustained-load serving suite: cache-on vs cache-off throughput on a
 # 90%-repeated workload plus the streaming bounded-memory probe; records
 # BENCH_serve.json, then the process-level smoke asserts a conservative
@@ -63,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSolveDifferential -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzApproxDifferential -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzKernelEquivalence -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzSessionDeltas -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzRatioDifferential -fuzztime 30s ./internal/ratio
 
 # Tracing-overhead gate (also run by CI): a disabled tracer must stay
@@ -81,11 +94,13 @@ serve-smoke:
 # Batch-service e2e gate (also run by CI): the race-enabled service and
 # daemon test suites (oracle answers, typed errors, 429 backpressure,
 # deadline expiry, graceful drain, session stress), then the process-level
-# load smoke against a real mcmd under SIGTERM.
+# load smoke against a real mcmd under SIGTERM and the stateful-session
+# protocol smoke (streamed deltas, stable arc IDs, drain terminal frame).
 serve-e2e:
 	$(GO) test -race -count=1 ./internal/serve/ ./cmd/mcmd/
-	$(GO) test -race -count=1 -run 'TestSessionConcurrentStress|TestSessionSolveContextCancel' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestSessionConcurrentStress|TestSessionSolveContextCancel|TestDynSessionConcurrentStress|TestDynSessionSolveContextCancel' ./internal/core/
 	./scripts/load_smoke.sh
+	./scripts/session_e2e.sh
 
 # Full Table 2 + every observation table (tens of minutes).
 repro:

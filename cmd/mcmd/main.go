@@ -1,8 +1,10 @@
 // Command mcmd is the batch solve daemon: an HTTP/JSON service answering
 // minimum (and maximum) cycle mean and cost-to-time ratio queries over the
 // solver stack, with per-request deadlines, bounded-queue backpressure, a
-// warm-started session cache for repeat topologies, and live observability
-// (/debug/vars metrics, /debug/pprof profiling) on the same listener.
+// warm-started session cache for repeat topologies, stateful incremental
+// sessions (/v1/session: stream graph deltas, get updated λ* per edit), and
+// live observability (/debug/vars metrics, /debug/pprof profiling) on the
+// same listener.
 //
 // Examples:
 //
@@ -44,6 +46,8 @@ func main() {
 		timeout      = flag.Duration("timeout", 30*time.Second, "default per-graph solve budget")
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested budgets")
 		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		maxSessions  = flag.Int("max-sessions", 64, "live /v1/session sessions; creation beyond answers 429")
+		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "idle session lifetime before lazy expiry")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight solves on shutdown")
 		traceEvents  = flag.Bool("trace", false, "log solver events to stderr")
 		statsOnDrain = flag.Bool("stats", true, "print session cache stats to stderr on clean shutdown")
@@ -64,6 +68,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		RetryAfter:     *retryAfter,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 	}
 	if *traceEvents {
 		cfg.Tracer = obs.NewLogTracer(os.Stderr)
@@ -89,7 +95,7 @@ func run(ctx context.Context, addr string, cfg serve.Config, drainWait time.Dura
 func runListener(ctx context.Context, ln net.Listener, cfg serve.Config, drainWait time.Duration, statsOnDrain bool) error {
 	srv := serve.NewServer(cfg)
 	httpServer := &http.Server{Handler: srv}
-	fmt.Fprintf(os.Stderr, "mcmd: serving on http://%s (solve: POST /v1/solve, metrics: /debug/vars, pprof: /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "mcmd: serving on http://%s (solve: POST /v1/solve, sessions: POST /v1/session, metrics: /debug/vars, pprof: /debug/pprof/)\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpServer.Serve(ln) }()

@@ -1,0 +1,270 @@
+package bench
+
+// This file is the incremental dynamic-graph experiment harness: one
+// long-lived core.DynSession absorbing a perturbation stream over a large
+// SPRAND graph, with every post-delta answer timed against — and verified
+// bit-identical to — a fresh certified solve of the same content. It is the
+// benchmark gate behind the engine's claim: a delta re-solve must be at
+// least MinSpeedup× faster than solving cold, or mcmbench exits 2.
+// `mcmbench -table session-delta -json > BENCH_session.json` records the
+// sweep; `-quick` is the CI smoke variant.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// SessionConfig parameterizes RunSessionDeltaSweep.
+type SessionConfig struct {
+	// Nodes and Arcs size the seed SPRAND graph; defaults 2000 and 8000.
+	Nodes int
+	Arcs  int
+	// Deltas is the perturbation-stream length; default 200 (60 smoke).
+	Deltas int
+	// Seed drives both the graph and the delta stream.
+	Seed int64
+	// MinSpeedup is the gate: total cold time / total incremental time must
+	// reach it; default 2.0.
+	MinSpeedup float64
+	// Smoke runs the reduced CI variant (smaller graph, shorter stream).
+	Smoke bool
+	// Progress, when non-nil, receives one line every 25 deltas.
+	Progress io.Writer
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 2000
+	}
+	if c.Arcs <= 0 {
+		c.Arcs = 4 * c.Nodes
+	}
+	if c.Deltas <= 0 {
+		c.Deltas = 200
+	}
+	if c.Smoke {
+		c.Nodes = 600
+		c.Arcs = 2400
+		c.Deltas = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 424299
+	}
+	if c.MinSpeedup <= 0 {
+		c.MinSpeedup = 2.0
+	}
+	return c
+}
+
+// SessionDeltaRow is one applied delta's measurement.
+type SessionDeltaRow struct {
+	Round int    `json:"round"`
+	Op    string `json:"op"`
+	Kind  string `json:"kind"` // "weight", "structural", or "free"
+	// IncrementalMs is the session's apply+re-solve (certified); ColdMs a
+	// fresh certified Howard solve of the identical content.
+	IncrementalMs float64 `json:"incremental_ms"`
+	ColdMs        float64 `json:"cold_ms"`
+	// Value is the post-delta λ* as a string ("num/den").
+	Value string `json:"value"`
+}
+
+// SessionReport is a completed perturbation sweep.
+type SessionReport struct {
+	Nodes      int     `json:"nodes"`
+	Arcs       int     `json:"arcs"`
+	Deltas     int     `json:"deltas"`
+	Seed       int64   `json:"seed"`
+	MinSpeedup float64 `json:"min_speedup"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+
+	// Mix counts the stream composition.
+	WeightEdits     int `json:"weight_edits"`
+	StructuralEdits int `json:"structural_edits"`
+	FreeEdits       int `json:"free_edits"`
+
+	// Aggregate clocks and the headline ratio.
+	IncrementalMsTotal float64 `json:"incremental_ms_total"`
+	ColdMsTotal        float64 `json:"cold_ms_total"`
+	Speedup            float64 `json:"speedup"`
+
+	// Engine is the session's own view of the sweep (warm hits, merges,
+	// splits, components re-solved).
+	Engine core.DynStats `json:"engine"`
+
+	Rows []SessionDeltaRow `json:"rows"`
+	// Violations lists every broken invariant: a λ* mismatch against the
+	// fresh solve (correctness) or a missed speedup gate (performance).
+	// mcmbench exits 2 when it is non-empty.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// JSON renders the report for BENCH_session.json.
+func (r *SessionReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunSessionDeltaSweep seeds a DynSession with a SPRAND graph and streams a
+// mixed perturbation load through it: ~60% weight edits on live arcs, ~20%
+// structural edits inside the cyclic core (arc insertions between random
+// nodes, deletions of previously inserted arcs), ~20% free edits (fresh
+// nodes and arcs touching them, which lie on no cycle). Every answer is
+// verified bit-identical in λ* to a fresh certified solve of the
+// materialized content before the clock comparison is trusted.
+func RunSessionDeltaSweep(cfg SessionConfig) (*SessionReport, error) {
+	cfg = cfg.withDefaults()
+	g, err := gen.Sprand(gen.SprandConfig{
+		N: cfg.Nodes, M: cfg.Arcs,
+		MinWeight: -10000, MaxWeight: 10000,
+		Seed: uint64(cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	howard, err := core.ByName("howard")
+	if err != nil {
+		return nil, err
+	}
+	opt := core.Options{Certify: true}
+	ds := core.NewDynSession(g, opt)
+	if _, err := ds.Solve(); err != nil {
+		return nil, fmt.Errorf("bench: seed solve: %w", err)
+	}
+
+	rep := &SessionReport{
+		Nodes: cfg.Nodes, Arcs: cfg.Arcs, Deltas: cfg.Deltas,
+		Seed: cfg.Seed, MinSpeedup: cfg.MinSpeedup,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows: make([]SessionDeltaRow, 0, cfg.Deltas),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var inserted []graph.ArcID // structural insertions eligible for deletion
+	nodes := cfg.Nodes
+
+	for round := 0; round < cfg.Deltas; round++ {
+		var (
+			dl   core.Delta
+			kind string
+		)
+		switch p := rng.Intn(10); {
+		case p < 6:
+			// Weight edit on a random seed arc: the common case the warm
+			// path exists for.
+			kind = "weight"
+			dl = core.Delta{Op: core.DeltaSetWeight,
+				Arc:    graph.ArcID(rng.Intn(cfg.Arcs)),
+				Weight: int64(rng.Intn(20001) - 10000)}
+			rep.WeightEdits++
+		case p < 8:
+			// Structural edit inside the cyclic core: insert between random
+			// existing nodes, or take back an earlier insertion.
+			kind = "structural"
+			if len(inserted) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(inserted))
+				dl = core.Delta{Op: core.DeltaDeleteArc, Arc: inserted[i]}
+				inserted = append(inserted[:i], inserted[i+1:]...)
+			} else {
+				dl = core.Delta{Op: core.DeltaInsertArc,
+					From:   graph.NodeID(rng.Intn(cfg.Nodes)),
+					To:     graph.NodeID(rng.Intn(cfg.Nodes)),
+					Weight: int64(rng.Intn(20001) - 10000), Transit: 1}
+			}
+			rep.StructuralEdits++
+		default:
+			// Free edit: a fresh node plus an arc onto it — on no cycle, so
+			// the engine must do (nearly) no work.
+			kind = "free"
+			if rng.Intn(2) == 0 {
+				dl = core.Delta{Op: core.DeltaAddNode}
+			} else {
+				dl = core.Delta{Op: core.DeltaInsertArc,
+					From:   graph.NodeID(rng.Intn(nodes)),
+					To:     graph.NodeID(rng.Intn(nodes)),
+					Weight: int64(rng.Intn(20001) - 10000), Transit: 1}
+				// Aim at the most recent fresh node when one exists, keeping
+				// the arc out of the seed core.
+				if nodes > cfg.Nodes {
+					dl.To = graph.NodeID(nodes - 1)
+				}
+			}
+			rep.FreeEdits++
+		}
+
+		t0 := time.Now()
+		ids, res, err := ds.Update(context.Background(), []core.Delta{dl})
+		incMs := float64(time.Since(t0)) / 1e6
+		if err != nil {
+			return nil, fmt.Errorf("bench: round %d (%s): %w", round, dl.Op, err)
+		}
+		if dl.Op == core.DeltaAddNode {
+			nodes++
+		}
+		if dl.Op == core.DeltaInsertArc && kind == "structural" {
+			inserted = append(inserted, graph.ArcID(ids[0]))
+		}
+
+		// Cold leg: fresh certified solve of the identical content; also the
+		// correctness oracle for the incremental answer.
+		snap, _ := ds.Materialize()
+		t1 := time.Now()
+		want, err := core.MinimumCycleMean(snap, howard, opt)
+		coldMs := float64(time.Since(t1)) / 1e6
+		if err != nil {
+			return nil, fmt.Errorf("bench: round %d: fresh solve: %w", round, err)
+		}
+		if res.Mean.Num() != want.Mean.Num() || res.Mean.Den() != want.Mean.Den() {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"round %d (%s): incremental λ* = %s, fresh certified solve says %s",
+				round, dl.Op, res.Mean, want.Mean))
+		}
+
+		rep.IncrementalMsTotal += incMs
+		rep.ColdMsTotal += coldMs
+		rep.Rows = append(rep.Rows, SessionDeltaRow{
+			Round: round, Op: dl.Op.String(), Kind: kind,
+			IncrementalMs: incMs, ColdMs: coldMs, Value: res.Mean.String(),
+		})
+		if cfg.Progress != nil && (round+1)%25 == 0 {
+			fmt.Fprintf(cfg.Progress, "session-delta: %d/%d deltas, speedup so far %.2fx\n",
+				round+1, cfg.Deltas, rep.ColdMsTotal/rep.IncrementalMsTotal)
+		}
+	}
+
+	rep.Engine = ds.Stats()
+	if rep.IncrementalMsTotal > 0 {
+		rep.Speedup = rep.ColdMsTotal / rep.IncrementalMsTotal
+	}
+	if rep.Speedup < cfg.MinSpeedup {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(
+			"speedup %.2fx below the %.1fx gate (incremental %.1fms vs cold %.1fms over %d deltas)",
+			rep.Speedup, cfg.MinSpeedup, rep.IncrementalMsTotal, rep.ColdMsTotal, cfg.Deltas))
+	}
+	return rep, nil
+}
+
+// WriteSessionDelta renders the report as a table.
+func WriteSessionDelta(w io.Writer, rep *SessionReport) {
+	fmt.Fprintf(w, "session-delta: n=%d m=%d, %d deltas (%d weight / %d structural / %d free), seed %d\n",
+		rep.Nodes, rep.Arcs, rep.Deltas, rep.WeightEdits, rep.StructuralEdits, rep.FreeEdits, rep.Seed)
+	fmt.Fprintf(w, "  incremental: %8.1f ms total  (%.3f ms/delta)\n",
+		rep.IncrementalMsTotal, rep.IncrementalMsTotal/float64(rep.Deltas))
+	fmt.Fprintf(w, "  cold:        %8.1f ms total  (%.3f ms/delta)\n",
+		rep.ColdMsTotal, rep.ColdMsTotal/float64(rep.Deltas))
+	fmt.Fprintf(w, "  speedup:     %.2fx (gate %.1fx)\n", rep.Speedup, rep.MinSpeedup)
+	e := rep.Engine
+	fmt.Fprintf(w, "  engine: %d component solves (%d warm / %d cold), %d invalidations, %d merges, %d splits, %d live components\n",
+		e.Components, e.WarmHits, e.WarmMisses, e.Invalidated, e.Merges, e.Splits, e.LiveComponents)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(w, "  VIOLATION: %s\n", v)
+	}
+}

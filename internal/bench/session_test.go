@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// TestSessionDeltaSweepCorrectness runs a tiny sweep and asserts the
+// correctness half of the harness: zero λ* mismatches between incremental
+// and fresh certified solves, the configured mix accounted for, and the
+// engine actually exercising the warm path. The speedup gate is set far
+// below any plausible timing so a loaded CI machine cannot flake this test;
+// the real 2× gate runs in the benchmark job against BENCH_session.json.
+func TestSessionDeltaSweepCorrectness(t *testing.T) {
+	rep, err := RunSessionDeltaSweep(SessionConfig{
+		Nodes: 120, Arcs: 480, Deltas: 30, MinSpeedup: 0.0001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if got := rep.WeightEdits + rep.StructuralEdits + rep.FreeEdits; got != 30 {
+		t.Fatalf("mix accounts for %d deltas, want 30", got)
+	}
+	if len(rep.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(rep.Rows))
+	}
+	if rep.Engine.Deltas != 30 || rep.Engine.WarmHits == 0 {
+		t.Fatalf("engine stats: %+v", rep.Engine)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/verify"
+)
+
+// decodeFuzzDeltas splits fuzz bytes into an initial graph and a delta
+// stream. Byte 0 picks the node count in [2, maxN]; byte 1 the number of
+// seed arcs; then 3-byte arc chunks; every remaining 4-byte chunk is one
+// delta (op selector + operands). Deltas deliberately reach dead arc IDs
+// and out-of-range nodes, so the typed-rejection path is fuzzed too.
+func decodeFuzzDeltas(data []byte, maxN, maxSeedArcs, maxDeltas int) (*graph.Graph, []Delta) {
+	if len(data) < 2 {
+		return nil, nil
+	}
+	n := 2 + int(data[0])%(maxN-1)
+	m := int(data[1]) % (maxSeedArcs + 1)
+	data = data[2:]
+	var arcs []graph.Arc
+	for len(data) >= 3 && len(arcs) < m {
+		arcs = append(arcs, graph.Arc{
+			From:    graph.NodeID(int(data[0]) % n),
+			To:      graph.NodeID(int(data[1]) % n),
+			Weight:  int64(int8(data[2])),
+			Transit: 1,
+		})
+		data = data[3:]
+	}
+	var deltas []Delta
+	for len(data) >= 4 && len(deltas) < maxDeltas {
+		op, a, b, c := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		switch op % 5 {
+		case 0:
+			deltas = append(deltas, Delta{Op: DeltaInsertArc,
+				From: graph.NodeID(a), To: graph.NodeID(b), Weight: int64(int8(c)), Transit: 1})
+		case 1:
+			deltas = append(deltas, Delta{Op: DeltaDeleteArc, Arc: graph.ArcID(int(a) | int(b)<<8)})
+		case 2:
+			deltas = append(deltas, Delta{Op: DeltaSetWeight, Arc: graph.ArcID(a), Weight: int64(int8(c))})
+		case 3:
+			deltas = append(deltas, Delta{Op: DeltaSetTransit, Arc: graph.ArcID(a), Transit: int64(c % 4)})
+		case 4:
+			deltas = append(deltas, Delta{Op: DeltaAddNode})
+		}
+	}
+	return graph.FromArcs(n, arcs), deltas
+}
+
+// FuzzSessionDeltas drives DynSession with arbitrary delta streams and
+// cross-checks every post-delta answer against a fresh certified Howard
+// solve of the materialized snapshot (itself fuzzed against the brute-force
+// oracle by FuzzSolveDifferential): λ* must be bit-identical, the witness
+// must be a valid attaining cycle in original-ID space, and the attached
+// certificate must pass the independent optimality check. Rejected deltas
+// must be typed ErrBadDelta and leave the engine consistent.
+func FuzzSessionDeltas(f *testing.F) {
+	// Seeds: a weight edit on a 2-cycle; a merge then split; inserts onto a
+	// self-loop graph; a dead-arc delete; add-node plus wiring into it.
+	f.Add([]byte{2, 2, 0, 1, 5, 1, 0, 7, 2, 0, 0, 200, 2, 1, 0, 9})
+	f.Add([]byte{4, 4, 0, 1, 1, 1, 0, 1, 2, 3, 2, 3, 2, 4, 0, 2, 3, 100, 1, 4, 0, 0})
+	f.Add([]byte{3, 1, 1, 1, 50, 0, 0, 2, 250, 0, 2, 0, 3, 1, 0, 0, 60})
+	f.Add([]byte{2, 1, 0, 1, 1, 1, 9, 0, 0, 1, 5, 0, 0})
+	f.Add([]byte{2, 2, 0, 1, 2, 1, 0, 2, 4, 0, 0, 0, 0, 2, 0, 30, 0, 1, 2, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, deltas := decodeFuzzDeltas(data, 8, 10, 24)
+		if g == nil || len(deltas) == 0 {
+			return
+		}
+		howard, err := ByName("howard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Certify: true}
+		ds := NewDynSession(g, opt)
+		nodes := g.NumNodes()
+		for i, dl := range deltas {
+			// Normalize insertion endpoints onto the *current* node count so
+			// insertions mostly succeed while still probing the range check.
+			if dl.Op == DeltaInsertArc && int(dl.From) >= nodes {
+				dl.From = graph.NodeID(int(dl.From) % nodes)
+			}
+			if dl.Op == DeltaInsertArc && int(dl.To) >= nodes {
+				dl.To = graph.NodeID(int(dl.To) % nodes)
+			}
+			_, res, err := ds.Update(context.Background(), []Delta{dl})
+			if errors.Is(err, ErrBadDelta) {
+				continue // rejected cleanly; state must be unchanged, which
+				// the next iteration's oracle comparison establishes
+			}
+			if dl.Op == DeltaAddNode {
+				nodes++
+			}
+			snap, export := ds.Materialize()
+			want, werr := MinimumCycleMean(snap, howard, opt)
+			if werr != nil {
+				if err == nil {
+					t.Fatalf("delta %d (%s): fresh solve failed (%v) but session returned λ*=%s",
+						i, dl.Op, werr, res.Mean)
+				}
+				if errors.Is(werr, ErrAcyclic) != errors.Is(err, ErrAcyclic) {
+					t.Fatalf("delta %d (%s): error class mismatch: session %v, fresh %v", i, dl.Op, err, werr)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("delta %d (%s): session failed (%v) but fresh solve gives %s", i, dl.Op, err, want.Mean)
+			}
+			if res.Mean.Num() != want.Mean.Num() || res.Mean.Den() != want.Mean.Den() {
+				t.Fatalf("delta %d (%s): λ* = %s, fresh solve of same content says %s",
+					i, dl.Op, res.Mean, want.Mean)
+			}
+			// Witness: original IDs → compact snapshot IDs, then validate.
+			o2c := make(map[graph.ArcID]graph.ArcID, len(export))
+			for ci, orig := range export {
+				o2c[orig] = graph.ArcID(ci)
+			}
+			cyc := make([]graph.ArcID, len(res.Cycle))
+			for j, orig := range res.Cycle {
+				cid, ok := o2c[orig]
+				if !ok {
+					t.Fatalf("delta %d: witness references dead/unknown arc %d", i, orig)
+				}
+				cyc[j] = cid
+			}
+			if verr := snap.ValidateCycle(cyc); verr != nil {
+				t.Fatalf("delta %d: invalid witness %v: %v", i, res.Cycle, verr)
+			}
+			if res.Certificate == nil {
+				t.Fatalf("delta %d: certified solve returned no certificate", i)
+			}
+			if cerr := verify.CheckCycleIsOptimal(snap, res.Certificate.Value, cyc); cerr != nil {
+				t.Fatalf("delta %d: certificate fails independent check: %v", i, cerr)
+			}
+		}
+	})
+}

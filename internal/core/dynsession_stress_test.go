@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestDynSessionConcurrentStress hammers one shared DynSession from 16
+// goroutines, each streaming its own mix of weight edits, insertions, and
+// deletions through Update. Every answer is taken together with an atomic
+// snapshot of the graph it was computed for (updateAndExport holds the
+// session lock across apply+solve+materialize), and verified bit-identical
+// in λ* against a fresh certified solve of exactly that snapshot. Run under
+// -race in CI next to TestSessionConcurrentStress, this is the proof that
+// concurrent delta streams never observe a torn decomposition or a stale
+// component result.
+func TestDynSessionConcurrentStress(t *testing.T) {
+	howard, err := ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Sprand(gen.SprandConfig{N: 60, M: 240, MinWeight: -400, MaxWeight: 400, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Certify: true}
+	ds := NewDynSession(g, opt)
+	if _, err := ds.Solve(); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		workers = 16
+		rounds  = 25
+	)
+	type sample struct {
+		res    Result
+		snap   *graph.Graph
+		export []graph.ArcID
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+		fail    error
+	)
+	report := func(err error) {
+		mu.Lock()
+		if fail == nil {
+			fail = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			// Each worker edits only arcs it inserted itself plus weight
+			// edits on the seed arcs, so a concurrent sibling can never
+			// delete an ID out from under a pending delta.
+			var mine []graph.ArcID
+			for r := 0; r < rounds; r++ {
+				var dl Delta
+				switch p := rng.Intn(10); {
+				case p < 5:
+					dl = Delta{Op: DeltaSetWeight, Arc: graph.ArcID(rng.Intn(g.NumArcs())),
+						Weight: int64(rng.Intn(801) - 400)}
+				case p < 8 || len(mine) == 0:
+					dl = Delta{Op: DeltaInsertArc,
+						From:   graph.NodeID(rng.Intn(g.NumNodes())),
+						To:     graph.NodeID(rng.Intn(g.NumNodes())),
+						Weight: int64(rng.Intn(801) - 400), Transit: 1}
+				default:
+					i := rng.Intn(len(mine))
+					dl = Delta{Op: DeltaDeleteArc, Arc: mine[i]}
+					mine = append(mine[:i], mine[i+1:]...)
+				}
+				ids, res, snap, export, err := ds.updateAndExport(context.Background(), []Delta{dl})
+				if err != nil {
+					report(fmt.Errorf("worker %d round %d (%s): %w", w, r, dl.Op, err))
+					return
+				}
+				if dl.Op == DeltaInsertArc {
+					mine = append(mine, graph.ArcID(ids[0]))
+				}
+				mu.Lock()
+				samples = append(samples, sample{res: res, snap: snap, export: export})
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if fail != nil {
+		t.Fatal(fail)
+	}
+
+	if len(samples) != workers*rounds {
+		t.Fatalf("collected %d samples, want %d", len(samples), workers*rounds)
+	}
+	for i, s := range samples {
+		want, err := MinimumCycleMean(s.snap, howard, opt)
+		if err != nil {
+			if errors.Is(err, ErrAcyclic) {
+				t.Fatalf("sample %d: snapshot went acyclic but session solved λ*=%s", i, s.res.Mean)
+			}
+			t.Fatalf("sample %d: fresh solve: %v", i, err)
+		}
+		if s.res.Mean.Num() != want.Mean.Num() || s.res.Mean.Den() != want.Mean.Den() {
+			t.Fatalf("sample %d: λ* = %s, fresh solve of the same snapshot says %s",
+				i, s.res.Mean, want.Mean)
+		}
+		// The witness must be a real attaining cycle of that snapshot,
+		// translated from original IDs back onto compact snapshot IDs.
+		o2c := make(map[graph.ArcID]graph.ArcID, len(s.export))
+		for ci, orig := range s.export {
+			o2c[orig] = graph.ArcID(ci)
+		}
+		cyc := make([]graph.ArcID, len(s.res.Cycle))
+		for j, orig := range s.res.Cycle {
+			c, ok := o2c[orig]
+			if !ok {
+				t.Fatalf("sample %d: cycle references arc %d absent from its own snapshot", i, orig)
+			}
+			cyc[j] = c
+		}
+		if err := s.snap.ValidateCycle(cyc); err != nil {
+			t.Fatalf("sample %d: invalid witness: %v", i, err)
+		}
+		if s.snap.CycleWeight(cyc)*s.res.Mean.Den() != s.res.Mean.Num()*int64(len(cyc)) {
+			t.Fatalf("sample %d: witness does not attain λ*", i)
+		}
+	}
+
+	st := ds.Stats()
+	if st.Deltas != workers*rounds {
+		t.Fatalf("Deltas = %d, want %d", st.Deltas, workers*rounds)
+	}
+	if st.Solves != workers*rounds+1 {
+		t.Fatalf("Solves = %d, want %d", st.Solves, workers*rounds+1)
+	}
+	if st.WarmHits == 0 {
+		t.Fatalf("no warm hits under stress: %+v", st)
+	}
+}

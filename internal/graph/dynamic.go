@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DynamicGraph is the mutable overlay behind the incremental dynamic-graph
+// engine (core.DynSession): a directed multigraph supporting arc insertion,
+// arc deletion, and in-place weight/transit updates, whose arc IDs are
+// *stable original IDs* — the ID returned by InsertArc (or inherited from the
+// seed graph) keeps identifying the same arc for the overlay's whole
+// lifetime, no matter how many other arcs are deleted around it. Internal
+// storage is compacted on every deletion (swap-remove, so live arcs stay
+// dense), which is exactly why the ID layer exists: callers never observe the
+// compaction, and critical cycles reported against the overlay keep
+// referencing the IDs the caller knows.
+//
+// Nodes are append-only (AddNode); deleting a node is expressed by deleting
+// its arcs, which leaves an isolated — and therefore acyclic — node behind.
+//
+// A DynamicGraph is NOT safe for concurrent use; callers (core.DynSession,
+// the serve-layer session endpoint) serialize access with their own lock.
+type DynamicGraph struct {
+	n int
+
+	// idx maps an original ArcID to its slot in arcs, or -1 when the arc has
+	// been deleted. len(idx) == nextID, growing monotonically with inserts.
+	idx  []int32
+	arcs []Arc   // live arcs, dense; slot order is NOT meaningful
+	ids  []ArcID // slot -> original ArcID
+
+	// out and in hold, per node, the original IDs of the live arcs leaving /
+	// entering it, in ascending ID order (IDs are assigned monotonically and
+	// deletions preserve relative order, so "ascending" is maintained for
+	// free on insert and by an order-preserving remove on delete).
+	out [][]ArcID
+	in  [][]ArcID
+}
+
+// Errors returned by the mutation methods.
+var (
+	// ErrArcNotLive means the arc ID is unknown or was already deleted.
+	ErrArcNotLive = errors.New("graph: arc is not live")
+	// ErrNodeRange means an endpoint is outside 0..NumNodes()-1.
+	ErrNodeRange = errors.New("graph: node out of range")
+	// ErrDimension means an insert would exceed the MaxDim arc-ID space.
+	ErrDimension = errors.New("graph: dimension exceeds the supported maximum")
+)
+
+// NewDynamic builds an overlay seeded from g: nodes 0..n-1 and arcs 0..m-1
+// with their g weights and transits. g is copied, never retained.
+func NewDynamic(g *Graph) *DynamicGraph {
+	n, m := g.NumNodes(), g.NumArcs()
+	d := &DynamicGraph{
+		n:    n,
+		idx:  make([]int32, m),
+		arcs: make([]Arc, m),
+		ids:  make([]ArcID, m),
+		out:  make([][]ArcID, n),
+		in:   make([][]ArcID, n),
+	}
+	copy(d.arcs, g.Arcs())
+	for i := range d.arcs {
+		d.idx[i] = int32(i)
+		d.ids[i] = ArcID(i)
+	}
+	// Seed adjacency in ascending-ID order directly from the arc slice.
+	for i, a := range d.arcs {
+		d.out[a.From] = append(d.out[a.From], ArcID(i))
+		d.in[a.To] = append(d.in[a.To], ArcID(i))
+	}
+	return d
+}
+
+// NumNodes returns the node count.
+func (d *DynamicGraph) NumNodes() int { return d.n }
+
+// NumLiveArcs returns the number of live (non-deleted) arcs.
+func (d *DynamicGraph) NumLiveArcs() int { return len(d.arcs) }
+
+// NextArcID returns the ID the next InsertArc will assign; equivalently, one
+// past the largest ID ever assigned. Useful for sizing caller-side tables
+// indexed by original ID.
+func (d *DynamicGraph) NextArcID() ArcID { return ArcID(len(d.idx)) }
+
+// Live reports whether id identifies a live arc.
+func (d *DynamicGraph) Live(id ArcID) bool {
+	return id >= 0 && int(id) < len(d.idx) && d.idx[id] >= 0
+}
+
+// Arc returns the live arc with the given original ID.
+func (d *DynamicGraph) Arc(id ArcID) (Arc, bool) {
+	if !d.Live(id) {
+		return Arc{}, false
+	}
+	return d.arcs[d.idx[id]], true
+}
+
+// OutLive returns the original IDs of the live arcs leaving v, in ascending
+// ID order. The slice is owned by the overlay: read-only, and only valid
+// until the next mutation.
+func (d *DynamicGraph) OutLive(v NodeID) []ArcID {
+	if v < 0 || int(v) >= d.n {
+		return nil
+	}
+	return d.out[v]
+}
+
+// InLive returns the original IDs of the live arcs entering v, ascending;
+// same ownership rules as OutLive.
+func (d *DynamicGraph) InLive(v NodeID) []ArcID {
+	if v < 0 || int(v) >= d.n {
+		return nil
+	}
+	return d.in[v]
+}
+
+// AddNode appends one (isolated) node and returns its ID.
+func (d *DynamicGraph) AddNode() NodeID {
+	id := NodeID(d.n)
+	d.n++
+	d.out = append(d.out, nil)
+	d.in = append(d.in, nil)
+	return id
+}
+
+// InsertArc adds an arc and returns its freshly assigned original ID, which
+// stays valid until the arc itself is deleted.
+func (d *DynamicGraph) InsertArc(u, v NodeID, weight, transit int64) (ArcID, error) {
+	if u < 0 || int(u) >= d.n || v < 0 || int(v) >= d.n {
+		return -1, fmt.Errorf("%w: arc (%d,%d) with n=%d", ErrNodeRange, u, v, d.n)
+	}
+	if len(d.idx) >= MaxDim {
+		return -1, fmt.Errorf("%w: arc-ID space exhausted at %d", ErrDimension, MaxDim)
+	}
+	id := ArcID(len(d.idx))
+	d.idx = append(d.idx, int32(len(d.arcs)))
+	d.arcs = append(d.arcs, Arc{From: u, To: v, Weight: weight, Transit: transit})
+	d.ids = append(d.ids, id)
+	d.out[u] = append(d.out[u], id)
+	d.in[v] = append(d.in[v], id)
+	return id, nil
+}
+
+// DeleteArc removes the arc with the given original ID. Internal storage is
+// compacted immediately (swap-remove); every other arc keeps its ID.
+func (d *DynamicGraph) DeleteArc(id ArcID) error {
+	if !d.Live(id) {
+		return fmt.Errorf("%w: id %d", ErrArcNotLive, id)
+	}
+	slot := d.idx[id]
+	a := d.arcs[slot]
+	last := int32(len(d.arcs) - 1)
+	if slot != last {
+		d.arcs[slot] = d.arcs[last]
+		d.ids[slot] = d.ids[last]
+		d.idx[d.ids[slot]] = slot
+	}
+	d.arcs = d.arcs[:last]
+	d.ids = d.ids[:last]
+	d.idx[id] = -1
+	d.out[a.From] = removeID(d.out[a.From], id)
+	d.in[a.To] = removeID(d.in[a.To], id)
+	return nil
+}
+
+// removeID deletes id from a sorted ID list, preserving order.
+func removeID(list []ArcID, id ArcID) []ArcID {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i == len(list) || list[i] != id {
+		return list // caller bug, but stay consistent
+	}
+	return append(list[:i], list[i+1:]...)
+}
+
+// SetWeight updates a live arc's weight in place.
+func (d *DynamicGraph) SetWeight(id ArcID, weight int64) error {
+	if !d.Live(id) {
+		return fmt.Errorf("%w: id %d", ErrArcNotLive, id)
+	}
+	d.arcs[d.idx[id]].Weight = weight
+	return nil
+}
+
+// SetTransit updates a live arc's transit time in place.
+func (d *DynamicGraph) SetTransit(id ArcID, transit int64) error {
+	if !d.Live(id) {
+		return fmt.Errorf("%w: id %d", ErrArcNotLive, id)
+	}
+	d.arcs[d.idx[id]].Transit = transit
+	return nil
+}
+
+// LiveIDs returns the live original IDs in ascending order (freshly
+// allocated; the caller owns it).
+func (d *DynamicGraph) LiveIDs() []ArcID {
+	ids := make([]ArcID, len(d.ids))
+	copy(ids, d.ids)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// RefreshInduced re-copies the current weight and transit of every arc in
+// arcOrig (original overlay IDs) onto the corresponding arc of sub, an
+// induced subgraph previously built over this overlay with sub arc i drawn
+// from overlay arc arcOrig[i]. It lets an incremental engine absorb
+// weight-only deltas into a cached component subgraph in place — the CSR
+// structure is untouched, so policies and arc IDs into sub stay valid — at
+// O(len(arcOrig)) instead of rebuilding the subgraph. Every arcOrig entry
+// must still be live.
+func (d *DynamicGraph) RefreshInduced(sub *Graph, arcOrig []ArcID) error {
+	if sub.NumArcs() != len(arcOrig) {
+		return fmt.Errorf("graph: RefreshInduced: subgraph has %d arcs, map has %d", sub.NumArcs(), len(arcOrig))
+	}
+	for i, id := range arcOrig {
+		if !d.Live(id) {
+			return fmt.Errorf("%w: id %d", ErrArcNotLive, id)
+		}
+		a := d.arcs[d.idx[id]]
+		sub.arcs[i].Weight = a.Weight
+		sub.arcs[i].Transit = a.Transit
+	}
+	return nil
+}
+
+// Materialize builds the canonical immutable snapshot of the overlay: a
+// Graph over the same nodes whose arcs are the live arcs in ascending
+// original-ID order, plus the export map from compact snapshot ArcIDs back
+// to original IDs. Two overlays with identical live content (same node
+// count, same live arcs in the same relative order) materialize to graphs
+// with identical fingerprints, regardless of the mutation history that
+// produced them — in particular, inserting and then deleting an arc returns
+// the overlay to its prior fingerprint.
+func (d *DynamicGraph) Materialize() (*Graph, []ArcID) {
+	export := d.LiveIDs()
+	arcs := make([]Arc, len(export))
+	for i, id := range export {
+		arcs[i] = d.arcs[d.idx[id]]
+	}
+	return FromArcs(d.n, arcs), export
+}

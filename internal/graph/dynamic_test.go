@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func dynSeed(t *testing.T) *Graph {
+	t.Helper()
+	// 0 -> 1 -> 2 -> 0 cycle plus a 2 -> 3 tail and a 3 -> 3 self-loop.
+	return FromArcs(4, []Arc{
+		{From: 0, To: 1, Weight: 1, Transit: 1},
+		{From: 1, To: 2, Weight: 2, Transit: 1},
+		{From: 2, To: 0, Weight: 3, Transit: 1},
+		{From: 2, To: 3, Weight: 4, Transit: 1},
+		{From: 3, To: 3, Weight: 5, Transit: 1},
+	})
+}
+
+func TestDynamicSeedMatchesGraph(t *testing.T) {
+	g := dynSeed(t)
+	d := NewDynamic(g)
+	if d.NumNodes() != g.NumNodes() || d.NumLiveArcs() != g.NumArcs() {
+		t.Fatalf("seed dims: got (%d,%d), want (%d,%d)",
+			d.NumNodes(), d.NumLiveArcs(), g.NumNodes(), g.NumArcs())
+	}
+	for id := ArcID(0); int(id) < g.NumArcs(); id++ {
+		got, ok := d.Arc(id)
+		if !ok || got != g.Arc(id) {
+			t.Fatalf("arc %d: got %+v ok=%v, want %+v", id, got, ok, g.Arc(id))
+		}
+	}
+	snap, export := d.Materialize()
+	if snap.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("pristine overlay must materialize to the seed fingerprint")
+	}
+	for i, id := range export {
+		if ArcID(i) != id {
+			t.Fatalf("pristine export map must be identity, got export[%d]=%d", i, id)
+		}
+	}
+}
+
+func TestDynamicIDStabilityAcrossDeletes(t *testing.T) {
+	d := NewDynamic(dynSeed(t))
+	// Delete arc 1 (1->2); every other arc must keep its ID and content,
+	// even though the dense storage swap-compacts.
+	if err := d.DeleteArc(1); err != nil {
+		t.Fatalf("DeleteArc(1): %v", err)
+	}
+	if d.Live(1) {
+		t.Fatalf("arc 1 still live after delete")
+	}
+	want := map[ArcID]Arc{
+		0: {From: 0, To: 1, Weight: 1, Transit: 1},
+		2: {From: 2, To: 0, Weight: 3, Transit: 1},
+		3: {From: 2, To: 3, Weight: 4, Transit: 1},
+		4: {From: 3, To: 3, Weight: 5, Transit: 1},
+	}
+	for id, w := range want {
+		got, ok := d.Arc(id)
+		if !ok || got != w {
+			t.Fatalf("after delete, arc %d: got %+v ok=%v, want %+v", id, got, ok, w)
+		}
+	}
+	if err := d.DeleteArc(1); !errors.Is(err, ErrArcNotLive) {
+		t.Fatalf("double delete: got %v, want ErrArcNotLive", err)
+	}
+	if err := d.SetWeight(1, 7); !errors.Is(err, ErrArcNotLive) {
+		t.Fatalf("SetWeight on dead arc: got %v, want ErrArcNotLive", err)
+	}
+	// New insert gets a fresh ID (5), never recycling the dead one.
+	id, err := d.InsertArc(1, 2, 9, 2)
+	if err != nil {
+		t.Fatalf("InsertArc: %v", err)
+	}
+	if id != 5 {
+		t.Fatalf("insert after delete: got id %d, want 5", id)
+	}
+}
+
+func TestDynamicAdjacencyAscendingOrder(t *testing.T) {
+	d := NewDynamic(dynSeed(t))
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 500; step++ {
+		if rng.Intn(3) == 0 && d.NumLiveArcs() > 0 {
+			live := d.LiveIDs()
+			if err := d.DeleteArc(live[rng.Intn(len(live))]); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+		} else {
+			u := NodeID(rng.Intn(d.NumNodes()))
+			v := NodeID(rng.Intn(d.NumNodes()))
+			if _, err := d.InsertArc(u, v, int64(rng.Intn(100)-50), 1); err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+		}
+		for v := NodeID(0); int(v) < d.NumNodes(); v++ {
+			checkAscLive(t, d, d.OutLive(v))
+			checkAscLive(t, d, d.InLive(v))
+		}
+	}
+	// Adjacency must exactly cover the live arcs.
+	seen := 0
+	for v := NodeID(0); int(v) < d.NumNodes(); v++ {
+		for _, id := range d.OutLive(v) {
+			a, ok := d.Arc(id)
+			if !ok || a.From != v {
+				t.Fatalf("OutLive(%d) lists %d: arc %+v ok=%v", v, id, a, ok)
+			}
+			seen++
+		}
+	}
+	if seen != d.NumLiveArcs() {
+		t.Fatalf("adjacency covers %d arcs, live count is %d", seen, d.NumLiveArcs())
+	}
+}
+
+func checkAscLive(t *testing.T, d *DynamicGraph, ids []ArcID) {
+	t.Helper()
+	for i, id := range ids {
+		if !d.Live(id) {
+			t.Fatalf("adjacency lists dead arc %d", id)
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Fatalf("adjacency not strictly ascending: %v", ids)
+		}
+	}
+}
+
+func TestDynamicMaterializeHistoryIndependent(t *testing.T) {
+	d := NewDynamic(dynSeed(t))
+	base, _ := d.Materialize()
+	// Insert then delete the same arc: fingerprint must return to base.
+	id, err := d.InsertArc(3, 0, -7, 1)
+	if err != nil {
+		t.Fatalf("InsertArc: %v", err)
+	}
+	mid, _ := d.Materialize()
+	if mid.Fingerprint() == base.Fingerprint() {
+		t.Fatalf("insert must change the fingerprint")
+	}
+	if err := d.DeleteArc(id); err != nil {
+		t.Fatalf("DeleteArc: %v", err)
+	}
+	back, export := d.Materialize()
+	if back.Fingerprint() != base.Fingerprint() {
+		t.Fatalf("insert+delete must restore the original fingerprint")
+	}
+	// Weight mutation changes it too (the result cache keys on content).
+	if err := d.SetWeight(0, 42); err != nil {
+		t.Fatalf("SetWeight: %v", err)
+	}
+	mut, _ := d.Materialize()
+	if mut.Fingerprint() == base.Fingerprint() {
+		t.Fatalf("weight change must change the fingerprint")
+	}
+	if err := d.SetWeight(0, 1); err != nil {
+		t.Fatalf("SetWeight restore: %v", err)
+	}
+	// Export maps compact snapshot IDs to original IDs, ascending.
+	for i := 1; i < len(export); i++ {
+		if export[i-1] >= export[i] {
+			t.Fatalf("export map not ascending: %v", export)
+		}
+	}
+	for i, orig := range export {
+		want, ok := d.Arc(orig)
+		if !ok || back.Arc(ArcID(i)) != want {
+			t.Fatalf("export[%d]=%d: snapshot arc %+v, overlay arc %+v ok=%v",
+				i, orig, back.Arc(ArcID(i)), want, ok)
+		}
+	}
+}
+
+func TestDynamicAddNodeAndRangeChecks(t *testing.T) {
+	d := NewDynamic(dynSeed(t))
+	v := d.AddNode()
+	if v != 4 || d.NumNodes() != 5 {
+		t.Fatalf("AddNode: got id %d n=%d, want 4, 5", v, d.NumNodes())
+	}
+	if len(d.OutLive(v)) != 0 || len(d.InLive(v)) != 0 {
+		t.Fatalf("new node must be isolated")
+	}
+	if _, err := d.InsertArc(v, 0, 1, 1); err != nil {
+		t.Fatalf("insert from new node: %v", err)
+	}
+	if _, err := d.InsertArc(5, 0, 1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("out-of-range from: got %v, want ErrNodeRange", err)
+	}
+	if _, err := d.InsertArc(0, -1, 1, 1); !errors.Is(err, ErrNodeRange) {
+		t.Fatalf("negative to: got %v, want ErrNodeRange", err)
+	}
+	if _, ok := d.Arc(-1); ok {
+		t.Fatalf("Arc(-1) must not be live")
+	}
+	if _, ok := d.Arc(99); ok {
+		t.Fatalf("Arc(99) must not be live")
+	}
+}
+
+func TestDynamicRandomizedAgainstRebuild(t *testing.T) {
+	// Oracle check: after every mutation, Materialize() must equal a graph
+	// rebuilt from scratch out of the tracked live arcs.
+	d := NewDynamic(FromArcs(6, []Arc{
+		{From: 0, To: 1, Weight: 2, Transit: 1},
+		{From: 1, To: 0, Weight: -1, Transit: 1},
+	}))
+	oracle := map[ArcID]Arc{
+		0: {From: 0, To: 1, Weight: 2, Transit: 1},
+		1: {From: 1, To: 0, Weight: -1, Transit: 1},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4:
+			u := NodeID(rng.Intn(d.NumNodes()))
+			v := NodeID(rng.Intn(d.NumNodes()))
+			w, tr := int64(rng.Intn(41)-20), int64(rng.Intn(3))
+			id, err := d.InsertArc(u, v, w, tr)
+			if err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			oracle[id] = Arc{From: u, To: v, Weight: w, Transit: tr}
+		case op < 7 && len(oracle) > 0:
+			id := randomOracleID(rng, oracle)
+			if err := d.DeleteArc(id); err != nil {
+				t.Fatalf("step %d delete %d: %v", step, id, err)
+			}
+			delete(oracle, id)
+		case op < 9 && len(oracle) > 0:
+			id := randomOracleID(rng, oracle)
+			w := int64(rng.Intn(41) - 20)
+			if err := d.SetWeight(id, w); err != nil {
+				t.Fatalf("step %d setweight %d: %v", step, id, err)
+			}
+			a := oracle[id]
+			a.Weight = w
+			oracle[id] = a
+		case len(oracle) > 0:
+			id := randomOracleID(rng, oracle)
+			tr := int64(rng.Intn(5))
+			if err := d.SetTransit(id, tr); err != nil {
+				t.Fatalf("step %d settransit %d: %v", step, id, err)
+			}
+			a := oracle[id]
+			a.Transit = tr
+			oracle[id] = a
+		}
+		if step%97 != 0 {
+			continue
+		}
+		snap, export := d.Materialize()
+		if snap.NumArcs() != len(oracle) {
+			t.Fatalf("step %d: snapshot has %d arcs, oracle %d", step, snap.NumArcs(), len(oracle))
+		}
+		for i, orig := range export {
+			if snap.Arc(ArcID(i)) != oracle[orig] {
+				t.Fatalf("step %d: arc %d (orig %d): got %+v, want %+v",
+					step, i, orig, snap.Arc(ArcID(i)), oracle[orig])
+			}
+		}
+	}
+}
+
+// randomOracleID picks the k-th smallest live ID so reruns with the same rng
+// seed are deterministic despite Go's randomized map iteration order.
+func randomOracleID(rng *rand.Rand, oracle map[ArcID]Arc) ArcID {
+	ids := make([]ArcID, 0, len(oracle))
+	for id := range oracle {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}

@@ -32,12 +32,15 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// maxReadDim bounds the node and arc counts Read accepts. NodeID is an
-// int32, and a hostile problem line must not be able to drive a multi-GB
-// allocation before a single arc is parsed; 2^26 (≈67M) is far beyond any
-// instance the solvers can process while keeping the worst-case header
-// allocation modest.
-const maxReadDim = 1 << 26
+// maxReadDim bounds the node and arc counts Read accepts. Every consumer
+// pays per-node costs proportional to the declared dimensions (adjacency
+// index arrays in FromArcs, the SCC working set), so a hostile problem line
+// buys damage by the dimension, not the byte: a one-line header declaring
+// 2^26 nodes used to stall the pipeline for several seconds on hundreds of
+// MB of index builds. 2^24 (≈16.7M) keeps 4x headroom over the largest
+// instance in the repo (the 2^22-arc approximation-tier flagship) while
+// capping the worst header-driven allocation near 10^8 bytes.
+const maxReadDim = 1 << 24
 
 // MaxDim is the exported form of the Read size limit, for front ends (the
 // batch solve service, decoders of other wire formats) that must reject

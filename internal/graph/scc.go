@@ -98,12 +98,35 @@ func StronglyConnectedComponents(g *Graph) *SCC {
 		}
 	}
 
-	members := make([][]NodeID, nComp)
-	for v := NodeID(0); int(v) < n; v++ {
-		c := comp[v]
-		members[c] = append(members[c], v)
+	return &SCC{Comp: comp, Count: int(nComp), Members: groupMembers(comp, nComp)}
+}
+
+// groupMembers builds the per-component member lists (ascending node order
+// within each component) over one shared backing array: count, prefix-sum,
+// fill. The obvious per-component append costs one allocation per component,
+// which on a mostly-acyclic graph is O(n) tiny slices — slow enough that a
+// header-only input declaring tens of millions of isolated nodes could stall
+// a single SCC call for multiple seconds.
+func groupMembers(comp []int32, nComp int32) [][]NodeID {
+	start := make([]int32, nComp+1)
+	for _, c := range comp {
+		start[c+1]++
 	}
-	return &SCC{Comp: comp, Count: int(nComp), Members: members}
+	for i := int32(0); i < nComp; i++ {
+		start[i+1] += start[i]
+	}
+	backing := make([]NodeID, len(comp))
+	next := make([]int32, nComp)
+	copy(next, start[:nComp])
+	for v, c := range comp {
+		backing[next[c]] = NodeID(v)
+		next[c]++
+	}
+	members := make([][]NodeID, nComp)
+	for c := int32(0); c < nComp; c++ {
+		members[c] = backing[start[c]:start[c+1]:start[c+1]]
+	}
+	return members
 }
 
 // KosarajuSCC computes the same decomposition with Kosaraju's two-pass
@@ -177,11 +200,7 @@ func KosarajuSCC(g *Graph) *SCC {
 		nComp++
 	}
 
-	members := make([][]NodeID, nComp)
-	for v := NodeID(0); int(v) < n; v++ {
-		members[comp[v]] = append(members[comp[v]], v)
-	}
-	return &SCC{Comp: comp, Count: int(nComp), Members: members}
+	return &SCC{Comp: comp, Count: int(nComp), Members: groupMembers(comp, nComp)}
 }
 
 // reachWS is pooled scratch for IsStronglyConnected, which sits on every

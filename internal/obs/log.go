@@ -25,6 +25,7 @@ func NewLogTracer(w io.Writer) *Trace {
 		OnServeCache:  l.serveCache,
 		OnApprox:      l.approx,
 		OnCertify:     l.certify,
+		OnDelta:       l.delta,
 	}
 }
 
@@ -133,6 +134,18 @@ func (l *logTracer) approx(ev ApproxEvent) {
 	}
 	l.printf("approx %s: eps=%g (n=%d m=%d) certified [%g, %g] in %d passes/%d rounds%s",
 		ev.Mode, ev.Epsilon, ev.Nodes, ev.Arcs, ev.Lower, ev.Upper, ev.Passes, ev.Rounds, sharpened)
+}
+
+func (l *logTracer) delta(ev DeltaEvent) {
+	extra := ""
+	if ev.Merged > 1 {
+		extra = fmt.Sprintf(" merged=%d", ev.Merged)
+	}
+	if ev.Split > 1 {
+		extra += fmt.Sprintf(" split=%d", ev.Split)
+	}
+	l.printf("delta: %s arc=%d (%d->%d) invalidated=%d%s, %d live components",
+		ev.Op, ev.Arc, ev.From, ev.To, ev.Invalidated, extra, ev.Components)
 }
 
 func (l *logTracer) certify(ev CertifyEvent) {

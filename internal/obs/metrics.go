@@ -166,6 +166,12 @@ type Metrics struct {
 	certifyOK        atomic.Int64 // certification proofs passed
 	certifyFail      atomic.Int64 // certification proofs failed
 
+	// Incremental dynamic-graph engine (core.DynSession).
+	deltas           atomic.Int64 // deltas applied
+	deltaInvalidated atomic.Int64 // cached component results marked dirty
+	deltaMerges      atomic.Int64 // component merges from arc insertions
+	deltaSplits      atomic.Int64 // component splits from arc deletions
+
 	// Approximation tier (internal/approx via the "approx" algorithm).
 	approxSolves    atomic.Int64 // engine runs observed
 	approxSharpened atomic.Int64 // runs followed by an exact Lawler pass
@@ -267,6 +273,16 @@ func (m *Metrics) Tracer() *Trace {
 				m.approxErrs.Add(1)
 			}
 		},
+		OnDelta: func(ev DeltaEvent) {
+			m.deltas.Add(1)
+			m.deltaInvalidated.Add(int64(ev.Invalidated))
+			if ev.Merged > 1 {
+				m.deltaMerges.Add(1)
+			}
+			if ev.Split > 1 {
+				m.deltaSplits.Add(1)
+			}
+		},
 		OnCertify: func(ev CertifyEvent) {
 			m.certifyDuration.Observe(ev.Duration)
 			if ev.OK {
@@ -301,6 +317,10 @@ func (m *Metrics) Snapshot() map[string]any {
 		"serve_cache_singleflight": m.serveCacheMerges.Load(),
 		"certify_pass":             m.certifyOK.Load(),
 		"certify_fail":             m.certifyFail.Load(),
+		"deltas":                   m.deltas.Load(),
+		"delta_invalidations":      m.deltaInvalidated.Load(),
+		"delta_merges":             m.deltaMerges.Load(),
+		"delta_splits":             m.deltaSplits.Load(),
 		"approx_solves":            m.approxSolves.Load(),
 		"approx_sharpened":         m.approxSharpened.Load(),
 		"approx_errors":            m.approxErrs.Load(),

@@ -211,6 +211,32 @@ type CertifyEvent struct {
 	Err error
 }
 
+// DeltaEvent reports one applied dynamic-graph delta (core.DynSession): the
+// operation, the arc/node it touched, and how far its invalidation reached —
+// how many cached components were marked for re-solve, how many were merged
+// into one (arc insertion closing a cycle between components), and how many
+// a deletion split one component into. Components counts the live cyclic
+// components after the delta, so a metrics stream shows the decomposition
+// evolving.
+type DeltaEvent struct {
+	// Op names the delta operation: "insert-arc", "delete-arc",
+	// "set-weight", "set-transit", or "add-node".
+	Op string
+	// Arc is the original arc ID the delta targeted (the inserted arc's
+	// fresh ID for insert-arc); -1 for add-node.
+	Arc int
+	// From and To are the arc endpoints (the new node's ID in From for
+	// add-node; -1 when not applicable).
+	From, To int
+	// Invalidated counts cached component results this delta marked dirty.
+	Invalidated int
+	// Merged counts previously separate components fused by an insertion
+	// (0 or ≥2); Split counts components one deletion decomposed into.
+	Merged, Split int
+	// Components is the number of live cyclic components after the delta.
+	Components int
+}
+
 // Trace is a set of hooks invoked by the solve drivers as typed events occur.
 // Any hook may be nil; a nil *Trace disables the layer entirely (the emission
 // methods below tolerate nil receivers, so callers never branch themselves).
@@ -229,6 +255,7 @@ type Trace struct {
 	OnServeCache  func(ServeCacheEvent)
 	OnApprox      func(ApproxEvent)
 	OnCertify     func(CertifyEvent)
+	OnDelta       func(DeltaEvent)
 }
 
 // Enabled reports whether any events can possibly be observed; drivers gate
@@ -298,6 +325,13 @@ func (t *Trace) Certify(ev CertifyEvent) {
 	}
 }
 
+// Delta emits a DeltaEvent; safe on a nil receiver.
+func (t *Trace) Delta(ev DeltaEvent) {
+	if t != nil && t.OnDelta != nil {
+		t.OnDelta(ev)
+	}
+}
+
 // Multi fans every event out to each non-nil trace in order, so a log tracer
 // and a metrics collector can observe the same solve. Nil members are
 // skipped; Multi() and Multi(nil, nil) return nil (the disabled tracer).
@@ -358,6 +392,11 @@ func Multi(traces ...*Trace) *Trace {
 	out.OnCertify = func(ev CertifyEvent) {
 		for _, t := range live {
 			t.Certify(ev)
+		}
+	}
+	out.OnDelta = func(ev DeltaEvent) {
+		for _, t := range live {
+			t.Delta(ev)
 		}
 	}
 	return out

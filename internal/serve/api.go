@@ -169,6 +169,8 @@ const (
 	CodeQueueFull        = "queue_full"         // 429: admission queue saturated; Retry-After set
 	CodeDraining         = "draining"           // 503: server is shutting down
 	CodeMethodNotAllowed = "method_not_allowed" // 405
+	CodeUnknownSession   = "unknown_session"    // 404: no such /v1/session id (or it expired)
+	CodeSessionLimit     = "session_limit"      // 429: MaxSessions live sessions; Retry-After set
 )
 
 // Per-graph error codes (inside a 200 batch response).
@@ -183,6 +185,7 @@ const (
 	CodeNonPositiveTransit   = "non_positive_transit"   // ratio undefined: t(C) <= 0 cycle
 	CodeNotStronglyConnected = "not_strongly_connected" // direct solver precondition
 	CodeDeadlineExceeded     = "deadline_exceeded"      // solve budget expired mid-run
+	CodeBadDelta             = "bad_delta"              // session delta rejected: graph unchanged
 	CodeInternal             = "internal"               // anything unclassified
 )
 
@@ -225,8 +228,10 @@ func httpStatusFor(code string) int {
 	switch code {
 	case CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge
-	case CodeQueueFull:
+	case CodeQueueFull, CodeSessionLimit:
 		return http.StatusTooManyRequests
+	case CodeUnknownSession:
+		return http.StatusNotFound
 	case CodeDraining:
 		return http.StatusServiceUnavailable
 	case CodeMethodNotAllowed:

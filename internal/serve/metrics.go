@@ -22,6 +22,16 @@ type serverMetrics struct {
 	graphErrors  atomic.Int64 // graphs answered with a typed error
 	deadlines    atomic.Int64 // graphs that died on deadline_exceeded
 
+	// /v1/session traffic; rendered on the /debug/vars "sessions" branch
+	// (Server.sessionVars) next to the live-session gauge.
+	sessionsCreated    atomic.Int64 // sessions created
+	sessionsClosed     atomic.Int64 // sessions removed via DELETE
+	sessionsExpired    atomic.Int64 // sessions lazily expired past SessionTTL
+	sessionsRejected   atomic.Int64 // creations refused at MaxSessions (429)
+	sessionStreams     atomic.Int64 // delta streams opened
+	sessionDeltas      atomic.Int64 // deltas applied (graph actually edited)
+	sessionDeltaErrors atomic.Int64 // delta lines answered with a typed error
+
 	requestDuration obs.Histogram // whole-batch wall clock
 	solveDuration   obs.Histogram // per-graph wall clock (queue + solve)
 }

@@ -28,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"context"
@@ -70,6 +71,12 @@ type Config struct {
 	MaxTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses; default 1s.
 	RetryAfter time.Duration
+	// MaxSessions bounds live /v1/session sessions; default 64. Creation
+	// beyond the cap answers 429 session_limit.
+	MaxSessions int
+	// SessionTTL is how long an idle session (no solve, no delta, no open
+	// stream) survives before lazy expiry; default 10m.
+	SessionTTL time.Duration
 	// Metrics aggregates solver-level events (per-algorithm counters,
 	// duration histograms); created internally when nil and exposed on
 	// /debug/vars either way.
@@ -108,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
 	}
@@ -138,9 +151,23 @@ type Server struct {
 
 	metrics serverMetrics
 
+	// sessions is the /v1/session registry (see session.go); sessionSeq
+	// mints IDs. Session state lives outside the result cache on purpose:
+	// a mutable graph's intermediate fingerprints must never be served to,
+	// or poisoned by, the content-addressed /v1/solve path.
+	sessMu     sync.Mutex
+	sessions   map[string]*sessionEntry
+	sessionSeq atomic.Int64
+
 	mu       sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+
+	// drainCh is closed (once) when Drain begins; long-lived session delta
+	// streams select on it so shutdown reaches them mid-conversation — they
+	// emit their terminal frame and return instead of wedging the drain.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 
 	// testHookSolving, when non-nil, runs inside the worker slot just before
 	// the solver starts; tests use it to hold workers busy deterministically
@@ -152,9 +179,11 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		admit:   make(chan struct{}, cfg.Workers+cfg.QueueDepth),
-		workers: make(chan struct{}, cfg.Workers),
+		cfg:      cfg,
+		admit:    make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers:  make(chan struct{}, cfg.Workers),
+		sessions: make(map[string]*sessionEntry),
+		drainCh:  make(chan struct{}),
 	}
 	tracer := cfg.Metrics.Tracer()
 	if cfg.Tracer != nil {
@@ -171,6 +200,9 @@ func NewServer(cfg Config) *Server {
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("/v1/session/{id}", s.handleSessionByID)
+	s.mux.HandleFunc("/v1/session/{id}/deltas", s.handleSessionDeltas)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -207,9 +239,16 @@ func (s *Server) enter() bool {
 }
 
 // Drain stops admitting new requests (they answer 503) and waits for every
-// in-flight request to complete, or for ctx to expire. Safe to call more
-// than once. cmd/mcmd calls it on SIGTERM/SIGINT before exiting.
+// in-flight request to complete, or for ctx to expire. Open session delta
+// streams are told first (drainCh): each emits its terminal frame with
+// "draining": true and returns, so a long-lived stream never wedges the
+// drain. Safe to call more than once. cmd/mcmd calls it on SIGTERM/SIGINT
+// before exiting.
 func (s *Server) Drain(ctx context.Context) error {
+	// Close the drain signal before flipping the 503 gate: a stream that
+	// observes drainCh must be able to finish its in-flight write, and any
+	// admission racing with the flip still lands in the WaitGroup we wait on.
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
@@ -277,9 +316,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // never fight over expvar's forbid-duplicate-names rule.
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	vars := map[string]any{
-		"serve":   s.metrics.Snapshot(),
-		"solver":  s.cfg.Metrics.Snapshot(),
-		"runtime": runtimeVars(),
+		"serve":    s.metrics.Snapshot(),
+		"solver":   s.cfg.Metrics.Snapshot(),
+		"sessions": s.sessionVars(),
+		"runtime":  runtimeVars(),
 	}
 	if s.cache != nil {
 		vars["cache"] = s.cache.Stats()

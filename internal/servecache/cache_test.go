@@ -364,3 +364,80 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		t.Fatalf("capacity 4 exceeded: %d entries", n)
 	}
 }
+
+// TestDeltaContentNearMisses pins the fingerprint behavior the session API
+// depends on. A delta stream walks one graph through a sequence of nearby
+// contents; every distinct content must key a distinct entry (a one-weight
+// edit must never be served the prior state's answer), while an edit that is
+// later reverted returns to the seed's exact key. That last property is why
+// session solves bypass the cache in both directions: a lookup would be a
+// staleness bug for every non-reverted state, and a store would publish
+// mid-stream answers under keys /v1/solve requests can reach.
+func TestDeltaContentNearMisses(t *testing.T) {
+	seed := graph.FromArcs(3, []graph.Arc{
+		{From: 0, To: 1, Weight: 4, Transit: 1},
+		{From: 1, To: 2, Weight: 7, Transit: 1},
+		{From: 2, To: 0, Weight: -2, Transit: 1},
+	})
+	dg := graph.NewDynamic(seed)
+	fp := func() Key {
+		snap, _ := dg.Materialize()
+		return meanKey(snap, Options{})
+	}
+
+	c := New(64, nil)
+	ctx := context.Background()
+	var calls atomic.Int64
+
+	k0 := fp()
+	if _, src, err := c.Do(ctx, k0, solveConst(fixedResult(3, false), &calls)); src != SourceSolve || err != nil {
+		t.Fatalf("seed: src=%v err=%v", src, err)
+	}
+
+	// Each delta lands on a fresh key: a hit here would be the staleness bug.
+	steps := []func() error{
+		func() error { return dg.SetWeight(1, 8) },                      // one weight, ±1
+		func() error { return dg.SetTransit(0, 2) },                     // transit only
+		func() error { _, err := dg.InsertArc(2, 1, 7, 1); return err }, // new arc
+		func() error { return dg.DeleteArc(3) },                         // ...and gone again
+		func() error { dg.AddNode(); return nil },                       // isolated node
+	}
+	seen := map[Key]bool{k0: true}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		k := fp()
+		if seen[k] {
+			// Step 3 (delete of the just-inserted arc) deliberately returns
+			// to step 1+2's content; every other step must be novel.
+			if i != 3 {
+				t.Fatalf("step %d: content collided with an earlier state", i)
+			}
+			continue
+		}
+		seen[k] = true
+		if _, src, err := c.Do(ctx, k, solveConst(fixedResult(int64(10+i), false), &calls)); src != SourceSolve || err != nil {
+			t.Fatalf("step %d: near-miss content served a cached entry (src=%v err=%v)", i, src, err)
+		}
+	}
+
+	// Revert everything: the overlay's history independence must land the
+	// key exactly back on the seed entry.
+	if err := dg.SetWeight(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := dg.SetTransit(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// (The inserted arc is already deleted; the added node keeps the key
+	// distinct, which is correct: an isolated node is still content.)
+	snap, _ := dg.Materialize()
+	reverted := graph.FromArcs(3, snap.Arcs()[:3])
+	if meanKey(reverted, Options{}) != k0 {
+		t.Fatal("reverted content does not key back to the seed entry")
+	}
+	if _, src, _ := c.Do(ctx, meanKey(reverted, Options{}), solveConst(nil, &calls)); src != SourceHit {
+		t.Fatal("reverted content missed the seed entry")
+	}
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env sh
+# session_e2e.sh — CI end-to-end test for the mcmd /v1/session API: build the
+# daemon, create a session, stream NDJSON deltas and check every updated λ*
+# and the stable arc IDs, verify the /debug/vars session accounting, then —
+# with a second delta stream still held open — deliver SIGTERM and require
+# the open stream to receive its terminal "draining" frame and the process
+# to exit 0. Fails on any hang, wrong value, or missing trailer.
+# docs/SERVING.md documents the session protocol.
+set -eu
+
+ADDR="${SESSION_E2E_ADDR:-127.0.0.1:18575}"
+OUT="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$OUT"' EXIT INT TERM
+
+go build -o "$OUT/mcmd" ./cmd/mcmd
+
+"$OUT/mcmd" -addr "$ADDR" -workers 2 -stats=false -session-ttl 5m \
+    >"$OUT/mcmd.out" 2>"$OUT/mcmd.err" &
+PID=$!
+
+i=0
+until curl -fs "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "session_e2e: FAIL — daemon never became healthy" >&2; cat "$OUT/mcmd.err" >&2; exit 1; }
+    sleep 0.1
+done
+
+# Create a certified session over a 2-cycle: λ* = (3+5)/2 = 4.
+CREATE=$(curl -fs -X POST "http://$ADDR/v1/session" \
+    -d '{"text": "p mcm 2 2\na 1 2 3\na 2 1 5\n", "certify": true}')
+printf '%s\n' "$CREATE" >"$OUT/create.json"
+SID=$(printf '%s' "$CREATE" | grep -o '"session_id": "[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$SID" ] || { echo "session_e2e: FAIL — no session id in create response" >&2; cat "$OUT/create.json" >&2; exit 1; }
+printf '%s' "$CREATE" | grep -q '"rat": "4"' || {
+    echo "session_e2e: FAIL — initial solve is not 4" >&2; cat "$OUT/create.json" >&2; exit 1; }
+printf '%s' "$CREATE" | grep -q '"certified": true' || {
+    echo "session_e2e: FAIL — initial solve not certified" >&2; cat "$OUT/create.json" >&2; exit 1; }
+
+# Stream three deltas: a weight edit (λ* = (9+5)/2 = 7), an insertion of a
+# cheaper self-loop (fresh arc id 2, λ* = 1), and its deletion (back to 7).
+printf '%s\n%s\n%s\n' \
+    '{"seq": 1, "op": "set-weight", "arc": 0, "weight": 9}' \
+    '{"seq": 2, "op": "insert-arc", "from": 0, "to": 0, "weight": 1}' \
+    '{"seq": 3, "op": "delete-arc", "arc": 2}' |
+    curl -fsN -X POST --data-binary @- "http://$ADDR/v1/session/$SID/deltas" >"$OUT/stream.json"
+
+grep -q '"seq":1,"op":"set-weight","ok":true,"applied":true,"id":-1,"value":{"num":7' "$OUT/stream.json" || {
+    echo "session_e2e: FAIL — weight delta answer wrong" >&2; cat "$OUT/stream.json" >&2; exit 1; }
+grep -q '"seq":2,"op":"insert-arc","ok":true,"applied":true,"id":2,"value":{"num":1' "$OUT/stream.json" || {
+    echo "session_e2e: FAIL — insert delta answer wrong (stable id or value)" >&2; cat "$OUT/stream.json" >&2; exit 1; }
+grep -q '"seq":3,"op":"delete-arc","ok":true,"applied":true,"id":-1,"value":{"num":7' "$OUT/stream.json" || {
+    echo "session_e2e: FAIL — delete delta answer wrong" >&2; cat "$OUT/stream.json" >&2; exit 1; }
+grep -q '"done":true' "$OUT/stream.json" || {
+    echo "session_e2e: FAIL — stream missing terminal frame" >&2; cat "$OUT/stream.json" >&2; exit 1; }
+
+# /debug/vars must account for the session traffic.
+VARS=$(curl -fs "http://$ADDR/debug/vars")
+count() { printf '%s' "$VARS" | grep -o "\"$1\": [0-9]*" | head -1 | grep -o '[0-9]*$'; }
+[ "$(count created)" -eq 1 ] || { echo "session_e2e: FAIL — sessions.created != 1" >&2; exit 1; }
+[ "$(count deltas)" -ge 3 ] || { echo "session_e2e: FAIL — sessions.deltas < 3" >&2; exit 1; }
+[ "$(count live)" -eq 1 ] || { echo "session_e2e: FAIL — sessions.live != 1" >&2; exit 1; }
+
+# Hold a delta stream open (fifo upload), answer one delta on it, then
+# SIGTERM the daemon: the open stream must get a clean terminal frame with
+# "draining": true and the process must exit 0 instead of wedging. curl
+# does not deliver response bytes while its -T upload is still open, so
+# "the server answered" is observed via /debug/vars and the captured body
+# is asserted only after the connection ends.
+FIFO="$OUT/fifo"
+mkfifo "$FIFO"
+curl -sN -X POST -T "$FIFO" "http://$ADDR/v1/session/$SID/deltas" >"$OUT/drain.json" &
+CURL_PID=$!
+exec 9>"$FIFO"
+printf '{"seq": 10, "op": "set-weight", "arc": 1, "weight": 5}\n' >&9
+
+# Wait until the daemon has answered that delta (stream is live), then drain.
+i=0
+while :; do
+    VARS=$(curl -fs "http://$ADDR/debug/vars")
+    [ "$(count deltas)" -ge 4 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "session_e2e: FAIL — open stream never answered (deltas=$(count deltas))" >&2; exit 1; }
+    sleep 0.1
+done
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "session_e2e: FAIL — mcmd exited non-zero on SIGTERM with an open session stream" >&2
+    cat "$OUT/mcmd.err" >&2
+    exit 1
+fi
+# The held-open upload makes curl's own exit status transport-dependent;
+# the assertions live on the captured body.
+exec 9>&-
+wait "$CURL_PID" 2>/dev/null || true
+grep -q '"seq":10,"op":"set-weight","ok":true' "$OUT/drain.json" || {
+    echo "session_e2e: FAIL — open stream's delta answer missing from captured body" >&2; cat "$OUT/drain.json" >&2; exit 1; }
+grep -q '"done":true' "$OUT/drain.json" || {
+    echo "session_e2e: FAIL — open stream got no terminal frame on drain" >&2; cat "$OUT/drain.json" >&2; exit 1; }
+grep -q '"draining":true' "$OUT/drain.json" || {
+    echo "session_e2e: FAIL — terminal frame not marked draining" >&2; cat "$OUT/drain.json" >&2; exit 1; }
+
+if curl -fs --max-time 2 "http://$ADDR/healthz" >/dev/null 2>&1; then
+    echo "session_e2e: FAIL — daemon still answering after drain" >&2
+    exit 1
+fi
+
+echo "session_e2e: OK — create, 3 streamed deltas with stable arc IDs, vars accounting, clean drain with terminal frame"
