@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke bench-session bench-session-smoke fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
+.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke bench-session bench-session-smoke bench-ratio-exact bench-ratio-exact-smoke fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
 
 all: build test
 
@@ -56,6 +56,18 @@ bench-session:
 # CI smoke variant: reduced graph and stream, same correctness oracle.
 bench-session-smoke:
 	$(GO) run ./cmd/mcmbench -table session-delta -quick -progress
+
+# Exact-ratio-mode comparison: every certified exact MCR solver (howard,
+# lawler, dinkelbach, sternbrocot) timed on the same transit-weighted
+# SPRAND instances with ρ* cross-checked bit-identical; records
+# BENCH_ratio.json. Exit 2 on any disagreement.
+bench-ratio-exact:
+	$(GO) run ./cmd/mcmbench -table ratio-exact -progress -json > BENCH_ratio.json
+	@echo "wrote BENCH_ratio.json"
+
+# CI smoke variant: reduced sizes, same bit-identical cross-check.
+bench-ratio-exact-smoke:
+	$(GO) run ./cmd/mcmbench -table ratio-exact -quick -progress
 
 # Sustained-load serving suite: cache-on vs cache-off throughput on a
 # 90%-repeated workload plus the streaming bounded-memory probe; records

@@ -174,6 +174,25 @@ func abs64(x int64) int64 {
 	return x
 }
 
+// CheckedMul returns a*b and true when the product fits in int64, or 0 and
+// false when it overflows. It is the non-panicking sibling of mulCheck, used
+// by callers (the Lawler grid sizing, Stern–Brocot node arithmetic) that want
+// to shrink their operands or return a typed error instead of unwinding.
+func CheckedMul(a, b int64) (int64, bool) {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if a < 0 {
+		hi -= uint64(b)
+	}
+	if b < 0 {
+		hi -= uint64(a)
+	}
+	s := int64(lo)
+	if (s < 0 && int64(hi) != -1) || (s >= 0 && hi != 0) {
+		return 0, false
+	}
+	return s, true
+}
+
 func mulCheck(a, b int64) int64 {
 	hi, lo := bits.Mul64(uint64(a), uint64(b))
 	if a < 0 {

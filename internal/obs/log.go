@@ -24,6 +24,7 @@ func NewLogTracer(w io.Writer) *Trace {
 		OnCache:       l.cache,
 		OnServeCache:  l.serveCache,
 		OnApprox:      l.approx,
+		OnProbe:       l.probe,
 		OnCertify:     l.certify,
 		OnDelta:       l.delta,
 	}
@@ -146,6 +147,15 @@ func (l *logTracer) delta(ev DeltaEvent) {
 	}
 	l.printf("delta: %s arc=%d (%d->%d) invalidated=%d%s, %d live components",
 		ev.Op, ev.Arc, ev.From, ev.To, ev.Invalidated, extra, ev.Components)
+}
+
+func (l *logTracer) probe(ev ProbeEvent) {
+	verdict := "feasible"
+	if ev.Negative {
+		verdict = "negative cycle"
+	}
+	l.printf("probe: λ=%d/%d %s (%d passes, %v)",
+		ev.Num, ev.Den, verdict, ev.Passes, ev.Duration.Round(time.Microsecond))
 }
 
 func (l *logTracer) certify(ev CertifyEvent) {

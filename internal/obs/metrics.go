@@ -178,6 +178,11 @@ type Metrics struct {
 	approxErrs      atomic.Int64 // engine runs that returned an error
 	approxPasses    atomic.Int64 // total arc-stream sweeps across all runs
 
+	// Shared parametric negative-cycle oracle (internal/ratio).
+	probes         atomic.Int64 // feasibility probes run
+	probesNegative atomic.Int64 // probes that found a negative cycle
+	probePasses    atomic.Int64 // total Bellman–Ford passes across probes
+
 	solveDuration   Histogram // per-solver-run wall clock
 	certifyDuration Histogram // per-proof wall clock
 	raceDuration    Histogram // per-race wall clock
@@ -273,6 +278,13 @@ func (m *Metrics) Tracer() *Trace {
 				m.approxErrs.Add(1)
 			}
 		},
+		OnProbe: func(ev ProbeEvent) {
+			m.probes.Add(1)
+			m.probePasses.Add(int64(ev.Passes))
+			if ev.Negative {
+				m.probesNegative.Add(1)
+			}
+		},
 		OnDelta: func(ev DeltaEvent) {
 			m.deltas.Add(1)
 			m.deltaInvalidated.Add(int64(ev.Invalidated))
@@ -325,6 +337,9 @@ func (m *Metrics) Snapshot() map[string]any {
 		"approx_sharpened":         m.approxSharpened.Load(),
 		"approx_errors":            m.approxErrs.Load(),
 		"approx_passes":            m.approxPasses.Load(),
+		"probes":                   m.probes.Load(),
+		"probes_negative":          m.probesNegative.Load(),
+		"probe_passes":             m.probePasses.Load(),
 		"solve_duration":           m.solveDuration.snapshot(),
 		"certify_duration":         m.certifyDuration.snapshot(),
 		"race_duration":            m.raceDuration.snapshot(),

@@ -193,6 +193,25 @@ type ApproxEvent struct {
 	Err error
 }
 
+// ProbeEvent reports one run of the shared parametric negative-cycle oracle
+// (internal/ratio's Bellman–Ford feasibility probe): the probed rational
+// λ = Num/Den, whether a cycle with ratio below λ exists, and the work done.
+// Every Lawler-style ratio search (lawler, dinkelbach, sternbrocot, megiddo,
+// plus certification) reduces to a sequence of these probes, so a probe
+// stream is the per-iteration view of a ratio solve.
+type ProbeEvent struct {
+	// Num and Den are the probed rational λ = Num/Den (Den > 0).
+	Num, Den int64
+	// Negative reports that some cycle C has Den·w(C) − Num·t(C) < 0,
+	// i.e. ρ(C) < λ.
+	Negative bool
+	// Passes is the number of Bellman–Ford passes the probe ran before
+	// converging or confirming a negative cycle.
+	Passes int
+	// Duration is the probe's wall-clock time.
+	Duration time.Duration
+}
+
 // CertifyEvent reports an exact-certification attempt (Options.Certify).
 type CertifyEvent struct {
 	// OK reports that the optimality proof succeeded.
@@ -254,6 +273,7 @@ type Trace struct {
 	OnCache       func(CacheEvent)
 	OnServeCache  func(ServeCacheEvent)
 	OnApprox      func(ApproxEvent)
+	OnProbe       func(ProbeEvent)
 	OnCertify     func(CertifyEvent)
 	OnDelta       func(DeltaEvent)
 }
@@ -315,6 +335,13 @@ func (t *Trace) ServeCache(ev ServeCacheEvent) {
 func (t *Trace) Approx(ev ApproxEvent) {
 	if t != nil && t.OnApprox != nil {
 		t.OnApprox(ev)
+	}
+}
+
+// Probe emits a ProbeEvent; safe on a nil receiver.
+func (t *Trace) Probe(ev ProbeEvent) {
+	if t != nil && t.OnProbe != nil {
+		t.OnProbe(ev)
 	}
 }
 
@@ -387,6 +414,11 @@ func Multi(traces ...*Trace) *Trace {
 	out.OnApprox = func(ev ApproxEvent) {
 		for _, t := range live {
 			t.Approx(ev)
+		}
+	}
+	out.OnProbe = func(ev ProbeEvent) {
+		for _, t := range live {
+			t.Probe(ev)
 		}
 	}
 	out.OnCertify = func(ev CertifyEvent) {

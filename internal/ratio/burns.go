@@ -49,28 +49,21 @@ func (burnsRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		absW = -minW
 	}
 	lambda := -float64(int64(n)*absW + 1)
+	oracle := newOracle(g, opt, &counts)
+	defer oracle.Close()
 	// Potentials: shortest distances under w − λt (feasible since ρ* > λ).
 	{
-		p, q := -(int64(n)*absW + 1), int64(1)
-		dist := make([]int64, n)
-		for pass := 0; pass < n; pass++ {
-			changed := false
-			for _, a := range g.Arcs() {
-				w := q*a.Weight - p*a.Transit
-				if nd := dist[a.From] + w; nd < dist[a.To] {
-					dist[a.To] = nd
-					changed = true
-				}
-			}
-			if !changed {
-				break
-			}
-			if pass == n-1 {
-				return Result{}, ErrNonPositiveTransit
-			}
+		neg, _, err := oracle.Probe(-(int64(n)*absW + 1), 1)
+		if err != nil {
+			return Result{}, err
 		}
-		for v := 0; v < n; v++ {
-			d[v] = float64(dist[v])
+		if neg {
+			// A cycle negative even at λ below every ratio can only mean a
+			// non-positive total transit time slipped past validation.
+			return Result{}, ErrNonPositiveTransit
+		}
+		for v, dv := range oracle.Dist() {
+			d[v] = float64(dv)
 		}
 	}
 
@@ -134,7 +127,11 @@ func (burnsRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 			if okc {
 				counts.CyclesExamined++
 				if r, ok := cycleRatio(g, cycle); ok {
-					if neg, _ := hasNegativeCycleRatio(g, r.Num(), r.Den(), &counts); !neg {
+					neg, _, err := oracle.Probe(r.Num(), r.Den())
+					if err != nil {
+						return Result{}, err
+					}
+					if !neg {
 						return Result{Ratio: r, Cycle: cycle, Exact: true, Counts: counts}, nil
 					}
 				}

@@ -57,6 +57,9 @@ func (dinkelbachAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		return Result{}, ErrAcyclic
 	}
 
+	oracle := newOracle(g, opt, &counts)
+	defer oracle.Close()
+
 	maxIter := opt.MaxIterations
 	if maxIter <= 0 {
 		maxIter = g.NumNodes()*g.NumArcs() + 64
@@ -66,7 +69,10 @@ func (dinkelbachAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 			return Result{}, core.ErrCanceled
 		}
 		counts.Iterations++
-		neg, cyc := hasNegativeCycleRatio(g, best.Num(), best.Den(), &counts)
+		neg, cyc, err := oracle.Probe(best.Num(), best.Den())
+		if err != nil {
+			return Result{}, err
+		}
 		if !neg {
 			return Result{Ratio: best, Cycle: bestCycle, Exact: true, Counts: counts}, nil
 		}

@@ -57,7 +57,7 @@ func FuzzRatioDifferential(f *testing.F) {
 		}
 		want, _, oracleErr := verify.BruteForceMinRatio(g)
 
-		names := []string{"howard", "lawler", "burns", "ko", "yto", "dinkelbach", "megiddo"}
+		names := []string{"howard", "lawler", "burns", "ko", "yto", "dinkelbach", "megiddo", "sternbrocot"}
 		if !allowZero {
 			names = append(names, "expand")
 		}

@@ -75,6 +75,9 @@ func (howardRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		}
 	}
 
+	oracle := newOracle(g, opt, &counts)
+	defer oracle.Close()
+
 	gain := make([]numeric.Rat, n)
 	gainRank := make([]int32, n) // rank of gain[v] among this iteration's distinct gains
 	gainSet := make([]bool, n)
@@ -203,7 +206,11 @@ func (howardRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		}
 
 		if !improved {
-			if neg, _ := hasNegativeCycleRatio(g, bestGain.Num(), bestGain.Den(), &counts); !neg {
+			neg, _, err := oracle.Probe(bestGain.Num(), bestGain.Den())
+			if err != nil {
+				return Result{}, err
+			}
+			if !neg {
 				cycle := make([]graph.ArcID, len(bestCyc))
 				copy(cycle, bestCyc)
 				return Result{Ratio: bestGain, Cycle: cycle, Exact: true, Counts: counts}, nil

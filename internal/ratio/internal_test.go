@@ -12,7 +12,7 @@ func TestNamesAndByName(t *testing.T) {
 	names := Names()
 	want := map[string]bool{
 		"burns": true, "dinkelbach": true, "expand": true, "howard": true, "megiddo": true,
-		"ko": true, "lawler": true, "yto": true,
+		"ko": true, "lawler": true, "sternbrocot": true, "yto": true,
 	}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
@@ -31,6 +31,25 @@ func TestNamesAndByName(t *testing.T) {
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("unknown name accepted")
+	}
+	// The racer resolves through ByName without appearing in Names().
+	p, err := ByName("portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "portfolio" {
+		t.Fatalf("portfolio Name() = %q", p.Name())
+	}
+	if pf, ok := p.(*RatioPortfolio); !ok || len(pf.Algorithms()) != 3 {
+		t.Fatalf("ByName(portfolio) = %T", p)
+	}
+	if p, err = ByName("portfolio:howard+sternbrocot"); err != nil {
+		t.Fatal(err)
+	} else if pf := p.(*RatioPortfolio); len(pf.Algorithms()) != 2 {
+		t.Fatalf("portfolio:howard+sternbrocot has %d members", len(pf.Algorithms()))
+	}
+	if _, err := ByName("portfolio:nope"); err == nil {
+		t.Fatal("unknown portfolio member accepted")
 	}
 }
 

@@ -53,7 +53,7 @@ func TestKernelEquivalenceRatio(t *testing.T) {
 	}
 
 	algos := []Algorithm{}
-	for _, name := range []string{"howard", "lawler", "burns"} {
+	for _, name := range []string{"howard", "lawler", "burns", "sternbrocot"} {
 		a, err := ByName(name)
 		if err != nil {
 			t.Fatal(err)

@@ -24,6 +24,51 @@ type lawlerRatio struct{}
 
 func (lawlerRatio) Name() string { return "lawler" }
 
+// lawlerGrid returns the bisection grid denominator S (a power of two ≥ 2)
+// for a graph with cycle-ratio bound `bound` = n·max|w|, `nodes` nodes and
+// maximum transit `maxT`, under tolerance eps (0 means exact mode).
+//
+// Two invariants, both regression-pinned:
+//
+//   - eps > 0: the grid spacing 1/S is at most eps, so the bisection's final
+//     cell [lo/S, hi/S) — and therefore the returned approximation — is
+//     within eps of ρ*. (The former loop shrank S while 1/S < eps,
+//     terminating with spacing ≥ eps and overshooting the tolerance by up
+//     to one cell.)
+//   - every probe stays exact: a probe at grid point mid ∈ [−S·bound,
+//     S·bound+1] relaxes weights S·w − mid·t over n passes, so S is
+//     coarsened until (bound+1)·(4·S·nodes·maxT+1) ≤ 2^61. The divisor is
+//     built with checked multiplication: at the documented limits
+//     (S=2^16 × n=2^24 × t≈2^31) the former expression
+//     4*S*nodes*maxT+1 itself overflowed int64, the guard compared against
+//     garbage, and S never shrank — letting the probe arithmetic overflow
+//     silently.
+//
+// When even S = 2 cannot satisfy the probe bound, the oracle's own
+// per-probe range check reports ErrNumericRange instead of wrapping.
+func lawlerGrid(bound, nodes, maxT int64, eps float64) int64 {
+	S := int64(1 << 16)
+	if eps > 0 {
+		// Smallest power of two with spacing 1/S ≤ eps, capped so S·bound
+		// stays far from the int64 edge even for large bounds.
+		S = 2
+		for 1/float64(S) > eps && S < int64(1)<<30 {
+			S <<= 1
+		}
+	}
+	for S > 2 {
+		d, ok := numeric.CheckedMul(4*S, nodes)
+		if ok {
+			d, ok = numeric.CheckedMul(d, maxT)
+		}
+		if ok && d < int64(1)<<61 && (bound+1) <= (int64(1)<<61)/(d+1) {
+			break
+		}
+		S >>= 1
+	}
+	return S
+}
+
 func (lawlerRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 	if err := checkInput(g); err != nil {
 		return Result{}, err
@@ -41,17 +86,12 @@ func (lawlerRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 	}
 	bound := int64(g.NumNodes()) * absW
 
-	// Grid denominator: fine enough to separate most ratios; the endgame
-	// restores exactness regardless.
-	S := int64(1 << 16)
-	if opt.Epsilon > 0 {
-		for S > 2 && 1/float64(S) < opt.Epsilon {
-			S >>= 1
-		}
-	}
-	for S > 2 && (bound+1) > (int64(1)<<61)/(4*S*int64(g.NumNodes())*maxTransit(g)+1) {
-		S >>= 1
-	}
+	// Grid denominator: fine enough to separate most ratios (and to honor
+	// Options.Epsilon); the endgame restores exactness regardless.
+	S := lawlerGrid(bound, int64(g.NumNodes()), maxTransit(g), opt.Epsilon)
+
+	oracle := newOracle(g, opt, &counts)
+	defer oracle.Close()
 
 	var (
 		bestRatio numeric.Rat
@@ -72,7 +112,10 @@ func (lawlerRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 	for hi-lo > 1 {
 		counts.Iterations++
 		mid := lo + (hi-lo)/2
-		neg, cyc := hasNegativeCycleRatio(g, mid, S, &counts)
+		neg, cyc, err := oracle.Probe(mid, S)
+		if err != nil {
+			return Result{}, err
+		}
 		if !neg {
 			lo = mid
 			continue
@@ -114,7 +157,10 @@ func (lawlerRatio) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 			return Result{}, core.ErrCanceled
 		}
 		counts.Iterations++
-		neg, cyc := hasNegativeCycleRatio(g, bestRatio.Num(), bestRatio.Den(), &counts)
+		neg, cyc, err := oracle.Probe(bestRatio.Num(), bestRatio.Den())
+		if err != nil {
+			return Result{}, err
+		}
 		if !neg {
 			return Result{Ratio: bestRatio, Cycle: bestCycle, Exact: true, Counts: counts}, nil
 		}

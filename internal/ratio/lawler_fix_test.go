@@ -1,0 +1,141 @@
+package ratio
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// TestLawlerGridOverflowGuard pins the checked-multiplication rewrite of the
+// grid coarsening guard. At the documented limits (S=2^16, n=2^24, transit
+// 2^31) the former divisor 4·S·n·maxT+1 is 2^73 ≡ 0 (mod 2^64), so the old
+// guard divided by garbage, never fired, and left S at 2^16 — letting every
+// probe overflow silently. The fixed guard must coarsen all the way down.
+func TestLawlerGridOverflowGuard(t *testing.T) {
+	const (
+		nodes = int64(1) << 24
+		maxT  = int64(1) << 31
+		absW  = int64(1) << 16
+	)
+	bound := nodes * absW // 2^40
+	if S := lawlerGrid(bound, nodes, maxT, 0); S != 2 {
+		t.Fatalf("lawlerGrid at documented limits returned S = %d, want full coarsening to 2", S)
+	}
+
+	// Whenever the guard keeps S > 2 it has certified the probe bound; verify
+	// that certificate with independent checked arithmetic across the edge of
+	// the overflowing regime.
+	for _, tc := range []struct{ bound, nodes, maxT int64 }{
+		{bound, nodes, maxT},
+		{1 << 50, 1 << 20, 1 << 40},
+		{1 << 35, 16, 1 << 42},
+		{100 * 64, 64, 7},
+		{1 << 30, 1 << 10, 1 << 20},
+	} {
+		S := lawlerGrid(tc.bound, tc.nodes, tc.maxT, 0)
+		if S&(S-1) != 0 || S < 2 {
+			t.Fatalf("lawlerGrid(%d,%d,%d) = %d is not a power of two >= 2", tc.bound, tc.nodes, tc.maxT, S)
+		}
+		if S > 2 {
+			d, ok := numeric.CheckedMul(4*S, tc.nodes)
+			if ok {
+				d, ok = numeric.CheckedMul(d, tc.maxT)
+			}
+			if !ok || d >= int64(1)<<61 || (tc.bound+1) > (int64(1)<<61)/(d+1) {
+				t.Fatalf("lawlerGrid(%d,%d,%d) = %d violates the probe magnitude bound",
+					tc.bound, tc.nodes, tc.maxT, S)
+			}
+		}
+	}
+
+	// Moderate inputs must keep the historical default grid untouched.
+	if S := lawlerGrid(100*64, 64, 7, 0); S != 1<<16 {
+		t.Fatalf("moderate input coarsened to S = %d, want %d", S, 1<<16)
+	}
+}
+
+// TestLawlerGridEpsilonSpacing pins the flipped ε loop: the grid spacing 1/S
+// must be at most eps. The former loop shrank S while 1/S < eps and so
+// terminated with spacing ≥ eps (eps=0.1 yielded S=8, spacing 0.125).
+func TestLawlerGridEpsilonSpacing(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.25, 0.1, 0.125, 0.03, 0.01, 1e-3, 2e-5, 1e-7, 1.0 / 70000} {
+		S := lawlerGrid(100, 10, 3, eps)
+		if spacing := 1 / float64(S); spacing > eps {
+			t.Errorf("eps=%g: grid spacing 1/%d = %g exceeds the tolerance", eps, S, spacing)
+		}
+	}
+	// Exact powers of two stay minimal: eps = 1/8 needs no finer grid than 8.
+	if S := lawlerGrid(100, 10, 3, 0.125); S != 8 {
+		t.Errorf("eps=1/8: S = %d, want 8", S)
+	}
+}
+
+// TestLawlerEpsilonWithinTolerance is the end-to-end ε guarantee: the value
+// returned by the approximate variant is within eps of the certified optimum.
+// With the pre-fix spacing bug the final bisection cell could be up to twice
+// the tolerance wide.
+func TestLawlerEpsilonWithinTolerance(t *testing.T) {
+	howard, err := ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lawler, err := ByName("lawler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 40, MinWeight: -150, MaxWeight: 150, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g = withTransits(g, 4)
+		exact, err := MinimumCycleRatio(g, howard, core.Options{Certify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, eps := range []float64{0.1, 0.01, 1e-4} {
+			res, err := MinimumCycleRatio(g, lawler, core.Options{Epsilon: eps})
+			if err != nil {
+				t.Fatalf("seed %d eps %g: %v", seed, eps, err)
+			}
+			if res.Exact {
+				t.Fatalf("seed %d eps %g: epsilon mode reported an exact result", seed, eps)
+			}
+			if diff := math.Abs(res.Ratio.Float64() - exact.Ratio.Float64()); diff > eps+1e-9 {
+				t.Errorf("seed %d: |approx %v - exact %v| = %g exceeds eps %g",
+					seed, res.Ratio, exact.Ratio, diff, eps)
+			}
+		}
+	}
+}
+
+// TestLawlerNumericRangeTyped drives the solver past what int64 probes can
+// represent: a 16-ring with ±(2^31−1) weights and 2^42 transits coarsens the
+// grid to S=2, and the bisection's first off-center probe is still out of
+// exact range. The solve must surface a typed ErrNumericRange — the pre-fix
+// code kept S=2^16 and wrapped silently.
+func TestLawlerNumericRangeTyped(t *testing.T) {
+	const w = int64(1)<<31 - 1
+	b := graph.NewBuilder(16, 16)
+	b.AddNodes(16)
+	for i := 0; i < 16; i++ {
+		wi := w
+		if i%2 == 1 {
+			wi = -w
+		}
+		b.AddArcTransit(graph.NodeID(i), graph.NodeID((i+1)%16), wi, int64(1)<<42)
+	}
+	g := b.Build()
+	lawler, err := ByName("lawler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinimumCycleRatio(g, lawler, core.Options{}); !errors.Is(err, ErrNumericRange) {
+		t.Fatalf("err = %v, want ErrNumericRange", err)
+	}
+}

@@ -65,19 +65,25 @@ func (megiddoAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
 		finalRatio numeric.Rat
 		finalCycle []graph.ArcID
 	)
+	oracle := newOracle(g, opt, &counts)
+	defer oracle.Close()
 	probe := func(lambda numeric.Rat) (probeResult, error) {
 		if opt.Canceled() {
 			return probeContinue, core.ErrCanceled
 		}
 		counts.Iterations++
-		neg, _ := hasNegativeCycleRatio(g, lambda.Num(), lambda.Den(), &counts)
+		neg, _, err := oracle.Probe(lambda.Num(), lambda.Den())
+		if err != nil {
+			return probeContinue, err
+		}
 		if neg {
 			hi = lambda
 			return probeContinue, nil
 		}
 		lo = lambda
-		cycle, err := extractCriticalRatioCycle(g, lambda)
-		if err == nil {
+		// The probe just converged at lambda, so its tight arcs answer the
+		// equality question with no second Bellman–Ford run.
+		if cycle, ok := oracle.TightCycle(lambda.Num(), lambda.Den()); ok {
 			finalRatio, finalCycle = lambda, cycle
 			return probeDone, nil
 		}

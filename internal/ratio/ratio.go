@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/counter"
@@ -73,11 +74,17 @@ func register(name string, ctor func() Algorithm) {
 	registry[name] = func() Algorithm { return guardedAlg{ctor()} }
 }
 
-// ByName returns a fresh instance of the named ratio algorithm.
+// ByName returns a fresh instance of the named ratio algorithm. Valid names
+// are the ones in Names, plus the meta-algorithm "portfolio" (optionally
+// with an explicit roster, e.g. "portfolio:howard+sternbrocot"), which races
+// several exact solvers and returns the first answer.
 func ByName(name string) (Algorithm, error) {
+	if name == ratioPortfolioName || strings.HasPrefix(name, ratioPortfolioName+":") {
+		return portfolioByName(name)
+	}
 	ctor, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("ratio: unknown algorithm %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("ratio: unknown algorithm %q (known: %v, plus %q)", name, Names(), ratioPortfolioName)
 	}
 	return ctor(), nil
 }
@@ -291,56 +298,18 @@ func cycleRatio(g *graph.Graph, cycle []graph.ArcID) (numeric.Rat, bool) {
 }
 
 // hasNegativeCycleRatio reports whether some cycle C has
-// q·w(C) − p·t(C) < 0, i.e. ρ(C) < p/q, returning one such cycle. It is
-// the Bellman–Ford oracle every ratio algorithm shares.
+// q·w(C) − p·t(C) < 0, i.e. ρ(C) < p/q, returning one such cycle. It is a
+// convenience wrapper over the shared oracle for call sites that hold no
+// oracle of their own (certification, tests); out-of-range inputs surface
+// as a "numeric:" panic caught by the package's panic-free boundary.
 func hasNegativeCycleRatio(g *graph.Graph, p, q int64, counts *counter.Counts) (bool, []graph.ArcID) {
-	if counts != nil {
-		counts.NegativeCycleChecks++
+	o := newOracle(g, core.Options{}, counts)
+	defer o.Close()
+	neg, cycle, err := o.Probe(p, q)
+	if err != nil {
+		panic("numeric: " + err.Error())
 	}
-	n := g.NumNodes()
-	dist := make([]int64, n)
-	parent := make([]graph.ArcID, n)
-	for i := range parent {
-		parent[i] = -1
-	}
-	arcs := g.Arcs()
-	lastChanged := graph.NodeID(-1)
-	for pass := 0; pass < n; pass++ {
-		lastChanged = -1
-		for id, a := range arcs {
-			if counts != nil {
-				counts.Relaxations++
-			}
-			w := q*a.Weight - p*a.Transit
-			if nd := dist[a.From] + w; nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = graph.ArcID(id)
-				lastChanged = a.To
-			}
-		}
-		if lastChanged == -1 {
-			return false, nil
-		}
-	}
-	v := lastChanged
-	for i := 0; i < n; i++ {
-		v = g.Arc(parent[v]).From
-	}
-	start := v
-	var rev []graph.ArcID
-	for {
-		id := parent[v]
-		rev = append(rev, id)
-		v = g.Arc(id).From
-		if v == start {
-			break
-		}
-	}
-	cycle := make([]graph.ArcID, len(rev))
-	for i, id := range rev {
-		cycle[len(rev)-1-i] = id
-	}
-	return true, cycle
+	return neg, cycle
 }
 
 // extractCriticalRatioCycle returns a cycle whose ratio is exactly rho,
@@ -349,99 +318,20 @@ func hasNegativeCycleRatio(g *graph.Graph, p, q int64, counts *counter.Counts) (
 // exactly ρ*.
 func extractCriticalRatioCycle(g *graph.Graph, rho numeric.Rat) ([]graph.ArcID, error) {
 	p, q := rho.Num(), rho.Den()
-	n := g.NumNodes()
-	dist := make([]int64, n)
-	for pass := 0; pass < n; pass++ {
-		changed := false
-		for _, a := range g.Arcs() {
-			w := q*a.Weight - p*a.Transit
-			if nd := dist[a.From] + w; nd < dist[a.To] {
-				dist[a.To] = nd
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-		if pass == n-1 {
-			return nil, fmt.Errorf("ratio: ρ = %v is below the optimum", rho)
-		}
+	o := newOracle(g, core.Options{}, nil)
+	defer o.Close()
+	neg, _, err := o.Probe(p, q)
+	if err != nil {
+		return nil, err
 	}
-	// DFS over the tight arcs (zero reduced slack): any cycle found
-	// telescopes to reduced weight zero, i.e. ratio exactly p/q. Standard
-	// white/gray/black coloring, iterative.
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := make([]byte, n)
-	onPath := make([]graph.ArcID, 0, n)
-	type frame struct {
-		v   graph.NodeID
-		arc int32
+	if neg {
+		return nil, fmt.Errorf("ratio: a cycle with ratio below %v exists", rho)
 	}
-	stack := make([]frame, 0, n)
-	for root := graph.NodeID(0); int(root) < n; root++ {
-		if color[root] != white {
-			continue
-		}
-		color[root] = gray
-		stack = append(stack[:0], frame{v: root})
-		onPath = onPath[:0]
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			out := g.OutArcs(f.v)
-			advanced := false
-			for int(f.arc) < len(out) {
-				id := out[f.arc]
-				f.arc++
-				a := g.Arc(id)
-				if dist[a.From]+q*a.Weight-p*a.Transit != dist[a.To] {
-					continue
-				}
-				w := a.To
-				switch color[w] {
-				case gray:
-					idx := -1
-					for i := range stack {
-						if stack[i].v == w {
-							idx = i
-							break
-						}
-					}
-					var cycle []graph.ArcID
-					for i := idx; i < len(stack)-1; i++ {
-						cycle = append(cycle, onPath[i])
-					}
-					cycle = append(cycle, id)
-					if r, ok := cycleRatio(g, cycle); ok && r.Equal(rho) {
-						return cycle, nil
-					}
-					// A zero-transit tight cycle is impossible after
-					// checkInput, so this cannot happen; keep searching.
-					continue
-				case white:
-					color[w] = gray
-					onPath = append(onPath, id)
-					stack = append(stack, frame{v: w})
-					advanced = true
-				}
-				if advanced {
-					break
-				}
-			}
-			if advanced {
-				continue
-			}
-			color[f.v] = black
-			stack = stack[:len(stack)-1]
-			if len(onPath) > 0 {
-				onPath = onPath[:len(onPath)-1]
-			}
-		}
+	cycle, ok := o.TightCycle(p, q)
+	if !ok {
+		return nil, fmt.Errorf("ratio: no cycle of ratio %v found", rho)
 	}
-	return nil, fmt.Errorf("ratio: no cycle of ratio %v found", rho)
+	return cycle, nil
 }
 
 // ratioPolicyCycles finds the cycles of an out-degree-one policy graph

@@ -1,0 +1,215 @@
+package ratio
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/counter"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+func init() {
+	register("sternbrocot", func() Algorithm { return sternBrocotAlg{} })
+}
+
+// sternBrocotAlg locates ρ* by exact mediant search on the Stern–Brocot
+// tree, the ROADMAP 5(a) scenario: every positive rational appears exactly
+// once in the tree, and descending it with the parametric oracle as the
+// comparator finds ρ* with integer arithmetic only — no float solve ever
+// happens, so there is nothing to snap during certification.
+//
+// The search runs in the shifted coordinate ρ' = ρ* + s with s = n·max|w|+1,
+// so ρ' ∈ [1, 2s−1] is strictly positive. It maintains two tree nodes
+// L = a/b and R = c/d with the invariant a/b < ρ' < c/d (R starts at the
+// formal 1/0 = ∞) and repeatedly probes the mediant (a+c)/(b+d):
+//
+//   - a negative cycle at the mediant means ρ' is below it — descend left;
+//   - a converged probe whose tight arcs close a cycle of exactly the
+//     mediant's ratio means ρ' equals it — done, and that tight cycle is
+//     the witness;
+//   - otherwise ρ' is above — descend right.
+//
+// Runs of equal-direction steps are resolved with exponential doubling plus
+// binary search (the continued-fraction terms of ρ'), so the number of
+// oracle probes is O(log² (n·max|w|·maxT)) rather than linear in the term
+// sizes. Node arithmetic is overflow-checked; out-of-range graphs report
+// ErrNumericRange.
+type sternBrocotAlg struct{}
+
+func (sternBrocotAlg) Name() string { return "sternbrocot" }
+
+// sbNode is a Stern–Brocot tree node with value a/b (b = 0 encodes ∞).
+type sbNode struct{ a, b int64 }
+
+// sbCombine returns the node k·X ⊕ Y = (k·X.a + Y.a)/(k·X.b + Y.b), the
+// result of taking k consecutive steps toward X from interval (X, Y); ok is
+// false when the coefficients leave int64.
+func sbCombine(x sbNode, k int64, y sbNode) (sbNode, bool) {
+	ka, ok := numeric.CheckedMul(k, x.a)
+	if !ok {
+		return sbNode{}, false
+	}
+	kb, ok := numeric.CheckedMul(k, x.b)
+	if !ok {
+		return sbNode{}, false
+	}
+	a, b := ka+y.a, kb+y.b
+	if a < 0 || b < 0 { // all coefficients are non-negative: a sign flip is overflow
+		return sbNode{}, false
+	}
+	return sbNode{a, b}, true
+}
+
+func (sternBrocotAlg) Solve(g *graph.Graph, opt core.Options) (Result, error) {
+	if err := checkInput(g); err != nil {
+		return Result{}, err
+	}
+	var counts counter.Counts
+	n := g.NumNodes()
+
+	minW, maxW := g.WeightRange()
+	absW := maxW
+	if -minW > absW {
+		absW = -minW
+	}
+	if absW < 1 {
+		absW = 1
+	}
+	bound, ok := numeric.CheckedMul(int64(n), absW)
+	if !ok || bound >= 1<<62 {
+		return Result{}, fmt.Errorf("%w: cycle-ratio bound n·max|w| overflows", ErrNumericRange)
+	}
+	shift := bound + 1 // ρ* + shift ∈ [1, 2·bound+1], strictly positive
+
+	oracle := newOracle(g, opt, &counts)
+	defer oracle.Close()
+
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		// ρ' has at most log_φ(2^63) ≈ 91 continued-fraction terms, each
+		// resolved in ≤ 2·log2(term)+2 ≤ 128 probes; 2^15 dominates.
+		maxIter = 1 << 15
+	}
+
+	var (
+		found    bool
+		resRatio numeric.Rat
+		resCycle []graph.ArcID
+	)
+	// probe compares ρ' against the node's value: −1 when ρ' lies below it
+	// (the oracle found a negative cycle), +1 when above, 0 when equal — in
+	// which case the tight cycle certifying equality is recorded as the
+	// final witness.
+	probe := func(nd sbNode) (int, error) {
+		if opt.Canceled() {
+			return 0, core.ErrCanceled
+		}
+		if maxIter <= 0 {
+			return 0, ErrIterationLimit
+		}
+		maxIter--
+		counts.Iterations++
+		sb, ok := numeric.CheckedMul(shift, nd.b)
+		if !ok {
+			return 0, fmt.Errorf("%w: Stern–Brocot node %d/%d overflows the probe range", ErrNumericRange, nd.a, nd.b)
+		}
+		num, den := nd.a-sb, nd.b
+		neg, _, err := oracle.Probe(num, den)
+		if err != nil {
+			return 0, err
+		}
+		if neg {
+			return -1, nil
+		}
+		if cyc, ok := oracle.TightCycle(num, den); ok {
+			counts.CyclesExamined++
+			found, resRatio, resCycle = true, numeric.NewRat(num, den), cyc
+			return 0, nil
+		}
+		return 1, nil
+	}
+
+	// run resolves one maximal same-direction descent: nodes step(k) for
+	// k = 1, 2, … move monotonically toward ρ', with step(1) already known
+	// to compare as want. It returns the largest k still comparing as want
+	// and k+1 (the first overshoot), or found=true when some probe landed
+	// exactly on ρ'.
+	run := func(step func(k int64) (sbNode, bool), want int) (int64, error) {
+		lo, hi := int64(1), int64(2)
+		for {
+			nd, ok := step(hi)
+			if !ok {
+				return 0, fmt.Errorf("%w: Stern–Brocot descent overflows int64", ErrNumericRange)
+			}
+			c, err := probe(nd)
+			if err != nil || c == 0 {
+				return 0, err
+			}
+			if c != want {
+				break
+			}
+			lo = hi
+			hi *= 2
+		}
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			nd, ok := step(mid)
+			if !ok {
+				return 0, fmt.Errorf("%w: Stern–Brocot descent overflows int64", ErrNumericRange)
+			}
+			c, err := probe(nd)
+			if err != nil || c == 0 {
+				return 0, err
+			}
+			if c == want {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		return lo, nil
+	}
+
+	left := sbNode{0, 1}  // value 0 < ρ'
+	right := sbNode{1, 0} // formal ∞ > ρ'
+	for !found {
+		mediant, ok := sbCombine(left, 1, right)
+		if !ok {
+			return Result{}, fmt.Errorf("%w: Stern–Brocot descent overflows int64", ErrNumericRange)
+		}
+		c, err := probe(mediant)
+		if err != nil {
+			return Result{}, err
+		}
+		switch {
+		case c == 0:
+			// found
+		case c > 0:
+			// ρ' above the mediant: descend right along k·right ⊕ left.
+			k, err := run(func(k int64) (sbNode, bool) { return sbCombine(right, k, left) }, 1)
+			if err != nil {
+				return Result{}, err
+			}
+			if found {
+				break
+			}
+			lo, _ := sbCombine(right, k, left)
+			hi, _ := sbCombine(right, k+1, left)
+			left, right = lo, hi
+		default:
+			// ρ' below the mediant: descend left along k·left ⊕ right.
+			k, err := run(func(k int64) (sbNode, bool) { return sbCombine(left, k, right) }, -1)
+			if err != nil {
+				return Result{}, err
+			}
+			if found {
+				break
+			}
+			hi, _ := sbCombine(left, k, right)
+			lo, _ := sbCombine(left, k+1, right)
+			left, right = lo, hi
+		}
+	}
+	return Result{Ratio: resRatio, Cycle: resCycle, Exact: true, Counts: counts}, nil
+}

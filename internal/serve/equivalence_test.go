@@ -99,6 +99,7 @@ func TestServeEquivalenceCorpus(t *testing.T) {
 				{ID: "session", Text: graphText(t, g)},
 				{ID: "karp-kernel", Graph: graphJSON(t, g), Algorithm: "karp", Kernelize: true},
 				{ID: "ratio", Text: graphText(t, g), Problem: "ratio"},
+				{ID: "ratio-sb", Graph: graphJSON(t, g), Problem: "ratio", Algorithm: "sternbrocot"},
 			}})
 			if status != http.StatusOK {
 				t.Fatalf("status %d: %s", status, body)
@@ -107,18 +108,15 @@ func TestServeEquivalenceCorpus(t *testing.T) {
 				if !res.OK || res.Error != nil || res.Value == nil {
 					t.Fatalf("%s: %+v", res.ID, res.Error)
 				}
+				isRatio := res.ID == "ratio" || res.ID == "ratio-sb"
 				want := wantMean.Mean
-				if res.ID == "ratio" {
+				if isRatio {
 					want = wantRatio.Ratio
 				}
 				if res.Value.Num != want.Num() || res.Value.Den != want.Den() {
 					t.Fatalf("%s: served %d/%d, direct %d/%d", res.ID, res.Value.Num, res.Value.Den, want.Num(), want.Den())
 				}
-				if res.ID == "ratio" {
-					checkCycleValue(t, g, res, true)
-				} else {
-					checkCycleValue(t, g, res, false)
-				}
+				checkCycleValue(t, g, res, isRatio)
 			}
 		})
 	}

@@ -172,6 +172,7 @@ func TestBatchSolveAgainstOracle(t *testing.T) {
 				{ID: "mean-max", Graph: graphJSON(t, g), Maximize: true, Certify: true},
 				{ID: "ratio", Text: graphText(t, g), Problem: "ratio", Certify: true},
 				{ID: "ratio-lawler", Graph: graphJSON(t, g), Problem: "ratio", Algorithm: "lawler"},
+				{ID: "ratio-sb", Text: graphText(t, g), Problem: "ratio", Algorithm: "sternbrocot", Certify: true},
 			}}
 			status, body := post(t, ts, req)
 			if status != http.StatusOK {
@@ -184,6 +185,7 @@ func TestBatchSolveAgainstOracle(t *testing.T) {
 			want := map[string]numeric.Rat{
 				"mean": minMean, "mean-json": minMean, "mean-kernel": minMean,
 				"mean-max": maxMean, "ratio": minRatio, "ratio-lawler": minRatio,
+				"ratio-sb": minRatio,
 			}
 			for _, res := range results {
 				if !res.OK || res.Error != nil {
@@ -196,7 +198,7 @@ func TestBatchSolveAgainstOracle(t *testing.T) {
 				if !res.Exact {
 					t.Fatalf("%s: inexact result from exact solver", res.ID)
 				}
-				wantCert := res.ID == "mean-json" || res.ID == "mean-max" || res.ID == "ratio"
+				wantCert := res.ID == "mean-json" || res.ID == "mean-max" || res.ID == "ratio" || res.ID == "ratio-sb"
 				if res.Certified != wantCert {
 					t.Fatalf("%s: certified=%v, want %v", res.ID, res.Certified, wantCert)
 				}

@@ -101,6 +101,7 @@ func TestOptionKeyingNearMisses(t *testing.T) {
 		{Problem: "mean", Algorithm: "howard", Maximize: true},
 		{Problem: "mean", Algorithm: "karp"},
 		{Problem: "ratio", Algorithm: "howard"},
+		{Problem: "ratio", Algorithm: "sternbrocot"},
 		{Problem: "mean", Algorithm: "howard", Certify: true, Kernelize: true},
 		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "chkl"},
 		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.01, ApproxMode: "chkl"},
