@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke bench-session bench-session-smoke bench-ratio-exact bench-ratio-exact-smoke fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
+.PHONY: all build test test-race bench bench-kernel bench-kernel-check bench-serve bench-approx bench-approx-smoke bench-session bench-session-smoke bench-ratio-exact bench-ratio-exact-smoke bench-engines bench-engines-smoke coverage-gate fuzz fuzz-smoke repro repro-quick cover clean trace-gate serve-smoke serve-e2e
 
 all: build test
 
@@ -69,6 +69,18 @@ bench-ratio-exact:
 bench-ratio-exact-smoke:
 	$(GO) run ./cmd/mcmbench -table ratio-exact -quick -progress
 
+# Post-1999 engine comparison: madani (value iteration) and bhk (tightened
+# bisection) raced against the DAC'99-era roster on shared instances, every
+# certified λ*/ρ* cross-checked bit-identical; records BENCH_engines.json.
+# Exit 2 on any disagreement.
+bench-engines:
+	$(GO) run ./cmd/mcmbench -table engines-2017 -progress -json > BENCH_engines.json
+	@echo "wrote BENCH_engines.json"
+
+# CI smoke variant: reduced sizes, same bit-identical cross-check.
+bench-engines-smoke:
+	$(GO) run ./cmd/mcmbench -table engines-2017 -quick -progress
+
 # Sustained-load serving suite: cache-on vs cache-off throughput on a
 # 90%-repeated workload plus the streaming bounded-memory probe; records
 # BENCH_serve.json, then the process-level smoke asserts a conservative
@@ -76,6 +88,12 @@ bench-ratio-exact-smoke:
 bench-serve:
 	$(GO) run ./cmd/mcmbench -serve-load -load-duration 5s -load-out BENCH_serve.json
 	./scripts/serve_bench.sh
+
+# Per-package coverage floors (scripts/coverage_floor.txt): fails when any
+# package's statement coverage regresses below its checked-in floor. Raise
+# floors by hand when a real coverage win lands.
+coverage-gate:
+	./scripts/coverage_gate.sh
 
 # Differential soak test: every algorithm vs the oracle on random graphs.
 fuzz:

@@ -12,6 +12,7 @@
 //	mcmbench -table approx            # streaming approximation tier under an RSS cap
 //	mcmbench -table session-delta     # incremental delta re-solve vs cold (gate: 2x)
 //	mcmbench -table ratio-exact       # certified exact MCR solvers, ρ* cross-checked bit-identical
+//	mcmbench -table engines-2017      # post-1999 engines (madani, bhk) vs the 1999 roster, cross-checked
 //	mcmbench -table all               # everything from one sweep
 //
 // -cpuprofile/-memprofile write pprof profiles of any sweep, so wins (e.g.
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		table      = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, ratio-exact, kernel, approx, session-delta, all")
+		table      = flag.String("table", "table2", "which table to regenerate: table2, mcm, heapops, iters, karp, ranking, circuits, heapkinds, variants, ratio, ratio-exact, engines-2017, kernel, approx, session-delta, all")
 		quick      = flag.Bool("quick", false, "reduced grid (n <= 2048) and 3 seeds")
 		seeds      = flag.Int("seeds", 0, "instances per size (default 10, or 3 with -quick)")
 		maxN       = flag.Int("maxn", 0, "limit the grid to sizes with n <= maxn")
@@ -252,6 +253,34 @@ func main() {
 			fmt.Println()
 		} else {
 			bench.WriteSessionDelta(os.Stdout, rep)
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "mcmbench: VIOLATION:", v)
+		}
+		if len(rep.Violations) > 0 {
+			os.Exit(2)
+		}
+		return
+	case "engines-2017":
+		ecfg := bench.EnginesConfig{Smoke: *quick, Seeds: *seeds}
+		if *progress {
+			ecfg.Progress = os.Stderr
+		}
+		rep, err := bench.RunEnginesSweep(ecfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcmbench:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mcmbench:", err)
+				os.Exit(1)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+		} else {
+			bench.WriteEngines(os.Stdout, rep)
 		}
 		for _, v := range rep.Violations {
 			fmt.Fprintln(os.Stderr, "mcmbench: VIOLATION:", v)

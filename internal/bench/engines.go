@@ -1,0 +1,249 @@
+package bench
+
+// This file is the post-1999 engine comparison: the value-iteration and
+// bound-tightened-bisection engines the repo grew after the DAC'99 study
+// (madani for the cycle mean, bhk for the cost-to-time ratio) raced against
+// the 1999-era roster on shared instances — howard/karp for the mean,
+// howard/sternbrocot for the ratio — with every certified λ*/ρ*
+// cross-checked bit-identical. Any disagreement is a Violation and mcmbench
+// exits 2, so the recorded BENCH_engines.json doubles as an equivalence
+// gate. `mcmbench -table engines-2017 -json > BENCH_engines.json` records
+// the sweep; `-quick` is the CI smoke variant.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ratio"
+)
+
+// EnginesMeanAlgos is the minimum-cycle-mean side of the comparison: the
+// DAC'99 baseline pair plus the Madani value-iteration engine.
+var EnginesMeanAlgos = []string{"howard", "karp", "madani"}
+
+// EnginesRatioAlgos is the cost-to-time side: the shared-oracle baselines
+// plus the BHK bound-tightened bisection.
+var EnginesRatioAlgos = []string{"howard", "sternbrocot", "bhk"}
+
+// EnginesConfig parameterizes RunEnginesSweep.
+type EnginesConfig struct {
+	// Sizes lists (n, m) pairs; defaults to three SPRAND sizes.
+	Sizes [][2]int
+	// Seeds is the instance count per size; default 3.
+	Seeds int
+	// MaxTransit bounds the transit times of the ratio instances; default 8.
+	MaxTransit int64
+	// Smoke runs the reduced CI variant.
+	Smoke bool
+	// Progress, when non-nil, receives one line per completed size.
+	Progress io.Writer
+}
+
+func (c EnginesConfig) withDefaults() EnginesConfig {
+	if c.Sizes == nil {
+		c.Sizes = [][2]int{{256, 1024}, {512, 2048}, {1024, 4096}}
+	}
+	if c.Seeds <= 0 {
+		c.Seeds = 3
+	}
+	if c.Smoke {
+		c.Sizes = [][2]int{{64, 256}, {128, 512}}
+		c.Seeds = 2
+	}
+	if c.MaxTransit < 1 {
+		c.MaxTransit = 8
+	}
+	return c
+}
+
+// EnginesCell is one solver's aggregate over the seeds of one size.
+type EnginesCell struct {
+	Seconds float64 `json:"seconds"`
+	// Iterations counts the engine's outer unit of work: value-iteration
+	// passes for madani, probes/pivots for the others.
+	Iterations int `json:"iterations"`
+	// Checks is the summed NegativeCycleChecks (feasibility probes or
+	// contraction epochs), the cross-engine progress measure.
+	Checks int `json:"checks"`
+}
+
+// EnginesRow is one (n, m) row: the mean race on the raw SPRAND instance
+// and the ratio race on its transit-weighted twin.
+type EnginesRow struct {
+	N         int                    `json:"n"`
+	M         int                    `json:"m"`
+	MeanCells map[string]EnginesCell `json:"mean_cells"`
+	RatioCell map[string]EnginesCell `json:"ratio_cells"`
+	// MeanValue and RatioValue are the (seed-0) certified optima as
+	// "num/den", fingerprints for the recorded JSON.
+	MeanValue  string `json:"mean_value"`
+	RatioValue string `json:"ratio_value"`
+}
+
+// EnginesReport is a completed sweep.
+type EnginesReport struct {
+	MeanAlgos  []string `json:"mean_algos"`
+	RatioAlgos []string `json:"ratio_algos"`
+	Seeds      int      `json:"seeds"`
+	MaxTransit int64    `json:"max_transit"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+
+	Rows []EnginesRow `json:"rows"`
+	// Violations lists every λ*/ρ* disagreement or failed certification;
+	// the exact tier has no tolerance, so mcmbench exits 2 when non-empty.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// JSON renders the report for BENCH_engines.json.
+func (r *EnginesReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// RunEnginesSweep times each engine with certification on and cross-checks
+// the certified optimum bit-identical within each problem's roster.
+func RunEnginesSweep(cfg EnginesConfig) (*EnginesReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &EnginesReport{
+		MeanAlgos: EnginesMeanAlgos, RatioAlgos: EnginesRatioAlgos,
+		Seeds: cfg.Seeds, MaxTransit: cfg.MaxTransit,
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, size := range cfg.Sizes {
+		row := EnginesRow{
+			N: size[0], M: size[1],
+			MeanCells: map[string]EnginesCell{}, RatioCell: map[string]EnginesCell{},
+		}
+		for seed := 0; seed < cfg.Seeds; seed++ {
+			base, err := gen.Sprand(gen.SprandConfig{
+				N: size[0], M: size[1], MinWeight: -5000, MaxWeight: 10000, Seed: uint64(seed) + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			arcs := make([]graph.Arc, base.NumArcs())
+			state := uint64(seed)*0x9e3779b97f4a7c15 + 7
+			for i, a := range base.Arcs() {
+				state = state*6364136223846793005 + 1442695040888963407
+				a.Transit = 1 + int64((state>>33)%uint64(cfg.MaxTransit))
+				arcs[i] = a
+			}
+			rg := graph.FromArcs(base.NumNodes(), arcs)
+
+			// Mean race on the raw instance.
+			var refName, refValue string
+			for _, name := range EnginesMeanAlgos {
+				algo, err := core.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				res, err := core.MinimumCycleMean(base, algo, core.Options{Certify: true})
+				secs := time.Since(start).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("bench: engines-2017 mean/%s on n=%d m=%d seed=%d: %w",
+						name, size[0], size[1], seed, err)
+				}
+				cell := row.MeanCells[name]
+				cell.Seconds += secs
+				cell.Iterations += res.Counts.Iterations
+				cell.Checks += res.Counts.NegativeCycleChecks
+				row.MeanCells[name] = cell
+
+				value := res.Mean.String()
+				switch {
+				case !res.Exact || res.Certificate == nil:
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"n=%d m=%d seed=%d: mean/%s returned an uncertified or inexact result",
+						size[0], size[1], seed, name))
+				case refName == "":
+					refName, refValue = name, value
+					if seed == 0 {
+						row.MeanValue = value
+					}
+				case value != refValue:
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"n=%d m=%d seed=%d: mean/%s says λ* = %s, %s says %s",
+						size[0], size[1], seed, name, value, refName, refValue))
+				}
+			}
+
+			// Ratio race on the transit-weighted twin.
+			refName, refValue = "", ""
+			for _, name := range EnginesRatioAlgos {
+				algo, err := ratio.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				res, err := ratio.MinimumCycleRatio(rg, algo, core.Options{Certify: true})
+				secs := time.Since(start).Seconds()
+				if err != nil {
+					return nil, fmt.Errorf("bench: engines-2017 ratio/%s on n=%d m=%d seed=%d: %w",
+						name, size[0], size[1], seed, err)
+				}
+				cell := row.RatioCell[name]
+				cell.Seconds += secs
+				cell.Iterations += res.Counts.Iterations
+				cell.Checks += res.Counts.NegativeCycleChecks
+				row.RatioCell[name] = cell
+
+				value := res.Ratio.String()
+				switch {
+				case !res.Exact || res.Certificate == nil:
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"n=%d m=%d seed=%d: ratio/%s returned an uncertified or inexact result",
+						size[0], size[1], seed, name))
+				case refName == "":
+					refName, refValue = name, value
+					if seed == 0 {
+						row.RatioValue = value
+					}
+				case value != refValue:
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"n=%d m=%d seed=%d: ratio/%s says ρ* = %s, %s says %s",
+						size[0], size[1], seed, name, value, refName, refValue))
+				}
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "engines-2017: n=%d m=%d done (%d seeds × %d mean + %d ratio engines)\n",
+				size[0], size[1], cfg.Seeds, len(EnginesMeanAlgos), len(EnginesRatioAlgos))
+		}
+	}
+	return rep, nil
+}
+
+// WriteEngines renders the comparison.
+func WriteEngines(w io.Writer, rep *EnginesReport) {
+	fmt.Fprintf(w, "engines-2017: post-1999 engines vs the DAC'99 roster on SPRAND (transit ≤ %d, %d seeds)\n",
+		rep.MaxTransit, rep.Seeds)
+	fmt.Fprintf(w, "%6s %7s", "n", "m")
+	for _, name := range rep.MeanAlgos {
+		fmt.Fprintf(w, " %14s", "mean/"+name+" (s)")
+	}
+	for _, name := range rep.RatioAlgos {
+		fmt.Fprintf(w, " %16s", "ratio/"+name+" (s)")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%6d %7d", r.N, r.M)
+		for _, name := range rep.MeanAlgos {
+			fmt.Fprintf(w, " %14.4f", r.MeanCells[name].Seconds)
+		}
+		for _, name := range rep.RatioAlgos {
+			fmt.Fprintf(w, " %16.4f", r.RatioCell[name].Seconds)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(w, "  VIOLATION: %s\n", v)
+	}
+}

@@ -35,6 +35,28 @@ func TestHowardAllocsPerOpPinned(t *testing.T) {
 	}
 }
 
+func TestMadaniAllocsPerOpPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	madani := mustAlgo(t, "madani")
+	g, err := gen.Sprand(gen.SprandConfig{N: 200, M: 800, MinWeight: -1000, MaxWeight: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := madani.Solve(g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := madani.Solve(g, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("madani allocates %.1f objects/op in steady state, pinned at <= 1", avg)
+	}
+}
+
 func TestKarp2AllocsPerOpPinned(t *testing.T) {
 	if raceEnabled {
 		t.Skip("AllocsPerRun is unreliable under -race")

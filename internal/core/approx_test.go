@@ -9,70 +9,9 @@ import (
 	"repro/internal/numeric"
 )
 
-// TestApproxEquivalence is the satellite-3 guarantee, run over the full
-// equivalence corpus: the sharpened approx path is bit-identical to an exact
-// certified solve, and every unsharpened ε run stays within its own declared
-// error bound of the true λ*.
-func TestApproxEquivalence(t *testing.T) {
-	corpus := equivalenceCorpus(t)
-	approx := mustAlgo(t, "approx")
-	exactAlgo := mustAlgo(t, "howard")
-	for name, g := range corpus {
-		exact, err := MinimumCycleMean(g, exactAlgo, Options{Certify: true})
-		if err != nil {
-			t.Fatalf("%s: exact solve: %v", name, err)
-		}
-
-		// Sharpened: default options request an exact answer.
-		sharp, err := MinimumCycleMean(g, approx, Options{Certify: true})
-		if err != nil {
-			t.Fatalf("%s: sharpened approx solve: %v", name, err)
-		}
-		if !sharp.Mean.Equal(exact.Mean) {
-			t.Errorf("%s: sharpened λ* = %v, exact = %v", name, sharp.Mean, exact.Mean)
-			continue
-		}
-		if !sharp.Exact || sharp.ErrorBound != 0 {
-			t.Errorf("%s: sharpened result must be exact with zero bound, got exact=%v bound=%v",
-				name, sharp.Exact, sharp.ErrorBound)
-		}
-		if sharp.Certificate == nil || !sharp.Certificate.Value.Equal(sharp.Mean) {
-			t.Errorf("%s: missing or mismatched certificate: %+v", name, sharp.Certificate)
-		}
-		if err := g.ValidateCycle(sharp.Cycle); err != nil {
-			t.Errorf("%s: sharpened cycle invalid: %v", name, err)
-		}
-
-		// Unsharpened ε run: λ* must lie in [Mean−ErrorBound, Mean], and the
-		// witness must be a real cycle of the original graph whose exact
-		// rational mean is the reported Mean.
-		for _, mode := range []string{"chkl", "ap"} {
-			res, err := MinimumCycleMean(g, approx, Options{Approx: ApproxOptions{Epsilon: 0.05, Mode: mode}})
-			if err != nil {
-				t.Fatalf("%s/%s: approx solve: %v", name, mode, err)
-			}
-			lam := exact.Mean.Float64()
-			if res.Mean.Float64() < lam-1e-9 {
-				t.Errorf("%s/%s: reported mean %v below true λ* %v", name, mode, res.Mean, lam)
-			}
-			if res.Mean.Float64()-res.ErrorBound > lam+1e-9 {
-				t.Errorf("%s/%s: certified interval [%v, %v] misses λ* = %v",
-					name, mode, res.Mean.Float64()-res.ErrorBound, res.Mean.Float64(), lam)
-			}
-			if res.Exact != (res.ErrorBound == 0) {
-				t.Errorf("%s/%s: Exact=%v inconsistent with ErrorBound=%v", name, mode, res.Exact, res.ErrorBound)
-			}
-			if err := g.ValidateCycle(res.Cycle); err != nil {
-				t.Errorf("%s/%s: witness cycle invalid: %v", name, mode, err)
-				continue
-			}
-			mean := numeric.NewRat(g.CycleWeight(res.Cycle), int64(len(res.Cycle)))
-			if !mean.Equal(res.Mean) {
-				t.Errorf("%s/%s: witness mean %v != reported %v", name, mode, mean, res.Mean)
-			}
-		}
-	}
-}
+// TestApproxEquivalence — the corpus-wide approx guarantee — lives in
+// corpus_equivalence_test.go (package core_test) on the shared
+// testutil.MeanCorpus.
 
 func TestApproxModeValidation(t *testing.T) {
 	g := graph.FromArcs(2, []graph.Arc{{From: 0, To: 1, Weight: 1}, {From: 1, To: 0, Weight: 1}})

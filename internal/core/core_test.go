@@ -25,7 +25,7 @@ func mustAlgo(t *testing.T, name string) Algorithm {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"approx", "burns", "dg", "dg2", "ho", "ho2", "howard", "karp", "karp2", "ko", "lawler", "oa1", "oa2", "yto"}
+	want := []string{"approx", "burns", "dg", "dg2", "ho", "ho2", "howard", "karp", "karp2", "ko", "lawler", "madani", "oa1", "oa2", "yto"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v, want %v", names, want)
 	}
@@ -434,6 +434,7 @@ func TestCountersPopulated(t *testing.T) {
 		{"dg", func(r Result) bool { return r.Counts.ArcsVisited > 0 }},
 		{"lawler", func(r Result) bool { return r.Counts.NegativeCycleChecks > 0 }},
 		{"burns", func(r Result) bool { return r.Counts.Iterations > 0 }},
+		{"madani", func(r Result) bool { return r.Counts.Iterations > 0 && r.Counts.CyclesExamined > 0 }},
 		{"ho", func(r Result) bool { return r.Counts.Iterations > 0 }},
 	} {
 		res, err := mustAlgo(t, c.name).Solve(g, Options{})

@@ -1,0 +1,133 @@
+package core_test
+
+// External test package: these corpus-wide gates run on the shared harness
+// corpus (internal/testutil), which imports core and therefore cannot be
+// used from internal test files. They replace the hand-copied
+// equivalenceCorpus the kernel and approx gates used to duplicate.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/numeric"
+	"repro/internal/testutil"
+)
+
+func mustByName(t *testing.T, name string) core.Algorithm {
+	t.Helper()
+	a, err := core.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestKernelEquivalenceMean is the tentpole guarantee: for every corpus
+// graph and every bound-sensitive algorithm, a kernelized solve returns the
+// same λ* as a raw solve, and its cycle — expanded to original-graph arc
+// IDs — is a valid cycle of the original graph whose exact rational mean
+// equals λ* (no float drift anywhere).
+func TestKernelEquivalenceMean(t *testing.T) {
+	corpus := testutil.MeanCorpus(t)
+	algos := []core.Algorithm{mustByName(t, "howard"), mustByName(t, "karp"), mustByName(t, "lawler")}
+	for name, g := range corpus {
+		raw, err := core.MinimumCycleMean(g, algos[0], core.Options{Certify: true})
+		if err != nil {
+			t.Fatalf("%s: raw solve: %v", name, err)
+		}
+		if raw.Certificate == nil {
+			t.Fatalf("%s: certified solve returned no certificate", name)
+		}
+		for _, algo := range algos {
+			kr, err := core.MinimumCycleMean(g, algo, core.Options{Kernelize: true, Certify: true})
+			if err != nil {
+				t.Fatalf("%s/%s: kernelized solve: %v", name, algo.Name(), err)
+			}
+			if !kr.Mean.Equal(raw.Mean) {
+				t.Errorf("%s/%s: kernelized λ* = %v, raw = %v", name, algo.Name(), kr.Mean, raw.Mean)
+				continue
+			}
+			if !kr.Exact {
+				t.Errorf("%s/%s: kernelized result must be exact", name, algo.Name())
+			}
+			if kr.Certificate == nil || !kr.Certificate.Value.Equal(kr.Mean) {
+				t.Errorf("%s/%s: missing or mismatched certificate: %+v", name, algo.Name(), kr.Certificate)
+			}
+			if err := g.ValidateCycle(kr.Cycle); err != nil {
+				t.Errorf("%s/%s: expanded cycle invalid on original graph: %v", name, algo.Name(), err)
+				continue
+			}
+			// Satellite property: recompute the expanded cycle's value on the
+			// original graph in exact rational arithmetic.
+			mean := numeric.NewRat(g.CycleWeight(kr.Cycle), int64(len(kr.Cycle)))
+			if !mean.Equal(kr.Mean) {
+				t.Errorf("%s/%s: expanded cycle mean %v != reported λ* %v", name, algo.Name(), mean, kr.Mean)
+			}
+		}
+	}
+}
+
+// TestApproxEquivalence is the approximation-tier guarantee, run over the
+// full equivalence corpus: the sharpened approx path is bit-identical to an
+// exact certified solve, and every unsharpened ε run stays within its own
+// declared error bound of the true λ*.
+func TestApproxEquivalence(t *testing.T) {
+	corpus := testutil.MeanCorpus(t)
+	approx := mustByName(t, "approx")
+	exactAlgo := mustByName(t, "howard")
+	for name, g := range corpus {
+		exact, err := core.MinimumCycleMean(g, exactAlgo, core.Options{Certify: true})
+		if err != nil {
+			t.Fatalf("%s: exact solve: %v", name, err)
+		}
+
+		// Sharpened: default options request an exact answer.
+		sharp, err := core.MinimumCycleMean(g, approx, core.Options{Certify: true})
+		if err != nil {
+			t.Fatalf("%s: sharpened approx solve: %v", name, err)
+		}
+		if !sharp.Mean.Equal(exact.Mean) {
+			t.Errorf("%s: sharpened λ* = %v, exact = %v", name, sharp.Mean, exact.Mean)
+			continue
+		}
+		if !sharp.Exact || sharp.ErrorBound != 0 {
+			t.Errorf("%s: sharpened result must be exact with zero bound, got exact=%v bound=%v",
+				name, sharp.Exact, sharp.ErrorBound)
+		}
+		if sharp.Certificate == nil || !sharp.Certificate.Value.Equal(sharp.Mean) {
+			t.Errorf("%s: missing or mismatched certificate: %+v", name, sharp.Certificate)
+		}
+		if err := g.ValidateCycle(sharp.Cycle); err != nil {
+			t.Errorf("%s: sharpened cycle invalid: %v", name, err)
+		}
+
+		// Unsharpened ε run: λ* must lie in [Mean−ErrorBound, Mean], and the
+		// witness must be a real cycle of the original graph whose exact
+		// rational mean is the reported Mean.
+		for _, mode := range []string{"chkl", "ap"} {
+			res, err := core.MinimumCycleMean(g, approx, core.Options{Approx: core.ApproxOptions{Epsilon: 0.05, Mode: mode}})
+			if err != nil {
+				t.Fatalf("%s/%s: approx solve: %v", name, mode, err)
+			}
+			lam := exact.Mean.Float64()
+			if res.Mean.Float64() < lam-1e-9 {
+				t.Errorf("%s/%s: reported mean %v below true λ* %v", name, mode, res.Mean, lam)
+			}
+			if res.Mean.Float64()-res.ErrorBound > lam+1e-9 {
+				t.Errorf("%s/%s: certified interval [%v, %v] misses λ* = %v",
+					name, mode, res.Mean.Float64()-res.ErrorBound, res.Mean.Float64(), lam)
+			}
+			if res.Exact != (res.ErrorBound == 0) {
+				t.Errorf("%s/%s: Exact=%v inconsistent with ErrorBound=%v", name, mode, res.Exact, res.ErrorBound)
+			}
+			if err := g.ValidateCycle(res.Cycle); err != nil {
+				t.Errorf("%s/%s: witness cycle invalid: %v", name, mode, err)
+				continue
+			}
+			mean := numeric.NewRat(g.CycleWeight(res.Cycle), int64(len(res.Cycle)))
+			if !mean.Equal(res.Mean) {
+				t.Errorf("%s/%s: witness mean %v != reported %v", name, mode, mean, res.Mean)
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package core_test
+
+// External test package: the enrollment harness (internal/testutil) imports
+// core, so internal test files cannot use it. Every new mean engine adds its
+// one-line Enroll here — the checklist item ALGORITHMS.md requires.
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestEnrollMadani(t *testing.T) { testutil.Enroll(t, "madani") }

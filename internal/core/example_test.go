@@ -63,5 +63,5 @@ func ExampleCrossCheck() {
 		panic(err)
 	}
 	fmt.Printf("consensus λ* = %v across %d algorithms\n", res.Mean, len(res.Elapsed))
-	// Output: consensus λ* = 2 across 14 algorithms
+	// Output: consensus λ* = 2 across 15 algorithms
 }

@@ -1,0 +1,118 @@
+package core_test
+
+// External test package: the differential fuzz target reports failures
+// through the shared shrinking reporter (internal/testutil), which imports
+// core and therefore cannot be used from internal test files. The fuzz
+// corpus under testdata/fuzz/FuzzSolveDifferential is keyed by target name,
+// not package name, so the accumulated seeds keep working.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/testutil"
+	"repro/internal/verify"
+)
+
+// FuzzSolveDifferential cross-checks every registered mean algorithm — plus
+// the portfolio, the parallel driver, and the session — against the
+// brute-force cycle-enumeration oracle, with certification on. Any
+// disagreement, missing certificate, or panic is a finding; λ* mismatches
+// are minimized and persisted to testdata/crashers/ before failing.
+func FuzzSolveDifferential(f *testing.F) {
+	f.Add([]byte{3, 0, 1, 5, 1, 2, 250, 2, 0, 3})
+	f.Add([]byte{0, 0, 0, 200, 1, 1, 10})
+	f.Add([]byte{5, 0, 1, 1, 1, 0, 255})
+	f.Add([]byte{2, 0, 1, 7, 1, 2, 7, 2, 3, 7, 3, 0, 7})
+	f.Add([]byte{4, 1, 1, 128, 2, 2, 127, 1, 2, 0, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := testutil.DecodeMeanGraph(data, 6, 14)
+		if g == nil {
+			return
+		}
+		want, _, oracleErr := verify.BruteForceMinMean(g)
+		const repro = "go test -run FuzzSolveDifferential ./internal/core/ (graph below in internal/graph text format)"
+
+		algos := core.All()
+		if p, err := core.ByName("portfolio"); err == nil {
+			algos = append(algos, p)
+		}
+		for _, algo := range algos {
+			res, err := core.MinimumCycleMean(g, algo, core.Options{Certify: true})
+			if oracleErr != nil {
+				if err == nil {
+					t.Fatalf("%s: oracle failed (%v) but solver returned %v", algo.Name(), oracleErr, res.Mean)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", algo.Name(), err)
+			}
+			if !res.Mean.Equal(want) {
+				small, path := testutil.SaveShrunkCrasher(t, "FuzzSolveDifferential-"+algo.Name(), g,
+					func(g *graph.Graph) bool {
+						w, _, err1 := verify.BruteForceMinMean(g)
+						r, err2 := core.MinimumCycleMean(g, algo, core.Options{})
+						return err1 == nil && err2 == nil && !r.Mean.Equal(w)
+					}, repro)
+				t.Fatalf("%s: λ* = %v, oracle %v (minimized to %d arcs, saved at %q)",
+					algo.Name(), res.Mean, want, small.NumArcs(), path)
+			}
+			if res.Certificate == nil || !res.Certificate.Value.Equal(want) {
+				t.Fatalf("%s: bad certificate %+v", algo.Name(), res.Certificate)
+			}
+			if err := verify.CheckCycleIsOptimal(g, res.Certificate.Value, res.Certificate.Witness); err != nil {
+				t.Fatalf("%s: certificate fails independent check: %v", algo.Name(), err)
+			}
+		}
+
+		// Driver variants over Howard.
+		howard, err := core.ByName("howard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, opt := range map[string]core.Options{
+			"parallel":   {Certify: true, Parallelism: 2},
+			"kernelized": {Certify: true, Kernelize: true},
+		} {
+			res, err := core.MinimumCycleMean(g, howard, opt)
+			if oracleErr != nil {
+				if err == nil {
+					t.Fatalf("%s: oracle failed (%v) but solver returned %v", name, oracleErr, res.Mean)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !res.Mean.Equal(want) {
+				opt := opt
+				small, path := testutil.SaveShrunkCrasher(t, "FuzzSolveDifferential-"+name, g,
+					func(g *graph.Graph) bool {
+						w, _, err1 := verify.BruteForceMinMean(g)
+						r, err2 := core.MinimumCycleMean(g, howard, opt)
+						return err1 == nil && err2 == nil && !r.Mean.Equal(w)
+					}, repro)
+				t.Fatalf("%s: λ* = %v, oracle %v (minimized to %d arcs, saved at %q)",
+					name, res.Mean, want, small.NumArcs(), path)
+			}
+		}
+		sess := core.NewSession(core.Options{Certify: true})
+		for i := 0; i < 2; i++ {
+			res, err := sess.Solve(g)
+			if oracleErr != nil {
+				if err == nil {
+					t.Fatalf("session: oracle failed (%v) but solver returned %v", oracleErr, res.Mean)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("session: %v", err)
+			}
+			if !res.Mean.Equal(want) {
+				t.Fatalf("session: λ* = %v, oracle %v", res.Mean, want)
+			}
+		}
+	})
+}

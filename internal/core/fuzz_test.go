@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/graph"
-	"repro/internal/verify"
 )
 
 // decodeFuzzGraph derives a small graph from fuzz bytes: byte 0 picks the
@@ -33,90 +32,9 @@ func decodeFuzzGraph(data []byte, maxN, maxArcs int) *graph.Graph {
 	return graph.FromArcs(n, arcs)
 }
 
-// FuzzSolveDifferential cross-checks every registered mean algorithm — plus
-// the portfolio, the parallel driver, and the session — against the
-// brute-force cycle-enumeration oracle, with certification on. Any
-// disagreement, missing certificate, or panic is a finding.
-func FuzzSolveDifferential(f *testing.F) {
-	f.Add([]byte{3, 0, 1, 5, 1, 2, 250, 2, 0, 3})
-	f.Add([]byte{0, 0, 0, 200, 1, 1, 10})
-	f.Add([]byte{5, 0, 1, 1, 1, 0, 255})
-	f.Add([]byte{2, 0, 1, 7, 1, 2, 7, 2, 3, 7, 3, 0, 7})
-	f.Add([]byte{4, 1, 1, 128, 2, 2, 127, 1, 2, 0, 2, 1, 0})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		g := decodeFuzzGraph(data, 6, 14)
-		if g == nil {
-			return
-		}
-		want, _, oracleErr := verify.BruteForceMinMean(g)
-
-		algos := All()
-		if p, err := ByName("portfolio"); err == nil {
-			algos = append(algos, p)
-		}
-		for _, algo := range algos {
-			res, err := MinimumCycleMean(g, algo, Options{Certify: true})
-			if oracleErr != nil {
-				if err == nil {
-					t.Fatalf("%s: oracle failed (%v) but solver returned %v", algo.Name(), oracleErr, res.Mean)
-				}
-				continue
-			}
-			if err != nil {
-				t.Fatalf("%s: %v", algo.Name(), err)
-			}
-			if !res.Mean.Equal(want) {
-				t.Fatalf("%s: λ* = %v, oracle %v", algo.Name(), res.Mean, want)
-			}
-			if res.Certificate == nil || !res.Certificate.Value.Equal(want) {
-				t.Fatalf("%s: bad certificate %+v", algo.Name(), res.Certificate)
-			}
-			if err := verify.CheckCycleIsOptimal(g, res.Certificate.Value, res.Certificate.Witness); err != nil {
-				t.Fatalf("%s: certificate fails independent check: %v", algo.Name(), err)
-			}
-		}
-
-		// Driver variants over Howard.
-		howard, err := ByName("howard")
-		if err != nil {
-			t.Fatal(err)
-		}
-		for name, opt := range map[string]Options{
-			"parallel":   {Certify: true, Parallelism: 2},
-			"kernelized": {Certify: true, Kernelize: true},
-		} {
-			res, err := MinimumCycleMean(g, howard, opt)
-			if oracleErr != nil {
-				if err == nil {
-					t.Fatalf("%s: oracle failed (%v) but solver returned %v", name, oracleErr, res.Mean)
-				}
-				continue
-			}
-			if err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			if !res.Mean.Equal(want) {
-				t.Fatalf("%s: λ* = %v, oracle %v", name, res.Mean, want)
-			}
-		}
-		sess := NewSession(Options{Certify: true})
-		for i := 0; i < 2; i++ {
-			res, err := sess.Solve(g)
-			if oracleErr != nil {
-				if err == nil {
-					t.Fatalf("session: oracle failed (%v) but solver returned %v", oracleErr, res.Mean)
-				}
-				continue
-			}
-			if err != nil {
-				t.Fatalf("session: %v", err)
-			}
-			if !res.Mean.Equal(want) {
-				t.Fatalf("session: λ* = %v, oracle %v", res.Mean, want)
-			}
-		}
-	})
-}
+// FuzzSolveDifferential lives in fuzz_differential_test.go (package
+// core_test) so it can report failures through the shared shrinking
+// reporter in internal/testutil.
 
 // FuzzApproxDifferential cross-checks the approximation tier against the
 // exact Howard solve: the sharpened path must be bit-identical, and every

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"testing"
 
 	"repro/internal/gen"
@@ -10,104 +9,10 @@ import (
 	"repro/internal/numeric"
 )
 
-// equivalenceCorpus builds the kernelization test corpus: ≥120 graphs
-// spanning every generator family, weighted toward the chain-heavy circuits
-// the pipeline targets. Each entry is named so failures are reproducible.
-func equivalenceCorpus(t testing.TB) map[string]*graph.Graph {
-	t.Helper()
-	corpus := make(map[string]*graph.Graph)
-	add := func(name string, g *graph.Graph, err error) {
-		if err != nil {
-			t.Fatalf("corpus %s: %v", name, err)
-		}
-		corpus[name] = g
-	}
-
-	// SPRAND spread: 50 graphs.
-	for _, size := range []struct{ n, m int }{{4, 8}, {10, 25}, {30, 90}, {60, 120}, {100, 300}} {
-		for seed := uint64(0); seed < 10; seed++ {
-			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: -500, MaxWeight: 500, Seed: seed})
-			add(fmt.Sprintf("sprand-%d-%d-%d", size.n, size.m, seed), g, err)
-		}
-	}
-	// Chain-heavy circuits: 40 graphs, the kernelization target family.
-	for i, cfg := range []gen.ChainConfig{
-		{CoreN: 4, Chains: 3, ChainLen: 10, MinWeight: -50, MaxWeight: 50},
-		{CoreN: 8, Chains: 6, ChainLen: 30, MinWeight: -50, MaxWeight: 50, SelfLoops: 2},
-		{CoreN: 12, Chains: 10, ChainLen: 50, MinWeight: 1, MaxWeight: 1000, SelfLoops: 4},
-		{CoreN: 2, Chains: 2, ChainLen: 100, MinWeight: -9, MaxWeight: 9},
-	} {
-		for seed := uint64(0); seed < 10; seed++ {
-			cfg.Seed = seed
-			g, err := gen.Chain(cfg)
-			add(fmt.Sprintf("chain-%d-%d", i, seed), g, err)
-		}
-	}
-	// Structured and multi-SCC shapes: 30 graphs.
-	for seed := uint64(0); seed < 5; seed++ {
-		add(fmt.Sprintf("torus-%d", seed), gen.Torus(6, 7, -100, 100, seed), nil)
-		add(fmt.Sprintf("complete-%d", seed), gen.Complete(10, -50, 50, seed), nil)
-		g, err := gen.MultiSCC(5, 12, 30, seed)
-		add(fmt.Sprintf("multiscc-%d", seed), g, err)
-		add(fmt.Sprintf("cycle-%d", seed), gen.Cycle(int(20+seed*13), int64(seed)-2), nil)
-		g, _, err = gen.PlantedMinMean(40, 120, 6, -7, 100, seed)
-		add(fmt.Sprintf("planted-%d", seed), g, err)
-		// Single node with self-loops, the smallest cyclic graph.
-		add(fmt.Sprintf("loops-%d", seed), graph.FromArcs(1, []graph.Arc{
-			{From: 0, To: 0, Weight: int64(seed) + 1, Transit: 1},
-			{From: 0, To: 0, Weight: 5, Transit: 1},
-		}), nil)
-	}
-	if len(corpus) < 120 {
-		t.Fatalf("corpus has only %d graphs, want >= 120", len(corpus))
-	}
-	return corpus
-}
-
-// TestKernelEquivalenceMean is the tentpole guarantee: for every corpus
-// graph and every bound-sensitive algorithm, a kernelized solve returns the
-// same λ* as a raw solve, and its cycle — expanded to original-graph arc
-// IDs — is a valid cycle of the original graph whose exact rational mean
-// equals λ* (no float drift anywhere).
-func TestKernelEquivalenceMean(t *testing.T) {
-	corpus := equivalenceCorpus(t)
-	algos := []Algorithm{mustAlgo(t, "howard"), mustAlgo(t, "karp"), mustAlgo(t, "lawler")}
-	for name, g := range corpus {
-		raw, err := MinimumCycleMean(g, algos[0], Options{Certify: true})
-		if err != nil {
-			t.Fatalf("%s: raw solve: %v", name, err)
-		}
-		if raw.Certificate == nil {
-			t.Fatalf("%s: certified solve returned no certificate", name)
-		}
-		for _, algo := range algos {
-			kr, err := MinimumCycleMean(g, algo, Options{Kernelize: true, Certify: true})
-			if err != nil {
-				t.Fatalf("%s/%s: kernelized solve: %v", name, algo.Name(), err)
-			}
-			if !kr.Mean.Equal(raw.Mean) {
-				t.Errorf("%s/%s: kernelized λ* = %v, raw = %v", name, algo.Name(), kr.Mean, raw.Mean)
-				continue
-			}
-			if !kr.Exact {
-				t.Errorf("%s/%s: kernelized result must be exact", name, algo.Name())
-			}
-			if kr.Certificate == nil || !kr.Certificate.Value.Equal(kr.Mean) {
-				t.Errorf("%s/%s: missing or mismatched certificate: %+v", name, algo.Name(), kr.Certificate)
-			}
-			if err := g.ValidateCycle(kr.Cycle); err != nil {
-				t.Errorf("%s/%s: expanded cycle invalid on original graph: %v", name, algo.Name(), err)
-				continue
-			}
-			// Satellite property: recompute the expanded cycle's value on the
-			// original graph in exact rational arithmetic.
-			mean := numeric.NewRat(g.CycleWeight(kr.Cycle), int64(len(kr.Cycle)))
-			if !mean.Equal(kr.Mean) {
-				t.Errorf("%s/%s: expanded cycle mean %v != reported λ* %v", name, algo.Name(), mean, kr.Mean)
-			}
-		}
-	}
-}
+// The corpus-wide kernel equivalence gate (TestKernelEquivalenceMean) lives
+// in corpus_equivalence_test.go (package core_test) on the shared
+// testutil.MeanCorpus; the tests here cover driver paths that need nothing
+// beyond the exported API but predate the shared harness.
 
 // TestKernelEquivalenceParallel checks the parallel driver's kernelized
 // path: same λ* and a valid original-ID cycle, for multi-SCC inputs where

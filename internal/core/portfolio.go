@@ -18,9 +18,10 @@ const portfolioName = "portfolio"
 
 // defaultPortfolioRoster is the race run by ByName("portfolio"): Howard (the
 // paper's practical winner), Karp (worst-case O(nm), immune to Howard's
-// pathological inputs), and YTO (the best parametric bound). The three have
-// disjoint worst cases, which is the point of racing them.
-var defaultPortfolioRoster = []string{"howard", "karp", "yto"}
+// pathological inputs), YTO (the best parametric bound), and Madani
+// (contraction-accelerated value iteration, integer-exact throughout). The
+// members have disjoint worst cases, which is the point of racing them.
+var defaultPortfolioRoster = []string{"howard", "karp", "yto", "madani"}
 
 // portfolioLive counts currently-running portfolio solver goroutines; it is
 // a test hook proving that races never leak goroutines (Solve joins every
@@ -40,7 +41,7 @@ type Portfolio struct {
 }
 
 // NewPortfolio builds a portfolio over the given solvers; with no arguments
-// it uses the default howard+karp+yto roster. The solvers must be safe for
+// it uses the default howard+karp+yto+madani roster. The solvers must be safe for
 // concurrent use with distinct Options values (all built-ins are).
 func NewPortfolio(algos ...Algorithm) *Portfolio {
 	if len(algos) == 0 {

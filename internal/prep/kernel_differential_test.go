@@ -1,0 +1,111 @@
+package prep_test
+
+// External test package: the generation-based differential harness
+// (internal/testutil) supplies the instance families and the minimizing
+// shrinker; prep's internal tests keep their hand-built fixtures for the
+// reduction-by-reduction unit coverage.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/prep"
+	"repro/internal/testutil"
+	"repro/internal/verify"
+)
+
+// kernelPipeline runs the full Kernelize + SolveKernel pipeline for one
+// strongly connected graph and returns the optimum it proves together with
+// an expanded witness cycle on the original graph.
+func kernelPipeline(g *graph.Graph, mode prep.Mode) (numeric.Rat, []graph.ArcID, error) {
+	k := prep.Kernelize(g, mode)
+	if k.Err != nil {
+		return numeric.Rat{}, nil, k.Err
+	}
+	best, cyc, have := k.CandidateValue, k.CandidateCycle(), k.HasCandidate
+	if !k.Solved {
+		r, kcyc, err := prep.SolveKernel(k.G, nil)
+		if err != nil {
+			return numeric.Rat{}, nil, err
+		}
+		if !have || r.Less(best) {
+			best, cyc, have = r, k.ExpandCycle(kcyc), true
+		}
+	}
+	if !have {
+		return numeric.Rat{}, nil, errors.New("pipeline produced no optimum")
+	}
+	return best, cyc, nil
+}
+
+// TestKernelPipelineDifferential is the prep enrollment in the shared
+// differential harness: on every exhaustively checkable instance, the
+// kernelization pipeline's optimum is bit-identical to brute-force cycle
+// enumeration and its expanded witness achieves that value on the original
+// graph. Failures are minimized with testutil.Shrink before reporting.
+func TestKernelPipelineDifferential(t *testing.T) {
+	modes := []struct {
+		name   string
+		mode   prep.Mode
+		gen    func(testing.TB, func(string, *graph.Graph))
+		oracle func(*graph.Graph) (numeric.Rat, []graph.ArcID, error)
+		value  func(*graph.Graph, []graph.ArcID) (numeric.Rat, bool)
+	}{
+		{
+			"mean", prep.Mean, testutil.SmallMeanGraphs, verify.BruteForceMinMean,
+			func(g *graph.Graph, cyc []graph.ArcID) (numeric.Rat, bool) {
+				return numeric.NewRat(g.CycleWeight(cyc), int64(len(cyc))), true
+			},
+		},
+		{
+			"ratio", prep.Ratio, testutil.SmallRatioGraphs, verify.BruteForceMinRatio,
+			func(g *graph.Graph, cyc []graph.ArcID) (numeric.Rat, bool) {
+				tr := g.CycleTransit(cyc)
+				if tr <= 0 {
+					return numeric.Rat{}, false
+				}
+				return numeric.NewRat(g.CycleWeight(cyc), tr), true
+			},
+		},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			disagrees := func(g *graph.Graph) bool {
+				if !graph.IsStronglyConnected(g) {
+					return false
+				}
+				want, _, err1 := m.oracle(g)
+				got, _, err2 := kernelPipeline(g, m.mode)
+				return err1 == nil && err2 == nil && !got.Equal(want)
+			}
+			m.gen(t, func(name string, g *graph.Graph) {
+				want, _, err := m.oracle(g)
+				if err != nil {
+					t.Fatalf("%s: oracle: %v", name, err)
+				}
+				got, cyc, err := kernelPipeline(g, m.mode)
+				if err != nil {
+					t.Errorf("%s: pipeline: %v", name, err)
+					return
+				}
+				if !got.Equal(want) {
+					small := testutil.Shrink(g, disagrees)
+					t.Errorf("%s: pipeline = %v, brute force = %v; minimized:\n%s",
+						name, got, want,
+						testutil.FormatCrasher(small, fmt.Sprintf("go test -run 'KernelPipelineDifferential/%s' ./internal/prep/", m.name)))
+					return
+				}
+				if err := g.ValidateCycle(cyc); err != nil {
+					t.Errorf("%s: expanded cycle invalid: %v", name, err)
+					return
+				}
+				if v, ok := m.value(g, cyc); !ok || !v.Equal(want) {
+					t.Errorf("%s: expanded cycle value %v != optimum %v", name, v, want)
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,37 @@
+package ratio
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestBHKAllocsPerOpPinned pins the per-solve allocation budget of the
+// bound-tightened bisection engine. A bhk solve pays a fixed setup cost —
+// the parametric oracle, its pooled workspace lease, and the big-rational
+// arithmetic of the grid walk — but none of it may scale past this ceiling:
+// the measured steady state on this instance is ~151 objects/op, pinned
+// with headroom at 200 so a leaked per-probe allocation (one object per
+// Probe call would add hundreds here) fails immediately.
+func TestBHKAllocsPerOpPinned(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	bhk, err := ByName("bhk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stressGraph(t, 5)
+	// Warm the oracle workspace pool so the measurement sees the steady state.
+	if _, err := MinimumCycleRatio(g, bhk, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := MinimumCycleRatio(g, bhk, core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 200 {
+		t.Errorf("bhk allocates %.1f objects/op in steady state, pinned at <= 200", avg)
+	}
+}

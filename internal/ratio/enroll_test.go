@@ -1,0 +1,17 @@
+package ratio_test
+
+// External test package: the enrollment harness (internal/testutil) imports
+// ratio, so internal test files cannot use it. Every new ratio engine adds
+// its one-line Enroll here — the checklist item ALGORITHMS.md requires.
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestEnrollBHK(t *testing.T) { testutil.Enroll(t, "bhk") }
+
+// TestEnrollSternBrocot keeps the PR 9 engine under the shared harness — the
+// corpus here supersedes the hand-copied sternBrocotCorpus it enrolled with.
+func TestEnrollSternBrocot(t *testing.T) { testutil.Enroll(t, "sternbrocot") }

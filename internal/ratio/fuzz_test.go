@@ -1,72 +1,49 @@
-package ratio
+package ratio_test
+
+// External test package: the differential fuzz target reports failures
+// through the shared shrinking reporter (internal/testutil), which imports
+// ratio and therefore cannot be used from internal test files. The fuzz
+// corpus under testdata/fuzz/FuzzRatioDifferential is keyed by target name,
+// not package name, so the accumulated seeds keep working.
 
 import (
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/ratio"
+	"repro/internal/testutil"
 	"repro/internal/verify"
 )
-
-// decodeFuzzRatioGraph derives a small ratio instance from fuzz bytes: byte
-// 0 picks the node count, byte 1's low bit decides whether zero-transit arcs
-// are allowed, then each 4-byte chunk becomes an arc (from, to, int8 weight,
-// transit). With zeros allowed transits land in [0, 3] — exercising the
-// non-positive-transit-cycle rejection — otherwise in [1, 4], which every
-// solver (including the transit expansion) accepts.
-func decodeFuzzRatioGraph(data []byte) (*graph.Graph, bool) {
-	if len(data) < 6 {
-		return nil, false
-	}
-	n := 2 + int(data[0])%5
-	allowZero := data[1]&1 == 1
-	data = data[2:]
-	var arcs []graph.Arc
-	for len(data) >= 4 && len(arcs) < 14 {
-		tr := int64(data[3]) % 4
-		if !allowZero {
-			tr++
-		}
-		arcs = append(arcs, graph.Arc{
-			From:    graph.NodeID(int(data[0]) % n),
-			To:      graph.NodeID(int(data[1]) % n),
-			Weight:  int64(int8(data[2])),
-			Transit: tr,
-		})
-		data = data[4:]
-	}
-	if len(arcs) == 0 {
-		return nil, false
-	}
-	return graph.FromArcs(n, arcs), allowZero
-}
 
 // FuzzRatioDifferential cross-checks every ratio algorithm against the
 // brute-force oracle with certification on. When the oracle rejects the
 // instance (acyclic, or a cycle with non-positive total transit) every
-// solver must reject it too — typed errors, never panics.
+// solver must reject it too — typed errors, never panics. ρ* mismatches are
+// minimized and persisted to testdata/crashers/ before failing.
 func FuzzRatioDifferential(f *testing.F) {
 	f.Add([]byte{3, 0, 0, 1, 5, 2, 1, 2, 250, 1, 2, 0, 3, 3})
 	f.Add([]byte{0, 1, 0, 0, 200, 0, 1, 1, 10, 2})
 	f.Add([]byte{2, 0, 0, 1, 7, 1, 1, 2, 7, 2, 2, 0, 7, 3})
 	f.Add([]byte{4, 1, 1, 1, 128, 0, 2, 2, 127, 0, 1, 2, 0, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		g, allowZero := decodeFuzzRatioGraph(data)
+		g, allowZero := testutil.DecodeRatioGraph(data)
 		if g == nil {
 			return
 		}
 		want, _, oracleErr := verify.BruteForceMinRatio(g)
+		const repro = "go test -run FuzzRatioDifferential ./internal/ratio/ (graph below in internal/graph text format)"
 
-		names := []string{"howard", "lawler", "burns", "ko", "yto", "dinkelbach", "megiddo", "sternbrocot"}
+		names := []string{"howard", "lawler", "burns", "ko", "yto", "dinkelbach", "megiddo", "sternbrocot", "bhk"}
 		if !allowZero {
 			names = append(names, "expand")
 		}
 		for _, name := range names {
-			algo, err := ByName(name)
+			algo, err := ratio.ByName(name)
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := MinimumCycleRatio(g, algo, core.Options{Certify: true})
+			res, err := ratio.MinimumCycleRatio(g, algo, core.Options{Certify: true})
 			if oracleErr != nil {
 				if err == nil {
 					t.Fatalf("%s: oracle failed (%v) but solver returned %v", name, oracleErr, res.Ratio)
@@ -77,7 +54,14 @@ func FuzzRatioDifferential(f *testing.F) {
 				t.Fatalf("%s: %v", name, err)
 			}
 			if !res.Ratio.Equal(want) {
-				t.Fatalf("%s: ρ* = %v, oracle %v", name, res.Ratio, want)
+				small, path := testutil.SaveShrunkCrasher(t, "FuzzRatioDifferential-"+name, g,
+					func(g *graph.Graph) bool {
+						w, _, err1 := verify.BruteForceMinRatio(g)
+						r, err2 := ratio.MinimumCycleRatio(g, algo, core.Options{})
+						return err1 == nil && err2 == nil && !r.Ratio.Equal(w)
+					}, repro)
+				t.Fatalf("%s: ρ* = %v, oracle %v (minimized to %d arcs, saved at %q)",
+					name, res.Ratio, want, small.NumArcs(), path)
 			}
 			if res.Certificate == nil || !res.Certificate.Value.Equal(want) {
 				t.Fatalf("%s: bad certificate %+v", name, res.Certificate)

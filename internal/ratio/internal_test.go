@@ -11,8 +11,8 @@ import (
 func TestNamesAndByName(t *testing.T) {
 	names := Names()
 	want := map[string]bool{
-		"burns": true, "dinkelbach": true, "expand": true, "howard": true, "megiddo": true,
-		"ko": true, "lawler": true, "sternbrocot": true, "yto": true,
+		"bhk": true, "burns": true, "dinkelbach": true, "expand": true, "howard": true,
+		"megiddo": true, "ko": true, "lawler": true, "sternbrocot": true, "yto": true,
 	}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
@@ -40,7 +40,7 @@ func TestNamesAndByName(t *testing.T) {
 	if p.Name() != "portfolio" {
 		t.Fatalf("portfolio Name() = %q", p.Name())
 	}
-	if pf, ok := p.(*RatioPortfolio); !ok || len(pf.Algorithms()) != 3 {
+	if pf, ok := p.(*RatioPortfolio); !ok || len(pf.Algorithms()) != 4 {
 		t.Fatalf("ByName(portfolio) = %T", p)
 	}
 	if p, err = ByName("portfolio:howard+sternbrocot"); err != nil {

@@ -1,17 +1,17 @@
 package ratio
 
 import (
-	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/numeric"
 )
 
 // withTransits reassigns deterministic transit times in [1, k] so mean-family
-// generators produce genuine ratio instances.
+// generators produce genuine ratio instances. (The exported twin is
+// testutil.WithTransits; this copy exists because internal test files cannot
+// import testutil — it imports ratio.)
 func withTransits(g *graph.Graph, k int64) *graph.Graph {
 	arcs := append([]graph.Arc(nil), g.Arcs()...)
 	for i := range arcs {
@@ -20,81 +20,10 @@ func withTransits(g *graph.Graph, k int64) *graph.Graph {
 	return graph.FromArcs(g.NumNodes(), arcs)
 }
 
-// TestKernelEquivalenceRatio mirrors the core package's corpus guarantee for
-// the ratio driver: kernelized and raw solves agree on ρ* exactly, and the
-// kernelized critical cycle is valid on the original graph with its exact
-// recomputed ratio equal to ρ*.
-func TestKernelEquivalenceRatio(t *testing.T) {
-	type entry struct {
-		name string
-		g    *graph.Graph
-	}
-	var corpus []entry
-	for _, size := range []struct{ n, m int }{{5, 12}, {20, 60}, {50, 150}} {
-		for seed := uint64(0); seed < 6; seed++ {
-			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: -200, MaxWeight: 200, Seed: seed})
-			if err != nil {
-				t.Fatal(err)
-			}
-			corpus = append(corpus, entry{fmt.Sprintf("sprand-%d-%d", size.n, seed), withTransits(g, 4)})
-		}
-	}
-	for seed := uint64(0); seed < 6; seed++ {
-		g, err := gen.Chain(gen.ChainConfig{CoreN: 6, Chains: 5, ChainLen: 25, MinWeight: -40, MaxWeight: 40, SelfLoops: 2, Seed: seed})
-		if err != nil {
-			t.Fatal(err)
-		}
-		corpus = append(corpus, entry{fmt.Sprintf("chain-%d", seed), withTransits(g, 3)})
-		mg, err := gen.MultiSCC(4, 10, 25, seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		corpus = append(corpus, entry{fmt.Sprintf("multiscc-%d", seed), withTransits(mg, 5)})
-	}
-
-	algos := []Algorithm{}
-	for _, name := range []string{"howard", "lawler", "burns", "sternbrocot"} {
-		a, err := ByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		algos = append(algos, a)
-	}
-	for _, e := range corpus {
-		raw, err := MinimumCycleRatio(e.g, algos[0], core.Options{Certify: true})
-		if err != nil {
-			t.Fatalf("%s: raw solve: %v", e.name, err)
-		}
-		if raw.Certificate == nil {
-			t.Fatalf("%s: certified solve returned no certificate", e.name)
-		}
-		for _, algo := range algos {
-			kr, err := MinimumCycleRatio(e.g, algo, core.Options{Kernelize: true, Certify: true})
-			if err != nil {
-				t.Fatalf("%s/%s: kernelized solve: %v", e.name, algo.Name(), err)
-			}
-			if !kr.Ratio.Equal(raw.Ratio) {
-				t.Errorf("%s/%s: kernelized ρ* = %v, raw = %v", e.name, algo.Name(), kr.Ratio, raw.Ratio)
-				continue
-			}
-			if kr.Certificate == nil || !kr.Certificate.Value.Equal(kr.Ratio) {
-				t.Errorf("%s/%s: missing or mismatched certificate: %+v", e.name, algo.Name(), kr.Certificate)
-			}
-			if err := e.g.ValidateCycle(kr.Cycle); err != nil {
-				t.Errorf("%s/%s: expanded cycle invalid: %v", e.name, algo.Name(), err)
-				continue
-			}
-			w, tr := e.g.CycleWeight(kr.Cycle), e.g.CycleTransit(kr.Cycle)
-			if tr <= 0 {
-				t.Errorf("%s/%s: expanded cycle has non-positive transit %d", e.name, algo.Name(), tr)
-				continue
-			}
-			if r := numeric.NewRat(w, tr); !r.Equal(kr.Ratio) {
-				t.Errorf("%s/%s: expanded cycle ratio %v != reported ρ* %v", e.name, algo.Name(), r, kr.Ratio)
-			}
-		}
-	}
-}
+// The corpus-wide kernel equivalence gate (TestKernelEquivalenceRatio) lives
+// in corpus_equivalence_test.go (package ratio_test) on the shared
+// testutil.RatioCorpus; the zero-transit edge cases below need nothing from
+// the shared corpus.
 
 // TestKernelEquivalenceRatioZeroTransit pins the conservative paths: graphs
 // with zero-transit arcs must solve identically (bounds are disabled but the

@@ -18,7 +18,7 @@ import (
 // and ErrNumericRange semantics). ko/yto drive Karp-style parametric
 // recurrences and expand delegates to a mean solver, so they only guarantee
 // the generic counter contract.
-var oracleBacked = []string{"burns", "dinkelbach", "howard", "lawler", "megiddo", "sternbrocot"}
+var oracleBacked = []string{"bhk", "burns", "dinkelbach", "howard", "lawler", "megiddo", "sternbrocot"}
 
 // twoCycleGraph has cycles of ratio 2 (optimal) and 4.
 func twoCycleGraph() *graph.Graph {

@@ -28,9 +28,10 @@ const ratioPortfolioName = "portfolio"
 
 // defaultRatioRoster is the race run by ByName("portfolio"): Howard (the
 // practical winner), Stern–Brocot (integer-only mediant search, immune to
-// float bias churn), and Dinkelbach (superlinear on inputs with few distinct
-// cycle ratios). The three have disjoint worst cases.
-var defaultRatioRoster = []string{"howard", "sternbrocot", "dinkelbach"}
+// float bias churn), Dinkelbach (superlinear on inputs with few distinct
+// cycle ratios), and BHK (probe count logarithmic in n·|w|·maxT via the
+// denominator-bound bisection). The four have disjoint worst cases.
+var defaultRatioRoster = []string{"howard", "sternbrocot", "dinkelbach", "bhk"}
 
 // ratioPortfolioLive mirrors core's goroutine-leak test hook.
 var ratioPortfolioLive atomic.Int64
@@ -43,7 +44,7 @@ type RatioPortfolio struct {
 }
 
 // NewPortfolio builds a ratio portfolio over the given solvers; with no
-// arguments it uses the default howard+sternbrocot+dinkelbach roster.
+// arguments it uses the default howard+sternbrocot+dinkelbach+bhk roster.
 func NewPortfolio(algos ...Algorithm) *RatioPortfolio {
 	if len(algos) == 0 {
 		for _, name := range defaultRatioRoster {

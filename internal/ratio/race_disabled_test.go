@@ -1,0 +1,7 @@
+//go:build !race
+
+package ratio
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package ratio
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose instrumentation adds allocations that would break the
+// AllocsPerRun regression pins.
+const raceEnabled = true

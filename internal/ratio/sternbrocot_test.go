@@ -1,121 +1,17 @@
 package ratio
 
 import (
-	"fmt"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/numeric"
 )
 
-// sternBrocotCorpus builds the ≥125-graph enrollment corpus: every generator
-// family in internal/gen, re-timed with several transit ranges so the
-// instances are genuine ratio problems (not means in disguise).
-func sternBrocotCorpus(t *testing.T) map[string]*graph.Graph {
-	t.Helper()
-	corpus := map[string]*graph.Graph{}
-	add := func(name string, g *graph.Graph, err error) {
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		corpus[name] = g
-	}
-	for _, size := range []struct{ n, m int }{{5, 12}, {20, 60}, {50, 150}} {
-		for seed := uint64(0); seed < 12; seed++ {
-			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: -200, MaxWeight: 200, Seed: seed})
-			if err == nil {
-				g = withTransits(g, int64(seed%6)+1)
-			}
-			add(fmt.Sprintf("sprand-%d-%d", size.n, seed), g, err)
-		}
-	}
-	for seed := uint64(0); seed < 12; seed++ {
-		g, err := gen.Chain(gen.ChainConfig{CoreN: 6, Chains: 5, ChainLen: 25, MinWeight: -40, MaxWeight: 40, SelfLoops: 2, Seed: seed})
-		if err == nil {
-			g = withTransits(g, 3)
-		}
-		add(fmt.Sprintf("chain-%d", seed), g, err)
-
-		mg, err := gen.MultiSCC(4, 10, 25, seed)
-		if err == nil {
-			mg = withTransits(mg, 5)
-		}
-		add(fmt.Sprintf("multiscc-%d", seed), mg, err)
-
-		add(fmt.Sprintf("torus-%d", seed), withTransits(gen.Torus(4, 5, -90, 90, seed), int64(seed%4)+1), nil)
-		add(fmt.Sprintf("torus-wide-%d", seed), withTransits(gen.Torus(3, 8, -500, 500, seed), int64(seed%7)+1), nil)
-		add(fmt.Sprintf("complete-%d", seed), withTransits(gen.Complete(8, -60, 60, seed), int64(seed%3)+1), nil)
-	}
-	for n := 1; n <= 8; n++ {
-		add(fmt.Sprintf("cycle-%d", n), withTransits(gen.Cycle(n, int64(3*n-7)), int64(n)), nil)
-	}
-	// Large-magnitude weights push the shifted mediant walk through long
-	// integer runs before it descends into the fractional part.
-	for seed := uint64(0); seed < 8; seed++ {
-		g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 48, MinWeight: -1_000_000, MaxWeight: 1_000_000, Seed: seed})
-		if err == nil {
-			g = withTransits(g, int64(seed%5)+1)
-		}
-		add(fmt.Sprintf("sprand-bigw-%d", seed), g, err)
-	}
-	// Negative-optimum and unit-transit edges of the space.
-	add("cycle-neg", gen.Cycle(5, -17), nil)
-	for seed := uint64(0); seed < 12; seed++ {
-		g, _, err := gen.PlantedMinMean(30, 90, 6, -25, 40, seed)
-		add(fmt.Sprintf("planted-%d", seed), g, err)
-	}
-	if len(corpus) < 125 {
-		t.Fatalf("corpus has only %d graphs, want >= 125", len(corpus))
-	}
-	return corpus
-}
-
-// TestSternBrocotEquivalenceCorpus is the acceptance gate for the mediant
-// search: on every corpus graph, sternbrocot's certified ρ* is bit-identical
-// to howard's and lawler's, and its certificate was never snapped from a
-// float (the solver's path is integer-only, so Snapped must stay false).
-func TestSternBrocotEquivalenceCorpus(t *testing.T) {
-	sb, err := ByName("sternbrocot")
-	if err != nil {
-		t.Fatal(err)
-	}
-	refs := map[string]Algorithm{}
-	for _, name := range []string{"howard", "lawler"} {
-		if refs[name], err = ByName(name); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for name, g := range sternBrocotCorpus(t) {
-		res, err := MinimumCycleRatio(g, sb, core.Options{Certify: true})
-		if err != nil {
-			t.Errorf("%s: sternbrocot: %v", name, err)
-			continue
-		}
-		if !res.Exact || res.Certificate == nil {
-			t.Errorf("%s: sternbrocot result not exact/certified: %+v", name, res)
-			continue
-		}
-		if res.Certificate.Snapped {
-			t.Errorf("%s: sternbrocot certificate was float-snapped", name)
-		}
-		if r, ok := cycleRatio(g, res.Cycle); !ok || !r.Equal(res.Ratio) {
-			t.Errorf("%s: witness cycle ratio %v != ρ* %v", name, r, res.Ratio)
-		}
-		for refName, ref := range refs {
-			want, err := MinimumCycleRatio(g, ref, core.Options{Certify: true})
-			if err != nil {
-				t.Errorf("%s: %s: %v", name, refName, err)
-				continue
-			}
-			if res.Ratio.Num() != want.Ratio.Num() || res.Ratio.Den() != want.Ratio.Den() {
-				t.Errorf("%s: sternbrocot ρ* = %d/%d, %s ρ* = %d/%d",
-					name, res.Ratio.Num(), res.Ratio.Den(), refName, want.Ratio.Num(), want.Ratio.Den())
-			}
-		}
-	}
-}
+// The corpus-wide equivalence gate for the mediant search lives in
+// enroll_test.go (TestEnrollSternBrocot, package ratio_test) on the shared
+// testutil.RatioCorpus; corpus_equivalence_test.go additionally pins that
+// its certificates are never float-snapped.
 
 // TestSternBrocotSmall pins hand-checked instances, including negative and
 // integer optima where the shifted mediant walk starts with a long

@@ -1,57 +1,21 @@
 package serve
 
 import (
-	"fmt"
 	"net/http"
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ratio"
+	"repro/internal/testutil"
 )
 
-// serveCorpus builds the serving slice of the equivalence corpus: the
-// Torus, MultiSCC, and Chain shapes of the DAC'99 workloads, plus
-// transit-perturbed variants so the ratio path is distinct from the mean
-// path. Sizes are kept small enough that the whole corpus round-trips over
-// HTTP in a few seconds even under -race.
+// serveCorpus returns the serving slice of the shared equivalence corpus
+// (internal/testutil), under the historical name both HTTP equivalence
+// tests key their subtests on.
 func serveCorpus(t *testing.T) map[string]*graph.Graph {
 	t.Helper()
-	corpus := make(map[string]*graph.Graph)
-	for seed := uint64(0); seed < 3; seed++ {
-		corpus[fmt.Sprintf("torus-%d", seed)] = gen.Torus(5, 6, -100, 100, seed)
-
-		ms, err := gen.MultiSCC(4, 8, 20, seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		corpus[fmt.Sprintf("multiscc-%d", seed)] = ms
-
-		ch, err := gen.Chain(gen.ChainConfig{
-			CoreN: 6, Chains: 4, ChainLen: 10,
-			MinWeight: -50, MaxWeight: 50, SelfLoops: 2, Seed: seed,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		corpus[fmt.Sprintf("chain-%d", seed)] = ch
-	}
-	// Transit-perturbed variants: transit 1..4 by arc index makes the
-	// cost-to-time ratio genuinely different from the cycle mean. Collect
-	// the base names first — inserting while ranging would double-perturb.
-	base := make(map[string]*graph.Graph, len(corpus))
-	for name, g := range corpus {
-		base[name] = g
-	}
-	for name, g := range base {
-		arcs := append([]graph.Arc(nil), g.Arcs()...)
-		for i := range arcs {
-			arcs[i].Transit = 1 + int64(i%4)
-		}
-		corpus["transit-"+name] = graph.FromArcs(g.NumNodes(), arcs)
-	}
-	return corpus
+	return testutil.ServeCorpus(t)
 }
 
 // TestServeEquivalenceCorpus drives the corpus through the HTTP boundary
@@ -98,8 +62,10 @@ func TestServeEquivalenceCorpus(t *testing.T) {
 			status, body := post(t, ts, SolveRequest{Requests: []GraphRequest{
 				{ID: "session", Text: graphText(t, g)},
 				{ID: "karp-kernel", Graph: graphJSON(t, g), Algorithm: "karp", Kernelize: true},
+				{ID: "madani", Graph: graphJSON(t, g), Algorithm: "madani"},
 				{ID: "ratio", Text: graphText(t, g), Problem: "ratio"},
 				{ID: "ratio-sb", Graph: graphJSON(t, g), Problem: "ratio", Algorithm: "sternbrocot"},
+				{ID: "ratio-bhk", Text: graphText(t, g), Problem: "ratio", Algorithm: "bhk"},
 			}})
 			if status != http.StatusOK {
 				t.Fatalf("status %d: %s", status, body)
@@ -108,7 +74,7 @@ func TestServeEquivalenceCorpus(t *testing.T) {
 				if !res.OK || res.Error != nil || res.Value == nil {
 					t.Fatalf("%s: %+v", res.ID, res.Error)
 				}
-				isRatio := res.ID == "ratio" || res.ID == "ratio-sb"
+				isRatio := res.ID == "ratio" || res.ID == "ratio-sb" || res.ID == "ratio-bhk"
 				want := wantMean.Mean
 				if isRatio {
 					want = wantRatio.Ratio

@@ -173,6 +173,8 @@ func TestBatchSolveAgainstOracle(t *testing.T) {
 				{ID: "ratio", Text: graphText(t, g), Problem: "ratio", Certify: true},
 				{ID: "ratio-lawler", Graph: graphJSON(t, g), Problem: "ratio", Algorithm: "lawler"},
 				{ID: "ratio-sb", Text: graphText(t, g), Problem: "ratio", Algorithm: "sternbrocot", Certify: true},
+				{ID: "mean-madani", Graph: graphJSON(t, g), Algorithm: "madani", Certify: true},
+				{ID: "ratio-bhk", Text: graphText(t, g), Problem: "ratio", Algorithm: "bhk", Certify: true},
 			}}
 			status, body := post(t, ts, req)
 			if status != http.StatusOK {
@@ -185,7 +187,7 @@ func TestBatchSolveAgainstOracle(t *testing.T) {
 			want := map[string]numeric.Rat{
 				"mean": minMean, "mean-json": minMean, "mean-kernel": minMean,
 				"mean-max": maxMean, "ratio": minRatio, "ratio-lawler": minRatio,
-				"ratio-sb": minRatio,
+				"ratio-sb": minRatio, "mean-madani": minMean, "ratio-bhk": minRatio,
 			}
 			for _, res := range results {
 				if !res.OK || res.Error != nil {
@@ -198,7 +200,8 @@ func TestBatchSolveAgainstOracle(t *testing.T) {
 				if !res.Exact {
 					t.Fatalf("%s: inexact result from exact solver", res.ID)
 				}
-				wantCert := res.ID == "mean-json" || res.ID == "mean-max" || res.ID == "ratio" || res.ID == "ratio-sb"
+				wantCert := res.ID == "mean-json" || res.ID == "mean-max" || res.ID == "ratio" ||
+					res.ID == "ratio-sb" || res.ID == "mean-madani" || res.ID == "ratio-bhk"
 				if res.Certified != wantCert {
 					t.Fatalf("%s: certified=%v, want %v", res.ID, res.Certified, wantCert)
 				}

@@ -102,6 +102,8 @@ func TestOptionKeyingNearMisses(t *testing.T) {
 		{Problem: "mean", Algorithm: "karp"},
 		{Problem: "ratio", Algorithm: "howard"},
 		{Problem: "ratio", Algorithm: "sternbrocot"},
+		{Problem: "ratio", Algorithm: "bhk"},
+		{Problem: "mean", Algorithm: "madani"},
 		{Problem: "mean", Algorithm: "howard", Certify: true, Kernelize: true},
 		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.05, ApproxMode: "chkl"},
 		{Problem: "mean", Algorithm: "approx", ApproxEpsilon: 0.01, ApproxMode: "chkl"},

@@ -27,3 +27,29 @@ func ExampleAnalyze() {
 		rep.Lambda, len(rep.CriticalArcs), rep.Arcs[3].Slack)
 	// Output: λ* = 2; 3 critical arcs; chord slack = 7
 }
+
+func ExampleReport_Bottlenecks() {
+	// The designer's ranking: critical arcs first (slack 0), then the
+	// chord, whose weight can drop by its slack before it binds.
+	b := graph.NewBuilder(3, 4)
+	b.AddNodes(3)
+	b.AddArc(0, 1, 1)
+	b.AddArc(1, 2, 2)
+	b.AddArc(2, 0, 3)
+	b.AddArc(1, 0, 10)
+	g := b.Build()
+
+	howard, _ := core.ByName("howard")
+	rep, err := slack.Analyze(g, howard)
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range rep.Bottlenecks() {
+		fmt.Printf("arc %d: slack %v critical=%v\n", a.Arc, a.Slack, a.Critical)
+	}
+	// Output:
+	// arc 0: slack 0 critical=true
+	// arc 1: slack 0 critical=true
+	// arc 2: slack 0 critical=true
+	// arc 3: slack 7 critical=false
+}

@@ -1,0 +1,306 @@
+package testutil
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+)
+
+// WithTransits reassigns deterministic transit times in [1, k] by arc index,
+// so mean-family generators produce genuine ratio instances (not means in
+// disguise).
+func WithTransits(g *graph.Graph, k int64) *graph.Graph {
+	arcs := append([]graph.Arc(nil), g.Arcs()...)
+	for i := range arcs {
+		arcs[i].Transit = int64(i)%k + 1
+	}
+	return graph.FromArcs(g.NumNodes(), arcs)
+}
+
+// MeanCorpus builds the ≥125-graph minimum-cycle-mean equivalence corpus:
+// every generator family in internal/gen, weighted toward the chain-heavy
+// circuits the kernelization pipeline targets. Each entry is named so
+// failures are reproducible.
+func MeanCorpus(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	corpus := make(map[string]*graph.Graph)
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			tb.Fatalf("corpus %s: %v", name, err)
+		}
+		corpus[name] = g
+	}
+
+	// SPRAND spread: 50 graphs.
+	for _, size := range []struct{ n, m int }{{4, 8}, {10, 25}, {30, 90}, {60, 120}, {100, 300}} {
+		for seed := uint64(0); seed < 10; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: -500, MaxWeight: 500, Seed: seed})
+			add(fmt.Sprintf("sprand-%d-%d-%d", size.n, size.m, seed), g, err)
+		}
+	}
+	// Chain-heavy circuits: 40 graphs, the kernelization target family.
+	for i, cfg := range []gen.ChainConfig{
+		{CoreN: 4, Chains: 3, ChainLen: 10, MinWeight: -50, MaxWeight: 50},
+		{CoreN: 8, Chains: 6, ChainLen: 30, MinWeight: -50, MaxWeight: 50, SelfLoops: 2},
+		{CoreN: 12, Chains: 10, ChainLen: 50, MinWeight: 1, MaxWeight: 1000, SelfLoops: 4},
+		{CoreN: 2, Chains: 2, ChainLen: 100, MinWeight: -9, MaxWeight: 9},
+	} {
+		for seed := uint64(0); seed < 10; seed++ {
+			cfg.Seed = seed
+			g, err := gen.Chain(cfg)
+			add(fmt.Sprintf("chain-%d-%d", i, seed), g, err)
+		}
+	}
+	// Structured and multi-SCC shapes: 30 graphs.
+	for seed := uint64(0); seed < 5; seed++ {
+		add(fmt.Sprintf("torus-%d", seed), gen.Torus(6, 7, -100, 100, seed), nil)
+		add(fmt.Sprintf("complete-%d", seed), gen.Complete(10, -50, 50, seed), nil)
+		g, err := gen.MultiSCC(5, 12, 30, seed)
+		add(fmt.Sprintf("multiscc-%d", seed), g, err)
+		add(fmt.Sprintf("cycle-%d", seed), gen.Cycle(int(20+seed*13), int64(seed)-2), nil)
+		g, _, err = gen.PlantedMinMean(40, 120, 6, -7, 100, seed)
+		add(fmt.Sprintf("planted-%d", seed), g, err)
+		// Single node with self-loops, the smallest cyclic graph.
+		add(fmt.Sprintf("loops-%d", seed), graph.FromArcs(1, []graph.Arc{
+			{From: 0, To: 0, Weight: int64(seed) + 1, Transit: 1},
+			{From: 0, To: 0, Weight: 5, Transit: 1},
+		}), nil)
+	}
+	// Large-magnitude weights: 5 graphs stressing the scaled arithmetic.
+	for seed := uint64(0); seed < 5; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 48, MinWeight: -1_000_000, MaxWeight: 1_000_000, Seed: seed})
+		add(fmt.Sprintf("sprand-bigw-%d", seed), g, err)
+	}
+	if len(corpus) < 125 {
+		tb.Fatalf("corpus has only %d graphs, want >= 125", len(corpus))
+	}
+	return corpus
+}
+
+// RatioCorpus builds the ≥125-graph min cost-to-time ratio enrollment
+// corpus: every generator family, re-timed with several transit ranges so
+// the instances are genuine ratio problems.
+func RatioCorpus(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	corpus := map[string]*graph.Graph{}
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			tb.Fatalf("%s: %v", name, err)
+		}
+		corpus[name] = g
+	}
+	for _, size := range []struct{ n, m int }{{5, 12}, {20, 60}, {50, 150}} {
+		for seed := uint64(0); seed < 12; seed++ {
+			g, err := gen.Sprand(gen.SprandConfig{N: size.n, M: size.m, MinWeight: -200, MaxWeight: 200, Seed: seed})
+			if err == nil {
+				g = WithTransits(g, int64(seed%6)+1)
+			}
+			add(fmt.Sprintf("sprand-%d-%d", size.n, seed), g, err)
+		}
+	}
+	for seed := uint64(0); seed < 12; seed++ {
+		g, err := gen.Chain(gen.ChainConfig{CoreN: 6, Chains: 5, ChainLen: 25, MinWeight: -40, MaxWeight: 40, SelfLoops: 2, Seed: seed})
+		if err == nil {
+			g = WithTransits(g, 3)
+		}
+		add(fmt.Sprintf("chain-%d", seed), g, err)
+
+		mg, err := gen.MultiSCC(4, 10, 25, seed)
+		if err == nil {
+			mg = WithTransits(mg, 5)
+		}
+		add(fmt.Sprintf("multiscc-%d", seed), mg, err)
+
+		add(fmt.Sprintf("torus-%d", seed), WithTransits(gen.Torus(4, 5, -90, 90, seed), int64(seed%4)+1), nil)
+		add(fmt.Sprintf("torus-wide-%d", seed), WithTransits(gen.Torus(3, 8, -500, 500, seed), int64(seed%7)+1), nil)
+		add(fmt.Sprintf("complete-%d", seed), WithTransits(gen.Complete(8, -60, 60, seed), int64(seed%3)+1), nil)
+	}
+	for n := 1; n <= 8; n++ {
+		add(fmt.Sprintf("cycle-%d", n), WithTransits(gen.Cycle(n, int64(3*n-7)), int64(n)), nil)
+	}
+	// Large-magnitude weights push ratio brackets through long integer runs
+	// before the fractional part matters.
+	for seed := uint64(0); seed < 8; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 12, M: 48, MinWeight: -1_000_000, MaxWeight: 1_000_000, Seed: seed})
+		if err == nil {
+			g = WithTransits(g, int64(seed%5)+1)
+		}
+		add(fmt.Sprintf("sprand-bigw-%d", seed), g, err)
+	}
+	// Negative-optimum and unit-transit edges of the space.
+	add("cycle-neg", gen.Cycle(5, -17), nil)
+	for seed := uint64(0); seed < 12; seed++ {
+		g, _, err := gen.PlantedMinMean(30, 90, 6, -25, 40, seed)
+		add(fmt.Sprintf("planted-%d", seed), g, err)
+	}
+	if len(corpus) < 125 {
+		tb.Fatalf("corpus has only %d graphs, want >= 125", len(corpus))
+	}
+	return corpus
+}
+
+// ServeCorpus builds the serving slice of the equivalence corpus: the Torus,
+// MultiSCC, and Chain shapes of the DAC'99 workloads, plus transit-perturbed
+// variants so the ratio path is distinct from the mean path. Sizes are kept
+// small enough that the whole corpus round-trips over HTTP in a few seconds
+// even under -race.
+func ServeCorpus(tb testing.TB) map[string]*graph.Graph {
+	tb.Helper()
+	corpus := make(map[string]*graph.Graph)
+	for seed := uint64(0); seed < 3; seed++ {
+		corpus[fmt.Sprintf("torus-%d", seed)] = gen.Torus(5, 6, -100, 100, seed)
+
+		ms, err := gen.MultiSCC(4, 8, 20, seed)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		corpus[fmt.Sprintf("multiscc-%d", seed)] = ms
+
+		ch, err := gen.Chain(gen.ChainConfig{
+			CoreN: 6, Chains: 4, ChainLen: 10,
+			MinWeight: -50, MaxWeight: 50, SelfLoops: 2, Seed: seed,
+		})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		corpus[fmt.Sprintf("chain-%d", seed)] = ch
+	}
+	// Transit-perturbed variants: transit 1..4 by arc index. Collect the base
+	// names first — inserting while ranging would double-perturb.
+	base := make(map[string]*graph.Graph, len(corpus))
+	for name, g := range corpus {
+		base[name] = g
+	}
+	for name, g := range base {
+		corpus["transit-"+name] = WithTransits(g, 4)
+	}
+	return corpus
+}
+
+// SmallMeanGraphs calls fn with deterministic small strongly connected
+// graphs — the instance family the brute-force cycle enumeration oracle can
+// check exhaustively. Acyclic or disconnected drawings are skipped.
+func SmallMeanGraphs(tb testing.TB, fn func(name string, g *graph.Graph)) {
+	tb.Helper()
+	for seed := uint64(0); seed < 25; seed++ {
+		g, err := gen.Sprand(gen.SprandConfig{N: 6, M: 15, MinWeight: -30, MaxWeight: 30, Seed: seed})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if graph.IsStronglyConnected(g) {
+			fn(fmt.Sprintf("sprand-%d", seed), g)
+		}
+	}
+	for n := 1; n <= 6; n++ {
+		fn(fmt.Sprintf("cycle-%d", n), gen.Cycle(n, int64(2*n-5)))
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		fn(fmt.Sprintf("complete-%d", seed), gen.Complete(5, -20, 20, seed))
+	}
+}
+
+// SmallRatioGraphs is SmallMeanGraphs with deterministic transit times, for
+// the ratio brute-force oracle.
+func SmallRatioGraphs(tb testing.TB, fn func(name string, g *graph.Graph)) {
+	tb.Helper()
+	SmallMeanGraphs(tb, func(name string, g *graph.Graph) {
+		fn(name, WithTransits(g, 3))
+	})
+}
+
+// NearLimitMeanGraphs builds instances whose weights sit exactly at the
+// ±(2^31−1) contract boundary — the largest magnitudes the solvers admit —
+// in shapes that stress different solver internals, with the exact λ* each
+// solver must report if it reports anything at all.
+func NearLimitMeanGraphs() (graphs map[string]*graph.Graph, want map[string]numeric.Rat) {
+	lim := int64(core.MaxWeightMagnitude)
+	graphs = map[string]*graph.Graph{
+		// Two-cycle swinging between the extremes: λ* = 0.
+		"swing": graph.FromArcs(2, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 1},
+			{From: 1, To: 0, Weight: -lim, Transit: 1},
+		}),
+		// All-max triangle: λ* = lim.
+		"allmax": graph.FromArcs(3, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim, Transit: 1},
+			{From: 2, To: 0, Weight: lim, Transit: 1},
+		}),
+		// All-min triangle: λ* = −lim.
+		"allmin": graph.FromArcs(3, []graph.Arc{
+			{From: 0, To: 1, Weight: -lim, Transit: 1},
+			{From: 1, To: 2, Weight: -lim, Transit: 1},
+			{From: 2, To: 0, Weight: -lim, Transit: 1},
+		}),
+		// Non-trivial choice between a near-limit self-loop and a mixed
+		// cycle: λ* = −1 via the 4-cycle of mean (−lim + lim−2 − 2 − 0)/4.
+		"choice": graph.FromArcs(4, []graph.Arc{
+			{From: 0, To: 1, Weight: -lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim - 2, Transit: 1},
+			{From: 2, To: 3, Weight: -2, Transit: 1},
+			{From: 3, To: 0, Weight: 0, Transit: 1},
+			{From: 1, To: 1, Weight: lim, Transit: 1},
+		}),
+		// Chain-heavy shape so contraction sums near-limit weights.
+		"chain": graph.FromArcs(6, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim, Transit: 1},
+			{From: 2, To: 3, Weight: lim, Transit: 1},
+			{From: 3, To: 4, Weight: -lim, Transit: 1},
+			{From: 4, To: 5, Weight: -lim, Transit: 1},
+			{From: 5, To: 0, Weight: -lim + 6, Transit: 1},
+		}),
+	}
+	want = map[string]numeric.Rat{
+		"swing":  numeric.FromInt(0),
+		"allmax": numeric.FromInt(lim),
+		"allmin": numeric.FromInt(-lim),
+		"choice": numeric.FromInt(-1),
+		"chain":  numeric.FromInt(1),
+	}
+	return graphs, want
+}
+
+// NearLimitRatioGraphs is the ratio-problem boundary suite: near-limit
+// weights over non-uniform transit times, with the exact ρ* of each.
+func NearLimitRatioGraphs() (graphs map[string]*graph.Graph, want map[string]numeric.Rat) {
+	lim := int64(core.MaxWeightMagnitude)
+	graphs = map[string]*graph.Graph{
+		// Swing over transit 3+1: ρ* = 0.
+		"swing": graph.FromArcs(2, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 3},
+			{From: 1, To: 0, Weight: -lim, Transit: 1},
+		}),
+		// All-max triangle over transit 2: ρ* = lim/2.
+		"allmax": graph.FromArcs(3, []graph.Arc{
+			{From: 0, To: 1, Weight: lim, Transit: 2},
+			{From: 1, To: 2, Weight: lim, Transit: 2},
+			{From: 2, To: 0, Weight: lim, Transit: 2},
+		}),
+		// Self-loop race: ρ* = −lim/3 from the slow negative loop.
+		"loops": graph.FromArcs(1, []graph.Arc{
+			{From: 0, To: 0, Weight: -lim, Transit: 3},
+			{From: 0, To: 0, Weight: lim, Transit: 1},
+		}),
+		// Mixed cycle against a near-limit loop: ρ* = (−2)/5 via the 4-cycle
+		// of weight −lim + (lim−2) − 2 + 2 = −2 and transit 5.
+		"choice": graph.FromArcs(4, []graph.Arc{
+			{From: 0, To: 1, Weight: -lim, Transit: 1},
+			{From: 1, To: 2, Weight: lim - 2, Transit: 2},
+			{From: 2, To: 3, Weight: -2, Transit: 1},
+			{From: 3, To: 0, Weight: 2, Transit: 1},
+			{From: 1, To: 1, Weight: lim, Transit: 2},
+		}),
+	}
+	want = map[string]numeric.Rat{
+		"swing":  numeric.FromInt(0),
+		"allmax": numeric.NewRat(lim, 2),
+		"loops":  numeric.NewRat(-lim, 3),
+		"choice": numeric.NewRat(-2, 5),
+	}
+	return graphs, want
+}

@@ -1,0 +1,245 @@
+package testutil
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/numeric"
+	"repro/internal/ratio"
+	"repro/internal/verify"
+)
+
+// meanOptionMatrix is the driver option matrix every enrolled mean solver is
+// proven under: each entry must produce a bit-identical certified λ*.
+var meanOptionMatrix = []struct {
+	name string
+	opt  core.Options
+}{
+	{"raw", core.Options{Certify: true}},
+	{"kernelize", core.Options{Kernelize: true, Certify: true}},
+	{"parallel", core.Options{Parallelism: 4, Certify: true}},
+	{"kernel-parallel", core.Options{Kernelize: true, Parallelism: 4, Certify: true}},
+}
+
+// typedRangeErr reports whether err is one of the typed contract errors an
+// adversarial near-limit instance may legitimately produce instead of an
+// exact answer.
+func typedRangeErr(err error) bool {
+	return errors.Is(err, core.ErrNumericRange) || errors.Is(err, core.ErrWeightRange) ||
+		errors.Is(err, core.ErrIterationLimit) || errors.Is(err, ratio.ErrNumericRange) ||
+		errors.Is(err, ratio.ErrIterationLimit)
+}
+
+// Enroll runs the full differential battery for the named algorithm: the
+// 125-graph corpus equivalence against certified Howard references under the
+// {raw, kernelized, parallel, kernelized+parallel} option matrix, the
+// brute-force differential on exhaustively enumerable graphs, and the
+// adversarial ±(2^31−1) boundary contract. The name is resolved in the core
+// (minimum cycle mean) and ratio (cost-to-time ratio) registries; whichever
+// resolve are exercised, and an algorithm known to neither fails the test.
+//
+// This is the enrollment checklist item for any new engine:
+//
+//	func TestEnrollMyAlgo(t *testing.T) { testutil.Enroll(t, "myalgo") }
+//
+// Call it from an external test package (package core_test, ratio_test, …):
+// this package imports core and ratio, so internal test files of those
+// packages cannot import it.
+func Enroll(t *testing.T, name string) {
+	t.Helper()
+	meanAlgo, meanErr := core.ByName(name)
+	ratioAlgo, ratioErr := ratio.ByName(name)
+	if meanErr != nil && ratioErr != nil {
+		t.Fatalf("testutil: %q is in neither the core nor the ratio registry (core: %v; ratio: %v)", name, meanErr, ratioErr)
+	}
+	if meanErr == nil {
+		enrollMean(t, meanAlgo)
+	}
+	if ratioErr == nil {
+		enrollRatio(t, ratioAlgo)
+	}
+}
+
+// reportShrunk minimizes g under fails and logs the crasher-format instance.
+func reportShrunk(t *testing.T, g *graph.Graph, fails func(*graph.Graph) bool, repro string) {
+	t.Helper()
+	small := Shrink(g, fails)
+	t.Logf("minimized failing graph (%d nodes, %d arcs):\n%s",
+		small.NumNodes(), small.NumArcs(), FormatCrasher(small, repro))
+}
+
+func enrollMean(t *testing.T, algo core.Algorithm) {
+	howard, err := core.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("mean/corpus", func(t *testing.T) {
+		for name, g := range MeanCorpus(t) {
+			ref, err := core.MinimumCycleMean(g, howard, core.Options{Certify: true})
+			if err != nil {
+				t.Fatalf("%s: howard reference: %v", name, err)
+			}
+			for _, m := range meanOptionMatrix {
+				res, err := core.MinimumCycleMean(g, algo, m.opt)
+				if err != nil {
+					t.Errorf("%s/%s: %v", name, m.name, err)
+					continue
+				}
+				if res.Mean.Num() != ref.Mean.Num() || res.Mean.Den() != ref.Mean.Den() {
+					t.Errorf("%s/%s: λ* = %v, howard = %v", name, m.name, res.Mean, ref.Mean)
+					reportShrunk(t, g, func(g *graph.Graph) bool {
+						a, err1 := core.MinimumCycleMean(g, algo, core.Options{})
+						b, err2 := core.MinimumCycleMean(g, howard, core.Options{})
+						return err1 == nil && err2 == nil && !a.Mean.Equal(b.Mean)
+					}, "go test -run 'Enroll.*"+algo.Name()+"' ./internal/core/")
+					continue
+				}
+				if !res.Exact || res.Certificate == nil {
+					t.Errorf("%s/%s: result not exact/certified: %+v", name, m.name, res)
+				}
+				if err := g.ValidateCycle(res.Cycle); err != nil {
+					t.Errorf("%s/%s: witness cycle invalid: %v", name, m.name, err)
+					continue
+				}
+				if mean := numeric.NewRat(g.CycleWeight(res.Cycle), int64(len(res.Cycle))); !mean.Equal(res.Mean) {
+					t.Errorf("%s/%s: witness cycle mean %v != λ* %v", name, m.name, mean, res.Mean)
+				}
+			}
+		}
+	})
+
+	t.Run("mean/bruteforce", func(t *testing.T) {
+		SmallMeanGraphs(t, func(name string, g *graph.Graph) {
+			want, _, err := verify.BruteForceMinMean(g)
+			if err != nil {
+				t.Fatalf("%s: oracle: %v", name, err)
+			}
+			res, err := algo.Solve(g, core.Options{})
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			if !res.Mean.Equal(want) {
+				t.Errorf("%s: λ* = %v, brute force = %v", name, res.Mean, want)
+				reportShrunk(t, g, func(g *graph.Graph) bool {
+					if !graph.IsStronglyConnected(g) {
+						return false
+					}
+					w, _, err1 := verify.BruteForceMinMean(g)
+					r, err2 := algo.Solve(g, core.Options{})
+					return err1 == nil && err2 == nil && !r.Mean.Equal(w)
+				}, "go test -run 'Enroll.*"+algo.Name()+"' ./internal/core/")
+			}
+		})
+	})
+
+	t.Run("mean/adversarial", func(t *testing.T) {
+		graphs, want := NearLimitMeanGraphs()
+		for name, g := range graphs {
+			res, err := core.MinimumCycleMean(g, algo, core.Options{Certify: true})
+			if err != nil {
+				if !typedRangeErr(err) {
+					t.Errorf("%s: err = %v, want a typed range error", name, err)
+				}
+				continue
+			}
+			if !res.Mean.Equal(want[name]) {
+				t.Errorf("%s: λ* = %v, want %v", name, res.Mean, want[name])
+			}
+			if res.Certificate == nil {
+				t.Errorf("%s: certified solve carries no certificate", name)
+			}
+		}
+	})
+}
+
+func enrollRatio(t *testing.T, algo ratio.Algorithm) {
+	howard, err := ratio.ByName("howard")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("ratio/corpus", func(t *testing.T) {
+		for name, g := range RatioCorpus(t) {
+			ref, err := ratio.MinimumCycleRatio(g, howard, core.Options{Certify: true})
+			if err != nil {
+				t.Fatalf("%s: howard reference: %v", name, err)
+			}
+			for _, m := range meanOptionMatrix {
+				res, err := ratio.MinimumCycleRatio(g, algo, m.opt)
+				if err != nil {
+					t.Errorf("%s/%s: %v", name, m.name, err)
+					continue
+				}
+				if res.Ratio.Num() != ref.Ratio.Num() || res.Ratio.Den() != ref.Ratio.Den() {
+					t.Errorf("%s/%s: ρ* = %v, howard = %v", name, m.name, res.Ratio, ref.Ratio)
+					reportShrunk(t, g, func(g *graph.Graph) bool {
+						a, err1 := ratio.MinimumCycleRatio(g, algo, core.Options{})
+						b, err2 := ratio.MinimumCycleRatio(g, howard, core.Options{})
+						return err1 == nil && err2 == nil && !a.Ratio.Equal(b.Ratio)
+					}, "go test -run 'Enroll.*"+algo.Name()+"' ./internal/ratio/")
+					continue
+				}
+				if !res.Exact || res.Certificate == nil {
+					t.Errorf("%s/%s: result not exact/certified: %+v", name, m.name, res)
+				}
+				if err := g.ValidateCycle(res.Cycle); err != nil {
+					t.Errorf("%s/%s: witness cycle invalid: %v", name, m.name, err)
+					continue
+				}
+				if tr := g.CycleTransit(res.Cycle); tr <= 0 {
+					t.Errorf("%s/%s: witness cycle has non-positive transit %d", name, m.name, tr)
+				} else if r := numeric.NewRat(g.CycleWeight(res.Cycle), tr); !r.Equal(res.Ratio) {
+					t.Errorf("%s/%s: witness cycle ratio %v != ρ* %v", name, m.name, r, res.Ratio)
+				}
+			}
+		}
+	})
+
+	t.Run("ratio/bruteforce", func(t *testing.T) {
+		SmallRatioGraphs(t, func(name string, g *graph.Graph) {
+			want, _, err := verify.BruteForceMinRatio(g)
+			if err != nil {
+				t.Fatalf("%s: oracle: %v", name, err)
+			}
+			res, err := algo.Solve(g, core.Options{})
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			if !res.Ratio.Equal(want) {
+				t.Errorf("%s: ρ* = %v, brute force = %v", name, res.Ratio, want)
+				reportShrunk(t, g, func(g *graph.Graph) bool {
+					if !graph.IsStronglyConnected(g) {
+						return false
+					}
+					w, _, err1 := verify.BruteForceMinRatio(g)
+					r, err2 := algo.Solve(g, core.Options{})
+					return err1 == nil && err2 == nil && !r.Ratio.Equal(w)
+				}, "go test -run 'Enroll.*"+algo.Name()+"' ./internal/ratio/")
+			}
+		})
+	})
+
+	t.Run("ratio/adversarial", func(t *testing.T) {
+		graphs, want := NearLimitRatioGraphs()
+		for name, g := range graphs {
+			res, err := ratio.MinimumCycleRatio(g, algo, core.Options{Certify: true})
+			if err != nil {
+				if !typedRangeErr(err) {
+					t.Errorf("%s: err = %v, want a typed range error", name, err)
+				}
+				continue
+			}
+			if !res.Ratio.Equal(want[name]) {
+				t.Errorf("%s: ρ* = %v, want %v", name, res.Ratio, want[name])
+			}
+			if res.Certificate == nil {
+				t.Errorf("%s: certified solve carries no certificate", name)
+			}
+		}
+	})
+}

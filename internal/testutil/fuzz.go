@@ -1,0 +1,90 @@
+package testutil
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// DecodeMeanGraph derives a small mean instance from fuzz bytes: byte 0
+// picks the node count in [2, maxN], then each 3-byte chunk becomes an arc
+// (from, to, int8 weight) with transit 1. Self-loops and parallel arcs are
+// deliberately reachable; the graph need not be strongly connected or even
+// cyclic. Returns nil when the bytes are too short to encode an arc.
+func DecodeMeanGraph(data []byte, maxN, maxArcs int) *graph.Graph {
+	if len(data) < 4 {
+		return nil
+	}
+	n := 2 + int(data[0])%(maxN-1)
+	data = data[1:]
+	var arcs []graph.Arc
+	for len(data) >= 3 && len(arcs) < maxArcs {
+		arcs = append(arcs, graph.Arc{
+			From:    graph.NodeID(int(data[0]) % n),
+			To:      graph.NodeID(int(data[1]) % n),
+			Weight:  int64(int8(data[2])),
+			Transit: 1,
+		})
+		data = data[3:]
+	}
+	if len(arcs) == 0 {
+		return nil
+	}
+	return graph.FromArcs(n, arcs)
+}
+
+// DecodeRatioGraph derives a small ratio instance from fuzz bytes: byte 0
+// picks the node count, byte 1's low bit decides whether zero-transit arcs
+// are allowed, then each 4-byte chunk becomes an arc (from, to, int8 weight,
+// transit). With zeros allowed transits land in [0, 3] — exercising the
+// non-positive-transit-cycle rejection — otherwise in [1, 4], which every
+// solver (including the transit expansion) accepts.
+func DecodeRatioGraph(data []byte) (*graph.Graph, bool) {
+	if len(data) < 6 {
+		return nil, false
+	}
+	n := 2 + int(data[0])%5
+	allowZero := data[1]&1 == 1
+	data = data[2:]
+	var arcs []graph.Arc
+	for len(data) >= 4 && len(arcs) < 14 {
+		tr := int64(data[3]) % 4
+		if !allowZero {
+			tr++
+		}
+		arcs = append(arcs, graph.Arc{
+			From:    graph.NodeID(int(data[0]) % n),
+			To:      graph.NodeID(int(data[1]) % n),
+			Weight:  int64(int8(data[2])),
+			Transit: tr,
+		})
+		data = data[4:]
+	}
+	if len(arcs) == 0 {
+		return nil, false
+	}
+	return graph.FromArcs(n, arcs), allowZero
+}
+
+// SaveShrunkCrasher is the fuzz targets' failure reporter: it minimizes g
+// under fails, persists the result to testdata/crashers/<name>-<hash>.txt
+// (hash of the minimized instance, so re-discoveries of the same bug
+// coalesce into one file), and returns the minimized graph together with
+// the path it was written to. Persistence errors are logged, never fatal —
+// the caller's own t.Fatalf carries the finding.
+func SaveShrunkCrasher(tb testing.TB, name string, g *graph.Graph, fails func(*graph.Graph) bool, repro string) (*graph.Graph, string) {
+	tb.Helper()
+	small := Shrink(g, fails)
+	body := FormatCrasher(small, repro)
+	sum := sha256.Sum256([]byte(body))
+	path, err := WriteCrasher("testdata/crashers", fmt.Sprintf("%s-%x", name, sum[:6]), small, repro)
+	if err != nil {
+		tb.Logf("testutil: writing crasher: %v", err)
+		return small, ""
+	}
+	tb.Logf("minimized crasher (%d nodes, %d arcs) written to %s",
+		small.NumNodes(), small.NumArcs(), path)
+	return small, path
+}

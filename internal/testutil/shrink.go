@@ -1,0 +1,118 @@
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Shrink minimizes a failing graph: it greedily removes arcs (chunks first,
+// then one at a time), drops unused trailing nodes, and rounds weights and
+// transit times toward zero/one, keeping each simplification only while
+// fails(g) stays true. The result is the smallest instance this local search
+// reaches — typically a handful of arcs — making differential failures
+// readable regression seeds. fails must be deterministic; it is called
+// O(arcs · log arcs) times.
+func Shrink(g *graph.Graph, fails func(*graph.Graph) bool) *graph.Graph {
+	if !fails(g) {
+		return g
+	}
+	arcs := append([]graph.Arc(nil), g.Arcs()...)
+	n := g.NumNodes()
+	rebuild := func(arcs []graph.Arc) *graph.Graph {
+		// Renumber nodes densely so dropped arcs shed their nodes too.
+		remap := make(map[graph.NodeID]graph.NodeID, n)
+		out := make([]graph.Arc, len(arcs))
+		for i, a := range arcs {
+			for _, v := range []graph.NodeID{a.From, a.To} {
+				if _, ok := remap[v]; !ok {
+					remap[v] = graph.NodeID(len(remap))
+				}
+			}
+			out[i] = graph.Arc{From: remap[a.From], To: remap[a.To], Weight: a.Weight, Transit: a.Transit}
+		}
+		return graph.FromArcs(len(remap), out)
+	}
+	still := func(arcs []graph.Arc) bool {
+		return len(arcs) > 0 && fails(rebuild(arcs))
+	}
+
+	// Arc removal: halves, then quarters, ... then single arcs, restarting
+	// from big chunks after any success (classic ddmin shape).
+	for chunk := len(arcs) / 2; chunk >= 1; {
+		removed := false
+		for at := 0; at+chunk <= len(arcs); {
+			trial := append(append([]graph.Arc(nil), arcs[:at]...), arcs[at+chunk:]...)
+			if still(trial) {
+				arcs = trial
+				removed = true
+			} else {
+				at += chunk
+			}
+		}
+		if removed && chunk > 1 {
+			chunk = len(arcs) / 2
+			if chunk < 1 {
+				chunk = 1
+			}
+			continue
+		}
+		chunk /= 2
+	}
+
+	// Value simplification: halve weights toward 0, transits toward 1.
+	for changed := true; changed; {
+		changed = false
+		for i := range arcs {
+			if arcs[i].Weight != 0 {
+				trial := append([]graph.Arc(nil), arcs...)
+				trial[i].Weight /= 2
+				if still(trial) {
+					arcs = trial
+					changed = true
+				}
+			}
+			if arcs[i].Transit > 1 {
+				trial := append([]graph.Arc(nil), arcs...)
+				trial[i].Transit = 1 + (trial[i].Transit-1)/2
+				if still(trial) {
+					arcs = trial
+					changed = true
+				}
+			}
+		}
+	}
+	return rebuild(arcs)
+}
+
+// FormatCrasher renders a graph in the text format with a comment header
+// carrying the reproduction command, the shape fuzz crashers are stored in
+// under testdata/crashers/.
+func FormatCrasher(g *graph.Graph, repro string) string {
+	var sb strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(repro), "\n") {
+		fmt.Fprintf(&sb, "c %s\n", line)
+	}
+	if err := graph.Write(&sb, g); err != nil {
+		fmt.Fprintf(&sb, "c graph.Write failed: %v\n", err)
+	}
+	return sb.String()
+}
+
+// WriteCrasher persists a minimized failing graph to dir/name.txt in
+// FormatCrasher form, creating dir if needed, and returns the path. The fuzz
+// differential targets call it on failure so regressions land as readable
+// seed files.
+func WriteCrasher(dir, name string, g *graph.Graph, repro string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".txt")
+	if err := os.WriteFile(path, []byte(FormatCrasher(g, repro)), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,33 @@
+// Package testutil is the shared generation-based differential test harness.
+//
+// Before this package, four packages carried hand-copied versions of the
+// same pattern — build a generator-spanning graph corpus, solve each graph
+// with a reference algorithm and the algorithm under test across an option
+// matrix, and demand bit-identical certified answers: the core kernel
+// equivalence corpus, the ratio kernel corpus, the Stern–Brocot enrollment
+// corpus, and the serving corpus. This package centralizes the corpora
+// (MeanCorpus, RatioCorpus, ServeCorpus), the small-instance enumeration the
+// brute-force oracles can check (SmallMeanGraphs, SmallRatioGraphs), the
+// ±(2^31−1) adversarial boundary suites (NearLimitMeanGraphs,
+// NearLimitRatioGraphs), a minimizing shrinker for failing graphs (Shrink),
+// and the crasher file format the fuzz reporters write (WriteCrasher).
+//
+// Enrolling a new algorithm is one line in an external test file:
+//
+//	func TestEnrollMyAlgo(t *testing.T) { testutil.Enroll(t, "myalgo") }
+//
+// Enroll resolves the name in the core (minimum cycle mean) and ratio
+// (minimum cost-to-time ratio) registries and runs whichever resolve through
+// the full battery: corpus equivalence against certified Howard references
+// under the {raw, kernelized, parallel, kernelized+parallel} option matrix,
+// brute-force differentials on exhaustively enumerable graphs, and the
+// adversarial near-limit contract (exact answer or typed range error, never
+// a panic, never a wrong answer). Failures are minimized with Shrink and
+// reported in the text graph format, ready to be pasted into a regression
+// test or a testdata/crashers seed.
+//
+// Because this package imports core and ratio, tests inside those packages
+// must enroll from an external test package (package core_test /
+// package ratio_test); fuzz corpora under testdata/fuzz are keyed by test
+// name, not package, so moving fuzz targets outward preserves their seeds.
+package testutil

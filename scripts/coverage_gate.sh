@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# coverage_gate.sh — fail when any package's statement coverage regresses
+# below its checked-in floor (scripts/coverage_floor.txt).
+#
+# Usage: scripts/coverage_gate.sh   (from the repo root; make coverage-gate)
+set -eu
+
+floors=scripts/coverage_floor.txt
+report=$(mktemp)
+trap 'rm -f "$report"' EXIT
+
+go test -cover ./... > "$report"
+
+fail=0
+while read -r pkg floor; do
+    case "$pkg" in ''|'#'*) continue ;; esac
+    line=$(grep -E "[[:space:]]$pkg[[:space:]].*coverage:" "$report" || true)
+    if [ -z "$line" ]; then
+        echo "coverage-gate: FAIL $pkg: no coverage line (package or tests deleted?)" >&2
+        fail=1
+        continue
+    fi
+    pct=$(printf '%s\n' "$line" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+    if [ -z "$pct" ]; then
+        echo "coverage-gate: FAIL $pkg: unparsable coverage line: $line" >&2
+        fail=1
+        continue
+    fi
+    # Integer-compare the truncated percentage against the floor.
+    got=${pct%.*}
+    if [ "$got" -lt "$floor" ]; then
+        echo "coverage-gate: FAIL $pkg: coverage $pct% < floor $floor%" >&2
+        fail=1
+    else
+        echo "coverage-gate: ok   $pkg: $pct% (floor $floor%)"
+    fi
+done < "$floors"
+
+# Surface packages that report coverage but have no floor yet, so new
+# packages get a floor in the PR that introduces them.
+grep -E 'coverage: [0-9.]+% of statements' "$report" | while read -r line; do
+    pkg=$(printf '%s\n' "$line" | awk '{for (i=1; i<=NF; i++) if ($i ~ /^repro/) {print $i; exit}}')
+    [ -n "$pkg" ] || continue
+    if ! grep -q "^$pkg " "$floors"; then
+        echo "coverage-gate: note $pkg has coverage but no floor in $floors"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "coverage-gate: coverage regressed below a floor; see failures above" >&2
+    exit 1
+fi
+echo "coverage-gate: all floors hold"
